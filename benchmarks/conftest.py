@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures and the experiment-report writer.
+
+Each experiment benchmark (E1–E10, see DESIGN.md) times its core operation
+with pytest-benchmark *and* writes a paper-vs-measured table to
+``benchmarks/results/EXX_*.txt`` so the reproduced numbers survive the
+run.  EXPERIMENTS.md indexes those files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.synth import SynthConfig, generate_catalog, study_catalog
+from repro.workbook.app import WorkbookApp
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(experiment_id: str, title: str, body: str) -> Path:
+    """Persist one experiment's output table."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(f"{experiment_id} — {title}\n\n{body}\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def study_store():
+    return study_catalog()
+
+
+@pytest.fixture(scope="session")
+def bench_app(study_store):
+    return WorkbookApp(study_store)
+
+
+@pytest.fixture(scope="session")
+def mid_store():
+    """A mid-size catalog for provider/query benchmarks."""
+    return generate_catalog(SynthConfig(seed=7, n_tables=400,
+                                        usage_events=8000))
+
+
+@pytest.fixture(scope="session")
+def mid_app(mid_store):
+    return WorkbookApp(mid_store)

@@ -1,0 +1,105 @@
+"""E11 — Ablations of design choices called out in DESIGN.md.
+
+(a) Ensemble relatedness (TF-IDF + schema) vs. each single measure — the
+    paper's §2 discussion of D3L/Voyager's ensemble advantage.  Metric:
+    for tables with known join partners (shared key columns), how often a
+    true partner appears in the top-5 similar list.
+(b) Spec-driven autocomplete vs. a hand-kept static field list — coverage
+    of the actual query surface after the spec evolves.
+"""
+
+from benchmarks.conftest import write_result
+from repro.baselines.hardcoded import HardcodedDiscoveryUI
+from repro.core.spec.model import ProviderSpec
+from repro.metadata.joinability import JoinabilityIndex
+from repro.metadata.similarity import (
+    EnsembleSimilarity,
+    SchemaSimilarity,
+    SemanticSimilarity,
+)
+
+
+def _hit_rate(measure, truth: dict[str, set[str]], k: int = 5) -> float:
+    """Fraction of query tables with ≥1 true partner in the top-k."""
+    hits = 0
+    for table_id, partners in truth.items():
+        top = {h.artifact_id for h in measure.similar(table_id, limit=k)}
+        if top & partners:
+            hits += 1
+    return hits / len(truth) if truth else 0.0
+
+
+def test_e11_ensemble_vs_single_measure(benchmark, mid_store):
+    # Ground truth: join partners found by the (independent) sketch index.
+    joins = JoinabilityIndex(mid_store).build()
+    tables = mid_store.by_type("table")[:40]
+    truth = {}
+    for table_id in tables:
+        partners = {e.dst for e in joins.joinable(table_id, limit=10)}
+        if partners:
+            truth[table_id] = partners
+    assert len(truth) >= 20
+
+    semantic = SemanticSimilarity(mid_store).build()
+    schema = SchemaSimilarity(mid_store)
+    ensemble = EnsembleSimilarity(mid_store).build()
+
+    def evaluate():
+        return {
+            "semantic only": _hit_rate(semantic, truth),
+            "schema only": _hit_rate(schema, truth),
+            "ensemble": _hit_rate(ensemble, truth),
+        }
+
+    rates = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    lines = [f"{'measure':<16}{'top-5 join-partner hit rate':>28}"]
+    for name, rate in rates.items():
+        lines.append(f"{name:<16}{rate:>27.0%}")
+    write_result("E11a_ensemble", "Ensemble vs single similarity measure",
+                 "\n".join(lines))
+
+    # Shape: the ensemble is at least as good as the weaker single
+    # measure and never worse than 10 points below the better one.
+    best_single = max(rates["semantic only"], rates["schema only"])
+    worst_single = min(rates["semantic only"], rates["schema only"])
+    assert rates["ensemble"] >= worst_single
+    assert rates["ensemble"] >= best_single - 0.10
+
+
+def test_e11_autocomplete_spec_vs_static(benchmark, bench_app):
+    """After the spec evolves, spec-driven autocomplete still covers the
+    whole query surface; the hardcoded static list silently drifts."""
+    spec = bench_app.spec.with_provider(ProviderSpec(
+        name="freshness_model",
+        endpoint="catalog://newest",  # reuse an existing endpoint
+        representation="list",
+        category="interaction",
+        title="Freshness Model",
+    ))
+    interface = bench_app.interface.with_spec(spec)
+
+    def coverage():
+        fields = interface.language.field_names()
+        covered = sum(
+            1 for name in fields
+            if any(s.text.startswith(name)
+                   for s in interface.suggest(name[:3], limit=50))
+        )
+        return covered / len(fields)
+
+    spec_coverage = benchmark(coverage)
+
+    static_fields = set(HardcodedDiscoveryUI.FIELD_NAMES)
+    actual_fields = set(interface.language.field_names())
+    static_coverage = len(static_fields & actual_fields) / len(actual_fields)
+
+    write_result(
+        "E11b_autocomplete",
+        "Spec-driven vs static autocomplete coverage after spec evolution",
+        f"query fields in evolved spec: {len(actual_fields)}\n"
+        f"spec-driven autocomplete coverage: {spec_coverage:.0%}\n"
+        f"hand-kept static list coverage:    {static_coverage:.0%}",
+    )
+    assert spec_coverage == 1.0
+    assert static_coverage < 0.5

@@ -1,0 +1,74 @@
+"""E7 — Figure 4 / Listing 2: team home-page configuration.
+
+Times the full Task 4 operation — an admin selects providers, the spec's
+custom content is rewritten, the interface regenerates, and the team's
+home page renders the chosen providers — plus user-level hide/reorder.
+"""
+
+from benchmarks.conftest import write_result
+from repro.study.executor import prepare_study_app
+
+
+def test_e7_configure_team_home_page(benchmark):
+    app, team_id = prepare_study_app()
+    admin = "user-p1"
+
+    def configure():
+        session = app.session(admin, team_id=team_id)
+        session.switch_role("team_admin")
+        session.configure_team_home_page(
+            ["team_popular", "recents", "badges"], team_id=team_id
+        )
+        return app.home_pages.home_page(team_id, user_id=admin)
+
+    page = benchmark(configure)
+    assert page.provider_names() == ["team_popular", "recents", "badges"]
+
+    listing2 = app.spec.custom["team_home_pages"][-1]
+    write_result(
+        "E7_customization",
+        "Listing 2 / Figure 4: team home page configuration",
+        f"configured page entry (custom content):\n  {listing2}\n\n"
+        f"rendered tabs: {page.provider_names()}\n"
+        f"title: {page.title}",
+    )
+
+
+def test_e7_user_hide_and_reorder(benchmark, bench_app):
+    user_id = "user-alex"
+
+    def customize():
+        layer = bench_app.customization.user_layer(user_id)
+        layer.hidden.clear()
+        layer.order.clear()
+        layer.hide("newest")
+        layer.set_order(["most_viewed", "recents"])
+        return bench_app.customization.effective_providers(
+            bench_app.spec, "overview", user_id=user_id
+        )
+
+    providers = benchmark(customize)
+    names = [p.name for p in providers]
+    assert names[0] == "most_viewed"
+    assert "newest" not in names
+
+
+def test_e7_layers_compose(benchmark, bench_app):
+    """org hide + team hide + user order apply together."""
+    custom = bench_app.customization
+    custom.org.hide("embedding_map")
+    custom.team_layer("team-00001").hide("badges")
+    custom.user_layer("user-mike").set_order(["types"])
+    providers = benchmark(
+        custom.effective_providers,
+        bench_app.spec, "overview", user_id="user-mike",
+        team_id="team-00001",
+    )
+    names = [p.name for p in providers]
+    assert "embedding_map" not in names
+    assert "badges" not in names
+    assert names[0] == "types"
+    # cleanup for other benches sharing the session-scoped app
+    custom.org.unhide("embedding_map")
+    custom.reset_team("team-00001")
+    custom.reset_user("user-mike")

@@ -1,0 +1,82 @@
+"""E4b — Extended and declarative providers at catalog scale.
+
+The paper expects the provider population to grow (§3.2).  This bench
+measures the grown population: the governance suite and declarative
+endpoints fetching against the mid-size catalog, plus the cost of the
+spec swap that enables them.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.declarative import LookupEndpoint, RuleEndpoint
+from repro.providers.extended import (
+    ExtendedProviders,
+    extended_spec,
+    install_extended_endpoints,
+)
+
+_RESULTS: dict[str, int] = {}
+
+
+@pytest.fixture(scope="module")
+def extended(mid_store):
+    return ExtendedProviders(mid_store)
+
+
+EXTENDED_CASES = {
+    "unionable": lambda store: {"artifact": store.by_type("table")[0]},
+    "stale": lambda store: {},
+    "has_column": lambda store: {"text": "customer_id"},
+    "orphans": lambda store: {},
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXTENDED_CASES))
+def test_e4b_extended_fetch(benchmark, mid_store, extended, name):
+    inputs = EXTENDED_CASES[name](mid_store)
+    endpoint = extended.endpoints()[name]
+    request = ProviderRequest(inputs=inputs,
+                              context=RequestContext(limit=20))
+
+    result = benchmark(endpoint, request)
+    _RESULTS[name] = len(result.artifact_ids())
+
+
+def test_e4b_declarative_rule_fetch(benchmark, mid_store):
+    endpoint = RuleEndpoint(mid_store, [
+        {"field": "type", "op": "eq", "value": "table"},
+        {"field": "views", "op": "gte", "value": 5},
+    ])
+    request = ProviderRequest(context=RequestContext(limit=50))
+    result = benchmark(endpoint, request)
+    assert result.artifact_ids()
+    _RESULTS["rule(hot tables)"] = len(result.artifact_ids())
+
+
+def test_e4b_declarative_lookup_fetch(benchmark, mid_store):
+    endpoint = LookupEndpoint(mid_store, mid_store.by_type("table")[:25])
+    request = ProviderRequest(context=RequestContext(limit=50))
+    result = benchmark(endpoint, request)
+    assert len(result.artifact_ids()) == 25
+    _RESULTS["lookup(golden)"] = 25
+
+
+def test_e4b_spec_swap_enables_everything(benchmark, mid_app):
+    install_extended_endpoints(mid_app.registry,
+                               ExtendedProviders(mid_app.store))
+    spec = extended_spec()
+
+    def swap():
+        return mid_app.interface.with_spec(spec)
+
+    interface = benchmark(swap)
+    assert "has_column" in interface.language.field_names()
+
+    lines = [f"{'provider':<22}{'artifacts served':>17}"]
+    for name in sorted(_RESULTS):
+        lines.append(f"{name:<22}{_RESULTS[name]:>17}")
+    write_result("E4b_extended",
+                 "Extended + declarative providers (grown population)",
+                 "\n".join(lines))

@@ -1,0 +1,100 @@
+"""E4 — Figures 2 & 3: the provider suite and its generated views.
+
+Times every built-in provider endpoint on a mid-size catalog and verifies
+each returns its spec-declared representation — the Figure 2 inventory.
+A dedicated case reproduces Figure 3: the joinability provider returning a
+graph for an input table.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.suite import default_spec
+
+#: provider name -> inputs builder (given the store)
+PROVIDER_CASES = {
+    "recents": lambda store: {},
+    "recent_documents": lambda store: {},
+    "most_viewed": lambda store: {},
+    "newest": lambda store: {},
+    "favorites": lambda store: {},
+    "owned_by": lambda store: {"user": store.users()[0].id},
+    "of_type": lambda store: {"artifact_type": "table"},
+    "types": lambda store: {},
+    "badges": lambda store: {},
+    "badged": lambda store: {"badge": "endorsed"},
+    "badged_by": lambda store: {
+        "user": next(u.id for u in store.users() if u.role == "manager")
+    },
+    "tagged": lambda store: {"text": "sales"},
+    "team_popular": lambda store: {"team": store.teams()[0].id},
+    "team_docs": lambda store: {"team": store.teams()[0].id},
+    "joinable": lambda store: {"artifact": store.by_type("table")[0]},
+    "lineage": lambda store: {"artifact": store.by_type("table")[0]},
+    "lineage_graph": lambda store: {"artifact": store.by_type("table")[0]},
+    "similar": lambda store: {"artifact": store.by_type("table")[0]},
+    "embedding_map": lambda store: {},
+}
+
+_RESULTS: dict[str, tuple[str, int]] = {}
+
+
+@pytest.mark.parametrize("name", sorted(PROVIDER_CASES))
+def test_e4_provider_fetch(benchmark, mid_app, name):
+    store = mid_app.store
+    spec = default_spec()
+    provider = spec.provider(name)
+    inputs = PROVIDER_CASES[name](store)
+    user = store.users()[0]
+    request = ProviderRequest(
+        inputs=inputs,
+        context=RequestContext(user_id=user.id,
+                               team_id=user.team_ids[0], limit=20),
+    )
+
+    result = benchmark(mid_app.registry.fetch, provider.endpoint, request)
+
+    assert result.representation == provider.representation
+    _RESULTS[name] = (result.representation.value,
+                      len(result.artifact_ids()))
+
+
+def test_e4_write_figure2_table(benchmark, mid_app):
+    """Summarise the suite (runs after the parametrized fetches)."""
+    spec = default_spec()
+
+    def build_table():
+        lines = [f"{'provider':<18}{'category':<14}{'representation':<15}"
+                 f"{'artifacts':>10}"]
+        for name in sorted(PROVIDER_CASES):
+            provider = spec.provider(name)
+            representation, count = _RESULTS.get(name, ("-", 0))
+            lines.append(
+                f"{name:<18}{provider.category:<14}{representation:<15}"
+                f"{count:>10}"
+            )
+        return "\n".join(lines)
+
+    table = benchmark(build_table)
+    write_result("E4_providers", "Figure 2 provider suite", table)
+    assert len(_RESULTS) == len(PROVIDER_CASES)
+
+
+def test_e4_figure3_joinability_graph(benchmark, mid_app):
+    """Figure 3: 'requires a table as input and returns a graph
+    representation of joinability for the input table'."""
+    store = mid_app.store
+    table_id = store.by_type("table")[0]
+
+    def fetch_graph():
+        return mid_app.interface.open_view(
+            "joinable", inputs={"artifact": table_id}
+        )
+
+    view = benchmark(fetch_graph)
+    assert view.representation == "graph"
+    assert table_id in view.artifact_ids()
+    # column-level labels like "customer_id≈customer_id" must be present
+    if view.edges:
+        assert any("≈" in e.label for e in view.edges)

@@ -1,0 +1,96 @@
+"""E5 — Figure 5 / Section 1 query examples.
+
+Parses, compiles and evaluates the paper's verbatim queries against the
+study catalog, timing each stage.  The flagship query must return exactly
+its intended target; autocomplete must suggest admissible fields/values
+at each position of the query as it is typed.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.query.parser import parse_query
+
+FLAGSHIP = ("type: table owned by: 'Alex' badged: endorsed "
+            "badged by: 'Mike' & 'sales'")
+PREFIX_EXAMPLE = ":recent_documents() & bit"
+TASK3 = 'type: workbook created by: "John Doe"'
+
+PAPER_QUERIES = [FLAGSHIP, PREFIX_EXAMPLE, TASK3]
+
+
+def test_e5_parse_flagship(benchmark):
+    node = benchmark(parse_query, FLAGSHIP)
+    assert len(node.children) == 5
+
+
+def test_e5_compile_flagship(benchmark, bench_app):
+    language = bench_app.interface.language
+    compiled = benchmark(language.compile, FLAGSHIP)
+    assert compiled.providers_used() == [
+        "of_type", "owned_by", "badged", "badged_by",
+    ]
+    assert compiled.text_terms() == ["sales"]
+
+
+def test_e5_evaluate_flagship(benchmark, bench_app):
+    session_search = bench_app.interface.search
+
+    def run():
+        result, _ = session_search(FLAGSHIP, user_id="user-alex")
+        return result
+
+    result = benchmark(run)
+    names = [bench_app.store.artifact(a).name
+             for a in result.artifact_ids()]
+    assert names == ["SALES_NUMBERS"]
+
+    rows = [f"{'query':<62}{'results':>8}"]
+    for query in PAPER_QUERIES:
+        res, _ = session_search(query, user_id="user-alex")
+        rows.append(f"{query:<62}{res.total:>8}")
+    write_result("E5_queries", "Paper query examples", "\n".join(rows))
+
+
+def test_e5_evaluate_task3(benchmark, bench_app):
+    def run():
+        result, _ = bench_app.interface.search(TASK3)
+        return result
+
+    result = benchmark(run)
+    types = {
+        bench_app.store.artifact(a).artifact_type.value
+        for a in result.artifact_ids()
+    }
+    assert types == {"workbook"}
+    assert result.total == 3
+
+
+@pytest.mark.parametrize("partial,expected_kind", [
+    ("ow", "field"),
+    ("owned_by: ", "value"),
+    ("badged: ", "value"),
+    (":rec", "provider"),
+    ("type: table ", "operator"),
+])
+def test_e5_autocomplete_positions(benchmark, bench_app, partial,
+                                   expected_kind):
+    suggestions = benchmark(bench_app.interface.suggest, partial)
+    assert suggestions
+    assert suggestions[0].kind == expected_kind
+
+
+def test_e5_pill_text_equivalence(benchmark, bench_app):
+    """The two search interfaces (§5.3) compile to the same AST."""
+    from repro.core.query.pills import PillQuery
+
+    def build():
+        return (
+            PillQuery()
+            .field("type", "workbook")
+            .field("created_by", "John Doe")
+            .to_node()
+        )
+
+    node = benchmark(build)
+    assert node == parse_query(TASK3)

@@ -1,0 +1,54 @@
+"""E2 — Figure 8: post-study questionnaire statistics.
+
+Regenerates the per-statement and per-category Likert statistics (mean,
+std, %positive/%negative) from the simulated study and checks the paper's
+shape: search and previews highest, finding-views and layout lowest,
+overall mean ≈ 3.97.  Times the affordance measurement + rating derivation.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.study.executor import run_study
+from repro.study.questionnaire import STATEMENTS, answer_questionnaire
+from repro.study.report import PAPER_OVERALL, figure8_chart, questionnaire_table
+from repro.study.stats import category_stats
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_study()
+
+
+def test_e2_questionnaire_figure8(benchmark, run):
+    responses = benchmark(answer_questionnaire, run)
+
+    table = questionnaire_table(run) + "\n\n" + figure8_chart(run)
+    write_result("E2_questionnaire", "Figure 8 questionnaire", table)
+
+    # Also regenerate the figure itself (SVG next to the tables).
+    from benchmarks.conftest import RESULTS_DIR
+    from repro.study.figures import save_figure8
+
+    save_figure8(run, RESULTS_DIR / "E2_figure8.svg")
+
+    stats = category_stats(responses)
+    by_cat = stats.by_category
+
+    # Figure 8 shape: search strongest, entry points weakest.
+    assert by_cat["search"].mean == max(s.mean for s in by_cat.values())
+    assert by_cat["entry_points"].mean == min(
+        s.mean for s in by_cat.values()
+    )
+
+    # Items the paper reports stay within half a Likert point.
+    for statement in STATEMENTS:
+        if statement.paper_reference is None:
+            continue
+        paper_mean, _ = statement.paper_reference
+        measured = stats.by_statement[statement.sid].mean
+        assert abs(measured - paper_mean) < 0.6, statement.sid
+
+    # Overall near the paper's 3.97 ± 0.85.
+    assert abs(stats.overall.mean - PAPER_OVERALL[0]) < 0.35
+    assert abs(stats.overall.std - PAPER_OVERALL[1]) < 0.35

@@ -1,0 +1,90 @@
+"""E10 — Directed-search quality: metadata queries vs. plain keywords.
+
+"A normal search bar is not enough for more complex queries" (§3.1).
+For each study-task target, measure the 1-based rank of the target under
+(a) the Humboldt metadata query and (b) the keyword baseline given only
+the terms a user would type.  Shape: metadata queries pin targets at or
+near rank 1 and filter out the noise keyword search cannot express.
+"""
+
+from benchmarks.conftest import write_result
+from repro.baselines.keyword import KeywordSearchBaseline
+
+#: (label, metadata query, keyword query, target artifact id)
+CASES = (
+    ("T1 target",
+     "type: table badged: endorsed & AIRLINES",
+     "AIRLINES endorsed",
+     "table-airlines"),
+    ("flagship",
+     "type: table owned_by: 'Alex' badged: endorsed badged_by: 'Mike' "
+     "& 'sales'",
+     "sales numbers table",
+     "table-sales-numbers"),
+    ("T3 workbook",
+     "type: workbook created_by: 'John Doe' & 'Q1'",
+     "John Doe Q1",
+     "workbook-john-1"),
+)
+
+
+def metadata_rank(app, query: str, target: str) -> "int | None":
+    result, _ = app.interface.search(query, user_id="user-alex", limit=1000)
+    ids = result.artifact_ids()
+    return ids.index(target) + 1 if target in ids else None
+
+
+def test_e10_metadata_vs_keyword_rank(benchmark, bench_app):
+    baseline = KeywordSearchBaseline(bench_app.store).build()
+
+    def evaluate_all():
+        rows = []
+        for label, metadata_query, keyword_query, target in CASES:
+            rows.append((
+                label,
+                metadata_rank(bench_app, metadata_query, target),
+                baseline.rank_of(keyword_query, target),
+                len(bench_app.interface.search(
+                    metadata_query, user_id="user-alex", limit=1000
+                )[0].artifact_ids()),
+                len(baseline.search(keyword_query, limit=1000)),
+            ))
+        return rows
+
+    rows = benchmark(evaluate_all)
+
+    lines = [
+        f"{'case':<14}{'metadata rank':>14}{'keyword rank':>14}"
+        f"{'metadata results':>18}{'keyword results':>17}"
+    ]
+    for label, m_rank, k_rank, m_total, k_total in rows:
+        lines.append(
+            f"{label:<14}{str(m_rank):>14}{str(k_rank):>14}"
+            f"{m_total:>18}{k_total:>17}"
+        )
+    write_result("E10_search_quality",
+                 "Directed search: metadata query vs keyword baseline",
+                 "\n".join(lines))
+
+    # Shape: every target is found by its metadata query at a rank no
+    # worse than the keyword baseline manages (which may miss entirely).
+    for label, m_rank, k_rank, _, _ in rows:
+        assert m_rank is not None, label
+        if k_rank is not None:
+            assert m_rank <= k_rank, label
+
+
+def test_e10_badge_constraints_unreachable_by_keywords(benchmark, bench_app):
+    """Badges are metadata, not text — keyword search cannot see them."""
+    baseline = KeywordSearchBaseline(bench_app.store).build()
+
+    def count_both():
+        metadata_hits = bench_app.interface.search(
+            "badged: endorsed", limit=1000
+        )[0].total
+        keyword_hits = len(baseline.search("endorsed", limit=1000))
+        return (metadata_hits, keyword_hits)
+
+    metadata_hits, keyword_hits = benchmark(count_both)
+    assert metadata_hits >= 5
+    assert keyword_hits == 0

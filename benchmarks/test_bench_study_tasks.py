@@ -1,0 +1,27 @@
+"""E1 — Section 7.2 task outcomes.
+
+Regenerates the paper's task-result narrative as a table: completion,
+assisted-participant counts and the Task 1 strategy split, measured by
+running the full simulated study against the generated interface.  The
+benchmark times one complete six-participant study run.
+"""
+
+from benchmarks.conftest import write_result
+from repro.study.executor import run_study
+from repro.study.report import PAPER_TASK_RESULTS, task_outcome_table
+
+
+def test_e1_study_task_outcomes(benchmark):
+    run = benchmark(run_study)
+
+    table = task_outcome_table(run)
+    write_result("E1_study_tasks", "Task outcomes (Section 7.2)", table)
+
+    # Shape assertions: measured counts must equal the paper's.
+    for task_id, reference in PAPER_TASK_RESULTS.items():
+        outcomes = run.outcomes_for(task_id)
+        assert sum(o.completed for o in outcomes) == reference["completed"]
+        assert run.assisted_participants(task_id) == reference["assisted"]
+    assert run.strategy_split("T1") == {
+        "search-first": 3, "views-first": 3,
+    }

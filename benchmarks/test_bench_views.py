@@ -1,0 +1,98 @@
+"""E6 — Figure 6: the six dynamically generated view types.
+
+Times view generation for every representation from one catalog and
+records the inventory (view type, artifact count, structural facts) that
+corresponds to the Figure 6 montage.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+
+#: representation -> (provider, inputs builder)
+VIEW_CASES = {
+    "tiles": ("most_viewed", lambda store: {}),
+    "list": ("of_type", lambda store: {"artifact_type": "table"}),
+    "hierarchy": ("lineage",
+                  lambda store: {"artifact": store.by_type("table")[0]}),
+    "graph": ("joinable",
+              lambda store: {"artifact": store.by_type("table")[0]}),
+    "categories": ("types", lambda store: {}),
+    "embedding": ("embedding_map", lambda store: {}),
+}
+
+_BUILT = {}
+
+
+@pytest.mark.parametrize("representation", sorted(VIEW_CASES))
+def test_e6_generate_view(benchmark, mid_app, representation):
+    provider_name, inputs_fn = VIEW_CASES[representation]
+    store = mid_app.store
+    inputs = inputs_fn(store)
+    user = store.users()[0]
+
+    def build():
+        return mid_app.interface.open_view(
+            provider_name, inputs=inputs, user_id=user.id, limit=20
+        )
+
+    view = benchmark(build)
+    assert view.representation == representation
+    assert not view.is_empty()
+    _BUILT[representation] = view
+
+
+def test_e6_write_figure6_table(benchmark, mid_app):
+    def build_table():
+        lines = [f"{'view':<12}{'provider':<16}{'artifacts':>10}  structure"]
+        for representation in sorted(VIEW_CASES):
+            view = _BUILT.get(representation)
+            if view is None:
+                continue
+            if representation == "hierarchy":
+                structure = f"depth {view.max_depth()}"
+            elif representation == "graph":
+                structure = f"{len(view.edges)} edges"
+            elif representation == "categories":
+                structure = f"{len(view.groups)} groups"
+            elif representation == "embedding":
+                bounds = view.bounds()
+                structure = (f"x∈[{bounds[0]:.1f},{bounds[2]:.1f}] "
+                             f"y∈[{bounds[1]:.1f},{bounds[3]:.1f}]")
+            else:
+                structure = "ranked cards"
+            lines.append(
+                f"{representation:<12}{view.provider_name:<16}"
+                f"{view.count():>10}  {structure}"
+            )
+        return "\n".join(lines)
+
+    table = benchmark(build_table)
+    write_result("E6_views", "Figure 6: six generated view types", table)
+    assert len(_BUILT) == 6
+
+
+def test_e6_render_all_views_text(benchmark, mid_app):
+    """Rendering the full set must stay interactive-speed."""
+    from repro.core.render import render_view_text
+
+    views = list(_BUILT.values())
+    assert len(views) == 6
+
+    def render_all():
+        return [render_view_text(view) for view in views]
+
+    rendered = benchmark(render_all)
+    assert all(rendered)
+
+
+def test_e6_render_all_views_html(benchmark, mid_app):
+    from repro.core.render import render_view_html
+
+    views = list(_BUILT.values())
+
+    def render_all():
+        return [render_view_html(view) for view in views]
+
+    rendered = benchmark(render_all)
+    assert all(fragment.startswith("<section>") for fragment in rendered)

@@ -1,0 +1,85 @@
+"""Declarative providers: curated collections and rule-based views.
+
+Run:  python examples/curated_collections.py
+
+Section 4.1 notes that provider endpoints can be "materialized views of a
+database, lookup tables, SQL statements, or ML models".  This example
+builds two providers without writing any fetch logic:
+
+* a curated "Golden Datasets" collection (a lookup table), and
+* a rule-defined "Certified & Popular" view (the materialized-view
+  analogue: ``badged certified AND views >= 3``),
+
+then wires both into the interface with one spec entry each.
+"""
+
+from repro import WorkbookApp, generate_catalog, SynthConfig
+from repro.core.render import render_view_text
+from repro.core.spec.model import ProviderSpec
+from repro.providers.declarative import LookupEndpoint, RuleEndpoint
+
+
+def main() -> None:
+    store = generate_catalog(SynthConfig(seed=21, n_tables=100))
+    app = WorkbookApp(store)
+
+    # 1. A curated collection — just a list of ids an admin maintains.
+    golden = LookupEndpoint(store, store.by_badge("certified")[:4])
+    app.registry.register("lookup://golden", golden)
+
+    # 2. A rule-defined provider — predicates over metadata fields.
+    hot_certified = RuleEndpoint(store, [
+        {"field": "certified", "op": "gte", "value": 1},
+        {"field": "views", "op": "gte", "value": 3},
+    ], representation="tiles")
+    app.registry.register("rules://hot-certified", hot_certified)
+
+    # 3. Two spec entries enable both across the whole UI.
+    spec = app.spec
+    spec = spec.with_provider(ProviderSpec(
+        name="golden",
+        endpoint="lookup://golden",
+        representation="list",
+        category="annotation",
+        title="Golden Datasets",
+        description="Hand-curated, org-blessed datasets.",
+    ))
+    spec = spec.with_provider(ProviderSpec(
+        name="hot_certified",
+        endpoint="rules://hot-certified",
+        representation="tiles",
+        category="annotation",
+        title="Certified & Popular",
+        description="Certified artifacts with real usage "
+                    "(views >= 3), defined by rules, not code.",
+    ))
+    app.update_spec(spec)
+
+    user = store.users()[0]
+    session = app.session(user.id)
+    tabs = session.open_home()
+    print("tabs:", [t.title for t in tabs])
+    print()
+    print(render_view_text(session.select_tab("Golden Datasets").view,
+                           max_items=4))
+    print()
+    print(render_view_text(session.select_tab("Certified & Popular").view,
+                           max_items=4))
+    print()
+
+    # Curation is live: add an artifact, the view follows on next fetch.
+    newcomer = store.by_type("table")[0]
+    golden.add(newcomer)
+    refreshed = app.interface.open_view("golden", user_id=user.id)
+    print(f"after curating {store.artifact(newcomer).name} into the "
+          f"collection: {len(refreshed.artifact_ids())} artifacts")
+
+    # Saved searches round out the workflow.
+    session.search(":hot_certified() & sales")
+    session.save_search("hot sales")
+    rerun = session.run_saved("hot sales")
+    print(f"saved search 'hot sales' -> {rerun.total} results")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Export the generated interface as HTML (the Figure 6/7 look).
+
+Run:  python examples/export_html.py [output_dir]
+
+Writes one standalone HTML page per generated view type (the six
+representations of Figure 6) plus a tabbed interface page (Figure 7),
+under ``examples/out/`` by default.
+"""
+
+import sys
+from pathlib import Path
+
+from repro import WorkbookApp, study_catalog
+from repro.core.render import render_interface_html, render_view_html
+
+
+def main(output_dir: str = "") -> None:
+    out = Path(output_dir or Path(__file__).parent / "out")
+    out.mkdir(parents=True, exist_ok=True)
+
+    store = study_catalog()
+    app = WorkbookApp(store)
+    session = app.session("user-alex")
+    tabs = session.open_home()
+
+    # Figure 7: the tabbed interface with the first view active.
+    interface_html = render_interface_html(
+        tabs, active=0, title="Humboldt Data Discovery"
+    )
+    (out / "interface.html").write_text(interface_html, encoding="utf-8")
+
+    # Figure 6: one page per representation.  Overview tabs cover tiles,
+    # list, categories and embedding; exploration supplies graph/hierarchy.
+    views = {tab.view.representation: tab.view for tab in tabs}
+    session.select_artifact("table-airlines")
+    for surfaced in session.explore_selection():
+        views.setdefault(surfaced.view.representation, surfaced.view)
+
+    written = []
+    for representation, view in sorted(views.items()):
+        page = (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{representation}</title></head><body>"
+            f"{render_view_html(view)}</body></html>"
+        )
+        path = out / f"view_{representation}.html"
+        path.write_text(page, encoding="utf-8")
+        written.append(path.name)
+
+    print(f"wrote {out / 'interface.html'}")
+    for name in written:
+        print(f"wrote {out / name}")
+    print(f"\n{len(views)} of 6 view types rendered: "
+          f"{', '.join(sorted(views))}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "")

@@ -1,0 +1,51 @@
+"""Natural-language search (Section 8's future-work direction).
+
+Run:  python examples/nl_search.py
+
+Translates English requests into the spec-generated query language
+(grounded in the catalog's vocabulary), shows the equivalent query text,
+explains queries back as English "free text formulas" (what participant
+P4 asked for), and runs them.
+"""
+
+from repro import WorkbookApp, study_catalog
+from repro.core.query.nlq import NaturalLanguageTranslator, explain
+from repro.core.query.parser import parse_query
+
+
+def main() -> None:
+    store = study_catalog()
+    app = WorkbookApp(store)
+    translator = NaturalLanguageTranslator(app.interface.language, store)
+
+    requests = [
+        # the paper's motivating sentence, §1
+        "find the tables created by Alex and endorsed by Mike that "
+        "contain sales numbers",
+        "recent workbooks created by \"John Doe\"",
+        "deprecated tables",
+        "tables similar to AIRLINES",
+        "dashboards about marketing",
+    ]
+    for request in requests:
+        translation = translator.translate(request)
+        result, _ = app.interface.search(
+            translation.query_text(), user_id="user-alex"
+        )
+        print(f"english> {request}")
+        print(f"  query: {translation.query_text()}")
+        if translation.residual:
+            print(f"  free text kept: {', '.join(translation.residual)}")
+        names = [store.artifact(a).name for a in result.artifact_ids()][:4]
+        print(f"  {result.total} result(s): {names}")
+        print()
+
+    # The reverse direction: query -> English (P4's "free text formula").
+    query = ("type: table owned_by: 'Alex' badged: endorsed "
+             "badged_by: 'Mike' & 'sales'")
+    print(f"query> {query}")
+    print(f"  reads as: {explain(parse_query(query))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: generate a discovery UI from the default spec and use it.
+
+Run:  python examples/quickstart.py
+
+Builds the study catalog (a synthetic enterprise catalog seeded with the
+paper's example entities), embeds Humboldt in the headless workbook app,
+and walks the three discovery modes: overviews, search, and exploration
+from a selected artifact.
+"""
+
+from repro import WorkbookApp, study_catalog
+from repro.core.render import (
+    render_preview_text,
+    render_tabs_text,
+    render_view_text,
+)
+
+
+def main() -> None:
+    store = study_catalog()
+    app = WorkbookApp(store)
+    print(
+        f"catalog: {store.artifact_count} artifacts, "
+        f"{store.user_count} users, {len(store.usage)} usage events\n"
+    )
+
+    # -- overviews: tabs generated from the spec (Figure 7B/C) ----------
+    session = app.session("user-alex")
+    tabs = session.open_home()
+    print(render_tabs_text(tabs, active=0, max_items=5))
+    print()
+
+    # -- search: the paper's flagship query (Section 1) ------------------
+    query = "type: table owned_by: \"Alex\" badged: endorsed " \
+            "badged_by: \"Mike\" & \"sales\""
+    print(f"query> {query}")
+    result = session.search(query)
+    for entry in result.entries:
+        print(f"  {store.artifact(entry.artifact_id).name}  "
+              f"(score {entry.score:.2f})")
+    print()
+
+    # -- autocomplete (Figure 5) ---------------------------------------------
+    for partial in ("ow", "badged: ", "owned_by: "):
+        suggestions = session.suggest(partial, limit=4)
+        print(f"suggest({partial!r}) -> {[s.text for s in suggestions]}")
+    print()
+
+    # -- selection, preview, exploration (Sections 5.2/6.3, Figure 7D) -------
+    preview = session.select_artifact("table-airlines")
+    print(render_preview_text(preview))
+    print()
+    for surfaced in session.explore_selection(limit=5):
+        print(f"--- surfaced by {surfaced.reason} ---")
+        print(render_view_text(surfaced.view, max_items=3))
+        print()
+
+
+if __name__ == "__main__":
+    main()

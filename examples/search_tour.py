@@ -1,0 +1,72 @@
+"""A tour of the spec-generated query language (Section 5.3, Figure 5).
+
+Run:  python examples/search_tour.py
+
+Shows the two equivalent search interfaces (prefix text and pills), the
+logical connectives with brackets and negation, provider calls, value
+autocomplete, and filtering a view with a query.
+"""
+
+from repro import WorkbookApp, generate_catalog, SynthConfig
+from repro.core.query import PillQuery, parse_query
+from repro.core.render import render_view_text
+
+
+def main() -> None:
+    store = generate_catalog(SynthConfig(seed=3, n_tables=150))
+    app = WorkbookApp(store)
+    some_user = store.users()[0]
+    session = app.session(some_user.id)
+
+    print("admissible query fields (generated from the spec):")
+    print(" ", ", ".join(app.interface.language.field_names()))
+    print()
+
+    queries = [
+        "type: table & tagged: sales",
+        "badged: endorsed | badged: certified",
+        "type: table !tagged: hr",
+        "(type: dashboard | type: workbook) & marketing",
+        f"owned by: \"{some_user.name}\"",
+        ":most_viewed() & revenue",
+    ]
+    for query in queries:
+        result = session.search(query)
+        names = [store.artifact(a).name
+                 for a in result.artifact_ids()][:3]
+        print(f"query> {query}")
+        print(f"   {result.total:>4} artifacts   e.g. {names}")
+    print()
+
+    # -- the pill interface produces the same AST -----------------------------
+    pills = (
+        PillQuery()
+        .field("type", "table")
+        .field("tagged", "sales")
+        .text("revenue", connector="or")
+    )
+    print("pills:", pills.labels())
+    print("as text:", pills.to_text())
+    print("same AST as parsing that text:",
+          pills.to_node() == parse_query(pills.to_text()))
+    print()
+
+    # -- value autocomplete, typed by the input spec --------------------------
+    for partial in ("type: ", "badged: ", "tagged: "):
+        print(f"suggest({partial!r}) ->",
+              [s.text for s in session.suggest(partial, limit=5)])
+    print()
+
+    # -- filtering a view (search scoped to the displayed data) ---------------
+    session.open_browse()
+    tab = session.select_tab("most viewed")
+    before = tab.view.count()
+    filtered = session.filter_active_view("tagged: sales")
+    print(f"Most Viewed: {before} tiles -> {filtered.count()} "
+          f"after 'tagged: sales'")
+    print()
+    print(render_view_text(filtered, max_items=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Reproduction of "Humboldt: Metadata-Driven Extensible Data Discovery"
+(Bäuerle, Demiralp, Stonebraker — VLDB 2024 TaDA workshop).
+
+Humboldt generates interactive data-discovery UIs from a declarative
+specification of metadata providers.  The quickest way in:
+
+    from repro import WorkbookApp, study_catalog
+
+    app = WorkbookApp(study_catalog())
+    session = app.session("user-alex")
+    session.open_home()
+    result = session.search('type: table owned_by: "Alex" badged: endorsed')
+
+Package layout:
+
+* :mod:`repro.catalog` — the enterprise-catalog substrate;
+* :mod:`repro.synth` — deterministic synthetic catalogs and workloads;
+* :mod:`repro.metadata` — MinHash/LSH joinability, TF-IDF similarity,
+  PCA embeddings;
+* :mod:`repro.providers` — the metadata-provider framework and the
+  built-in provider suite (Figure 2);
+* :mod:`repro.core` — the paper's contribution: spec, ranking, query
+  language, view generation, interface construction;
+* :mod:`repro.workbook` — the headless host application;
+* :mod:`repro.baselines` — hardcoded-UI and keyword-search baselines;
+* :mod:`repro.study` — the simulated Section 7 user study.
+"""
+
+from repro.catalog import Artifact, ArtifactType, CatalogStore
+from repro.core.interface import DiscoveryInterface
+from repro.core.spec import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    SpecBuilder,
+    Visibility,
+    spec_from_json,
+    spec_to_json,
+    validate_spec,
+)
+from repro.providers import (
+    BuiltinProviders,
+    EndpointRegistry,
+    ProviderRequest,
+    ProviderResult,
+    Representation,
+    RequestContext,
+    install_builtin_endpoints,
+)
+from repro.providers.suite import default_spec
+from repro.synth import SynthConfig, generate_catalog, study_catalog
+from repro.workbook import Session, WorkbookApp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Artifact",
+    "ArtifactType",
+    "BuiltinProviders",
+    "CatalogStore",
+    "DiscoveryInterface",
+    "EndpointRegistry",
+    "HumboldtSpec",
+    "ProviderRequest",
+    "ProviderResult",
+    "ProviderSpec",
+    "RankingWeight",
+    "Representation",
+    "RequestContext",
+    "Session",
+    "SpecBuilder",
+    "SynthConfig",
+    "Visibility",
+    "WorkbookApp",
+    "__version__",
+    "default_spec",
+    "generate_catalog",
+    "install_builtin_endpoints",
+    "spec_from_json",
+    "spec_to_json",
+    "study_catalog",
+    "validate_spec",
+]

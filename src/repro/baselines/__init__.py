@@ -1,0 +1,14 @@
+"""Baselines the paper argues against.
+
+* :mod:`repro.baselines.hardcoded` — a conventional, hand-written discovery
+  UI with the same features as the generated one.  Its point is the change
+  cost: every provider addition touches several code sites, which the
+  expressivity benchmark (E3) counts against Humboldt's spec-only edits.
+* :mod:`repro.baselines.keyword` — a plain keyword search with no metadata
+  support, the comparator for directed-search effectiveness (E10).
+"""
+
+from repro.baselines.hardcoded import HardcodedDiscoveryUI
+from repro.baselines.keyword import KeywordSearchBaseline
+
+__all__ = ["HardcodedDiscoveryUI", "KeywordSearchBaseline"]

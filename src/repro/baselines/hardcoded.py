@@ -1,0 +1,159 @@
+"""A conventional hand-written discovery UI — the change-cost baseline.
+
+The paper's motivation: in existing systems "any update to the metadata
+sources requires expensive and error-prone code changes".  This class is
+such a system, written the way these UIs actually get written: one view
+method per metadata source, an if/elif search dispatcher, a hand-kept
+autocomplete list and inline ranking.  It is feature-equivalent to the
+generated interface for the providers it supports.
+
+Adding a provider here requires touching every member of
+:data:`TOUCH_POINTS` — the expressivity benchmark counts those sites (and
+their lines) against the one spec entry Humboldt needs.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.catalog.model import ArtifactType
+from repro.catalog.store import CatalogStore
+from repro.core.views.base import make_card
+from repro.core.views.listing import ListView, TilesView
+from repro.providers.fields import FieldResolver
+
+#: Every code site that must change when a metadata source is added,
+#: removed or retuned in the hardcoded implementation.
+TOUCH_POINTS = (
+    "view method (one per source)",
+    "home() tab registration",
+    "search() field dispatch branch",
+    "autocomplete FIELD_NAMES list",
+    "ranking weights inline in _rank()",
+)
+
+
+class HardcodedDiscoveryUI:
+    """Hand-written discovery UI over the same catalog substrate."""
+
+    #: Hand-maintained autocomplete vocabulary (drifts from reality the
+    #: moment someone adds a field and forgets this list).
+    FIELD_NAMES = ("owned_by", "badged", "type", "tagged")
+
+    def __init__(self, store: CatalogStore):
+        self.store = store
+        self.resolver = FieldResolver(store)
+
+    # -- hardcoded views: one method per metadata source --------------------
+
+    def view_recents(self, user_id: str, limit: int = 20) -> ListView:
+        ids = self.store.usage.recent_for_user(user_id, limit=limit)
+        return self._list_view("recents", "Recents", ids)
+
+    def view_most_viewed(self, limit: int = 20) -> TilesView:
+        ranked = self.store.usage.most_viewed(limit=limit)
+        ids = [aid for aid, _ in ranked]
+        cards = tuple(
+            make_card(self.store, aid, score=self._rank(aid))
+            for aid in ids
+            if self.store.has_artifact(aid)
+        )
+        return TilesView(
+            view_id="most_viewed",
+            provider_name="most_viewed",
+            title="Most Viewed",
+            representation="tiles",
+            cards=cards,
+        )
+
+    def view_favorites(self, user_id: str, limit: int = 20) -> ListView:
+        ids = self.store.usage.favorites_of(user_id)[:limit]
+        return self._list_view("favorites", "Favorites", ids)
+
+    def home(self, user_id: str) -> list[ListView | TilesView]:
+        """The hardcoded home screen: tabs are enumerated inline, so every
+        new source means editing this function too."""
+        return [
+            self.view_recents(user_id),
+            self.view_most_viewed(),
+            self.view_favorites(user_id),
+        ]
+
+    # -- hardcoded search: an if/elif ladder ----------------------------------
+
+    def search(self, field: str, value: str, limit: int = 50) -> list[str]:
+        """Field search via explicit dispatch — the change-cost hot spot."""
+        if field == "owned_by":
+            user = self.store.find_user_by_name(value)
+            if user is None:
+                return []
+            ids = self.store.by_owner(user.id)
+        elif field == "badged":
+            ids = self.store.by_badge(value.lower())
+        elif field == "type":
+            try:
+                ids = self.store.by_type(ArtifactType.coerce(value))
+            except ValueError:
+                return []
+        elif field == "tagged":
+            ids = self.store.by_tag(value)
+        else:
+            return []  # unknown fields silently fail — a classic
+        ranked = sorted(ids, key=lambda aid: (-self._rank(aid), aid))
+        return ranked[:limit]
+
+    def autocomplete_fields(self, prefix: str) -> list[str]:
+        """Completes from the hand-kept list, not from any source of truth."""
+        prefix = prefix.lower()
+        return [f for f in self.FIELD_NAMES if f.startswith(prefix)]
+
+    # -- hardcoded ranking --------------------------------------------------------
+
+    def _rank(self, artifact_id: str) -> float:
+        # Weights are literals here; retuning them is a code change and a
+        # deploy, which is precisely what Listing 1 avoids.
+        return (
+            4.3 * self.resolver.value(artifact_id, "favorite")
+            + 1.5 * self.resolver.value(artifact_id, "views")
+        )
+
+    def _list_view(self, view_id: str, title: str, ids: list[str]) -> ListView:
+        cards = tuple(
+            make_card(self.store, aid, score=self._rank(aid))
+            for aid in ids
+            if self.store.has_artifact(aid)
+        )
+        return ListView(
+            view_id=view_id,
+            provider_name=view_id,
+            title=title,
+            representation="list",
+            cards=cards,
+        )
+
+    # -- change-cost accounting (used by the E3 benchmark) ----------------------------
+
+    @classmethod
+    def change_cost_add_source(cls) -> dict[str, int]:
+        """Sites and lines a new metadata source touches in this design.
+
+        Lines are measured from live source, so the number tracks the
+        actual implementation rather than a hand-waved constant.
+        """
+        sites = {
+            "view method": _loc(cls.view_recents),  # a comparable new method
+            "home() registration": _loc(cls.home),
+            "search dispatch": _loc(cls.search),
+            "autocomplete list": 1,
+            "ranking literals": _loc(cls._rank),
+        }
+        return sites
+
+    @classmethod
+    def touched_sites(cls) -> int:
+        return len(TOUCH_POINTS)
+
+
+def _loc(obj) -> int:
+    """Source lines of a callable (declaration included)."""
+    return len(inspect.getsource(obj).splitlines())

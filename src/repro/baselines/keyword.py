@@ -1,0 +1,73 @@
+"""Plain keyword search: the no-metadata baseline.
+
+"A normal search bar is not enough for more complex queries" (P6, §3.1).
+This baseline is that normal search bar: conjunctive keyword matching with
+TF-IDF relevance ranking, no metadata constraints, no provider calls.  The
+search-quality benchmark measures where target artifacts rank here versus
+under metadata queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.store import CatalogStore
+from repro.metadata.text import TfIdfIndex
+from repro.util.textutil import tokenize
+
+
+@dataclass(frozen=True)
+class KeywordHit:
+    """One ranked keyword-search result."""
+
+    artifact_id: str
+    score: float
+
+
+class KeywordSearchBaseline:
+    """Conjunctive keyword search with TF-IDF ranking."""
+
+    def __init__(self, store: CatalogStore):
+        self.store = store
+        self._index = TfIdfIndex()
+        self._built = False
+
+    def build(self) -> "KeywordSearchBaseline":
+        if self._built:
+            return self
+        for artifact in self.store.artifacts():
+            self._index.add(artifact.id, artifact.searchable_text())
+        self._built = True
+        return self
+
+    def search(self, text: str, limit: int = 50) -> list[KeywordHit]:
+        """Artifacts containing every query token, by TF-IDF relevance.
+
+        Tokens that appear in no artifact make the conjunction empty —
+        exactly the brittleness users complain about.
+        """
+        self.build()
+        tokens = tokenize(text)
+        if not tokens:
+            return []
+        matching = set(self.store.search_tokens(tokens))
+        if not matching:
+            return []
+        scored = self._index.search(text, limit=max(limit * 5, 100))
+        hits = [
+            KeywordHit(artifact_id=str(key), score=round(score, 6))
+            for key, score in scored
+            if str(key) in matching
+        ]
+        # Conjunctive matches missing from the TF-IDF top-k still count.
+        ranked_ids = {hit.artifact_id for hit in hits}
+        for artifact_id in sorted(matching - ranked_ids):
+            hits.append(KeywordHit(artifact_id=artifact_id, score=0.0))
+        return hits[:limit]
+
+    def rank_of(self, text: str, target_id: str, limit: int = 1000) -> int | None:
+        """1-based rank of *target_id* for query *text*; None if absent."""
+        for index, hit in enumerate(self.search(text, limit=limit)):
+            if hit.artifact_id == target_id:
+                return index + 1
+        return None

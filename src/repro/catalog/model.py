@@ -1,0 +1,230 @@
+"""Core catalog entities.
+
+These are deliberately plain dataclasses: the provider framework reads them
+through a narrow field-accessor (:meth:`Artifact.field`) so that ranking and
+query evaluation stay decoupled from the concrete attribute layout, mirroring
+how Humboldt's spec references metadata *fields* rather than host-app types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+
+class ArtifactType(str, Enum):
+    """The kinds of data artifacts the paper's host application manages.
+
+    Section 6.2 gives the canonical chain: "a table can be used to create a
+    visualization, which in turn can be embedded in a dashboard".
+    """
+
+    TABLE = "table"
+    DATASET = "dataset"
+    VISUALIZATION = "visualization"
+    DASHBOARD = "dashboard"
+    WORKBOOK = "workbook"
+    DOCUMENT = "document"
+
+    @classmethod
+    def coerce(cls, value: "ArtifactType | str") -> "ArtifactType":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown artifact type {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+#: Column dtypes supported by the synthetic warehouse.
+COLUMN_DTYPES = ("string", "integer", "float", "date", "boolean")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a table/dataset artifact.
+
+    ``sample_values`` feed the MinHash sketches used by the joinability
+    provider; they stand in for profiling a real warehouse column.
+    """
+
+    name: str
+    dtype: str = "string"
+    sample_values: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.dtype not in COLUMN_DTYPES:
+            raise ValueError(
+                f"column {self.name!r}: unknown dtype {self.dtype!r}; "
+                f"expected one of {COLUMN_DTYPES}"
+            )
+
+
+@dataclass(frozen=True)
+class BadgeAssignment:
+    """A badge (e.g. ``endorsed``) granted to an artifact by a user.
+
+    The paper's flagship query — ``badged: endorsed badged_by: 'Mike'`` —
+    needs both the badge name and its grantor.
+    """
+
+    badge: str
+    granted_by: str
+    granted_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class User:
+    """A person in the organisation."""
+
+    id: str
+    name: str
+    role: str = "analyst"
+    team_ids: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Team:
+    """A team; team admins configure team home pages (Figure 4)."""
+
+    id: str
+    name: str
+    admin_ids: tuple[str, ...] = ()
+    member_ids: tuple[str, ...] = ()
+
+    def is_admin(self, user_id: str) -> bool:
+        return user_id in self.admin_ids
+
+    def is_member(self, user_id: str) -> bool:
+        return user_id in self.member_ids or user_id in self.admin_ids
+
+
+@dataclass(frozen=True)
+class UsageEvent:
+    """One interaction with an artifact; the raw material of usage metadata."""
+
+    artifact_id: str
+    user_id: str
+    action: str  # "view" | "open" | "edit" | "favorite" | "unfavorite"
+    timestamp: float
+
+    VALID_ACTIONS = ("view", "open", "edit", "favorite", "unfavorite")
+
+    def __post_init__(self) -> None:
+        if self.action not in self.VALID_ACTIONS:
+            raise ValueError(
+                f"unknown usage action {self.action!r}; "
+                f"expected one of {self.VALID_ACTIONS}"
+            )
+
+
+@dataclass
+class Artifact:
+    """A data artifact and its annotation metadata.
+
+    Interaction metadata (view counts, favourites) is derived from the usage
+    log by :class:`repro.catalog.store.CatalogStore` and exposed through
+    :meth:`field`; relationship metadata lives in the lineage graph and the
+    relatedness indexes.  ``extra`` holds organisation-specific fields so new
+    metadata can be attached without schema changes — the extensibility the
+    paper's spec leans on.
+    """
+
+    id: str
+    name: str
+    artifact_type: ArtifactType
+    description: str = ""
+    owner_id: str = ""
+    team_ids: tuple[str, ...] = ()
+    created_at: float = 0.0
+    modified_at: float = 0.0
+    tags: tuple[str, ...] = ()
+    badges: tuple[BadgeAssignment, ...] = ()
+    columns: tuple[Column, ...] = ()
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.artifact_type = ArtifactType.coerce(self.artifact_type)
+        if not self.modified_at:
+            self.modified_at = self.created_at
+
+    # -- metadata-field access -------------------------------------------
+
+    def badge_names(self) -> tuple[str, ...]:
+        return tuple(b.badge for b in self.badges)
+
+    def badged_by(self, badge: str | None = None) -> tuple[str, ...]:
+        """User ids that granted *badge* (or any badge when None)."""
+        return tuple(
+            b.granted_by for b in self.badges if badge is None or b.badge == badge
+        )
+
+    def has_badge(self, badge: str, granted_by: str | None = None) -> bool:
+        for assignment in self.badges:
+            if assignment.badge != badge:
+                continue
+            if granted_by is None or assignment.granted_by == granted_by:
+                return True
+        return False
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def field(self, name: str, default: Any = None) -> Any:
+        """Look up a metadata field by name.
+
+        This is the accessor the ranking engine and query evaluator use; the
+        set of names doubles as the vocabulary the spec's ``ranking`` and
+        query fields may reference.  Unknown names fall back to ``extra``.
+        """
+        direct = {
+            "id": self.id,
+            "name": self.name,
+            "type": self.artifact_type.value,
+            "description": self.description,
+            "owner": self.owner_id,
+            "owner_id": self.owner_id,
+            "created_at": self.created_at,
+            "modified_at": self.modified_at,
+            "tags": self.tags,
+            "badges": self.badge_names(),
+            "columns": self.column_names(),
+        }
+        if name in direct:
+            return direct[name]
+        return self.extra.get(name, default)
+
+    def searchable_text(self) -> str:
+        """All free-text searched over by keyword queries."""
+        parts = [self.name, self.description, *self.tags]
+        parts.extend(c.name for c in self.columns)
+        return " ".join(p for p in parts if p)
+
+    def with_badge(self, assignment: BadgeAssignment) -> "Artifact":
+        """Return a copy of this artifact with one more badge."""
+        copy = Artifact(
+            id=self.id,
+            name=self.name,
+            artifact_type=self.artifact_type,
+            description=self.description,
+            owner_id=self.owner_id,
+            team_ids=self.team_ids,
+            created_at=self.created_at,
+            modified_at=self.modified_at,
+            tags=self.tags,
+            badges=self.badges + (assignment,),
+            columns=self.columns,
+            extra=dict(self.extra),
+        )
+        return copy
+
+    def iter_text_tokens(self) -> Iterator[str]:
+        """Tokens of the searchable text (lazy; used to build indexes)."""
+        from repro.util.textutil import tokenize
+
+        yield from tokenize(self.searchable_text())

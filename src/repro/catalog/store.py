@@ -1,0 +1,262 @@
+"""The catalog store: entities, secondary indexes, usage and lineage.
+
+A :class:`CatalogStore` is the single object metadata providers are handed.
+All lookups providers need in their hot paths (by type, owner, badge, tag,
+team, name token) are maintained as secondary indexes on write, because the
+paper's motivating scale is catalogs of "up to millions" of tables where
+linear scans per query are not viable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator
+
+from repro.catalog.lineage import LineageGraph
+from repro.catalog.model import Artifact, ArtifactType, BadgeAssignment, Team, UsageEvent, User
+from repro.catalog.usage import UsageLog, UsageStats
+from repro.errors import DuplicateEntityError, UnknownEntityError
+from repro.util.clock import SimulationClock
+from repro.util.textutil import tokenize
+
+
+class CatalogStore:
+    """In-memory enterprise catalog with secondary indexes."""
+
+    def __init__(self, clock: SimulationClock | None = None):
+        self.clock = clock or SimulationClock()
+        self.usage = UsageLog()
+        self.lineage = LineageGraph()
+        self._artifacts: dict[str, Artifact] = {}
+        self._users: dict[str, User] = {}
+        self._teams: dict[str, Team] = {}
+        # Secondary indexes (artifact ids, kept sorted on read not write).
+        self._by_type: dict[ArtifactType, set[str]] = defaultdict(set)
+        self._by_owner: dict[str, set[str]] = defaultdict(set)
+        self._by_badge: dict[str, set[str]] = defaultdict(set)
+        self._by_badge_grantor: dict[tuple[str, str], set[str]] = defaultdict(set)
+        self._by_tag: dict[str, set[str]] = defaultdict(set)
+        self._by_team: dict[str, set[str]] = defaultdict(set)
+        self._by_token: dict[str, set[str]] = defaultdict(set)
+        self._users_by_name: dict[str, str] = {}
+
+    # -- sizes ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    @property
+    def artifact_count(self) -> int:
+        return len(self._artifacts)
+
+    @property
+    def user_count(self) -> int:
+        return len(self._users)
+
+    @property
+    def team_count(self) -> int:
+        return len(self._teams)
+
+    # -- users and teams ---------------------------------------------------
+
+    def add_user(self, user: User) -> User:
+        if user.id in self._users:
+            raise DuplicateEntityError("user", user.id)
+        self._users[user.id] = user
+        self._users_by_name[user.name.lower()] = user.id
+        return user
+
+    def add_team(self, team: Team) -> Team:
+        if team.id in self._teams:
+            raise DuplicateEntityError("team", team.id)
+        self._teams[team.id] = team
+        return team
+
+    def set_team(self, team: Team) -> Team:
+        """Replace an existing team (e.g. to update its roster/admins)."""
+        if team.id not in self._teams:
+            raise UnknownEntityError("team", team.id)
+        self._teams[team.id] = team
+        return team
+
+    def user(self, user_id: str) -> User:
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise UnknownEntityError("user", user_id) from None
+
+    def team(self, team_id: str) -> Team:
+        try:
+            return self._teams[team_id]
+        except KeyError:
+            raise UnknownEntityError("team", team_id) from None
+
+    def users(self) -> list[User]:
+        return [self._users[uid] for uid in sorted(self._users)]
+
+    def teams(self) -> list[Team]:
+        return [self._teams[tid] for tid in sorted(self._teams)]
+
+    def find_user_by_name(self, name: str) -> User | None:
+        """Resolve a display name (case-insensitive) to a user, if unique."""
+        user_id = self._users_by_name.get(name.lower())
+        return self._users.get(user_id) if user_id else None
+
+    def teams_of(self, user_id: str) -> list[Team]:
+        """Teams the user belongs to.
+
+        Membership is recorded on both sides (Team rosters and
+        ``User.team_ids``); either side suffices, so late-added users with
+        only ``team_ids`` still resolve.
+        """
+        user = self.user(user_id)
+        return [
+            t
+            for t in self.teams()
+            if t.is_member(user_id) or t.id in user.team_ids
+        ]
+
+    # -- artifacts ----------------------------------------------------------
+
+    def add_artifact(self, artifact: Artifact) -> Artifact:
+        if artifact.id in self._artifacts:
+            raise DuplicateEntityError("artifact", artifact.id)
+        self._artifacts[artifact.id] = artifact
+        self._index(artifact)
+        return artifact
+
+    def artifact(self, artifact_id: str) -> Artifact:
+        try:
+            return self._artifacts[artifact_id]
+        except KeyError:
+            raise UnknownEntityError("artifact", artifact_id) from None
+
+    def has_artifact(self, artifact_id: str) -> bool:
+        return artifact_id in self._artifacts
+
+    def artifacts(self) -> Iterator[Artifact]:
+        """All artifacts in id order (deterministic)."""
+        for artifact_id in sorted(self._artifacts):
+            yield self._artifacts[artifact_id]
+
+    def artifact_ids(self) -> list[str]:
+        return sorted(self._artifacts)
+
+    def resolve(self, artifact_ids: Iterable[str]) -> list[Artifact]:
+        """Map ids to artifacts, skipping ids that no longer exist."""
+        return [
+            self._artifacts[aid] for aid in artifact_ids if aid in self._artifacts
+        ]
+
+    # -- index lookups -------------------------------------------------------
+
+    def by_type(self, artifact_type: ArtifactType | str) -> list[str]:
+        return sorted(self._by_type.get(ArtifactType.coerce(artifact_type), ()))
+
+    def by_owner(self, user_id: str) -> list[str]:
+        return sorted(self._by_owner.get(user_id, ()))
+
+    def by_badge(self, badge: str, granted_by: str | None = None) -> list[str]:
+        if granted_by is None:
+            return sorted(self._by_badge.get(badge, ()))
+        return sorted(self._by_badge_grantor.get((badge, granted_by), ()))
+
+    def by_tag(self, tag: str) -> list[str]:
+        return sorted(self._by_tag.get(tag.lower(), ()))
+
+    def by_team(self, team_id: str) -> list[str]:
+        return sorted(self._by_team.get(team_id, ()))
+
+    def by_token(self, token: str) -> list[str]:
+        """Artifacts whose searchable text contains *token*."""
+        return sorted(self._by_token.get(token.lower(), ()))
+
+    def badges_in_use(self) -> list[str]:
+        """Badge names that appear on at least one artifact."""
+        return sorted(badge for badge, ids in self._by_badge.items() if ids)
+
+    def tags_in_use(self) -> list[str]:
+        return sorted(tag for tag, ids in self._by_tag.items() if ids)
+
+    def search_tokens(self, tokens: Iterable[str]) -> list[str]:
+        """Artifact ids matching *all* tokens (conjunctive keyword search)."""
+        result: set[str] | None = None
+        for token in tokens:
+            ids = self._by_token.get(token.lower(), set())
+            result = set(ids) if result is None else result & ids
+            if not result:
+                return []
+        return sorted(result) if result else []
+
+    # -- mutation of artifact metadata ----------------------------------------
+
+    def grant_badge(
+        self, artifact_id: str, badge: str, granted_by: str, at: float | None = None
+    ) -> Artifact:
+        """Attach a badge to an artifact, reindexing it."""
+        artifact = self.artifact(artifact_id)
+        self.user(granted_by)  # validate grantor exists
+        assignment = BadgeAssignment(
+            badge=badge,
+            granted_by=granted_by,
+            granted_at=self.clock.now() if at is None else at,
+        )
+        updated = artifact.with_badge(assignment)
+        self._deindex(artifact)
+        self._artifacts[artifact_id] = updated
+        self._index(updated)
+        return updated
+
+    def record_event(self, event: UsageEvent) -> None:
+        """Record a usage event; the artifact and user must exist."""
+        self.artifact(event.artifact_id)
+        self.user(event.user_id)
+        self.usage.record(event)
+
+    def record(
+        self, artifact_id: str, user_id: str, action: str, at: float | None = None
+    ) -> None:
+        """Convenience wrapper building a :class:`UsageEvent` at clock time."""
+        timestamp = self.clock.now() if at is None else at
+        self.record_event(UsageEvent(artifact_id, user_id, action, timestamp))
+
+    def usage_stats(self, artifact_id: str) -> UsageStats:
+        return self.usage.stats(artifact_id)
+
+    # -- bulk helpers ----------------------------------------------------------
+
+    def filter_artifacts(self, predicate: Callable[[Artifact], bool]) -> list[Artifact]:
+        """Linear filter; prefer index lookups in hot paths."""
+        return [a for a in self.artifacts() if predicate(a)]
+
+    # -- internal indexing -------------------------------------------------------
+
+    def _index(self, artifact: Artifact) -> None:
+        self._by_type[artifact.artifact_type].add(artifact.id)
+        if artifact.owner_id:
+            self._by_owner[artifact.owner_id].add(artifact.id)
+        for team_id in artifact.team_ids:
+            self._by_team[team_id].add(artifact.id)
+        for assignment in artifact.badges:
+            self._by_badge[assignment.badge].add(artifact.id)
+            key = (assignment.badge, assignment.granted_by)
+            self._by_badge_grantor[key].add(artifact.id)
+        for tag in artifact.tags:
+            self._by_tag[tag.lower()].add(artifact.id)
+        for token in set(tokenize(artifact.searchable_text())):
+            self._by_token[token].add(artifact.id)
+
+    def _deindex(self, artifact: Artifact) -> None:
+        self._by_type[artifact.artifact_type].discard(artifact.id)
+        if artifact.owner_id:
+            self._by_owner[artifact.owner_id].discard(artifact.id)
+        for team_id in artifact.team_ids:
+            self._by_team[team_id].discard(artifact.id)
+        for assignment in artifact.badges:
+            self._by_badge[assignment.badge].discard(artifact.id)
+            key = (assignment.badge, assignment.granted_by)
+            self._by_badge_grantor[key].discard(artifact.id)
+        for tag in artifact.tags:
+            self._by_tag[tag.lower()].discard(artifact.id)
+        for token in set(tokenize(artifact.searchable_text())):
+            self._by_token[token].discard(artifact.id)

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``):
+
+    repro demo                          # guided walkthrough
+    repro search "badged: endorsed"     # run a query on a catalog
+    repro search --nl "tables owned by Alex endorsed by Mike"
+    repro study                         # run the simulated study (E1/E2)
+    repro spec                          # print the default spec JSON
+    repro spec --validate my_spec.json  # validate a spec file
+    repro generate --tables 200 --out catalog.json
+    repro export --out out/             # HTML views (Figure 6/7)
+
+Every command accepts ``--catalog FILE`` to work on a saved catalog, or
+``--tables N --seed S`` to generate one on the fly; the default is the
+study catalog with the paper's example entities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.catalog.persistence import load_catalog, save_catalog
+from repro.catalog.store import CatalogStore
+from repro.core.query.nlq import NaturalLanguageTranslator, explain
+from repro.core.render import render_preview_text, render_tabs_text
+from repro.core.spec import spec_from_json, spec_to_json, validate_spec
+from repro.errors import HumboldtError
+from repro.providers.suite import default_spec
+from repro.synth import SynthConfig, generate_catalog, study_catalog
+from repro.workbook.app import WorkbookApp
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Humboldt (VLDB 2024) reproduction: metadata-driven "
+                    "extensible data discovery.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_catalog_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--catalog", type=Path, default=None,
+                       help="load a saved catalog JSON instead of generating")
+        p.add_argument("--tables", type=int, default=None,
+                       help="generate a catalog with this many tables")
+        p.add_argument("--seed", type=int, default=7,
+                       help="generation seed (default 7)")
+
+    demo = sub.add_parser("demo", help="guided walkthrough")
+    add_catalog_options(demo)
+
+    search = sub.add_parser("search", help="run a query")
+    search.add_argument("query", help="query text (or English with --nl)")
+    search.add_argument("--nl", action="store_true",
+                        help="translate natural language first")
+    search.add_argument("--user", default="",
+                        help="user id for personalised providers")
+    search.add_argument("--limit", type=int, default=10)
+    add_catalog_options(search)
+
+    study = sub.add_parser("study", help="run the simulated user study")
+    study.add_argument("--seed", type=int, default=7)
+
+    spec = sub.add_parser("spec", help="print or validate a specification")
+    spec.add_argument("--validate", type=Path, default=None,
+                      help="validate this spec JSON file")
+    spec.add_argument("--lint", action="store_true",
+                      help="also print usability warnings")
+
+    generate = sub.add_parser("generate", help="generate a synthetic catalog")
+    generate.add_argument("--tables", type=int, default=120)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", type=Path, required=True)
+
+    export = sub.add_parser("export", help="render the interface to HTML")
+    export.add_argument("--out", type=Path, default=Path("out"))
+    add_catalog_options(export)
+
+    return parser
+
+
+def _resolve_store(args) -> CatalogStore:
+    if getattr(args, "catalog", None):
+        return load_catalog(args.catalog)
+    if getattr(args, "tables", None):
+        return generate_catalog(
+            SynthConfig(seed=args.seed, n_tables=args.tables)
+        )
+    return study_catalog(seed=getattr(args, "seed", 7))
+
+
+def _default_user(store: CatalogStore) -> str:
+    if store.find_user_by_name("Alex"):
+        return store.find_user_by_name("Alex").id
+    users = store.users()
+    return users[0].id if users else ""
+
+
+def cmd_demo(args, out) -> int:
+    store = _resolve_store(args)
+    app = WorkbookApp(store)
+    user_id = _default_user(store)
+    session = app.session(user_id)
+    tabs = session.open_home()
+    print(f"catalog: {store.artifact_count} artifacts, "
+          f"{store.user_count} users", file=out)
+    print(render_tabs_text(tabs, max_items=5), file=out)
+    query = "badged: endorsed"
+    result = session.search(query)
+    print(f"\nquery> {query}  ({result.total} results)", file=out)
+    for entry in result.entries[:5]:
+        print(f"  {store.artifact(entry.artifact_id).name}", file=out)
+    if result.entries:
+        preview = session.select_artifact(result.entries[0].artifact_id)
+        print("", file=out)
+        print(render_preview_text(preview), file=out)
+    return 0
+
+
+def cmd_search(args, out) -> int:
+    store = _resolve_store(args)
+    app = WorkbookApp(store)
+    user_id = args.user or _default_user(store)
+    query = args.query
+    if args.nl:
+        translator = NaturalLanguageTranslator(app.interface.language, store)
+        translation = translator.translate(query)
+        query = translation.query_text()
+        print(f"translated: {query}", file=out)
+    result, _ = app.interface.search(query, user_id=user_id,
+                                     limit=args.limit)
+    print(f"{result.total} result(s); "
+          f"{explain(result.query.node)}", file=out)
+    for entry in result.entries:
+        artifact = store.artifact(entry.artifact_id)
+        print(f"  {artifact.name:<40} {artifact.artifact_type.value:<14}"
+              f" score={entry.score:.2f}", file=out)
+    return 0 if result.total else 1
+
+
+def cmd_study(args, out) -> int:
+    from repro.study.executor import run_study
+    from repro.study.report import full_report
+
+    run = run_study(seed=args.seed)
+    print(full_report(run), file=out)
+    return 0
+
+
+def cmd_spec(args, out) -> int:
+    if args.validate:
+        spec = spec_from_json(args.validate.read_text(encoding="utf-8"))
+        problems = validate_spec(spec, strict=False)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=out)
+            return 1
+        print(f"OK: {len(spec)} providers, spec is valid", file=out)
+        if args.lint:
+            from repro.core.spec import lint_spec
+
+            for warning in lint_spec(spec):
+                print(f"WARN: {warning}", file=out)
+        return 0
+    print(spec_to_json(default_spec()), file=out)
+    return 0
+
+
+def cmd_generate(args, out) -> int:
+    store = generate_catalog(SynthConfig(seed=args.seed,
+                                         n_tables=args.tables))
+    path = save_catalog(store, args.out)
+    print(f"wrote {store.artifact_count} artifacts to {path}", file=out)
+    return 0
+
+
+def cmd_export(args, out) -> int:
+    from repro.core.render import render_interface_html, render_view_html
+
+    store = _resolve_store(args)
+    app = WorkbookApp(store)
+    session = app.session(_default_user(store))
+    tabs = session.open_home()
+    args.out.mkdir(parents=True, exist_ok=True)
+    (args.out / "interface.html").write_text(
+        render_interface_html(tabs), encoding="utf-8"
+    )
+    for tab in tabs:
+        path = args.out / f"view_{tab.provider_name}.html"
+        path.write_text(
+            "<!DOCTYPE html><html><body>"
+            + render_view_html(tab.view)
+            + "</body></html>",
+            encoding="utf-8",
+        )
+    print(f"wrote {len(tabs) + 1} HTML files to {args.out}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "search": cmd_search,
+    "study": cmd_study,
+    "spec": cmd_spec,
+    "generate": cmd_generate,
+    "export": cmd_export,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except HumboldtError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

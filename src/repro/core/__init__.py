@@ -1,0 +1,24 @@
+"""Humboldt core: specification, ranking, query language, views, interface.
+
+This package is the paper's contribution.  Everything here consumes
+providers only through the spec contract (:mod:`repro.providers.base`) and
+the endpoint registry — never concrete provider implementations — which is
+the decoupling that lets a UI evolve by editing specification instead of
+code.
+"""
+
+from repro.core.spec import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    SpecBuilder,
+    Visibility,
+)
+
+__all__ = [
+    "HumboldtSpec",
+    "ProviderSpec",
+    "RankingWeight",
+    "SpecBuilder",
+    "Visibility",
+]

@@ -1,0 +1,27 @@
+"""Interface construction (Section 5).
+
+A :class:`DiscoveryInterface` is generated from a Humboldt specification:
+overview tabs from overview-visible providers, an exploration engine that
+surfaces providers parameterised by a selected artifact's metadata, search
+backed by the spec-generated query language, preview panes, team home
+pages and the admin configuration panel of Figure 4.
+"""
+
+from repro.core.interface.config import ConfigurationPanel, ProviderToggle
+from repro.core.interface.discovery import DiscoveryInterface, Tab
+from repro.core.interface.exploration import ExplorationEngine, SurfacedView
+from repro.core.interface.homepage import HomePage, HomePageManager
+from repro.core.interface.preview import PreviewPane, build_preview
+
+__all__ = [
+    "ConfigurationPanel",
+    "DiscoveryInterface",
+    "ExplorationEngine",
+    "HomePage",
+    "HomePageManager",
+    "PreviewPane",
+    "ProviderToggle",
+    "SurfacedView",
+    "Tab",
+    "build_preview",
+]

@@ -1,0 +1,114 @@
+"""The configuration panel (Section 4.4, Figure 4).
+
+"Team administrators can select from the list of metadata providers to
+enable their visibility and use in the data discovery UI" — and individual
+users "can hide and reorder the metadata providers that they have access
+to".  The panel is the UI model for both: it lists providers with their
+enabled state for a scope (team or user) and applies toggles/reorders to
+the corresponding customization layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interface.discovery import DiscoveryInterface
+from repro.core.spec.customization import CustomizationLayer
+from repro.errors import ConfigurationError, UnknownProviderError
+
+
+@dataclass(frozen=True)
+class ProviderToggle:
+    """One row of the configuration panel."""
+
+    name: str
+    title: str
+    category: str
+    description: str
+    enabled: bool
+    surfaces: tuple[str, ...]
+
+
+class ConfigurationPanel:
+    """Edits a team's or a user's customization layer."""
+
+    def __init__(
+        self,
+        interface: DiscoveryInterface,
+        scope: str,
+        scope_id: str,
+        acting_user: str = "",
+    ):
+        if scope not in ("team", "user", "org"):
+            raise ConfigurationError(
+                f"scope must be 'team', 'user' or 'org', got {scope!r}"
+            )
+        self.interface = interface
+        self.scope = scope
+        self.scope_id = scope_id
+        if scope == "team":
+            acting = acting_user or scope_id
+            team = interface.store.team(scope_id)
+            if not team.is_admin(acting):
+                raise ConfigurationError(
+                    f"user {acting!r} is not an admin of team {team.name!r}"
+                )
+
+    # -- reading -------------------------------------------------------------
+
+    def _layer(self) -> CustomizationLayer:
+        customization = self.interface.customization
+        if self.scope == "team":
+            return customization.team_layer(self.scope_id)
+        if self.scope == "user":
+            return customization.user_layer(self.scope_id)
+        return customization.org
+
+    def rows(self) -> list[ProviderToggle]:
+        """Every specified provider with its enabled state in this scope."""
+        layer = self._layer()
+        rows = []
+        for provider in self.interface.spec.providers:
+            rows.append(
+                ProviderToggle(
+                    name=provider.name,
+                    title=provider.title,
+                    category=provider.category,
+                    description=provider.description,
+                    enabled=provider.name not in layer.hidden,
+                    surfaces=provider.visibility.surfaces(),
+                )
+            )
+        return rows
+
+    def enabled_names(self) -> list[str]:
+        return [row.name for row in self.rows() if row.enabled]
+
+    # -- editing ----------------------------------------------------------------
+
+    def set_enabled(self, provider_name: str, enabled: bool) -> None:
+        """Toggle one provider's visibility in this scope."""
+        if provider_name not in self.interface.spec:
+            raise UnknownProviderError(provider_name)
+        layer = self._layer()
+        if enabled:
+            layer.unhide(provider_name)
+        else:
+            layer.hide(provider_name)
+
+    def reorder(self, provider_names: list[str]) -> None:
+        """Set the preferred provider order for this scope."""
+        unknown = [n for n in provider_names if n not in self.interface.spec]
+        if unknown:
+            raise UnknownProviderError(unknown[0])
+        self._layer().set_order(provider_names)
+
+    def reset(self) -> None:
+        """Drop all customization in this scope."""
+        customization = self.interface.customization
+        if self.scope == "team":
+            customization.reset_team(self.scope_id)
+        elif self.scope == "user":
+            customization.reset_user(self.scope_id)
+        else:
+            customization.org = CustomizationLayer()

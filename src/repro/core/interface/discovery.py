@@ -1,0 +1,246 @@
+"""The generated data discovery interface.
+
+:class:`DiscoveryInterface` is what Humboldt produces for a host
+application: hand it a catalog, an endpoint registry and a specification
+and it generates overview tabs (Figure 7B/C), spec-driven search with
+autocomplete (Figure 7A), view filtering, and exploration from selections.
+Swapping the spec swaps the UI — no code here knows any provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.store import CatalogStore
+from repro.core.query.autocomplete import Autocompleter, Suggestion
+from repro.core.query.evaluator import QueryEvaluator, SearchResult
+from repro.core.query.language import QueryLanguage
+from repro.core.ranking import Ranker
+from repro.core.spec.customization import Customization
+from repro.core.spec.model import HumboldtSpec, ProviderSpec
+from repro.core.spec.validation import validate_spec
+from repro.core.views.base import View, make_card
+from repro.core.views.factory import ViewFactory
+from repro.core.views.listing import ListView
+from repro.errors import MissingInputError, ProviderError, UnknownProviderError
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.fields import FieldResolver
+from repro.providers.registry import EndpointRegistry
+
+
+@dataclass(frozen=True)
+class Tab:
+    """One overview tab: the provider it came from and its generated view."""
+
+    provider_name: str
+    title: str
+    category: str
+    view: View
+
+
+class DiscoveryInterface:
+    """A complete, generated data discovery UI (headless)."""
+
+    def __init__(
+        self,
+        store: CatalogStore,
+        registry: EndpointRegistry,
+        spec: HumboldtSpec,
+        customization: Customization | None = None,
+        validate: bool = True,
+    ):
+        if validate:
+            validate_spec(spec, registry=registry)
+        self.store = store
+        self.registry = registry
+        self.spec = spec
+        self.customization = customization or Customization()
+        self.resolver = FieldResolver(store)
+        self.ranker = Ranker(self.resolver)
+        self.language = QueryLanguage(spec)
+        self.evaluator = QueryEvaluator(store, registry, self.language, self.ranker)
+        self.factory = ViewFactory(store, spec, self.ranker)
+        self.autocompleter = Autocompleter(self.language, store)
+        #: (provider, message) pairs skipped during the last overview
+        #: generation because their endpoint failed (fault containment).
+        self.last_errors: list[tuple[str, str]] = []
+
+    # -- spec evolution -----------------------------------------------------
+
+    def with_spec(self, spec: HumboldtSpec) -> "DiscoveryInterface":
+        """A new interface generated from an updated spec.
+
+        This is the paper's headline move: adding/removing a provider is a
+        spec change; the interface regenerates, no UI code changes.
+        """
+        return DiscoveryInterface(
+            store=self.store,
+            registry=self.registry,
+            spec=spec,
+            customization=self.customization,
+        )
+
+    # -- overviews (§5.1) ------------------------------------------------------
+
+    def overview_tabs(
+        self, user_id: str = "", team_id: str = "", limit: int = 20
+    ) -> list[Tab]:
+        """Generate the overview tabs for a user (Figure 7B).
+
+        Providers visible on the overview surface (after customization
+        layers) whose required inputs are satisfiable from ambient context
+        (the user, their team) each become a tab.
+        """
+        providers = self.customization.effective_providers(
+            self.spec, "overview", user_id=user_id, team_id=team_id
+        )
+        context = RequestContext(user_id=user_id, team_id=team_id, limit=limit)
+        self.last_errors = []
+        tabs = []
+        for provider in providers:
+            inputs = self._ambient_inputs(provider, user_id, team_id)
+            if not provider.is_ready(inputs):
+                continue
+            try:
+                view = self._fetch_view(provider, inputs, context)
+            except MissingInputError:
+                # The provider needs an input the session context cannot
+                # supply (e.g. a team view for a team-less user): §6.1 says
+                # to simply not generate the view.
+                continue
+            except ProviderError as exc:
+                # A broken endpoint must degrade only its own view, never
+                # the whole generated interface.
+                self.last_errors.append((provider.name, str(exc)))
+                continue
+            tabs.append(
+                Tab(
+                    provider_name=provider.name,
+                    title=provider.title,
+                    category=provider.category,
+                    view=view,
+                )
+            )
+        return tabs
+
+    def open_view(
+        self,
+        provider_name: str,
+        inputs: dict[str, str] | None = None,
+        user_id: str = "",
+        team_id: str = "",
+        limit: int = 20,
+    ) -> View:
+        """Generate a single provider's view with explicit inputs."""
+        provider = self.spec.provider(provider_name)
+        inputs = dict(inputs or {})
+        merged = {**self._ambient_inputs(provider, user_id, team_id), **inputs}
+        missing = [
+            spec.name
+            for spec in provider.required_inputs()
+            if not merged.get(spec.name)
+        ]
+        if missing:
+            raise MissingInputError(provider_name, missing[0])
+        context = RequestContext(user_id=user_id, team_id=team_id, limit=limit)
+        return self._fetch_view(provider, merged, context)
+
+    # -- search and filters (§5.3, §6.4) ------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        user_id: str = "",
+        team_id: str = "",
+        universe: list[str] | None = None,
+        limit: int = 50,
+    ) -> tuple[SearchResult, ListView]:
+        """Run a query; returns the result and its list view.
+
+        "Whenever a search query is entered, results are shown in a new
+        search tab using the list view."
+        """
+        context = RequestContext(user_id=user_id, team_id=team_id, limit=limit)
+        result = self.evaluator.search(
+            query, context=context, universe=universe, limit=limit
+        )
+        cards = tuple(
+            make_card(self.store, entry.artifact_id, score=entry.score)
+            for entry in result.entries
+        )
+        view = ListView(
+            view_id=f"search[{query}]",
+            provider_name="search",
+            title="Search Results",
+            representation="list",
+            description=f"Results for: {result.query.text}",
+            inputs={},
+            cards=cards,
+        )
+        return (result, view)
+
+    def filter_view(
+        self, view: View, query: str, user_id: str = "", team_id: str = ""
+    ) -> View:
+        """Filter *view* by *query* — search scoped to the view (§5.3)."""
+        result = self.evaluator.search(
+            query,
+            context=RequestContext(user_id=user_id, team_id=team_id),
+            universe=view.artifact_ids(),
+            limit=len(view.artifact_ids()) or 1,
+        )
+        return view.filtered(set(result.artifact_ids()))
+
+    def suggest(self, partial_query: str, limit: int = 8) -> list[Suggestion]:
+        """Autocomplete for the search bar (Figure 5)."""
+        return self.autocompleter.suggest(partial_query, limit=limit)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _ambient_inputs(
+        self, provider: ProviderSpec, user_id: str, team_id: str
+    ) -> dict[str, str]:
+        """Bind inputs satisfiable from session context (user, team)."""
+        inputs: dict[str, str] = {}
+        if not team_id and user_id:
+            teams = self.store.teams_of(user_id)
+            if teams:
+                team_id = teams[0].id
+        for spec in provider.inputs:
+            if spec.input_type == "user" and user_id:
+                inputs[spec.name] = user_id
+            elif spec.input_type == "team" and team_id:
+                inputs[spec.name] = team_id
+        return inputs
+
+    def _fetch_view(
+        self,
+        provider: ProviderSpec,
+        inputs: dict[str, str],
+        context: RequestContext,
+    ) -> View:
+        result = self.registry.fetch(
+            provider.endpoint,
+            ProviderRequest(inputs=inputs, context=context),
+        )
+        return self.factory.build(provider, result, inputs=inputs)
+
+    def provider_titles(self) -> dict[str, str]:
+        """name -> title for every specified provider (UI labelling)."""
+        return {p.name: p.title for p in self.spec.providers}
+
+    def describe_provider(self, name: str) -> str:
+        """Human-readable provider description (a study ask: P1/P4)."""
+        try:
+            provider = self.spec.provider(name)
+        except UnknownProviderError:
+            return ""
+        inputs = ", ".join(
+            f"{i.name} ({i.input_type}{'' if i.required else ', optional'})"
+            for i in provider.inputs
+        )
+        parts = [provider.title, provider.description]
+        if inputs:
+            parts.append(f"Inputs: {inputs}")
+        parts.append(f"Shown as: {provider.representation.value}")
+        return " — ".join(part for part in parts if part)

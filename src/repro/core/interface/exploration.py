@@ -1,0 +1,186 @@
+"""Exploration: selection-driven view surfacing (Sections 5.2 and 6.3).
+
+"Whenever a user interacts with a data element, the metadata of this
+element can be used to inform and surface more metadata providers."
+
+Given a selected artifact, the engine derives candidate input values from
+its metadata — the artifact itself, its owner, its badges, its type, its
+team — and generates a view for every exploration-visible provider whose
+required input one of those values satisfies.  Selecting AIRLINES thus
+surfaces Owned By (Alex), Badged (endorsed), Of Type (table), Joinable,
+Lineage and Similar, exactly the §6.3 walk-through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interface.discovery import DiscoveryInterface
+from repro.core.spec.model import ProviderSpec
+from repro.core.views.base import View
+from repro.errors import ProviderError
+
+#: Cap on how many values of one input type fan out into views (an
+#: artifact with ten badges should not spawn ten Badged views).
+MAX_VALUES_PER_TYPE = 3
+
+
+@dataclass(frozen=True)
+class SurfacedView:
+    """A provider view surfaced by a selection."""
+
+    provider_name: str
+    title: str
+    reason: str  # e.g. "badge = endorsed"
+    inputs: dict[str, str]
+    view: View
+
+
+class ExplorationEngine:
+    """Generates the exploration panel for a selected artifact."""
+
+    def __init__(self, interface: DiscoveryInterface):
+        self.interface = interface
+
+    def derive_input_values(self, artifact_id: str) -> dict[str, list[str]]:
+        """Candidate input values per input type, from the selection."""
+        artifact = self.interface.store.artifact(artifact_id)
+        values: dict[str, list[str]] = {"artifact": [artifact_id]}
+        if artifact.owner_id:
+            values["user"] = [artifact.owner_id]
+        badges = list(dict.fromkeys(artifact.badge_names()))
+        if badges:
+            values["badge"] = badges[:MAX_VALUES_PER_TYPE]
+        values["artifact_type"] = [artifact.artifact_type.value]
+        if artifact.team_ids:
+            values["team"] = list(artifact.team_ids[:MAX_VALUES_PER_TYPE])
+        if artifact.tags:
+            values["text"] = list(artifact.tags[:MAX_VALUES_PER_TYPE])
+        return values
+
+    def explore(
+        self,
+        artifact_id: str,
+        user_id: str = "",
+        team_id: str = "",
+        limit: int = 10,
+    ) -> list[SurfacedView]:
+        """All views surfaced by selecting *artifact_id*, spec order.
+
+        Views that come back empty are dropped — surfacing an empty
+        "Similar" panel is noise, not discovery.  The selected artifact
+        itself is excluded from list-like results.
+        """
+        values = self.derive_input_values(artifact_id)
+        providers = self.interface.customization.effective_providers(
+            self.interface.spec, "exploration", user_id=user_id, team_id=team_id
+        )
+        surfaced: list[SurfacedView] = []
+        for provider in providers:
+            for inputs, reason in self._bindings(provider, values):
+                try:
+                    view = self.interface.open_view(
+                        provider.name,
+                        inputs=inputs,
+                        user_id=user_id,
+                        team_id=team_id,
+                        limit=limit,
+                    )
+                except ProviderError:
+                    continue
+                view = self._drop_self(view, artifact_id, provider)
+                if view.is_empty():
+                    continue
+                surfaced.append(
+                    SurfacedView(
+                        provider_name=provider.name,
+                        title=provider.title,
+                        reason=reason,
+                        inputs=inputs,
+                        view=view,
+                    )
+                )
+        return surfaced
+
+    def pivot(
+        self,
+        input_type: str,
+        value: str,
+        user_id: str = "",
+        team_id: str = "",
+        limit: int = 20,
+    ) -> list[SurfacedView]:
+        """Entity pivot: views for one metadata value (§7.2 improvement).
+
+        Participants asked for "clicking on an owner to see their data
+        artifacts"; this is that interaction generalised — pivot on any
+        input type (``user``, ``badge``, ``artifact_type``, ``team``,
+        ``text``/tag, ``artifact``) and every exploration-visible
+        provider accepting that input generates a view.
+        """
+        if input_type not in ("artifact", "user", "team", "badge",
+                              "artifact_type", "text"):
+            raise ValueError(f"unknown input type {input_type!r}")
+        providers = self.interface.customization.effective_providers(
+            self.interface.spec, "exploration", user_id=user_id,
+            team_id=team_id,
+        )
+        surfaced: list[SurfacedView] = []
+        for provider in providers:
+            required = provider.required_inputs()
+            if not required or required[0].input_type != input_type:
+                continue
+            inputs = {required[0].name: value}
+            try:
+                view = self.interface.open_view(
+                    provider.name, inputs=inputs, user_id=user_id,
+                    team_id=team_id, limit=limit,
+                )
+            except ProviderError:
+                continue
+            if view.is_empty():
+                continue
+            surfaced.append(
+                SurfacedView(
+                    provider_name=provider.name,
+                    title=provider.title,
+                    reason=f"{input_type} = {value}",
+                    inputs=inputs,
+                    view=view,
+                )
+            )
+        return surfaced
+
+    # -- internals ----------------------------------------------------------
+
+    def _bindings(
+        self, provider: ProviderSpec, values: dict[str, list[str]]
+    ) -> list[tuple[dict[str, str], str]]:
+        """Input bindings for *provider* from derived values.
+
+        Only providers that *need* a selection-derived input are surfaced
+        during exploration; no-input providers already live in overviews.
+        """
+        required = provider.required_inputs()
+        if not required:
+            return []
+        primary = required[0]
+        candidates = values.get(primary.input_type, [])
+        bindings = []
+        for value in candidates[:MAX_VALUES_PER_TYPE]:
+            bindings.append(
+                ({primary.name: value}, f"{primary.input_type} = {value}")
+            )
+        return bindings
+
+    def _drop_self(
+        self, view: View, artifact_id: str, provider: ProviderSpec
+    ) -> View:
+        """Remove the selected artifact from list-like surfaced views.
+
+        Graph/hierarchy views keep it — it is their anchor node.
+        """
+        if provider.representation.value in ("graph", "hierarchy"):
+            return view
+        remaining = set(view.artifact_ids()) - {artifact_id}
+        return view.filtered(remaining)

@@ -1,0 +1,98 @@
+"""Content preview pane (Figure 7D).
+
+"A content preview is shown when an individual data artifact is selected.
+In this case, the data artifact is a table, and the preview shows a
+snippet of the table."  For tables/datasets we assemble the snippet from
+column sample values; other artifact types preview their metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.model import ArtifactType
+from repro.catalog.store import CatalogStore
+
+#: Snippet dimensions.
+PREVIEW_ROWS = 5
+PREVIEW_COLUMNS = 6
+
+
+@dataclass(frozen=True)
+class PreviewPane:
+    """Resolved preview content for one selected artifact."""
+
+    artifact_id: str
+    name: str
+    artifact_type: str
+    description: str
+    owner_name: str
+    badges: tuple[str, ...]
+    tags: tuple[str, ...]
+    view_count: int
+    favorite_count: int
+    created_days_ago: float
+    columns: tuple[str, ...] = ()
+    snippet: tuple[tuple[str, ...], ...] = ()  # rows of the table snippet
+    upstream: tuple[str, ...] = ()  # names of direct upstream artifacts
+    downstream: tuple[str, ...] = ()  # names of direct downstream artifacts
+
+    def has_snippet(self) -> bool:
+        return bool(self.snippet)
+
+
+def build_preview(store: CatalogStore, artifact_id: str) -> PreviewPane:
+    """Assemble the preview for *artifact_id*."""
+    artifact = store.artifact(artifact_id)
+    stats = store.usage_stats(artifact_id)
+    owner_name = ""
+    if artifact.owner_id:
+        try:
+            owner_name = store.user(artifact.owner_id).name
+        except KeyError:
+            owner_name = artifact.owner_id
+
+    columns: tuple[str, ...] = ()
+    snippet: tuple[tuple[str, ...], ...] = ()
+    if artifact.artifact_type in (ArtifactType.TABLE, ArtifactType.DATASET):
+        shown = artifact.columns[:PREVIEW_COLUMNS]
+        columns = tuple(c.name for c in shown)
+        rows = []
+        for row_index in range(PREVIEW_ROWS):
+            row = tuple(
+                c.sample_values[row_index] if row_index < len(c.sample_values)
+                else ""
+                for c in shown
+            )
+            if any(cell for cell in row):
+                rows.append(row)
+        snippet = tuple(rows)
+
+    upstream = tuple(
+        store.artifact(aid).name
+        for aid in store.lineage.parents(artifact_id)
+        if store.has_artifact(aid)
+    )
+    downstream = tuple(
+        store.artifact(aid).name
+        for aid in store.lineage.children(artifact_id)
+        if store.has_artifact(aid)
+    )
+    return PreviewPane(
+        artifact_id=artifact_id,
+        name=artifact.name,
+        artifact_type=artifact.artifact_type.value,
+        description=artifact.description,
+        owner_name=owner_name,
+        badges=artifact.badge_names(),
+        tags=artifact.tags,
+        view_count=stats.view_count,
+        favorite_count=stats.favorite_count,
+        created_days_ago=round(
+            max(store.clock.days_since(artifact.created_at), 0.0), 2
+        ),
+        columns=columns,
+        snippet=snippet,
+        upstream=upstream,
+        downstream=downstream,
+    )

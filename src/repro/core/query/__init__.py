@@ -1,0 +1,50 @@
+"""The Humboldt query language (Section 5.3).
+
+The language is *generated from the specification*: every search-visible
+provider contributes a query field (``owned_by: "Alex"``) or a provider
+call (``:recent_documents()``), composable with free-text keywords via
+``&``/``|``, negation and brackets.  Admissible fields and values come
+from the spec, which is what drives autocomplete (Figure 5).
+
+Two entry interfaces produce the same AST: the prefix-based textual syntax
+(:mod:`repro.core.query.parser`) and the pill-based builder
+(:mod:`repro.core.query.pills`).
+"""
+
+from repro.core.query.ast import (
+    And,
+    FieldTerm,
+    Not,
+    Or,
+    ProviderCall,
+    QueryNode,
+    TextTerm,
+)
+from repro.core.query.autocomplete import Autocompleter, Suggestion
+from repro.core.query.evaluator import QueryEvaluator, SearchResult
+from repro.core.query.language import CompiledQuery, QueryLanguage
+from repro.core.query.lexer import Token, tokenize_query
+from repro.core.query.parser import parse_query
+from repro.core.query.pills import FieldPill, PillQuery, TextPill
+
+__all__ = [
+    "And",
+    "Autocompleter",
+    "CompiledQuery",
+    "FieldPill",
+    "FieldTerm",
+    "Not",
+    "Or",
+    "PillQuery",
+    "ProviderCall",
+    "QueryEvaluator",
+    "QueryLanguage",
+    "QueryNode",
+    "SearchResult",
+    "Suggestion",
+    "TextPill",
+    "TextTerm",
+    "Token",
+    "parse_query",
+    "tokenize_query",
+]

@@ -1,0 +1,182 @@
+"""Query AST.
+
+Five node kinds cover the language: free-text terms, metadata field terms,
+provider calls, the two logical connectives and negation.  Nodes are frozen
+and hashable so tests can compare parsed trees structurally, and every node
+renders back to canonical query text via ``to_text`` (round-tripping is
+property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.ids import slugify
+
+
+class QueryNode:
+    """Base class for query AST nodes."""
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def iter_terms(self) -> "list[QueryNode]":
+        """All leaf terms (text/field/call) in left-to-right order."""
+        return [self]
+
+
+#: Bare words the lexer treats as operators — must be quoted as values.
+_OPERATOR_WORDS = frozenset({"and", "or", "not"})
+
+
+def _quote(value: str) -> str:
+    """Quote a value if it contains anything that would confuse the lexer."""
+    safe = (
+        value
+        and value.lower() not in _OPERATOR_WORDS
+        and all(ch.isalnum() or ch in "_-." for ch in value)
+    )
+    if safe:
+        return value
+    escaped = value.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+@dataclass(frozen=True)
+class TextTerm(QueryNode):
+    """A free-text keyword term; matches artifact searchable text."""
+
+    text: str
+
+    def to_text(self) -> str:
+        return _quote(self.text)
+
+
+@dataclass(frozen=True)
+class FieldTerm(QueryNode):
+    """A metadata constraint such as ``owned_by: "Alex"``.
+
+    The field name is slug-normalised, so the paper's spaced syntax
+    (``owned by: 'Alex'``) and the canonical form are the same node.
+    """
+
+    field: str
+    value: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "field", slugify(self.field))
+
+    def to_text(self) -> str:
+        return f"{self.field}: {_quote(self.value)}"
+
+
+@dataclass(frozen=True)
+class ProviderCall(QueryNode):
+    """A direct provider invocation such as ``:recent_documents()``."""
+
+    name: str
+    argument: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", slugify(self.name))
+
+    def to_text(self) -> str:
+        arg = _quote(self.argument) if self.argument else ""
+        return f":{self.name}({arg})"
+
+
+@dataclass(frozen=True)
+class And(QueryNode):
+    """Conjunction: artifacts matching every child."""
+
+    children: tuple[QueryNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("And requires at least two children")
+
+    def to_text(self) -> str:
+        return " & ".join(_child_text(c, parent="and") for c in self.children)
+
+    def iter_terms(self) -> list[QueryNode]:
+        terms: list[QueryNode] = []
+        for child in self.children:
+            terms.extend(child.iter_terms())
+        return terms
+
+
+@dataclass(frozen=True)
+class Or(QueryNode):
+    """Disjunction: artifacts matching any child."""
+
+    children: tuple[QueryNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("Or requires at least two children")
+
+    def to_text(self) -> str:
+        return " | ".join(_child_text(c, parent="or") for c in self.children)
+
+    def iter_terms(self) -> list[QueryNode]:
+        terms: list[QueryNode] = []
+        for child in self.children:
+            terms.extend(child.iter_terms())
+        return terms
+
+
+@dataclass(frozen=True)
+class Not(QueryNode):
+    """Negation: artifacts in the universe not matching the child."""
+
+    child: QueryNode
+
+    def to_text(self) -> str:
+        return f"!{_child_text(self.child, parent='not')}"
+
+    def iter_terms(self) -> list[QueryNode]:
+        return self.child.iter_terms()
+
+
+def _child_text(node: QueryNode, parent: str) -> str:
+    """Render a child, bracketing where precedence demands it.
+
+    Precedence: NOT > AND > OR; a child whose operator binds looser than
+    its parent needs brackets to round-trip.
+    """
+    needs_brackets = (
+        (parent == "and" and isinstance(node, Or))
+        or (parent == "not" and isinstance(node, (And, Or)))
+    )
+    text = node.to_text()
+    return f"({text})" if needs_brackets else text
+
+
+def flatten_and(children: list[QueryNode]) -> QueryNode:
+    """Build a conjunction, flattening nested Ands and unwrapping singletons."""
+    flat: list[QueryNode] = []
+    for child in children:
+        if isinstance(child, And):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        raise ValueError("cannot build an empty conjunction")
+    if len(flat) == 1:
+        return flat[0]
+    return And(children=tuple(flat))
+
+
+def flatten_or(children: list[QueryNode]) -> QueryNode:
+    """Build a disjunction, flattening nested Ors and unwrapping singletons."""
+    flat: list[QueryNode] = []
+    for child in children:
+        if isinstance(child, Or):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        raise ValueError("cannot build an empty disjunction")
+    if len(flat) == 1:
+        return flat[0]
+    return Or(children=tuple(flat))

@@ -1,0 +1,211 @@
+"""Query autocomplete (Figure 5).
+
+"Humboldt generates the query language based on the specification of
+metadata providers and provides autocomplete suggestions for admissible
+prefixes and values as the user types the query."
+
+Given a partial query string, the autocompleter decides which state the
+cursor is in — starting a term, typing a field prefix, typing a value for
+a known field, or after a complete term — and suggests accordingly.
+Value suggestions are typed by the bound input's ``input_type``: user
+names for ``user`` inputs, badges in use for ``badge`` inputs, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.model import ArtifactType
+from repro.catalog.store import CatalogStore
+from repro.core.query import lexer
+from repro.core.query.language import QueryLanguage
+from repro.core.query.lexer import Token, tokenize_query
+from repro.errors import QuerySyntaxError
+from repro.providers.base import InputSpec
+
+#: Maximum suggestions returned per request.
+DEFAULT_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One completion the UI can offer."""
+
+    kind: str  # "field" | "value" | "provider" | "operator"
+    text: str  # the completion to insert
+    detail: str = ""  # human-readable hint (provider description etc.)
+
+
+class Autocompleter:
+    """Spec-driven suggestions for partial queries."""
+
+    def __init__(self, language: QueryLanguage, store: CatalogStore):
+        self.language = language
+        self.store = store
+
+    def suggest(self, partial: str, limit: int = DEFAULT_LIMIT) -> list[Suggestion]:
+        """Suggestions for the query-so-far *partial*."""
+        try:
+            tokens = tokenize_query(partial)
+        except QuerySyntaxError:
+            return []  # unterminated quote etc.: nothing sensible to offer
+        tokens = tokens[:-1]  # drop EOF
+
+        if not tokens:
+            return self._start_suggestions("", limit)
+
+        last = tokens[-1]
+        trailing_space = partial.endswith((" ", "\t"))
+
+        # "field:" (value position) — possibly with a partial value typed.
+        value_state = self._value_state(tokens, trailing_space)
+        if value_state is not None:
+            field_name, prefix = value_state
+            return self._value_suggestions(field_name, prefix, limit)
+
+        # ":" or ":nam" — provider-call position.
+        if last.kind == lexer.COLON and not trailing_space:
+            return self._provider_suggestions("", limit)
+        if (
+            len(tokens) >= 2
+            and tokens[-2].kind == lexer.COLON
+            and last.kind == lexer.WORD
+            and not trailing_space
+            and self._colon_starts_call(tokens, len(tokens) - 2)
+        ):
+            return self._provider_suggestions(last.value, limit)
+
+        # Mid-word: complete field names.
+        if last.kind == lexer.WORD and not trailing_space:
+            return self._start_suggestions(last.value, limit)
+
+        # After a complete term: operators plus fresh-term starters.
+        operators = [
+            Suggestion("operator", "&", "and: narrow the result"),
+            Suggestion("operator", "|", "or: widen the result"),
+            Suggestion("operator", "!", "not: exclude matches"),
+        ]
+        return (operators + self._start_suggestions("", limit))[:limit]
+
+    # -- states -------------------------------------------------------------
+
+    def _value_state(
+        self, tokens: list[Token], trailing_space: bool
+    ) -> tuple[str, str] | None:
+        """Detect "<field>: [partial]" — returns (field, partial_value)."""
+        # field WORD ':'            -> value position, empty prefix
+        # field WORD ':' WORD       -> value position, prefix typed
+        if len(tokens) >= 2 and tokens[-1].kind == lexer.COLON:
+            field = self._field_before_colon(tokens, len(tokens) - 1)
+            if field is not None:
+                return (field, "")
+        if (
+            len(tokens) >= 3
+            and tokens[-2].kind == lexer.COLON
+            and tokens[-1].kind == lexer.WORD
+            and not trailing_space
+        ):
+            field = self._field_before_colon(tokens, len(tokens) - 2)
+            if field is not None:
+                return (field, tokens[-1].value)
+        return None
+
+    def _field_before_colon(
+        self, tokens: list[Token], colon_index: int
+    ) -> str | None:
+        """The field name owning the colon at *colon_index*, if any."""
+        if colon_index == 0:
+            return None
+        word = tokens[colon_index - 1]
+        if word.kind != lexer.WORD:
+            return None
+        colon = tokens[colon_index]
+        if colon.position != word.position + len(word.value):
+            return None  # detached colon: a provider call, not a field
+        name = word.value
+        # Spaced field: "owned by:" -> owned_by
+        if colon_index >= 2 and tokens[colon_index - 2].kind == lexer.WORD:
+            candidate = f"{tokens[colon_index - 2].value}_{name}"
+            if self.language.provider_for_field(candidate.lower()):
+                return candidate.lower()
+        if self.language.provider_for_field(name.lower()):
+            return name.lower()
+        return None
+
+    def _colon_starts_call(self, tokens: list[Token], colon_index: int) -> bool:
+        """A colon at the start or detached from the previous word."""
+        if colon_index == 0:
+            return True
+        previous = tokens[colon_index - 1]
+        if previous.kind != lexer.WORD:
+            return True
+        colon = tokens[colon_index]
+        return colon.position != previous.position + len(previous.value)
+
+    # -- suggestion builders --------------------------------------------------
+
+    def _start_suggestions(self, prefix: str, limit: int) -> list[Suggestion]:
+        prefix = prefix.lower()
+        suggestions = []
+        for field_name in self.language.field_names():
+            if field_name.startswith(prefix):
+                provider = self.language.provider_for_field(field_name)
+                detail = provider.description if provider else ""
+                suggestions.append(
+                    Suggestion("field", f"{field_name}: ", detail)
+                )
+        return suggestions[:limit]
+
+    def _provider_suggestions(self, prefix: str, limit: int) -> list[Suggestion]:
+        prefix = prefix.lower()
+        suggestions = []
+        for name in self.language.callable_providers():
+            if name.startswith(prefix):
+                provider = self.language.provider_for_field(name)
+                detail = provider.description if provider else ""
+                suggestions.append(Suggestion("provider", f":{name}()", detail))
+        return suggestions[:limit]
+
+    def _value_suggestions(
+        self, field_name: str, prefix: str, limit: int
+    ) -> list[Suggestion]:
+        provider = self.language.provider_for_field(field_name)
+        if provider is None:
+            return []
+        input_spec = self.language.value_input(provider)
+        if input_spec is None:
+            return []
+        values = self._domain_values(input_spec)
+        prefix_lower = prefix.lower()
+        matched = [v for v in values if v.lower().startswith(prefix_lower)]
+        return [
+            Suggestion("value", _quote_value(v), f"{input_spec.input_type} value")
+            for v in matched[:limit]
+        ]
+
+    def _domain_values(self, input_spec: InputSpec) -> list[str]:
+        """Plausible values for an input, per its declared type (§5.3)."""
+        if input_spec.input_type == "user":
+            return [u.name for u in self.store.users()]
+        if input_spec.input_type == "team":
+            return [t.name for t in self.store.teams()]
+        if input_spec.input_type == "badge":
+            return self.store.badges_in_use()
+        if input_spec.input_type == "artifact_type":
+            return [member.value for member in ArtifactType]
+        if input_spec.input_type == "artifact":
+            ranked = self.store.usage.most_viewed(limit=20)
+            return [
+                self.store.artifact(aid).name
+                for aid, _ in ranked
+                if self.store.has_artifact(aid)
+            ]
+        if input_spec.input_type == "text":
+            return self.store.tags_in_use()
+        return []
+
+
+def _quote_value(value: str) -> str:
+    if all(ch.isalnum() or ch in "_-." for ch in value):
+        return value
+    return f'"{value}"'

@@ -1,0 +1,211 @@
+"""Query evaluation (Section 5.3).
+
+"Each query element returns a list of data artifacts.  Combining multiple
+query elements in a search query allows for an arithmetic combination of
+different search queries and their resulting data artifact lists."
+
+Evaluation is set algebra over those lists: AND intersects, OR unions,
+NOT subtracts from the universe (all artifacts for global search, the
+current view's artifacts when filtering a view).  Results are ranked with
+the spec's global ranking weights plus a text-match base score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.store import CatalogStore
+from repro.core.query.ast import (
+    And,
+    FieldTerm,
+    Not,
+    Or,
+    ProviderCall,
+    QueryNode,
+    TextTerm,
+)
+from repro.core.query.language import CompiledQuery, QueryLanguage
+from repro.core.ranking import RankedArtifact, Ranker
+from repro.errors import QueryCompileError
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.registry import EndpointRegistry
+from repro.util.textutil import tokenize
+
+#: Base-score bonus for a text term matching the artifact *name* vs. only
+#: its description/tags — name hits should surface first.
+NAME_MATCH_BONUS = 2.0
+TEXT_MATCH_BONUS = 1.0
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The outcome of one search/filter evaluation."""
+
+    query: CompiledQuery
+    entries: tuple[RankedArtifact, ...]
+    total: int
+
+    def artifact_ids(self) -> list[str]:
+        return [entry.artifact_id for entry in self.entries]
+
+    def is_empty(self) -> bool:
+        return self.total == 0
+
+
+class QueryEvaluator:
+    """Evaluates compiled queries against providers and the catalog."""
+
+    def __init__(
+        self,
+        store: CatalogStore,
+        registry: EndpointRegistry,
+        language: QueryLanguage,
+        ranker: Ranker,
+    ):
+        self.store = store
+        self.registry = registry
+        self.language = language
+        self.ranker = ranker
+        #: Result-size cap passed to providers during evaluation; large so
+        #: intersections don't lose matches to provider-side truncation.
+        self.fetch_limit = 10_000
+
+    def search(
+        self,
+        query: "str | QueryNode | CompiledQuery",
+        context: RequestContext | None = None,
+        universe: list[str] | None = None,
+        limit: int = 50,
+    ) -> SearchResult:
+        """Evaluate *query*; *universe* scopes it to a view's artifacts.
+
+        Global search uses the whole catalog as universe; filtering a view
+        passes the view's artifact ids (§5.3: "the difference between
+        search and filters is the set of data artifacts it is performed
+        on").
+        """
+        compiled = (
+            query
+            if isinstance(query, CompiledQuery)
+            else self.language.compile(query)
+        )
+        context = context or RequestContext()
+        ids = self._eval(compiled.node, context, universe)
+        if universe is not None:
+            allowed = set(universe)
+            ids = [aid for aid in ids if aid in allowed]
+        ids = [aid for aid in ids if self.store.has_artifact(aid)]
+
+        base_scores = self._text_base_scores(compiled, ids)
+        weights = self.language.spec.global_ranking
+        entries = [
+            self.ranker.score(aid, weights, base_score=base_scores.get(aid, 0.0))
+            for aid in ids
+        ]
+        entries.sort(key=lambda e: (-e.score, e.artifact_id))
+        return SearchResult(
+            query=compiled,
+            entries=tuple(entries[:limit]),
+            total=len(entries),
+        )
+
+    # -- AST evaluation ----------------------------------------------------
+
+    def _eval(
+        self,
+        node: QueryNode,
+        context: RequestContext,
+        universe: list[str] | None,
+    ) -> list[str]:
+        if isinstance(node, TextTerm):
+            return self._eval_text(node)
+        if isinstance(node, FieldTerm):
+            provider = self.language.provider_for_field(node.field)
+            if provider is None:
+                raise QueryCompileError(f"unknown query field {node.field!r}")
+            inputs = self._bind(provider, node.value)
+            return self._fetch(provider.endpoint, inputs, context)
+        if isinstance(node, ProviderCall):
+            provider = self.language._resolve_call(node.name)
+            inputs = (
+                self._bind(provider, node.argument) if node.argument else {}
+            )
+            return self._fetch(provider.endpoint, inputs, context)
+        if isinstance(node, And):
+            result: list[str] | None = None
+            for child in node.children:
+                child_ids = self._eval(child, context, universe)
+                if result is None:
+                    result = child_ids
+                else:
+                    keep = set(child_ids)
+                    result = [aid for aid in result if aid in keep]
+                if not result:
+                    return []
+            return result or []
+        if isinstance(node, Or):
+            seen: set[str] = set()
+            merged: list[str] = []
+            for child in node.children:
+                for aid in self._eval(child, context, universe):
+                    if aid not in seen:
+                        seen.add(aid)
+                        merged.append(aid)
+            return merged
+        if isinstance(node, Not):
+            excluded = set(self._eval(node.child, context, universe))
+            scope = universe if universe is not None else self.store.artifact_ids()
+            return [aid for aid in scope if aid not in excluded]
+        raise QueryCompileError(f"unsupported query node {type(node).__name__}")
+
+    def _eval_text(self, node: TextTerm) -> list[str]:
+        tokens = tokenize(node.text)
+        if not tokens:
+            return []
+        return self.store.search_tokens(tokens)
+
+    def _bind(self, provider, value: str) -> dict[str, str]:
+        input_spec = self.language.value_input(provider)
+        if input_spec is None:
+            raise QueryCompileError(
+                f"provider {provider.name!r} does not accept a value"
+            )
+        return {input_spec.name: value}
+
+    def _fetch(
+        self, endpoint: str, inputs: dict[str, str], context: RequestContext
+    ) -> list[str]:
+        request = ProviderRequest(
+            inputs=inputs,
+            context=RequestContext(
+                user_id=context.user_id,
+                team_id=context.team_id,
+                limit=self.fetch_limit,
+            ),
+        )
+        return self.registry.fetch(endpoint, request).artifact_ids()
+
+    # -- text relevance ---------------------------------------------------------
+
+    def _text_base_scores(
+        self, compiled: CompiledQuery, ids: list[str]
+    ) -> dict[str, float]:
+        """Name/text match bonuses for the query's free-text terms."""
+        terms = [tokenize(t) for t in compiled.text_terms()]
+        terms = [t for t in terms if t]
+        if not terms:
+            return {}
+        scores: dict[str, float] = {}
+        for aid in ids:
+            artifact = self.store.artifact(aid)
+            name_tokens = set(tokenize(artifact.name))
+            text_tokens = set(tokenize(artifact.searchable_text()))
+            score = 0.0
+            for term_tokens in terms:
+                if all(tok in name_tokens for tok in term_tokens):
+                    score += NAME_MATCH_BONUS
+                elif all(tok in text_tokens for tok in term_tokens):
+                    score += TEXT_MATCH_BONUS
+            if score:
+                scores[aid] = score
+        return scores

@@ -1,0 +1,180 @@
+"""Query-language compilation against a Humboldt specification.
+
+"Humboldt uses metadata specifications to determine admissible field-value
+pairs and compositions" (Figure 5).  The :class:`QueryLanguage` is that
+determination: it binds field terms and provider calls in a parsed query to
+provider specs, rejecting unknown fields with did-you-mean suggestions, and
+checking that provider calls receive the inputs their spec requires.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+from repro.core.query.ast import (
+    And,
+    FieldTerm,
+    Not,
+    Or,
+    ProviderCall,
+    QueryNode,
+    TextTerm,
+)
+from repro.core.query.parser import parse_query
+from repro.core.spec.model import HumboldtSpec, ProviderSpec
+from repro.errors import QueryCompileError
+from repro.providers.base import InputSpec
+
+
+@dataclass(frozen=True)
+class BoundTerm:
+    """A query term bound to the provider spec that will serve it."""
+
+    node: QueryNode
+    provider: ProviderSpec | None  # None for free-text terms
+    inputs: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A validated query: the AST plus its provider bindings."""
+
+    text: str
+    node: QueryNode
+    bindings: tuple[BoundTerm, ...]
+
+    def providers_used(self) -> list[str]:
+        names = []
+        for binding in self.bindings:
+            if binding.provider and binding.provider.name not in names:
+                names.append(binding.provider.name)
+        return names
+
+    def text_terms(self) -> list[str]:
+        return [
+            b.node.text
+            for b in self.bindings
+            if isinstance(b.node, TextTerm)
+        ]
+
+
+class QueryLanguage:
+    """The language generated from a spec (fields, calls, validation)."""
+
+    def __init__(self, spec: HumboldtSpec):
+        self.spec = spec
+        self._fields: dict[str, ProviderSpec] = spec.search_fields()
+
+    # -- vocabulary ----------------------------------------------------------
+
+    def field_names(self) -> list[str]:
+        """All admissible query fields, sorted."""
+        return sorted(self._fields)
+
+    def provider_for_field(self, field_name: str) -> ProviderSpec | None:
+        return self._fields.get(field_name)
+
+    def callable_providers(self) -> list[str]:
+        """Providers usable as ``:name()`` calls (≤1 required input)."""
+        return sorted(
+            name
+            for name, provider in self._fields.items()
+            if len(provider.required_inputs()) <= 1
+        )
+
+    def value_input(self, provider: ProviderSpec) -> InputSpec | None:
+        """The input a field/call value binds to: the required input if
+        any, else the first declared input."""
+        required = provider.required_inputs()
+        if required:
+            return required[0]
+        return provider.inputs[0] if provider.inputs else None
+
+    # -- compilation -------------------------------------------------------------
+
+    def compile(self, query: "str | QueryNode") -> CompiledQuery:
+        """Parse (if needed) and bind *query*; raises on unknown fields."""
+        if isinstance(query, str):
+            text = query
+            node = parse_query(query)
+        else:
+            text = query.to_text()
+            node = query
+        bindings: list[BoundTerm] = []
+        self._bind(node, bindings)
+        return CompiledQuery(text=text, node=node, bindings=tuple(bindings))
+
+    def _bind(self, node: QueryNode, bindings: list[BoundTerm]) -> None:
+        if isinstance(node, TextTerm):
+            bindings.append(BoundTerm(node=node, provider=None))
+            return
+        if isinstance(node, FieldTerm):
+            provider = self._fields.get(node.field)
+            if provider is None:
+                raise QueryCompileError(self._unknown_field_message(node.field))
+            inputs = self._bind_value(provider, node.value, node.field)
+            bindings.append(
+                BoundTerm(node=node, provider=provider, inputs=inputs)
+            )
+            return
+        if isinstance(node, ProviderCall):
+            provider = self._resolve_call(node.name)
+            inputs = (
+                self._bind_value(provider, node.argument, node.name)
+                if node.argument
+                else {}
+            )
+            missing = [
+                spec.name
+                for spec in provider.required_inputs()
+                if spec.name not in inputs
+            ]
+            if missing:
+                raise QueryCompileError(
+                    f":{node.name}() requires a value for input "
+                    f"{missing[0]!r} — write :{node.name}(<{missing[0]}>)"
+                )
+            bindings.append(
+                BoundTerm(node=node, provider=provider, inputs=inputs)
+            )
+            return
+        if isinstance(node, Not):
+            self._bind(node.child, bindings)
+            return
+        if isinstance(node, (And, Or)):
+            for child in node.children:
+                self._bind(child, bindings)
+            return
+        raise QueryCompileError(f"unsupported query node {type(node).__name__}")
+
+    def _bind_value(
+        self, provider: ProviderSpec, value: str, term_name: str
+    ) -> dict[str, str]:
+        input_spec = self.value_input(provider)
+        if input_spec is None:
+            raise QueryCompileError(
+                f"{term_name!r} does not accept a value "
+                f"(provider {provider.name!r} declares no inputs)"
+            )
+        return {input_spec.name: value}
+
+    def _resolve_call(self, name: str) -> ProviderSpec:
+        # Calls address providers by name; search_field aliases also work.
+        provider = self._fields.get(name)
+        if provider is not None:
+            return provider
+        for spec in self.spec.providers:
+            if spec.name == name and spec.visibility.search:
+                return spec
+        raise QueryCompileError(self._unknown_field_message(name, call=True))
+
+    def _unknown_field_message(self, name: str, call: bool = False) -> str:
+        kind = "provider" if call else "query field"
+        candidates = self.field_names()
+        close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.5)
+        hint = f"; did you mean {', '.join(close)}?" if close else ""
+        return (
+            f"unknown {kind} {name!r} — admissible fields: "
+            f"{', '.join(candidates)}{hint}"
+        )

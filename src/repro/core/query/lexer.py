@@ -1,0 +1,120 @@
+"""Query lexer.
+
+Turns query text into a token stream.  The token set is small: words,
+quoted strings, ``:`` ``(`` ``)`` punctuation, the connectives (symbolic
+``&``/``|``/``!`` and word forms ``and``/``or``/``not``).  Positions are
+kept on every token so syntax errors and autocomplete can point at the
+offending character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+_WORD_PUNCT = frozenset("_-.")
+
+
+def _is_word_char(char: str) -> bool:
+    """Query words are unicode alphanumerics plus ``_-.`` — search bars
+    receive whatever users type (VERKÄUFE, naïve, 東京)."""
+    return char.isalnum() or char in _WORD_PUNCT
+
+#: token kinds
+WORD = "WORD"
+QUOTED = "QUOTED"
+COLON = "COLON"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+AND = "AND"
+OR = "OR"
+NOT = "NOT"
+EOF = "EOF"
+
+_WORD_OPERATORS = {"and": AND, "or": OR, "not": NOT}
+_SYMBOL_OPERATORS = {"&": AND, "|": OR, "!": NOT}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, @{self.position})"
+
+
+def tokenize_query(text: str) -> list[Token]:
+    """Lex *text*; always ends with an EOF token.
+
+    Raises :class:`QuerySyntaxError` on unterminated quotes or characters
+    outside the language.
+    """
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _SYMBOL_OPERATORS:
+            tokens.append(Token(_SYMBOL_OPERATORS[char], char, index))
+            index += 1
+            continue
+        if char == ":":
+            tokens.append(Token(COLON, ":", index))
+            index += 1
+            continue
+        if char == "(":
+            tokens.append(Token(LPAREN, "(", index))
+            index += 1
+            continue
+        if char == ")":
+            tokens.append(Token(RPAREN, ")", index))
+            index += 1
+            continue
+        if char in ("'", '"'):
+            token, index = _lex_quoted(text, index)
+            tokens.append(token)
+            continue
+        if _is_word_char(char):
+            token, index = _lex_word(text, index)
+            tokens.append(token)
+            continue
+        raise QuerySyntaxError(
+            f"unexpected character {char!r}", position=index, text=text
+        )
+    tokens.append(Token(EOF, "", length))
+    return tokens
+
+
+def _lex_quoted(text: str, start: int) -> tuple[Token, int]:
+    quote = text[start]
+    index = start + 1
+    chars: list[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            chars.append(text[index + 1])
+            index += 2
+            continue
+        if char == quote:
+            return (Token(QUOTED, "".join(chars), start), index + 1)
+        chars.append(char)
+        index += 1
+    raise QuerySyntaxError("unterminated quoted string", position=start, text=text)
+
+
+def _lex_word(text: str, start: int) -> tuple[Token, int]:
+    index = start
+    while index < len(text) and _is_word_char(text[index]):
+        index += 1
+    word = text[start:index]
+    kind = _WORD_OPERATORS.get(word.lower(), WORD)
+    value = word.lower() if kind != WORD else word
+    return (Token(kind, value, start), index)

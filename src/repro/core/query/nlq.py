@@ -1,0 +1,287 @@
+"""Natural-language ↔ query-language translation (Section 8).
+
+The paper's discussion proposes "combining the precision of query-based
+search enabling metadata constraints with the high recall of natural
+language", and participant P4 asked to "convert the search into a free
+text formula".  This module supplies both directions without any model
+dependency:
+
+* :func:`explain` — render a query AST as an English sentence (the
+  query → free-text-formula direction);
+* :class:`NaturalLanguageTranslator` — rule-based English → AST
+  translation ("tables owned by Alex endorsed by Mike about sales"),
+  grounded in the spec's admissible fields and the catalog's badge/type
+  vocabulary.  Unmatched words degrade gracefully to free-text terms, so
+  recall never drops below plain keyword search.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.catalog.store import CatalogStore
+from repro.core.query.ast import (
+    And,
+    FieldTerm,
+    Not,
+    Or,
+    ProviderCall,
+    QueryNode,
+    TextTerm,
+    flatten_and,
+)
+from repro.core.query.language import QueryLanguage
+from repro.errors import QueryCompileError
+
+#: Words carrying no search signal in NL requests.
+STOPWORDS = frozenset(
+    "a an and the that which with for me my all any of in on to is are was "
+    "find show give list get containing contain contains has have had it "
+    "them this those please data".split()
+)
+
+#: plural/singular artifact-type words -> ArtifactType value
+TYPE_WORDS = {
+    "table": "table", "tables": "table",
+    "dataset": "dataset", "datasets": "dataset",
+    "visualization": "visualization", "visualizations": "visualization",
+    "chart": "visualization", "charts": "visualization",
+    "dashboard": "dashboard", "dashboards": "dashboard",
+    "workbook": "workbook", "workbooks": "workbook",
+    "document": "document", "documents": "document",
+}
+
+_NAME = r"((?:'[^']+')|(?:\"[^\"]+\")|(?:[A-Z][\w.-]*(?:\s+[A-Z][\w.-]*)?))"
+
+
+def _strip_quotes(raw: str) -> str:
+    raw = raw.strip()
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+        return raw[1:-1]
+    return raw
+
+
+@dataclass(frozen=True)
+class Translation:
+    """The outcome of one NL translation."""
+
+    text: str
+    node: QueryNode
+    matched: tuple[str, ...] = ()  # human-readable rule hits
+    residual: tuple[str, ...] = ()  # words that became free text
+
+    def query_text(self) -> str:
+        """The equivalent query-language string."""
+        return self.node.to_text()
+
+
+class NaturalLanguageTranslator:
+    """Rule-based English → query translation, grounded in the spec."""
+
+    def __init__(self, language: QueryLanguage, store: CatalogStore):
+        self.language = language
+        self.store = store
+
+    def translate(self, text: str) -> Translation:
+        """Translate *text*; raises :class:`QueryCompileError` when nothing
+        at all can be extracted (empty input)."""
+        working = text.strip()
+        if not working:
+            raise QueryCompileError("cannot translate an empty request")
+        terms: list[QueryNode] = []
+        matched: list[str] = []
+
+        working = self._extract_ownership(working, terms, matched)
+        working = self._extract_badge_grants(working, terms, matched)
+        working = self._extract_similar(working, terms, matched)
+        working = self._extract_tags(working, terms, matched)
+        working = self._extract_badges(working, terms, matched)
+        working = self._extract_types(working, terms, matched)
+        working = self._extract_recency(working, terms, matched)
+        residual = self._extract_residual_text(working, terms)
+
+        if not terms:
+            raise QueryCompileError(
+                f"could not extract any query terms from {text!r}"
+            )
+        return Translation(
+            text=text,
+            node=flatten_and(terms),
+            matched=tuple(matched),
+            residual=tuple(residual),
+        )
+
+    # -- extraction rules ---------------------------------------------------
+
+    def _extract_ownership(self, working, terms, matched) -> str:
+        def replace(match: re.Match) -> str:
+            verb = match.group(1).lower()
+            name = _strip_quotes(match.group(2))
+            fld = "created_by" if verb == "created" else "owned_by"
+            if self.language.provider_for_field(fld) is None:
+                fld = "owned_by"
+            terms.append(FieldTerm(field=fld, value=name))
+            matched.append(f"{fld} = {name}")
+            return " "
+
+        return re.sub(
+            rf"\b(owned|created|made|authored)\s+by\s+{_NAME}",
+            replace, working,
+        )
+
+    def _extract_badge_grants(self, working, terms, matched) -> str:
+        badges = set(self.store.badges_in_use()) or {"endorsed", "certified"}
+
+        def replace(match: re.Match) -> str:
+            badge = match.group(1).lower()
+            name = _strip_quotes(match.group(2))
+            terms.append(FieldTerm(field="badged", value=badge))
+            terms.append(FieldTerm(field="badged_by", value=name))
+            matched.append(f"badged {badge} by {name}")
+            return " "
+
+        # case-insensitivity is scoped to the badge word only — the name
+        # capture must stay capitalised/quoted or it swallows plain words.
+        pattern = (
+            rf"\b((?i:{'|'.join(sorted(badges))}))\s+(?i:by)\s+{_NAME}"
+        )
+        return re.sub(pattern, replace, working)
+
+    def _extract_similar(self, working, terms, matched) -> str:
+        def replace(match: re.Match) -> str:
+            name = _strip_quotes(match.group(1))
+            artifact_id = self._resolve_artifact(name)
+            if artifact_id is None:
+                terms.append(TextTerm(text=name))
+                matched.append(f"similar target {name!r} unresolved -> text")
+            else:
+                terms.append(ProviderCall(name="similar",
+                                          argument=artifact_id))
+                matched.append(f"similar to {name}")
+            return " "
+
+        return re.sub(
+            rf"\b(?i:similar to|related to|joins? with|joinable to)\s+{_NAME}",
+            replace, working,
+        )
+
+    def _extract_tags(self, working, terms, matched) -> str:
+        def replace(match: re.Match) -> str:
+            tag = _strip_quotes(match.group(1)).lower()
+            if tag in self.store.tags_in_use():
+                terms.append(FieldTerm(field="tagged", value=tag))
+                matched.append(f"tagged = {tag}")
+            else:
+                terms.append(TextTerm(text=tag))
+                matched.append(f"about {tag!r} -> text")
+            return " "
+
+        return re.sub(
+            r"\b(?:tagged|about|regarding|concerning)\s+([\w'\"-]+)",
+            replace, working, flags=re.IGNORECASE,
+        )
+
+    def _extract_badges(self, working, terms, matched) -> str:
+        badges = set(self.store.badges_in_use()) or {"endorsed", "certified",
+                                                     "deprecated"}
+
+        def replace(match: re.Match) -> str:
+            badge = match.group(1).lower()
+            terms.append(FieldTerm(field="badged", value=badge))
+            matched.append(f"badged = {badge}")
+            return " "
+
+        pattern = rf"\b({'|'.join(sorted(badges))})\b"
+        return re.sub(pattern, replace, working, flags=re.IGNORECASE)
+
+    def _extract_types(self, working, terms, matched) -> str:
+        remaining = []
+        seen_types: list[str] = []
+        for word in working.split():
+            mapped = TYPE_WORDS.get(word.lower().strip(",."))
+            if mapped and mapped not in seen_types:
+                seen_types.append(mapped)
+            elif mapped:
+                pass  # duplicate type mention
+            else:
+                remaining.append(word)
+        if len(seen_types) == 1:
+            terms.append(FieldTerm(field="type", value=seen_types[0]))
+            matched.append(f"type = {seen_types[0]}")
+        elif len(seen_types) > 1:
+            terms.append(Or(children=tuple(
+                FieldTerm(field="type", value=t) for t in seen_types
+            )))
+            matched.append(f"type in {seen_types}")
+        return " ".join(remaining)
+
+    def _extract_recency(self, working, terms, matched) -> str:
+        if re.search(r"\brecent(?:ly)?\b", working, flags=re.IGNORECASE):
+            if "recents" in self.language.callable_providers():
+                terms.append(ProviderCall(name="recents"))
+                matched.append("recent -> :recents()")
+            working = re.sub(r"\brecent(?:ly)?\b", " ", working,
+                             flags=re.IGNORECASE)
+        return working
+
+    def _extract_residual_text(self, working, terms) -> list[str]:
+        residual = []
+        for word in re.findall(r"[A-Za-z0-9_]+", working):
+            lowered = word.lower()
+            if lowered in STOPWORDS:
+                continue
+            residual.append(lowered)
+            terms.append(TextTerm(text=lowered))
+        return residual
+
+    def _resolve_artifact(self, name: str) -> str | None:
+        lowered = name.lower()
+        hits = [
+            a.id for a in self.store.artifacts() if a.name.lower() == lowered
+        ]
+        return hits[0] if len(hits) == 1 else None
+
+
+# -- query -> English (P4's "free text formula") ------------------------------
+
+_FIELD_PHRASES = {
+    "type": "of type {v}",
+    "owned_by": "owned by {v}",
+    "created_by": "created by {v}",
+    "badged": "badged {v}",
+    "badged_by": "with a badge granted by {v}",
+    "tagged": "tagged {v}",
+}
+
+
+def explain(node: QueryNode) -> str:
+    """Render a query AST as an English sentence.
+
+    >>> from repro.core.query.parser import parse_query
+    >>> explain(parse_query("type: table owned_by: Alex & sales"))
+    'artifacts of type table, owned by Alex, matching "sales"'
+    """
+    return "artifacts " + _explain(node)
+
+
+def _explain(node: QueryNode) -> str:
+    if isinstance(node, TextTerm):
+        return f'matching "{node.text}"'
+    if isinstance(node, FieldTerm):
+        template = _FIELD_PHRASES.get(node.field)
+        if template:
+            return template.format(v=node.value)
+        return f"whose {node.field.replace('_', ' ')} is {node.value}"
+    if isinstance(node, ProviderCall):
+        label = node.name.replace("_", " ")
+        if node.argument:
+            return f"from {label} ({node.argument})"
+        return f"from {label}"
+    if isinstance(node, And):
+        return ", ".join(_explain(child) for child in node.children)
+    if isinstance(node, Or):
+        return " or ".join(_explain(child) for child in node.children)
+    if isinstance(node, Not):
+        return f"not {_explain(node.child)}"
+    return str(node)

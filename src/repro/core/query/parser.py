@@ -1,0 +1,188 @@
+"""Recursive-descent parser for the query language.
+
+Grammar (NOT binds tightest, then AND, then OR; adjacency is implicit AND,
+matching the paper's ``badged by: 'Mike' & 'sales'`` example where explicit
+``&`` and plain adjacency coexist):
+
+    query          := or_expr EOF
+    or_expr        := and_expr (OR and_expr)*
+    and_expr       := unary (AND? unary)*
+    unary          := NOT unary | primary
+    primary        := '(' or_expr ')' | provider_call | field_term | term
+    provider_call  := ':' WORD '(' value? ')'
+    field_term     := WORD WORD? ':' value
+    value          := WORD | QUOTED
+    term           := WORD | QUOTED
+
+Field names may be one or two words before the colon, so the paper's
+``owned by: 'Alex'`` parses to the same node as ``owned_by: "Alex"``.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import lexer
+from repro.core.query.ast import (
+    FieldTerm,
+    Not,
+    ProviderCall,
+    QueryNode,
+    TextTerm,
+    flatten_and,
+    flatten_or,
+)
+from repro.core.query.lexer import Token, tokenize_query
+from repro.errors import QuerySyntaxError
+
+#: Token kinds that may begin a primary expression.
+_PRIMARY_STARTERS = (lexer.WORD, lexer.QUOTED, lexer.COLON, lexer.LPAREN)
+
+
+def parse_query(text: str) -> QueryNode:
+    """Parse *text* into an AST; raises :class:`QuerySyntaxError`."""
+    tokens = tokenize_query(text)
+    parser = _Parser(tokens, text)
+    node = parser.parse_or()
+    parser.expect(lexer.EOF, "unexpected trailing input")
+    return node
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != lexer.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, message: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise QuerySyntaxError(
+                f"{message} (got {token.kind} {token.value!r})",
+                position=token.position,
+                text=self.text,
+            )
+        return self.advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_or(self) -> QueryNode:
+        children = [self.parse_and()]
+        while self.peek().kind == lexer.OR:
+            self.advance()
+            children.append(self.parse_and())
+        return flatten_or(children)
+
+    def parse_and(self) -> QueryNode:
+        children = [self.parse_unary()]
+        while True:
+            token = self.peek()
+            if token.kind == lexer.AND:
+                self.advance()
+                children.append(self.parse_unary())
+            elif token.kind in _PRIMARY_STARTERS or token.kind == lexer.NOT:
+                children.append(self.parse_unary())  # implicit AND
+            else:
+                break
+        return flatten_and(children)
+
+    def parse_unary(self) -> QueryNode:
+        if self.peek().kind == lexer.NOT:
+            self.advance()
+            return Not(child=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> QueryNode:
+        token = self.peek()
+        if token.kind == lexer.LPAREN:
+            self.advance()
+            node = self.parse_or()
+            self.expect(lexer.RPAREN, "expected closing bracket")
+            return node
+        if token.kind == lexer.COLON:
+            return self.parse_provider_call()
+        if token.kind == lexer.QUOTED:
+            self.advance()
+            return TextTerm(text=token.value)
+        if token.kind == lexer.WORD:
+            return self.parse_word_term()
+        raise QuerySyntaxError(
+            f"expected a term (got {token.kind} {token.value!r})",
+            position=token.position,
+            text=self.text,
+        )
+
+    def parse_provider_call(self) -> QueryNode:
+        colon = self.advance()  # ':'
+        name = self.expect(
+            lexer.WORD, "expected provider name after ':'"
+        )
+        self.expect(lexer.LPAREN, f"expected '(' after ':{name.value}'")
+        argument = ""
+        token = self.peek()
+        if token.kind in (lexer.WORD, lexer.QUOTED):
+            argument = self.advance().value
+        self.expect(
+            lexer.RPAREN, f"expected ')' closing ':{name.value}(...'"
+        )
+        del colon
+        return ProviderCall(name=name.value, argument=argument)
+
+    #: Second words allowed in spaced field names ("owned by:", "badged
+    #: by:").  Restricting the set keeps ``sales type: table`` parsing as
+    #: free text ``sales`` plus field ``type`` rather than a bogus
+    #: ``sales_type`` field.
+    FIELD_JOINERS = frozenset({"by"})
+
+    def parse_word_term(self) -> QueryNode:
+        """WORD-initiated term: a field term (1-2 words + ':') or free text."""
+        first = self.advance()
+        # Two-word field name: WORD JOINER ':'  (e.g. "owned by: ...")
+        if (
+            self.peek().kind == lexer.WORD
+            and self.peek().value.lower() in self.FIELD_JOINERS
+            and self._is_field_colon(self.peek(1), self.peek())
+        ):
+            second = self.advance()
+            self.advance()  # ':'
+            value = self._parse_value(f"{first.value} {second.value}")
+            return FieldTerm(field=f"{first.value}_{second.value}", value=value)
+        # One-word field name: WORD ':'
+        if self._is_field_colon(self.peek(), first):
+            self.advance()  # ':'
+            value = self._parse_value(first.value)
+            return FieldTerm(field=first.value, value=value)
+        return TextTerm(text=first.value)
+
+    @staticmethod
+    def _is_field_colon(colon: Token, word: Token) -> bool:
+        """A colon is a field separator only when glued to its word.
+
+        ``type: table`` has the colon at ``word.position + len(word)``;
+        a detached colon (``bit :recent_documents()``) starts a provider
+        call instead.
+        """
+        return (
+            colon.kind == lexer.COLON
+            and colon.position == word.position + len(word.value)
+        )
+
+    def _parse_value(self, field_name: str) -> str:
+        token = self.peek()
+        if token.kind in (lexer.WORD, lexer.QUOTED):
+            return self.advance().value
+        raise QuerySyntaxError(
+            f"expected a value after {field_name!r}:",
+            position=token.position,
+            text=self.text,
+        )

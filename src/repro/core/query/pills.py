@@ -1,0 +1,153 @@
+"""Pill-based query building (Figure 5).
+
+The paper implements two search interfaces over the same machinery: the
+prefix-based textual language and a pill-based representation where each
+query element is a pill joined by connectors.  :class:`PillQuery` is the
+pill interface; it compiles to the same AST the text parser produces, so
+the two UIs are provably equivalent (tested via round-trips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query.ast import (
+    FieldTerm,
+    Not,
+    ProviderCall,
+    QueryNode,
+    TextTerm,
+    flatten_and,
+    flatten_or,
+)
+
+
+@dataclass(frozen=True)
+class TextPill:
+    """A free-text pill."""
+
+    text: str
+
+    def node(self) -> QueryNode:
+        return TextTerm(text=self.text)
+
+    def label(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class FieldPill:
+    """A ``field: value`` pill."""
+
+    field: str
+    value: str
+
+    def node(self) -> QueryNode:
+        return FieldTerm(field=self.field, value=self.value)
+
+    def label(self) -> str:
+        return f"{self.field}: {self.value}"
+
+
+@dataclass(frozen=True)
+class CallPill:
+    """A provider-call pill (``:recent_documents()``)."""
+
+    name: str
+    argument: str = ""
+
+    def node(self) -> QueryNode:
+        return ProviderCall(name=self.name, argument=self.argument)
+
+    def label(self) -> str:
+        return f":{self.name}({self.argument})"
+
+
+Pill = "TextPill | FieldPill | CallPill"
+
+
+@dataclass(frozen=True)
+class _Entry:
+    connector: str  # "and" | "or"; ignored on the first pill
+    negated: bool
+    pill: "TextPill | FieldPill | CallPill"
+
+
+class PillQuery:
+    """An ordered pill sequence with per-pill connectors and negation.
+
+    Connectors bind like the text language: AND runs group together inside
+    a top-level OR.  ``to_node()`` yields the equivalent AST; ``to_text()``
+    the canonical textual form shown in the query bar.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- building ----------------------------------------------------------
+
+    def add(
+        self,
+        pill: "TextPill | FieldPill | CallPill",
+        connector: str = "and",
+        negated: bool = False,
+    ) -> "PillQuery":
+        if connector not in ("and", "or"):
+            raise ValueError(f"connector must be 'and' or 'or', got {connector!r}")
+        self._entries.append(_Entry(connector=connector, negated=negated, pill=pill))
+        return self
+
+    def text(self, text: str, connector: str = "and", negated: bool = False):
+        return self.add(TextPill(text), connector, negated)
+
+    def field(
+        self, field: str, value: str, connector: str = "and", negated: bool = False
+    ):
+        return self.add(FieldPill(field, value), connector, negated)
+
+    def call(
+        self, name: str, argument: str = "", connector: str = "and",
+        negated: bool = False,
+    ):
+        return self.add(CallPill(name, argument), connector, negated)
+
+    def remove(self, index: int) -> "PillQuery":
+        """Remove the pill at *index* (pills are removable chips in the UI)."""
+        del self._entries[index]
+        return self
+
+    def pills(self) -> list["TextPill | FieldPill | CallPill"]:
+        return [entry.pill for entry in self._entries]
+
+    def labels(self) -> list[str]:
+        """Chip labels as the UI renders them."""
+        labels = []
+        for index, entry in enumerate(self._entries):
+            prefix = "" if index == 0 else f"{entry.connector} "
+            negation = "not " if entry.negated else ""
+            labels.append(f"{prefix}{negation}{entry.pill.label()}")
+        return labels
+
+    # -- compilation ----------------------------------------------------------
+
+    def to_node(self) -> QueryNode:
+        """The equivalent AST; raises on an empty pill list."""
+        if not self._entries:
+            raise ValueError("cannot compile an empty pill query")
+        # Split into OR-separated groups of AND-joined pills.
+        groups: list[list[QueryNode]] = [[]]
+        for index, entry in enumerate(self._entries):
+            if index > 0 and entry.connector == "or":
+                groups.append([])
+            node = entry.pill.node()
+            if entry.negated:
+                node = Not(child=node)
+            groups[-1].append(node)
+        or_children = [flatten_and(group) for group in groups if group]
+        return flatten_or(or_children)
+
+    def to_text(self) -> str:
+        return self.to_node().to_text()

@@ -1,0 +1,128 @@
+"""The ranking engine (Section 4.2, Listing 1).
+
+"Values of metadata fields are multiplied with the ranking factor, which
+results in an overall ranking score that can be combined between metadata
+providers."  The engine is deliberately dumb: a weighted sum over resolved
+field values plus the provider's own base score.  All tuning lives in the
+spec, so retuning ranking never touches this module — the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.spec.model import HumboldtSpec, RankingWeight
+from repro.providers.base import ScoredArtifact
+from repro.providers.fields import FieldResolver
+
+
+@dataclass(frozen=True)
+class RankedArtifact:
+    """An artifact with its final combined score and the score breakdown."""
+
+    artifact_id: str
+    score: float
+    base_score: float = 0.0
+    contributions: tuple[tuple[str, float], ...] = ()
+
+
+class Ranker:
+    """Scores artifacts with spec-declared weights over resolved fields."""
+
+    def __init__(self, resolver: FieldResolver):
+        self.resolver = resolver
+
+    def score(
+        self,
+        artifact_id: str,
+        weights: Sequence[RankingWeight],
+        base_score: float = 0.0,
+        fields: dict[str, float] | None = None,
+    ) -> RankedArtifact:
+        """Score one artifact.
+
+        *fields* is an optional pre-resolved field map (providers attach
+        one to each item); missing fields fall back to the resolver.
+        """
+        contributions = []
+        total = base_score
+        for weight in weights:
+            if fields is not None and weight.field in fields:
+                value = float(fields[weight.field])
+            else:
+                value = self.resolver.value(artifact_id, weight.field)
+            contribution = value * weight.weight
+            total += contribution
+            contributions.append((weight.field, round(contribution, 6)))
+        return RankedArtifact(
+            artifact_id=artifact_id,
+            score=round(total, 6),
+            base_score=base_score,
+            contributions=tuple(contributions),
+        )
+
+    def rank_items(
+        self,
+        items: Iterable[ScoredArtifact],
+        weights: Sequence[RankingWeight],
+    ) -> list[RankedArtifact]:
+        """Rank provider items; ties break on artifact id for determinism."""
+        ranked = [
+            self.score(
+                item.artifact_id,
+                weights,
+                base_score=item.score,
+                fields={
+                    k: v
+                    for k, v in item.fields.items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                },
+            )
+            for item in items
+        ]
+        ranked.sort(key=lambda r: (-r.score, r.artifact_id))
+        return ranked
+
+    def rank_ids(
+        self, artifact_ids: Iterable[str], weights: Sequence[RankingWeight]
+    ) -> list[RankedArtifact]:
+        """Rank bare artifact ids (used by search-result ordering)."""
+        ranked = [self.score(aid, weights) for aid in artifact_ids]
+        ranked.sort(key=lambda r: (-r.score, r.artifact_id))
+        return ranked
+
+
+def combine_rankings(
+    rankings: Sequence[Sequence[RankedArtifact]],
+) -> list[RankedArtifact]:
+    """Combine per-provider rankings into one (§4.2).
+
+    An artifact appearing in several providers' results accumulates its
+    scores — numeric ranking is exactly what makes cross-provider
+    combination well-defined, which is why the paper chose it.
+    """
+    merged: dict[str, RankedArtifact] = {}
+    for ranking in rankings:
+        for entry in ranking:
+            current = merged.get(entry.artifact_id)
+            if current is None:
+                merged[entry.artifact_id] = entry
+            else:
+                merged[entry.artifact_id] = RankedArtifact(
+                    artifact_id=entry.artifact_id,
+                    score=round(current.score + entry.score, 6),
+                    base_score=current.base_score + entry.base_score,
+                    contributions=current.contributions + entry.contributions,
+                )
+    combined = list(merged.values())
+    combined.sort(key=lambda r: (-r.score, r.artifact_id))
+    return combined
+
+
+def effective_weights(
+    spec: HumboldtSpec, provider_name: str
+) -> tuple[RankingWeight, ...]:
+    """Provider weights with global fallback — re-exported for callers that
+    hold a spec but not the provider object."""
+    return spec.effective_ranking(provider_name)

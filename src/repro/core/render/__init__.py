@@ -1,0 +1,23 @@
+"""Headless renderers for generated views.
+
+Views are plain data; these modules draw them — :mod:`repro.core.render.text`
+as terminal-friendly text (what the examples print), and
+:mod:`repro.core.render.html` as standalone HTML documents.
+"""
+
+from repro.core.render.html import render_interface_html, render_view_html
+from repro.core.render.text import (
+    render_preview_text,
+    render_screen_text,
+    render_tabs_text,
+    render_view_text,
+)
+
+__all__ = [
+    "render_interface_html",
+    "render_preview_text",
+    "render_screen_text",
+    "render_tabs_text",
+    "render_view_html",
+    "render_view_text",
+]

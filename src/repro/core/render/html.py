@@ -1,0 +1,167 @@
+"""HTML renderers.
+
+Produce self-contained HTML (inline CSS, inline SVG for graphs and
+embeddings) so a generated interface can be opened in a browser — the
+closest headless Python gets to the Figure 6/7 screenshots.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.core.interface.discovery import Tab
+from repro.core.views.base import ArtifactCard, View
+from repro.core.views.categories import CategoriesView
+from repro.core.views.embedding import EmbeddingView
+from repro.core.views.graph import GraphView
+from repro.core.views.hierarchy import HierarchyView, TreeNode
+from repro.core.views.listing import ListView, TilesView
+
+_CSS = """
+body { font-family: sans-serif; margin: 1.5rem; color: #222; }
+.tabs { display: flex; gap: .5rem; margin-bottom: 1rem; flex-wrap: wrap; }
+.tab { padding: .4rem .8rem; border-radius: .4rem; background: #eee; }
+.tab.active { background: #2563eb; color: white; }
+.tiles { display: grid; grid-template-columns: repeat(4, 1fr); gap: .6rem; }
+.card { border: 1px solid #ddd; border-radius: .5rem; padding: .6rem; }
+.card h4 { margin: 0 0 .3rem 0; font-size: .95rem; }
+.card .meta { color: #666; font-size: .8rem; }
+.badge { background: #fde68a; border-radius: .3rem; padding: 0 .3rem;
+         font-size: .75rem; margin-right: .2rem; }
+table.list { border-collapse: collapse; width: 100%; }
+table.list th, table.list td { border-bottom: 1px solid #eee;
+  text-align: left; padding: .3rem .6rem; font-size: .9rem; }
+ul.tree { list-style: none; }
+.category { margin-bottom: .8rem; }
+.category .count { color: #666; }
+svg { border: 1px solid #eee; border-radius: .5rem; }
+"""
+
+
+def _esc(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _card_html(card: ArtifactCard) -> str:
+    badges = "".join(f'<span class="badge">{_esc(b)}</span>' for b in card.badges)
+    return (
+        f'<div class="card"><h4>{_esc(card.name)}</h4>'
+        f'<div class="meta">{_esc(card.artifact_type)} · '
+        f"{_esc(card.owner_name)} · {card.view_count} views</div>"
+        f"{badges}</div>"
+    )
+
+
+def render_view_html(view: View, max_items: int = 24) -> str:
+    """Render one view as an HTML fragment."""
+    title = f"<h3>{_esc(view.title)} <small>({_esc(view.representation)})</small></h3>"
+    if isinstance(view, TilesView):
+        body = '<div class="tiles">' + "".join(
+            _card_html(c) for c in view.cards[:max_items]
+        ) + "</div>"
+    elif isinstance(view, ListView):
+        rows = "".join(
+            f"<tr><td>{_esc(c.name)}</td><td>{_esc(c.artifact_type)}</td>"
+            f"<td>{_esc(c.owner_name)}</td><td>{c.view_count}</td>"
+            f"<td>{_esc(', '.join(c.badges))}</td></tr>"
+            for c in view.cards[:max_items]
+        )
+        body = (
+            '<table class="list"><tr><th>Name</th><th>Type</th>'
+            "<th>Owner</th><th>Views</th><th>Badges</th></tr>"
+            f"{rows}</table>"
+        )
+    elif isinstance(view, HierarchyView):
+        body = "".join(_tree_html(root) for root in view.roots)
+    elif isinstance(view, GraphView):
+        body = _graph_svg(view)
+    elif isinstance(view, CategoriesView):
+        body = "".join(
+            f'<div class="category"><strong>{_esc(g.name)}</strong> '
+            f'<span class="count">({g.total})</span><div class="tiles">'
+            + "".join(_card_html(c) for c in g.preview)
+            + "</div></div>"
+            for g in view.groups[:max_items]
+        )
+    elif isinstance(view, EmbeddingView):
+        body = _embedding_svg(view)
+    else:
+        body = f"<p>{view.count()} artifacts</p>"
+    return f"<section>{title}{body}</section>"
+
+
+def _tree_html(node: TreeNode) -> str:
+    children = "".join(_tree_html(child) for child in node.children)
+    child_list = f'<ul class="tree">{children}</ul>' if children else ""
+    return (
+        f'<ul class="tree"><li>{_esc(node.card.name)} '
+        f"<small>({_esc(node.card.artifact_type)})</small>{child_list}</li></ul>"
+    )
+
+
+def _graph_svg(view: GraphView, size: int = 480) -> str:
+    positions = view.layout()
+    if not positions:
+        return "<p>(empty graph)</p>"
+
+    def scale(xy: tuple[float, float]) -> tuple[float, float]:
+        pad = 40
+        return (
+            pad + (xy[0] + 1) / 2 * (size - 2 * pad),
+            pad + (xy[1] + 1) / 2 * (size - 2 * pad),
+        )
+
+    parts = [f'<svg width="{size}" height="{size}">']
+    for edge in view.edges:
+        (x1, y1), (x2, y2) = scale(positions[edge.src]), scale(positions[edge.dst])
+        parts.append(
+            f'<line x1="{x1:.0f}" y1="{y1:.0f}" x2="{x2:.0f}" y2="{y2:.0f}" '
+            f'stroke="#94a3b8" stroke-width="{1 + 2 * edge.weight:.1f}"/>'
+        )
+    names = {c.artifact_id: c.name for c in view.cards}
+    for node_id, xy in positions.items():
+        x, y = scale(xy)
+        parts.append(
+            f'<circle cx="{x:.0f}" cy="{y:.0f}" r="8" fill="#2563eb"/>'
+            f'<text x="{x + 10:.0f}" y="{y + 4:.0f}" font-size="11">'
+            f"{_esc(names.get(node_id, node_id))}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _embedding_svg(view: EmbeddingView, size: int = 480) -> str:
+    if not view.points:
+        return "<p>(empty embedding)</p>"
+    min_x, min_y, max_x, max_y = view.bounds()
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    pad = 20
+    parts = [f'<svg width="{size}" height="{size}">']
+    for point in view.points:
+        x = pad + (point.x - min_x) / span_x * (size - 2 * pad)
+        y = size - pad - (point.y - min_y) / span_y * (size - 2 * pad)
+        parts.append(
+            f'<circle cx="{x:.0f}" cy="{y:.0f}" r="4" fill="#2563eb" '
+            f'opacity="0.6"><title>{_esc(point.card.name)}</title></circle>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_interface_html(tabs: list[Tab], active: int = 0, title: str = "Data Discovery") -> str:
+    """A full HTML document with a tab strip and the active view."""
+    strip = "".join(
+        f'<span class="tab{" active" if i == active else ""}">'
+        f"{_esc(tab.title)}</span>"
+        for i, tab in enumerate(tabs)
+    )
+    active_view = (
+        render_view_html(tabs[min(active, len(tabs) - 1)].view) if tabs else ""
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f'<body><h2>{_esc(title)}</h2><div class="tabs">{strip}</div>'
+        f"{active_view}</body></html>"
+    )

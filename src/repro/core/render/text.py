@@ -1,0 +1,213 @@
+"""Plain-text renderers.
+
+One function per view type plus composite renderers for tab strips and
+previews, reproducing the Figure 7 layout in a terminal.  All output is
+deterministic so examples can be snapshot-tested.
+"""
+
+from __future__ import annotations
+
+from repro.core.interface.discovery import Tab
+from repro.core.interface.preview import PreviewPane
+from repro.core.views.base import ArtifactCard, View
+from repro.core.views.categories import CategoriesView
+from repro.core.views.embedding import EmbeddingView
+from repro.core.views.graph import GraphView
+from repro.core.views.hierarchy import HierarchyView, TreeNode
+from repro.core.views.listing import ListView, TilesView
+from repro.util.textutil import truncate
+
+_CARD_WIDTH = 26
+
+
+def _card_line(card: ArtifactCard) -> str:
+    badges = f" [{','.join(card.badges)}]" if card.badges else ""
+    return (
+        f"{truncate(card.name, 34):<34} {card.artifact_type:<13} "
+        f"{truncate(card.owner_name, 16):<16} views={card.view_count:<5}"
+        f"{badges}"
+    )
+
+
+def render_view_text(view: View, max_items: int = 12) -> str:
+    """Render any view type to text."""
+    header = f"== {view.title} ({view.representation}) =="
+    if isinstance(view, TilesView):
+        body = _render_tiles(view, max_items)
+    elif isinstance(view, ListView):
+        body = _render_list(view, max_items)
+    elif isinstance(view, HierarchyView):
+        body = _render_hierarchy(view, max_items)
+    elif isinstance(view, GraphView):
+        body = _render_graph(view, max_items)
+    elif isinstance(view, CategoriesView):
+        body = _render_categories(view, max_items)
+    elif isinstance(view, EmbeddingView):
+        body = _render_embedding(view)
+    else:
+        body = f"({view.count()} artifacts)"
+    return f"{header}\n{body}"
+
+
+def _render_tiles(view: TilesView, max_items: int) -> str:
+    lines = []
+    shown = 0
+    for row in view.rows():
+        cells = []
+        for card in row:
+            if shown >= max_items:
+                break
+            label = truncate(card.name, _CARD_WIDTH - 2)
+            cells.append(f"[{label:<{_CARD_WIDTH - 2}}]")
+            shown += 1
+        if cells:
+            lines.append(" ".join(cells))
+        if shown >= max_items:
+            break
+    remaining = len(view.cards) - shown
+    if remaining > 0:
+        lines.append(f"... and {remaining} more tiles")
+    return "\n".join(lines) if lines else "(empty)"
+
+
+def _render_list(view: ListView, max_items: int) -> str:
+    if not view.cards:
+        return "(empty)"
+    lines = [_card_line(card) for card in view.cards[:max_items]]
+    remaining = len(view.cards) - max_items
+    if remaining > 0:
+        lines.append(f"... and {remaining} more rows")
+    return "\n".join(lines)
+
+
+def _render_hierarchy(view: HierarchyView, max_items: int) -> str:
+    lines: list[str] = []
+
+    def walk(node: TreeNode, indent: int) -> None:
+        if len(lines) >= max_items:
+            return
+        prefix = "  " * indent + ("└─ " if indent else "")
+        lines.append(f"{prefix}{node.card.name} ({node.card.artifact_type})")
+        for child in node.children:
+            walk(child, indent + 1)
+
+    for root in view.roots:
+        walk(root, 0)
+    if not lines:
+        return "(empty)"
+    total = view.count()
+    if total > max_items:
+        lines.append(f"... {total - max_items} more nodes")
+    return "\n".join(lines)
+
+
+def _render_graph(view: GraphView, max_items: int) -> str:
+    if not view.cards:
+        return "(empty)"
+    lines = [f"nodes: {len(view.cards)}  edges: {len(view.edges)}"]
+    for edge in view.edges[:max_items]:
+        src = next(c.name for c in view.cards if c.artifact_id == edge.src)
+        dst = next(c.name for c in view.cards if c.artifact_id == edge.dst)
+        label = f" [{edge.label}]" if edge.label else ""
+        lines.append(f"  {src} --({edge.weight:.2f}){label}--> {dst}")
+    if len(view.edges) > max_items:
+        lines.append(f"  ... {len(view.edges) - max_items} more edges")
+    return "\n".join(lines)
+
+
+def _render_categories(view: CategoriesView, max_items: int) -> str:
+    if not view.groups:
+        return "(empty)"
+    lines = []
+    for group in view.groups[:max_items]:
+        preview = ", ".join(c.name for c in group.preview[:3])
+        lines.append(f"{group.name:<16} ({group.total:>4})  {preview}")
+    return "\n".join(lines)
+
+
+def _render_embedding(view: EmbeddingView, width: int = 60, height: int = 16) -> str:
+    """ASCII scatter plot of the embedding."""
+    if not view.points:
+        return "(empty)"
+    min_x, min_y, max_x, max_y = view.bounds()
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for point in view.points:
+        col = int((point.x - min_x) / span_x * (width - 1))
+        row = int((point.y - min_y) / span_y * (height - 1))
+        grid[height - 1 - row][col] = "●"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"({len(view.points)} artifacts)")
+    return "\n".join(lines)
+
+
+def render_tabs_text(tabs: list[Tab], active: int = 0, max_items: int = 10) -> str:
+    """The Figure 7B/C layout: a tab strip plus the active tab's view."""
+    if not tabs:
+        return "(no views available)"
+    strip = " | ".join(
+        f"*{tab.title}*" if index == active else tab.title
+        for index, tab in enumerate(tabs)
+    )
+    active_tab = tabs[min(active, len(tabs) - 1)]
+    return f"[ {strip} ]\n{render_view_text(active_tab.view, max_items)}"
+
+
+def render_screen_text(
+    session,
+    query: str = "",
+    max_items: int = 8,
+) -> str:
+    """The full Figure 7 screen: (A) search bar, (B) tab strip, (C) active
+    view, (D) preview of the current selection.
+
+    *session* is a :class:`repro.workbook.session.Session`; imported
+    structurally to avoid a render → workbook dependency cycle.
+    """
+    parts = [f"search> {query or '(type to search; Figure 7A)'}"]
+    tabs = session.tabs()
+    if tabs:
+        active = next(
+            (i for i, tab in enumerate(tabs)
+             if tab.view is session.active_view()),
+            0,
+        )
+        parts.append(render_tabs_text(tabs, active=active,
+                                      max_items=max_items))
+    else:
+        parts.append("(no views — open the home screen first)")
+    if session.selection:
+        from repro.core.interface.preview import build_preview
+
+        preview = build_preview(session.app.store, session.selection)
+        parts.append(render_preview_text(preview))
+    return "\n\n".join(parts)
+
+
+def render_preview_text(preview: PreviewPane) -> str:
+    """The Figure 7D preview pane."""
+    lines = [
+        f"┌─ {preview.name} ({preview.artifact_type})",
+        f"│ owner: {preview.owner_name or '-'}   views: {preview.view_count}"
+        f"   favorites: {preview.favorite_count}",
+        f"│ created {preview.created_days_ago:.0f} days ago",
+    ]
+    if preview.badges:
+        lines.append(f"│ badges: {', '.join(preview.badges)}")
+    if preview.tags:
+        lines.append(f"│ tags: {', '.join(preview.tags)}")
+    if preview.description:
+        lines.append(f"│ {truncate(preview.description, 70)}")
+    if preview.has_snippet():
+        lines.append("│ " + " | ".join(f"{c[:12]:<12}" for c in preview.columns))
+        for row in preview.snippet:
+            lines.append(
+                "│ " + " | ".join(f"{cell[:12]:<12}" for cell in row)
+            )
+    if preview.upstream:
+        lines.append(f"│ upstream: {', '.join(preview.upstream[:4])}")
+    if preview.downstream:
+        lines.append(f"│ downstream: {', '.join(preview.downstream[:4])}")
+    lines.append("└" + "─" * 40)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""The Humboldt specification (Section 4).
+
+A :class:`HumboldtSpec` declares, for each metadata provider: category,
+name, description, representation, required inputs, endpoint, visibility
+and ranking weights — plus global ranking fallbacks and application-
+specific custom content (Listing 2).  The interface-construction layer
+(Section 5) is generated entirely from this object.
+"""
+
+from repro.core.spec.builder import SpecBuilder
+from repro.core.spec.customization import Customization, CustomizationLayer
+from repro.core.spec.diff import SpecDiff, diff_specs
+from repro.core.spec.history import SpecRevision, SpecStore
+from repro.core.spec.model import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    Visibility,
+)
+from repro.core.spec.serialization import (
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.core.spec.validation import lint_spec, validate_spec
+
+__all__ = [
+    "Customization",
+    "CustomizationLayer",
+    "HumboldtSpec",
+    "ProviderSpec",
+    "RankingWeight",
+    "SpecBuilder",
+    "SpecDiff",
+    "SpecRevision",
+    "SpecStore",
+    "Visibility",
+    "diff_specs",
+    "lint_spec",
+    "spec_from_dict",
+    "spec_from_json",
+    "spec_to_dict",
+    "spec_to_json",
+    "validate_spec",
+]

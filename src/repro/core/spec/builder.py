@@ -1,0 +1,119 @@
+"""Fluent builder for Humboldt specifications.
+
+The paper's pitch is that enabling a new metadata source "is just a matter
+of adding a few lines of specification".  The builder makes those few lines
+read like the paper's JSON listings:
+
+    spec = (
+        SpecBuilder()
+        .provider("joinable", "catalog://joinable", "graph",
+                  category="relatedness",
+                  inputs=[("artifact", "artifact", True)])
+        .ranking("favorite", 4.3)
+        .ranking("views", 1.5)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.spec.model import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    Visibility,
+)
+from repro.core.spec.validation import validate_spec
+from repro.providers.base import InputSpec
+
+#: Input shorthand accepted by :meth:`SpecBuilder.provider`:
+#: ``(name, type)`` or ``(name, type, required)`` tuples, or full InputSpecs.
+InputLike = "InputSpec | tuple[str, str] | tuple[str, str, bool]"
+
+
+def _coerce_input(raw: Any) -> InputSpec:
+    if isinstance(raw, InputSpec):
+        return raw
+    if isinstance(raw, tuple) and len(raw) in (2, 3):
+        name, input_type = raw[0], raw[1]
+        required = raw[2] if len(raw) == 3 else True
+        return InputSpec(name=name, input_type=input_type, required=required)
+    raise TypeError(
+        f"input must be InputSpec or (name, type[, required]) tuple, "
+        f"got {raw!r}"
+    )
+
+
+class SpecBuilder:
+    """Accumulates providers, ranking and custom content, then builds."""
+
+    def __init__(self) -> None:
+        self._providers: list[ProviderSpec] = []
+        self._global_ranking: list[RankingWeight] = []
+        self._custom: dict[str, Any] = {}
+
+    def provider(
+        self,
+        name: str,
+        endpoint: str,
+        representation: str,
+        category: str = "custom",
+        title: str = "",
+        description: str = "",
+        inputs: Iterable[Any] = (),
+        visibility: Visibility | None = None,
+        ranking: Iterable[tuple[str, float]] = (),
+        search_field: str | None = "",
+    ) -> "SpecBuilder":
+        """Declare one metadata provider (the Figure 3 shape)."""
+        self._providers.append(
+            ProviderSpec(
+                name=name,
+                endpoint=endpoint,
+                representation=representation,
+                category=category,
+                title=title,
+                description=description,
+                inputs=tuple(_coerce_input(i) for i in inputs),
+                visibility=visibility or Visibility(),
+                ranking=tuple(
+                    RankingWeight(field=f, weight=w) for f, w in ranking
+                ),
+                search_field=search_field,
+            )
+        )
+        return self
+
+    def ranking(self, field: str, weight: float) -> "SpecBuilder":
+        """Append a global ranking weight (Listing 1)."""
+        self._global_ranking.append(RankingWeight(field=field, weight=weight))
+        return self
+
+    def custom(self, key: str, value: Any) -> "SpecBuilder":
+        """Attach application-specific content (Listing 2)."""
+        self._custom[key] = value
+        return self
+
+    def team_home_page(
+        self, team: str, providers: list[str], title: str = ""
+    ) -> "SpecBuilder":
+        """Convenience for the Listing 2 custom content shape."""
+        pages = self._custom.setdefault("team_home_pages", [])
+        pages.append(
+            {"team": team, "title": title or f"Home of {team}",
+             "providers": list(providers)}
+        )
+        return self
+
+    def build(self, validate: bool = True) -> HumboldtSpec:
+        """Produce the immutable spec, validating structure by default."""
+        spec = HumboldtSpec(
+            providers=tuple(self._providers),
+            global_ranking=tuple(self._global_ranking),
+            custom=dict(self._custom),
+        )
+        if validate:
+            validate_spec(spec)
+        return spec

@@ -1,0 +1,107 @@
+"""Layered customization of a specification (§4.4, Figure 4).
+
+Three roles may tailor the generated UI without editing the base spec:
+
+* **org admins** enable/disable providers organisation-wide;
+* **team admins** configure their team's layer (and home page);
+* **individual users** "can hide and reorder the metadata providers that
+  they have access to".
+
+Layers compose org → team → user: a provider hidden at any layer is gone,
+and the most specific layer's ordering preference wins.  The base spec is
+never mutated, so resetting a layer is just dropping it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.spec.model import HumboldtSpec, ProviderSpec
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CustomizationLayer:
+    """One role's adjustments: hidden providers and a preferred order."""
+
+    hidden: set[str] = field(default_factory=set)
+    order: list[str] = field(default_factory=list)
+
+    def hide(self, name: str) -> None:
+        self.hidden.add(name)
+
+    def unhide(self, name: str) -> None:
+        self.hidden.discard(name)
+
+    def set_order(self, names: list[str]) -> None:
+        """Set the preferred order; duplicates are rejected."""
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"order contains duplicates: {names}")
+        self.order = list(names)
+
+    def is_empty(self) -> bool:
+        return not self.hidden and not self.order
+
+
+class Customization:
+    """The stack of customization layers for an organisation."""
+
+    def __init__(self) -> None:
+        self.org = CustomizationLayer()
+        self._teams: dict[str, CustomizationLayer] = {}
+        self._users: dict[str, CustomizationLayer] = {}
+
+    def team_layer(self, team_id: str) -> CustomizationLayer:
+        """The (auto-created) layer for *team_id*."""
+        return self._teams.setdefault(team_id, CustomizationLayer())
+
+    def user_layer(self, user_id: str) -> CustomizationLayer:
+        """The (auto-created) layer for *user_id*."""
+        return self._users.setdefault(user_id, CustomizationLayer())
+
+    def reset_team(self, team_id: str) -> None:
+        self._teams.pop(team_id, None)
+
+    def reset_user(self, user_id: str) -> None:
+        self._users.pop(user_id, None)
+
+    def effective_providers(
+        self,
+        spec: HumboldtSpec,
+        surface: str,
+        user_id: str = "",
+        team_id: str = "",
+    ) -> list[ProviderSpec]:
+        """Providers visible to (*user_id*, *team_id*) on *surface*, ordered.
+
+        Starts from the spec's surface-visible providers, removes anything
+        hidden by the org, team or user layer, then applies ordering
+        preferences — user order beats team order beats org order beats
+        spec order.  Names in an order preference that are not visible are
+        ignored; visible providers missing from the preference keep their
+        relative spec order after the ordered ones.
+        """
+        visible = spec.visible_in(surface)
+        layers = [self.org]
+        if team_id and team_id in self._teams:
+            layers.append(self._teams[team_id])
+        if user_id and user_id in self._users:
+            layers.append(self._users[user_id])
+
+        hidden: set[str] = set()
+        for layer in layers:
+            hidden |= layer.hidden
+        remaining = [p for p in visible if p.name not in hidden]
+
+        # Most specific non-empty order wins.
+        preferred: list[str] = []
+        for layer in layers:
+            if layer.order:
+                preferred = layer.order
+        if not preferred:
+            return remaining
+
+        by_name = {p.name: p for p in remaining}
+        ordered = [by_name[name] for name in preferred if name in by_name]
+        tail = [p for p in remaining if p.name not in set(preferred)]
+        return ordered + tail

@@ -1,0 +1,106 @@
+"""Specification diffing.
+
+The expressivity experiment (E3) measures change cost: what does it take to
+add, remove or retune a provider?  For Humboldt the answer is a spec diff;
+``diff_specs`` computes it, and its summary is the unit the benchmark
+compares against lines-of-code changes in the hardcoded baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec.model import HumboldtSpec, ProviderSpec
+from repro.core.spec.serialization import _provider_to_dict
+
+
+@dataclass(frozen=True)
+class ProviderChange:
+    """A changed provider and which spec elements differ."""
+
+    name: str
+    changed_keys: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SpecDiff:
+    """Differences between two specifications."""
+
+    added: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    changed: tuple[ProviderChange, ...] = ()
+    global_ranking_changed: bool = False
+    custom_changed: tuple[str, ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (
+            self.added
+            or self.removed
+            or self.changed
+            or self.global_ranking_changed
+            or self.custom_changed
+        )
+
+    def touched_elements(self) -> int:
+        """How many spec elements the edit touched — the change-cost unit."""
+        count = len(self.added) + len(self.removed) + len(self.custom_changed)
+        count += sum(len(change.changed_keys) for change in self.changed)
+        if self.global_ranking_changed:
+            count += 1
+        return count
+
+    def summary(self) -> str:
+        parts = []
+        if self.added:
+            parts.append(f"added {', '.join(self.added)}")
+        if self.removed:
+            parts.append(f"removed {', '.join(self.removed)}")
+        for change in self.changed:
+            parts.append(
+                f"changed {change.name} ({', '.join(change.changed_keys)})"
+            )
+        if self.global_ranking_changed:
+            parts.append("changed global ranking")
+        for key in self.custom_changed:
+            parts.append(f"changed custom.{key}")
+        return "; ".join(parts) if parts else "no changes"
+
+
+def diff_specs(old: HumboldtSpec, new: HumboldtSpec) -> SpecDiff:
+    """Compute the diff from *old* to *new*."""
+    old_names = set(old.provider_names())
+    new_names = set(new.provider_names())
+    added = tuple(sorted(new_names - old_names))
+    removed = tuple(sorted(old_names - new_names))
+
+    changed = []
+    for name in sorted(old_names & new_names):
+        keys = _changed_keys(old.provider(name), new.provider(name))
+        if keys:
+            changed.append(ProviderChange(name=name, changed_keys=keys))
+
+    custom_changed = tuple(
+        sorted(
+            key
+            for key in set(old.custom) | set(new.custom)
+            if old.custom.get(key) != new.custom.get(key)
+        )
+    )
+    return SpecDiff(
+        added=added,
+        removed=removed,
+        changed=tuple(changed),
+        global_ranking_changed=old.global_ranking != new.global_ranking,
+        custom_changed=custom_changed,
+    )
+
+
+def _changed_keys(old: ProviderSpec, new: ProviderSpec) -> tuple[str, ...]:
+    old_dict = _provider_to_dict(old)
+    new_dict = _provider_to_dict(new)
+    keys = sorted(
+        key
+        for key in set(old_dict) | set(new_dict)
+        if old_dict.get(key) != new_dict.get(key)
+    )
+    return tuple(keys)

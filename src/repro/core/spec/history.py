@@ -1,0 +1,152 @@
+"""Versioned specification storage.
+
+Section 4.4 makes the spec a live, admin-edited artifact: providers come
+and go, teams reconfigure pages, ranking gets retuned.  Production needs
+an audit trail and an undo button for that.  :class:`SpecStore` keeps
+every revision with its author and a diff summary, serves the current
+spec, and rolls back by *appending* the old revision (history is never
+rewritten), optionally persisting the whole log as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.spec.diff import diff_specs
+from repro.core.spec.model import HumboldtSpec
+from repro.core.spec.serialization import spec_from_dict, spec_to_dict
+from repro.core.spec.validation import validate_spec
+from repro.errors import SpecError
+
+
+@dataclass(frozen=True)
+class SpecRevision:
+    """One committed spec version."""
+
+    revision: int
+    spec: HumboldtSpec
+    author: str
+    message: str
+    diff_summary: str
+
+
+class SpecStore:
+    """Append-only revision history for one deployment's spec."""
+
+    def __init__(self, initial: HumboldtSpec, author: str = "system"):
+        validate_spec(initial)
+        self._revisions: list[SpecRevision] = [
+            SpecRevision(
+                revision=1,
+                spec=initial,
+                author=author,
+                message="initial specification",
+                diff_summary=f"{len(initial)} providers",
+            )
+        ]
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def current(self) -> HumboldtSpec:
+        return self._revisions[-1].spec
+
+    @property
+    def current_revision(self) -> int:
+        return self._revisions[-1].revision
+
+    def history(self) -> list[SpecRevision]:
+        return list(self._revisions)
+
+    def revision(self, number: int) -> SpecRevision:
+        for entry in self._revisions:
+            if entry.revision == number:
+                return entry
+        raise SpecError(f"no spec revision {number}")
+
+    def changelog(self) -> str:
+        """Human-readable history, newest first."""
+        lines = []
+        for entry in reversed(self._revisions):
+            lines.append(
+                f"r{entry.revision} by {entry.author}: {entry.message} "
+                f"({entry.diff_summary})"
+            )
+        return "\n".join(lines)
+
+    # -- writing --------------------------------------------------------------
+
+    def commit(
+        self, spec: HumboldtSpec, author: str, message: str = ""
+    ) -> SpecRevision:
+        """Validate and append *spec* as the new current revision.
+
+        No-op edits are rejected — an empty diff in the audit log is
+        noise that hides real changes.
+        """
+        validate_spec(spec)
+        diff = diff_specs(self.current, spec)
+        if diff.is_empty():
+            raise SpecError("refusing to commit a no-op spec edit")
+        entry = SpecRevision(
+            revision=self.current_revision + 1,
+            spec=spec,
+            author=author,
+            message=message or diff.summary(),
+            diff_summary=diff.summary(),
+        )
+        self._revisions.append(entry)
+        return entry
+
+    def rollback(self, to_revision: int, author: str) -> SpecRevision:
+        """Make an old revision current again by committing it anew."""
+        target = self.revision(to_revision)
+        if target.spec == self.current:
+            raise SpecError(
+                f"revision {to_revision} is already the current spec"
+            )
+        return self.commit(
+            target.spec, author=author,
+            message=f"rollback to r{to_revision}",
+        )
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "revisions": [
+                {
+                    "revision": entry.revision,
+                    "author": entry.author,
+                    "message": entry.message,
+                    "diff_summary": entry.diff_summary,
+                    "spec": spec_to_dict(entry.spec),
+                }
+                for entry in self._revisions
+            ]
+        }
+        path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "SpecStore":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        revisions = payload.get("revisions")
+        if not revisions:
+            raise SpecError(f"{path}: no revisions in spec history file")
+        store = cls.__new__(cls)
+        store._revisions = [
+            SpecRevision(
+                revision=entry["revision"],
+                spec=spec_from_dict(entry["spec"]),
+                author=entry.get("author", "unknown"),
+                message=entry.get("message", ""),
+                diff_summary=entry.get("diff_summary", ""),
+            )
+            for entry in revisions
+        ]
+        return store

@@ -1,0 +1,218 @@
+"""Specification data model.
+
+Section 4.1 lists the fundamental elements a provider spec must carry:
+category and name, the representation of returned data, required input
+values, an endpoint to fetch from, and visibility hints for different parts
+of the UI.  Section 4.2 adds ranking weights (per provider, with global
+fallback); Section 4.3 adds free-form application-specific content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator
+
+from repro.errors import UnknownProviderError
+from repro.providers.base import InputSpec, Representation
+from repro.util.ids import slugify
+
+#: Provider categories used to group providers in the UI (§4.1: "we enable
+#: the specification of a metadata provider type to group metadata
+#: providers").  Free-form, but these are the conventional ones.
+DEFAULT_CATEGORIES = ("interaction", "annotation", "relatedness", "team", "custom")
+
+
+@dataclass(frozen=True)
+class RankingWeight:
+    """One ``{"field": ..., "weight": ...}`` entry of Listing 1."""
+
+    field: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not self.field:
+            raise ValueError("ranking field must be non-empty")
+
+
+@dataclass(frozen=True)
+class Visibility:
+    """Where a provider surfaces in the generated UI (§4.1).
+
+    ``overview``   — shown as a discovery view/tab (Figure 7B);
+    ``exploration`` — surfaced when a selected artifact can feed it (§5.2);
+    ``search``     — exposed as a query-language field (§5.3).
+    """
+
+    overview: bool = True
+    exploration: bool = True
+    search: bool = True
+
+    @classmethod
+    def everywhere(cls) -> "Visibility":
+        return cls(True, True, True)
+
+    @classmethod
+    def nowhere(cls) -> "Visibility":
+        return cls(False, False, False)
+
+    def surfaces(self) -> tuple[str, ...]:
+        enabled = []
+        if self.overview:
+            enabled.append("overview")
+        if self.exploration:
+            enabled.append("exploration")
+        if self.search:
+            enabled.append("search")
+        return tuple(enabled)
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """Declaration of one metadata provider (Figure 3 left, §4.1)."""
+
+    name: str
+    endpoint: str
+    representation: Representation
+    category: str = "custom"
+    title: str = ""
+    description: str = ""
+    inputs: tuple[InputSpec, ...] = ()
+    visibility: Visibility = field(default_factory=Visibility)
+    ranking: tuple[RankingWeight, ...] = ()
+    #: Query-language prefix; defaults to the provider name.  ``None``
+    #: removes the provider from the query language even if
+    #: ``visibility.search`` is set.
+    search_field: str | None = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", slugify(self.name))
+        object.__setattr__(
+            self, "representation", Representation.coerce(self.representation)
+        )
+        if not self.title:
+            object.__setattr__(
+                self, "title", self.name.replace("_", " ").title()
+            )
+        if self.search_field == "":
+            object.__setattr__(self, "search_field", self.name)
+
+    def required_inputs(self) -> tuple[InputSpec, ...]:
+        return tuple(i for i in self.inputs if i.required)
+
+    def optional_inputs(self) -> tuple[InputSpec, ...]:
+        return tuple(i for i in self.inputs if not i.required)
+
+    def input_named(self, name: str) -> InputSpec | None:
+        for spec in self.inputs:
+            if spec.name == name:
+                return spec
+        return None
+
+    def is_ready(self, available_inputs: dict[str, str]) -> bool:
+        """Can this provider be queried with *available_inputs*? (§6.1:
+        "Humboldt automatically determines whether the metadata provider
+        has all the information needed for fetching data.")
+        """
+        return all(
+            available_inputs.get(spec.name) for spec in self.required_inputs()
+        )
+
+    def with_ranking(self, *weights: RankingWeight) -> "ProviderSpec":
+        """A copy with ranking weights replaced (spec-edit convenience)."""
+        return replace(self, ranking=tuple(weights))
+
+    def with_visibility(self, visibility: Visibility) -> "ProviderSpec":
+        return replace(self, visibility=visibility)
+
+
+@dataclass(frozen=True)
+class HumboldtSpec:
+    """A complete Humboldt specification.
+
+    Providers are ordered: the order is the default view order in the
+    generated interface (users may reorder via customization layers).
+    ``custom`` carries application-specific content (Listing 2); unknown
+    custom fields are ignored by UIs that do not understand them (§4.3).
+    """
+
+    providers: tuple[ProviderSpec, ...] = ()
+    global_ranking: tuple[RankingWeight, ...] = ()
+    custom: dict[str, Any] = field(default_factory=dict)
+    version: str = "1"
+
+    def __len__(self) -> int:
+        return len(self.providers)
+
+    def __iter__(self) -> Iterator[ProviderSpec]:
+        return iter(self.providers)
+
+    def __contains__(self, name: str) -> bool:
+        return any(p.name == name for p in self.providers)
+
+    def provider(self, name: str) -> ProviderSpec:
+        for spec in self.providers:
+            if spec.name == name:
+                return spec
+        raise UnknownProviderError(name)
+
+    def provider_names(self) -> list[str]:
+        return [p.name for p in self.providers]
+
+    def categories(self) -> list[str]:
+        """Distinct categories in first-appearance order."""
+        seen: list[str] = []
+        for spec in self.providers:
+            if spec.category not in seen:
+                seen.append(spec.category)
+        return seen
+
+    def by_category(self, category: str) -> list[ProviderSpec]:
+        return [p for p in self.providers if p.category == category]
+
+    def visible_in(self, surface: str) -> list[ProviderSpec]:
+        """Providers visible on a surface: overview/exploration/search."""
+        if surface not in ("overview", "exploration", "search"):
+            raise ValueError(f"unknown surface {surface!r}")
+        return [p for p in self.providers if getattr(p.visibility, surface)]
+
+    def search_fields(self) -> dict[str, ProviderSpec]:
+        """Query-language field -> provider, for search-visible providers."""
+        fields: dict[str, ProviderSpec] = {}
+        for spec in self.providers:
+            if spec.visibility.search and spec.search_field:
+                fields[spec.search_field] = spec
+        return fields
+
+    def effective_ranking(self, provider_name: str) -> tuple[RankingWeight, ...]:
+        """Provider ranking weights, falling back to global weights (§4.2)."""
+        spec = self.provider(provider_name)
+        return spec.ranking if spec.ranking else self.global_ranking
+
+    # -- immutable editing (the "few lines of spec" workflow) -------------
+
+    def with_provider(self, spec: ProviderSpec) -> "HumboldtSpec":
+        """Add or replace a provider; replacement keeps its position."""
+        providers = list(self.providers)
+        for index, existing in enumerate(providers):
+            if existing.name == spec.name:
+                providers[index] = spec
+                return replace(self, providers=tuple(providers))
+        providers.append(spec)
+        return replace(self, providers=tuple(providers))
+
+    def without_provider(self, name: str) -> "HumboldtSpec":
+        """Remove a provider; unknown names raise so typos surface."""
+        if name not in self:
+            raise UnknownProviderError(name)
+        return replace(
+            self,
+            providers=tuple(p for p in self.providers if p.name != name),
+        )
+
+    def with_global_ranking(self, *weights: RankingWeight) -> "HumboldtSpec":
+        return replace(self, global_ranking=tuple(weights))
+
+    def with_custom(self, key: str, value: Any) -> "HumboldtSpec":
+        custom = dict(self.custom)
+        custom[key] = value
+        return replace(self, custom=custom)

@@ -1,0 +1,133 @@
+"""JSON (de)serialisation of Humboldt specifications.
+
+The on-disk shape matches the paper's listings: ranking blocks are lists of
+``{"field": ..., "weight": ...}`` objects (Listing 1) and custom content is
+carried verbatim (Listing 2).  Round-tripping is exact: ``spec_from_json(
+spec_to_json(s)) == s``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.spec.model import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    Visibility,
+)
+from repro.errors import SpecError
+from repro.providers.base import InputSpec
+
+
+def spec_to_dict(spec: HumboldtSpec) -> dict[str, Any]:
+    return {
+        "version": spec.version,
+        "providers": [_provider_to_dict(p) for p in spec.providers],
+        "ranking": [_weight_to_dict(w) for w in spec.global_ranking],
+        "custom": dict(spec.custom),
+    }
+
+
+def spec_from_dict(payload: dict[str, Any]) -> HumboldtSpec:
+    if not isinstance(payload, dict):
+        raise SpecError(f"spec payload must be an object, got {type(payload).__name__}")
+    providers = tuple(
+        _provider_from_dict(p) for p in payload.get("providers", [])
+    )
+    return HumboldtSpec(
+        providers=providers,
+        global_ranking=tuple(
+            _weight_from_dict(w) for w in payload.get("ranking", [])
+        ),
+        custom=dict(payload.get("custom", {})),
+        version=str(payload.get("version", "1")),
+    )
+
+
+def spec_to_json(spec: HumboldtSpec, indent: int = 2) -> str:
+    return json.dumps(spec_to_dict(spec), indent=indent)
+
+
+def spec_from_json(text: str) -> HumboldtSpec:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec is not valid JSON: {exc}") from exc
+    return spec_from_dict(payload)
+
+
+def _provider_to_dict(provider: ProviderSpec) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "name": provider.name,
+        "category": provider.category,
+        "title": provider.title,
+        "description": provider.description,
+        "representation": provider.representation.value,
+        "endpoint": provider.endpoint,
+        "inputs": [
+            {
+                "name": i.name,
+                "type": i.input_type,
+                "required": i.required,
+                "description": i.description,
+            }
+            for i in provider.inputs
+        ],
+        "visibility": {
+            "overview": provider.visibility.overview,
+            "exploration": provider.visibility.exploration,
+            "search": provider.visibility.search,
+        },
+        "ranking": [_weight_to_dict(w) for w in provider.ranking],
+    }
+    if provider.search_field != provider.name:
+        data["search_field"] = provider.search_field
+    return data
+
+
+def _provider_from_dict(data: dict[str, Any]) -> ProviderSpec:
+    if "name" not in data or "endpoint" not in data:
+        raise SpecError(
+            f"provider entry missing required keys 'name'/'endpoint': "
+            f"{sorted(data)}"
+        )
+    visibility_data = data.get("visibility", {})
+    search_field = data.get("search_field", "")
+    return ProviderSpec(
+        name=data["name"],
+        endpoint=data["endpoint"],
+        representation=data.get("representation", "list"),
+        category=data.get("category", "custom"),
+        title=data.get("title", ""),
+        description=data.get("description", ""),
+        inputs=tuple(
+            InputSpec(
+                name=i["name"],
+                input_type=i.get("type", "text"),
+                required=i.get("required", True),
+                description=i.get("description", ""),
+            )
+            for i in data.get("inputs", [])
+        ),
+        visibility=Visibility(
+            overview=visibility_data.get("overview", True),
+            exploration=visibility_data.get("exploration", True),
+            search=visibility_data.get("search", True),
+        ),
+        ranking=tuple(_weight_from_dict(w) for w in data.get("ranking", [])),
+        search_field=search_field,
+    )
+
+
+def _weight_to_dict(weight: RankingWeight) -> dict[str, Any]:
+    return {"field": weight.field, "weight": weight.weight}
+
+
+def _weight_from_dict(data: dict[str, Any]) -> RankingWeight:
+    if "field" not in data or "weight" not in data:
+        raise SpecError(
+            f"ranking entry must have 'field' and 'weight': {sorted(data)}"
+        )
+    return RankingWeight(field=data["field"], weight=float(data["weight"]))

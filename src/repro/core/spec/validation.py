@@ -1,0 +1,196 @@
+"""Specification validation.
+
+``validate_spec`` collects *all* problems rather than stopping at the
+first, because spec editing is the primary admin workflow and one-error-
+per-round-trip is hostile.  Structural validation needs no environment;
+cross-validation against a registry and field resolver is optional and
+catches dangling endpoints / unrankable fields before deployment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.spec.model import HumboldtSpec, ProviderSpec
+from repro.errors import SpecValidationError
+from repro.providers.fields import RANKABLE_FIELDS
+from repro.providers.registry import EndpointRegistry, parse_endpoint_uri
+
+
+def validate_spec(
+    spec: HumboldtSpec,
+    registry: EndpointRegistry | None = None,
+    known_fields: set[str] | None = None,
+    strict: bool = True,
+) -> list[str]:
+    """Validate *spec*; returns the problem list (empty when valid).
+
+    With ``strict=True`` (default) a non-empty problem list raises
+    :class:`SpecValidationError`.  Pass a *registry* to also verify every
+    endpoint is registered, and *known_fields* to bound ranking fields
+    (defaults to the built-in rankable fields).
+    """
+    problems: list[str] = []
+    problems.extend(_structural_problems(spec, known_fields))
+    if registry is not None:
+        problems.extend(_registry_problems(spec, registry))
+    if problems and strict:
+        raise SpecValidationError(problems)
+    return problems
+
+
+def _structural_problems(
+    spec: HumboldtSpec, known_fields: set[str] | None
+) -> list[str]:
+    problems: list[str] = []
+    fields = known_fields if known_fields is not None else set(RANKABLE_FIELDS)
+
+    name_counts = Counter(p.name for p in spec.providers)
+    for name, count in sorted(name_counts.items()):
+        if count > 1:
+            problems.append(f"provider name {name!r} declared {count} times")
+
+    search_fields = Counter(
+        p.search_field
+        for p in spec.providers
+        if p.visibility.search and p.search_field
+    )
+    for field_name, count in sorted(search_fields.items()):
+        if count > 1:
+            problems.append(
+                f"search field {field_name!r} claimed by {count} providers"
+            )
+
+    for provider in spec.providers:
+        problems.extend(_provider_problems(provider, fields))
+
+    for weight in spec.global_ranking:
+        if weight.field not in fields:
+            problems.append(
+                f"global ranking references unknown field {weight.field!r}"
+            )
+
+    problems.extend(_custom_problems(spec))
+    return problems
+
+
+def _provider_problems(provider: ProviderSpec, fields: set[str]) -> list[str]:
+    problems: list[str] = []
+    prefix = f"provider {provider.name!r}"
+    try:
+        parse_endpoint_uri(provider.endpoint)
+    except ValueError as exc:
+        problems.append(f"{prefix}: {exc}")
+
+    input_names = Counter(i.name for i in provider.inputs)
+    for name, count in sorted(input_names.items()):
+        if count > 1:
+            problems.append(f"{prefix}: input {name!r} declared {count} times")
+
+    for weight in provider.ranking:
+        if weight.field not in fields:
+            problems.append(
+                f"{prefix}: ranking references unknown field {weight.field!r}"
+            )
+
+    if provider.visibility.search and provider.search_field:
+        n_required = len(provider.required_inputs())
+        if n_required > 1:
+            problems.append(
+                f"{prefix}: search-visible providers may require at most one "
+                f"input (has {n_required}) — a query term carries one value"
+            )
+    return problems
+
+
+def _custom_problems(spec: HumboldtSpec) -> list[str]:
+    """Validate the custom-content fields this implementation understands.
+
+    Per §4.3, custom content the UI cannot act on is *ignored*, so a home
+    page referencing a since-removed provider is not an error (the
+    renderer skips it — spec drift must not brick the interface).  Only
+    structural problems are flagged.
+    """
+    problems: list[str] = []
+    home_pages = spec.custom.get("team_home_pages")
+    if home_pages is None:
+        return problems
+    if not isinstance(home_pages, list):
+        problems.append("custom.team_home_pages must be a list")
+        return problems
+    for index, page in enumerate(home_pages):
+        if not isinstance(page, dict):
+            problems.append(f"custom.team_home_pages[{index}] must be an object")
+            continue
+        if not page.get("team"):
+            problems.append(
+                f"custom.team_home_pages[{index}] missing 'team'"
+            )
+        providers = page.get("providers", [])
+        if not isinstance(providers, list):
+            problems.append(
+                f"custom.team_home_pages[{index}].providers must be a list"
+            )
+    return problems
+
+
+def _registry_problems(
+    spec: HumboldtSpec, registry: EndpointRegistry
+) -> list[str]:
+    return [
+        f"provider {p.name!r}: endpoint {p.endpoint!r} is not registered"
+        for p in spec.providers
+        if p.endpoint not in registry
+    ]
+
+
+def lint_spec(spec: HumboldtSpec) -> list[str]:
+    """Style/usability warnings for a *valid* spec.
+
+    Unlike :func:`validate_spec` these never block deployment — they are
+    the "your users will struggle" class of feedback the study surfaced
+    (P1/P4 wanted provider descriptions; invisible providers are dead
+    weight; duplicate endpoints usually mean a copy-paste error).
+    """
+    warnings: list[str] = []
+    endpoint_users: dict[str, list[str]] = {}
+    for provider in spec.providers:
+        prefix = f"provider {provider.name!r}"
+        if not provider.description:
+            warnings.append(
+                f"{prefix}: no description — study participants "
+                f"'sometimes do not know what a metadata provider means'"
+            )
+        if provider.visibility.surfaces() == ():
+            warnings.append(
+                f"{prefix}: not visible on any surface (dead spec entry)"
+            )
+        if (
+            provider.visibility.overview
+            and provider.required_inputs()
+            and all(i.input_type not in ("user", "team")
+                    for i in provider.required_inputs())
+        ):
+            warnings.append(
+                f"{prefix}: overview-visible but requires an input the "
+                f"session context cannot supply — the tab will never render"
+            )
+        if provider.visibility.search and provider.search_field is None:
+            warnings.append(
+                f"{prefix}: search-visible but search_field is disabled"
+            )
+        endpoint_users.setdefault(provider.endpoint, []).append(provider.name)
+    for endpoint, users in sorted(endpoint_users.items()):
+        if len(users) > 1:
+            warnings.append(
+                f"endpoint {endpoint!r} is shared by {', '.join(users)} — "
+                f"intentional aliases only, please"
+            )
+    if not spec.global_ranking:
+        unranked = [p.name for p in spec.providers if not p.ranking]
+        if unranked:
+            warnings.append(
+                f"no global ranking and {len(unranked)} provider(s) without "
+                f"their own weights — their views will be unranked"
+            )
+    return warnings

@@ -1,0 +1,33 @@
+"""View-model generation (Sections 5.1 and 6.2, Figure 6).
+
+Views are *generated* from a provider spec plus a provider result: the
+spec's representation picks the view class, ranking weights order list-like
+payloads, and artifact ids are resolved to display cards.  Views are plain
+data — renderers (:mod:`repro.core.render`) turn them into text or HTML —
+and every view supports :meth:`~repro.core.views.base.View.filtered`,
+which is how search composes with any view (§5.3).
+"""
+
+from repro.core.views.base import ArtifactCard, View
+from repro.core.views.categories import CategoriesView, CategoryGroup
+from repro.core.views.embedding import EmbeddingView, PlacedCard
+from repro.core.views.factory import ViewFactory
+from repro.core.views.graph import GraphView, GraphViewEdge
+from repro.core.views.hierarchy import HierarchyView, TreeNode
+from repro.core.views.listing import ListView, TilesView
+
+__all__ = [
+    "ArtifactCard",
+    "CategoriesView",
+    "CategoryGroup",
+    "EmbeddingView",
+    "GraphView",
+    "GraphViewEdge",
+    "HierarchyView",
+    "ListView",
+    "PlacedCard",
+    "TilesView",
+    "TreeNode",
+    "View",
+    "ViewFactory",
+]

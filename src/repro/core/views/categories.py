@@ -1,0 +1,69 @@
+"""Categories view (Figure 6, bottom row).
+
+"The categories view enables an effective exploration of data artifacts
+based on their categories while providing an overview of the available
+categories."  Each group shows its size and a preview of top-ranked
+members; selecting a group expands to the full membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.views.base import ArtifactCard, View
+
+
+@dataclass(frozen=True)
+class CategoryGroup:
+    """One category bucket with a card preview."""
+
+    name: str
+    total: int
+    preview: tuple[ArtifactCard, ...] = ()
+    all_ids: tuple[str, ...] = ()
+
+    def filtered(self, allowed: set[str]) -> "CategoryGroup":
+        kept_ids = tuple(aid for aid in self.all_ids if aid in allowed)
+        kept_preview = tuple(
+            c for c in self.preview if c.artifact_id in allowed
+        )
+        return CategoryGroup(
+            name=self.name,
+            total=len(kept_ids),
+            preview=kept_preview,
+            all_ids=kept_ids,
+        )
+
+
+@dataclass(frozen=True)
+class CategoriesView(View):
+    """An overview of category groups."""
+
+    groups: tuple[CategoryGroup, ...] = ()
+
+    def artifact_ids(self) -> list[str]:
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for group in self.groups:
+            for aid in group.all_ids:
+                if aid not in seen:
+                    seen.add(aid)
+                    ordered.append(aid)
+        return ordered
+
+    def group(self, name: str) -> CategoryGroup | None:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        return None
+
+    def group_names(self) -> list[str]:
+        return [group.name for group in self.groups]
+
+    def filtered(self, allowed: set[str]) -> "CategoriesView":
+        kept = tuple(
+            filtered_group
+            for group in self.groups
+            if (filtered_group := group.filtered(allowed)).total > 0
+        )
+        return replace(self, groups=kept)

@@ -1,0 +1,65 @@
+"""Embedding (scatter) view (Figure 6, §6.2).
+
+"The embedding view shows data artifacts on a two-dimensional canvas as
+circles and therefore expects the x and y coordinates to be included in
+the data artifact's metadata."  The view also offers nearest-neighbour
+lookup, the interaction a scatter plot invites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.views.base import ArtifactCard, View
+
+
+@dataclass(frozen=True)
+class PlacedCard:
+    """A card at an (x, y) position."""
+
+    card: ArtifactCard
+    x: float
+    y: float
+
+    def distance_to(self, other: "PlacedCard") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class EmbeddingView(View):
+    """A 2-D scatter of placed cards."""
+
+    points: tuple[PlacedCard, ...] = ()
+
+    def artifact_ids(self) -> list[str]:
+        return [point.card.artifact_id for point in self.points]
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y); zeros when empty."""
+        if not self.points:
+            return (0.0, 0.0, 0.0, 0.0)
+        xs = [p.x for p in self.points]
+        ys = [p.y for p in self.points]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def nearest(self, artifact_id: str, k: int = 5) -> list[PlacedCard]:
+        """The *k* spatially nearest points to *artifact_id*."""
+        anchor = next(
+            (p for p in self.points if p.card.artifact_id == artifact_id), None
+        )
+        if anchor is None:
+            return []
+        others = [p for p in self.points if p.card.artifact_id != artifact_id]
+        others.sort(
+            key=lambda p: (anchor.distance_to(p), p.card.artifact_id)
+        )
+        return others[:k]
+
+    def filtered(self, allowed: set[str]) -> "EmbeddingView":
+        return replace(
+            self,
+            points=tuple(
+                p for p in self.points if p.card.artifact_id in allowed
+            ),
+        )

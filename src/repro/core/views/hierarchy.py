@@ -1,0 +1,75 @@
+"""Hierarchy (tree) view (Figure 6, §6.2).
+
+"The hierarchy view enables the navigation of one-to-many relationships
+defined by metadata [and] supports traversing hierarchies of arbitrary
+depths."  Nodes carry full cards so each level can render as tiles, the
+paper's current node rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.views.base import ArtifactCard, View
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """A card with nested children."""
+
+    card: ArtifactCard
+    children: tuple["TreeNode", ...] = ()
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def iter_cards(self) -> list[ArtifactCard]:
+        cards = [self.card]
+        for child in self.children:
+            cards.extend(child.iter_cards())
+        return cards
+
+    def pruned(self, allowed: set[str]) -> "TreeNode | None":
+        """Keep nodes in *allowed* or with surviving descendants.
+
+        Keeping ancestors of matches preserves the navigation path to a
+        filtered hit, which is what tree filtering should do.
+        """
+        kept_children = tuple(
+            pruned
+            for child in self.children
+            if (pruned := child.pruned(allowed)) is not None
+        )
+        if self.card.artifact_id in allowed or kept_children:
+            return replace(self, children=kept_children)
+        return None
+
+
+@dataclass(frozen=True)
+class HierarchyView(View):
+    """A forest of :class:`TreeNode`."""
+
+    roots: tuple[TreeNode, ...] = ()
+
+    def artifact_ids(self) -> list[str]:
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for root in self.roots:
+            for card in root.iter_cards():
+                if card.artifact_id not in seen:
+                    seen.add(card.artifact_id)
+                    ordered.append(card.artifact_id)
+        return ordered
+
+    def max_depth(self) -> int:
+        return max((root.depth() for root in self.roots), default=0)
+
+    def filtered(self, allowed: set[str]) -> "HierarchyView":
+        kept = tuple(
+            pruned
+            for root in self.roots
+            if (pruned := root.pruned(allowed)) is not None
+        )
+        return replace(self, roots=kept)

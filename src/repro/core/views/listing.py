@@ -1,0 +1,79 @@
+"""Tiles and list views (Figure 6, top row).
+
+Both render ranked sequences of cards; they differ in affordance.  Tiles
+"provide an overview of available data while not overwhelming the user";
+the list "can be ordered based on the specified ranking or by clicking any
+column" — so :class:`ListView` supports column sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.views.base import ArtifactCard, View
+
+#: Columns the list view exposes for click-to-sort, mapped to card fields.
+LIST_COLUMNS = {
+    "name": lambda card: card.name.lower(),
+    "type": lambda card: card.artifact_type,
+    "owner": lambda card: card.owner_name.lower(),
+    "views": lambda card: -card.view_count,
+    "favorites": lambda card: -card.favorite_count,
+    "score": lambda card: -card.score,
+}
+
+
+@dataclass(frozen=True)
+class TilesView(View):
+    """A ranked grid of tiles."""
+
+    cards: tuple[ArtifactCard, ...] = ()
+    columns_per_row: int = 4
+
+    def artifact_ids(self) -> list[str]:
+        return [card.artifact_id for card in self.cards]
+
+    def rows(self) -> list[tuple[ArtifactCard, ...]]:
+        """Cards chunked into grid rows."""
+        width = max(self.columns_per_row, 1)
+        return [
+            tuple(self.cards[i : i + width])
+            for i in range(0, len(self.cards), width)
+        ]
+
+    def filtered(self, allowed: set[str]) -> "TilesView":
+        return replace(
+            self,
+            cards=tuple(c for c in self.cards if c.artifact_id in allowed),
+        )
+
+
+@dataclass(frozen=True)
+class ListView(View):
+    """A ranked, column-sortable list."""
+
+    cards: tuple[ArtifactCard, ...] = ()
+
+    def artifact_ids(self) -> list[str]:
+        return [card.artifact_id for card in self.cards]
+
+    def column_names(self) -> list[str]:
+        return list(LIST_COLUMNS)
+
+    def sorted_by(self, column: str, descending: bool = False) -> "ListView":
+        """Reorder by a column (the click-to-sort affordance)."""
+        try:
+            key = LIST_COLUMNS[column]
+        except KeyError:
+            raise ValueError(
+                f"unknown column {column!r}; expected one of "
+                f"{list(LIST_COLUMNS)}"
+            ) from None
+        ordered = sorted(self.cards, key=key, reverse=descending)
+        return replace(self, cards=tuple(ordered))
+
+    def filtered(self, allowed: set[str]) -> "ListView":
+        return replace(
+            self,
+            cards=tuple(c for c in self.cards if c.artifact_id in allowed),
+        )

@@ -1,0 +1,114 @@
+"""Exception hierarchy for the Humboldt reproduction.
+
+All library-raised exceptions derive from :class:`HumboldtError` so callers
+can catch one base type.  Specific subclasses carry enough context to render
+actionable messages in a UI or log.
+"""
+
+from __future__ import annotations
+
+
+class HumboldtError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(HumboldtError):
+    """Base class for catalog-store errors."""
+
+
+class UnknownEntityError(CatalogError, KeyError):
+    """An entity id was looked up but does not exist in the catalog."""
+
+    def __init__(self, kind: str, entity_id: str):
+        self.kind = kind
+        self.entity_id = entity_id
+        super().__init__(f"unknown {kind}: {entity_id!r}")
+
+    def __str__(self) -> str:  # KeyError would repr() the message otherwise
+        return f"unknown {self.kind}: {self.entity_id!r}"
+
+
+class DuplicateEntityError(CatalogError):
+    """An entity with the same id was registered twice."""
+
+    def __init__(self, kind: str, entity_id: str):
+        self.kind = kind
+        self.entity_id = entity_id
+        super().__init__(f"duplicate {kind}: {entity_id!r}")
+
+
+class SpecError(HumboldtError):
+    """Base class for specification errors."""
+
+
+class SpecValidationError(SpecError):
+    """A Humboldt specification failed validation.
+
+    Collects every violation found so UIs can present all problems at once
+    rather than one per round trip.
+    """
+
+    def __init__(self, problems: list[str]):
+        self.problems = list(problems)
+        joined = "; ".join(self.problems)
+        super().__init__(f"invalid Humboldt specification: {joined}")
+
+
+class UnknownProviderError(SpecError, KeyError):
+    """A provider name was referenced but is not registered or specified."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unknown metadata provider: {name!r}")
+
+    def __str__(self) -> str:
+        return f"unknown metadata provider: {self.name!r}"
+
+
+class ProviderError(HumboldtError):
+    """A metadata provider failed while fetching data."""
+
+    def __init__(self, provider: str, message: str):
+        self.provider = provider
+        super().__init__(f"provider {provider!r}: {message}")
+
+
+class MissingInputError(ProviderError):
+    """A provider requiring an input value was queried without it."""
+
+    def __init__(self, provider: str, input_name: str):
+        self.input_name = input_name
+        super().__init__(provider, f"missing required input {input_name!r}")
+
+
+class RepresentationError(ProviderError):
+    """A provider returned data that does not match its declared representation."""
+
+
+class QueryError(HumboldtError):
+    """Base class for query-language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed.
+
+    Carries the character position so interactive callers can underline the
+    offending token.
+    """
+
+    def __init__(self, message: str, position: int, text: str = ""):
+        self.position = position
+        self.text = text
+        super().__init__(f"{message} (at position {position})")
+
+
+class QueryCompileError(QueryError):
+    """A syntactically valid query referenced unknown fields or providers."""
+
+
+class ConfigurationError(HumboldtError):
+    """An interface-customization operation was invalid."""
+
+
+class StudyError(HumboldtError):
+    """A simulated user-study run was misconfigured."""

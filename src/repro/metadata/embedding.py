@@ -1,0 +1,111 @@
+"""2-D embedding projections for the embedding view (Figure 6, bottom-right).
+
+The paper's embedding view "expects the x and y coordinates to be included
+in the data artifact's metadata" and anticipates learned representations.
+We compute honest coordinates: artifact features (hashed text features plus
+usage statistics) are standardised and projected to 2-D with PCA via
+:func:`numpy.linalg.svd`, with a deterministic sign convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.catalog.store import CatalogStore
+from repro.metadata.sketches import stable_hash
+from repro.util.textutil import tokenize
+
+#: Dimensionality of the hashed bag-of-words block.
+HASHED_TEXT_DIMS = 48
+#: Usage/recency feature block size.
+USAGE_DIMS = 4
+
+
+class EmbeddingIndex:
+    """Computes and caches (x, y) coordinates for every artifact."""
+
+    def __init__(self, store: CatalogStore, text_dims: int = HASHED_TEXT_DIMS):
+        if text_dims < 2:
+            raise ValueError("text_dims must be >= 2")
+        self.store = store
+        self.text_dims = text_dims
+        self._coords: dict[str, tuple[float, float]] | None = None
+
+    def build(self) -> "EmbeddingIndex":
+        """Compute the projection; idempotent until :meth:`invalidate`."""
+        if self._coords is not None:
+            return self
+        ids = self.store.artifact_ids()
+        if not ids:
+            self._coords = {}
+            return self
+        matrix = np.zeros((len(ids), self.text_dims + USAGE_DIMS))
+        for row, artifact_id in enumerate(ids):
+            matrix[row] = self._features(artifact_id)
+        projected = self._pca_2d(matrix)
+        self._coords = {
+            artifact_id: (float(projected[row, 0]), float(projected[row, 1]))
+            for row, artifact_id in enumerate(ids)
+        }
+        return self
+
+    def invalidate(self) -> None:
+        """Force recomputation on next access (after catalog mutation)."""
+        self._coords = None
+
+    def coordinates(self, artifact_id: str) -> tuple[float, float]:
+        """The (x, y) position of *artifact_id*; (0, 0) if unknown."""
+        self.build()
+        assert self._coords is not None
+        return self._coords.get(artifact_id, (0.0, 0.0))
+
+    def all_coordinates(self) -> dict[str, tuple[float, float]]:
+        self.build()
+        assert self._coords is not None
+        return dict(self._coords)
+
+    # -- internals ---------------------------------------------------------
+
+    def _features(self, artifact_id: str) -> np.ndarray:
+        artifact = self.store.artifact(artifact_id)
+        vector = np.zeros(self.text_dims + USAGE_DIMS)
+        tokens = tokenize(artifact.searchable_text())
+        tokens.append(f"type:{artifact.artifact_type.value}")
+        for token in tokens:
+            slot = stable_hash(token) % self.text_dims
+            # Signed hashing reduces collisions' bias.
+            sign = 1.0 if stable_hash("#" + token) % 2 == 0 else -1.0
+            vector[slot] += sign
+        stats = self.store.usage_stats(artifact_id)
+        age_days = max(self.store.clock.days_since(artifact.created_at), 0.0)
+        vector[self.text_dims + 0] = math.log1p(stats.view_count)
+        vector[self.text_dims + 1] = math.log1p(stats.favorite_count)
+        vector[self.text_dims + 2] = math.log1p(stats.unique_viewers)
+        vector[self.text_dims + 3] = math.log1p(age_days)
+        return vector
+
+    @staticmethod
+    def _pca_2d(matrix: np.ndarray) -> np.ndarray:
+        """Project rows of *matrix* onto their top-2 principal components."""
+        centered = matrix - matrix.mean(axis=0, keepdims=True)
+        scale = centered.std(axis=0, keepdims=True)
+        scale[scale == 0.0] = 1.0
+        standardized = centered / scale
+        n_rows = standardized.shape[0]
+        if n_rows == 1:
+            return np.zeros((1, 2))
+        _, _, vt = np.linalg.svd(standardized, full_matrices=False)
+        components = vt[:2]
+        if components.shape[0] < 2:  # degenerate: rank-1 data
+            components = np.vstack(
+                [components, np.zeros((2 - components.shape[0],
+                                       components.shape[1]))]
+            )
+        # Deterministic sign: make the largest-magnitude loading positive.
+        for axis in range(2):
+            pivot = np.argmax(np.abs(components[axis]))
+            if components[axis, pivot] < 0:
+                components[axis] = -components[axis]
+        return standardized @ components.T

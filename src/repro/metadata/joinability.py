@@ -1,0 +1,144 @@
+"""Joinability index over catalog columns.
+
+For every table/dataset column with sample values we keep a MinHash sketch
+in an LSH index.  "What joins to table X?" then reduces to: for each of X's
+key-like columns, fetch LSH candidates, estimate Jaccard, and aggregate the
+best column pair per candidate table.  The result feeds the joinability
+graph provider of Figure 3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.catalog.model import Artifact, ArtifactType
+from repro.catalog.store import CatalogStore
+from repro.metadata.sketches import LshIndex, MinHasher
+
+#: Artifact types that carry columns worth sketching.
+SKETCHABLE_TYPES = (ArtifactType.TABLE, ArtifactType.DATASET)
+
+ColumnKey = tuple[str, str]  # (artifact_id, column_name)
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """A joinability edge between two artifacts via a best column pair."""
+
+    src: str
+    dst: str
+    src_column: str
+    dst_column: str
+    score: float  # estimated Jaccard of the column value sets
+
+
+class JoinabilityIndex:
+    """Sketch-backed join discovery over a catalog."""
+
+    def __init__(
+        self,
+        store: CatalogStore,
+        num_perm: int = 64,
+        bands: int = 32,
+        threshold: float = 0.2,
+        min_samples: int = 3,
+    ):
+        self.store = store
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._hasher = MinHasher(num_perm=num_perm)
+        self._lsh = LshIndex(num_perm=num_perm, bands=bands)
+        self._columns_of: dict[str, list[str]] = defaultdict(list)
+        self._built = False
+
+    @property
+    def sketch_count(self) -> int:
+        return len(self._lsh)
+
+    def build(self) -> "JoinabilityIndex":
+        """Sketch every sample-bearing column; idempotent."""
+        if self._built:
+            return self
+        for artifact in self.store.artifacts():
+            self.add_artifact(artifact)
+        self._built = True
+        return self
+
+    def add_artifact(self, artifact: Artifact) -> int:
+        """Index one artifact's columns; returns how many were sketched."""
+        if artifact.artifact_type not in SKETCHABLE_TYPES:
+            return 0
+        added = 0
+        for column in artifact.columns:
+            if len(column.sample_values) < self.min_samples:
+                continue
+            signature = self._hasher.signature(column.sample_values)
+            key: ColumnKey = (artifact.id, column.name)
+            self._lsh.add(key, signature)
+            self._columns_of[artifact.id].append(column.name)
+            added += 1
+        return added
+
+    def remove_artifact(self, artifact_id: str) -> None:
+        for column_name in self._columns_of.pop(artifact_id, ()):
+            self._lsh.remove((artifact_id, column_name))
+
+    def joinable(
+        self, artifact_id: str, limit: int = 10
+    ) -> list[JoinEdge]:
+        """Best join partners of *artifact_id*, strongest column pair each."""
+        self.build()
+        artifact = self.store.artifact(artifact_id)
+        best: dict[str, JoinEdge] = {}
+        for column in artifact.columns:
+            key: ColumnKey = (artifact.id, column.name)
+            signature = self._lsh.signature_of(key)
+            if signature is None:
+                continue
+            for (other_id, other_column), score in self._lsh.query(
+                signature, threshold=self.threshold
+            ):
+                if other_id == artifact_id:
+                    continue
+                current = best.get(other_id)
+                if current is None or score > current.score:
+                    best[other_id] = JoinEdge(
+                        src=artifact_id,
+                        dst=other_id,
+                        src_column=column.name,
+                        dst_column=other_column,
+                        score=round(score, 4),
+                    )
+        edges = sorted(best.values(), key=lambda e: (-e.score, e.dst))
+        return edges[:limit]
+
+    def join_graph(
+        self, artifact_id: str, depth: int = 1, limit_per_node: int = 6
+    ) -> tuple[list[str], list[JoinEdge]]:
+        """Nodes and edges of the join neighbourhood around *artifact_id*.
+
+        This is exactly the payload the Figure 3 provider returns: a graph
+        of joinable tables for the input table.
+        """
+        self.build()
+        nodes = {artifact_id}
+        edges: list[JoinEdge] = []
+        frontier = [artifact_id]
+        seen_edges: set[tuple[str, str]] = set()
+        for _ in range(depth):
+            next_frontier: list[str] = []
+            for node in frontier:
+                if not self.store.has_artifact(node):
+                    continue
+                for edge in self.joinable(node, limit=limit_per_node):
+                    pair = tuple(sorted((edge.src, edge.dst)))
+                    if pair in seen_edges:
+                        continue
+                    seen_edges.add(pair)
+                    edges.append(edge)
+                    if edge.dst not in nodes:
+                        nodes.add(edge.dst)
+                        next_frontier.append(edge.dst)
+            frontier = next_frontier
+        return (sorted(nodes), edges)

@@ -1,0 +1,170 @@
+"""MinHash sketches and LSH banding.
+
+These are the standard building blocks for scalable value-overlap
+(joinability) detection over warehouse columns, as used by Aurum-style data
+discovery systems.  Hashing is deterministic across processes: value hashing
+uses CRC32 and the permutation family is universal hashing with parameters
+drawn from a seeded generator.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def stable_hash(value: str) -> int:
+    """Deterministic 32-bit hash of *value* (CRC32; not salted like ``hash``)."""
+    return zlib.crc32(value.encode("utf-8")) & _MAX_HASH
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """A fixed-length MinHash signature of a value set."""
+
+    values: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def jaccard(self, other: "MinHashSignature") -> float:
+        """Estimate Jaccard similarity against *other* (same hasher required)."""
+        if len(self.values) != len(other.values):
+            raise ValueError(
+                f"signature lengths differ: {len(self.values)} vs "
+                f"{len(other.values)}"
+            )
+        if not self.values:
+            return 0.0
+        matches = sum(a == b for a, b in zip(self.values, other.values))
+        return matches / len(self.values)
+
+
+class MinHasher:
+    """Computes MinHash signatures with *num_perm* universal hash functions."""
+
+    def __init__(self, num_perm: int = 64, seed: int = 1):
+        if num_perm < 1:
+            raise ValueError("num_perm must be >= 1")
+        self.num_perm = num_perm
+        rng = random.Random(seed)
+        self._a = np.array(
+            [rng.randrange(1, _MERSENNE_PRIME) for _ in range(num_perm)],
+            dtype=np.uint64,
+        )
+        self._b = np.array(
+            [rng.randrange(0, _MERSENNE_PRIME) for _ in range(num_perm)],
+            dtype=np.uint64,
+        )
+
+    def signature(self, values: Iterable[str]) -> MinHashSignature:
+        """MinHash signature of the set of *values* (empty set → all-max)."""
+        hashes = np.fromiter(
+            (stable_hash(v) for v in set(values)), dtype=np.uint64
+        )
+        if hashes.size == 0:
+            return MinHashSignature(tuple([_MAX_HASH] * self.num_perm))
+        # (num_perm, n) universal hashes, then min over the value axis.
+        products = (self._a[:, None] * hashes[None, :] + self._b[:, None])
+        permuted = (products % _MERSENNE_PRIME) & _MAX_HASH
+        mins = permuted.min(axis=1)
+        return MinHashSignature(tuple(int(m) for m in mins))
+
+
+def exact_jaccard(left: set[str], right: set[str]) -> float:
+    """Exact Jaccard similarity of two string sets."""
+    if not left and not right:
+        return 0.0
+    union = len(left | right)
+    return len(left & right) / union if union else 0.0
+
+
+def containment(query: set[str], candidate: set[str]) -> float:
+    """|query ∩ candidate| / |query| — the join-coverage measure."""
+    if not query:
+        return 0.0
+    return len(query & candidate) / len(query)
+
+
+class LshIndex:
+    """Banded LSH over MinHash signatures for near-neighbour candidate lookup.
+
+    With *bands* bands of ``num_perm / bands`` rows each, two signatures
+    collide in at least one band with probability ``1-(1-j^r)^b`` for
+    Jaccard ``j`` — the usual S-curve that makes candidate generation
+    sub-quadratic.
+    """
+
+    def __init__(self, num_perm: int = 64, bands: int = 16):
+        if num_perm % bands != 0:
+            raise ValueError(
+                f"bands ({bands}) must divide num_perm ({num_perm})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        self._buckets: list[dict[tuple[int, ...], set[Hashable]]] = [
+            defaultdict(set) for _ in range(bands)
+        ]
+        self._signatures: dict[Hashable, MinHashSignature] = {}
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._signatures
+
+    def add(self, key: Hashable, signature: MinHashSignature) -> None:
+        """Index *signature* under *key* (re-adding replaces)."""
+        if len(signature) != self.num_perm:
+            raise ValueError(
+                f"signature length {len(signature)} != num_perm {self.num_perm}"
+            )
+        if key in self._signatures:
+            self.remove(key)
+        self._signatures[key] = signature
+        for band, band_key in enumerate(self._band_keys(signature)):
+            self._buckets[band][band_key].add(key)
+
+    def remove(self, key: Hashable) -> None:
+        """Drop *key* from the index (no-op if absent)."""
+        signature = self._signatures.pop(key, None)
+        if signature is None:
+            return
+        for band, band_key in enumerate(self._band_keys(signature)):
+            self._buckets[band][band_key].discard(key)
+
+    def signature_of(self, key: Hashable) -> MinHashSignature | None:
+        return self._signatures.get(key)
+
+    def candidates(self, signature: MinHashSignature) -> set[Hashable]:
+        """Keys sharing at least one LSH band with *signature*."""
+        found: set[Hashable] = set()
+        for band, band_key in enumerate(self._band_keys(signature)):
+            found.update(self._buckets[band].get(band_key, ()))
+        return found
+
+    def query(
+        self, signature: MinHashSignature, threshold: float = 0.5
+    ) -> list[tuple[Hashable, float]]:
+        """Candidates whose estimated Jaccard ≥ *threshold*, best first."""
+        scored = []
+        for key in self.candidates(signature):
+            estimate = signature.jaccard(self._signatures[key])
+            if estimate >= threshold:
+                scored.append((key, estimate))
+        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        return scored
+
+    def _band_keys(self, signature: MinHashSignature):
+        for band in range(self.bands):
+            start = band * self.rows
+            yield tuple(signature.values[start : start + self.rows])

@@ -1,0 +1,145 @@
+"""TF-IDF vectorisation and cosine similarity over artifact text.
+
+Backs the semantic-similarity provider and the keyword-search baseline's
+relevance ordering.  Vectors are sparse dicts — catalogs have short
+documents and large vocabularies, so dense matrices would waste memory.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Hashable
+
+from repro.util.textutil import tokenize
+
+SparseVector = dict[str, float]
+
+
+def cosine(left: SparseVector, right: SparseVector) -> float:
+    """Cosine similarity of two sparse vectors (0.0 if either is empty)."""
+    if not left or not right:
+        return 0.0
+    if len(left) > len(right):
+        left, right = right, left
+    dot = sum(weight * right.get(term, 0.0) for term, weight in left.items())
+    if dot == 0.0:
+        return 0.0
+    norm_left = math.sqrt(sum(w * w for w in left.values()))
+    norm_right = math.sqrt(sum(w * w for w in right.values()))
+    return dot / (norm_left * norm_right)
+
+
+class TfIdfIndex:
+    """An incrementally built TF-IDF index with top-k similarity queries.
+
+    IDF weights are computed lazily from document frequencies on first
+    query after a mutation, so bulk loading stays linear.
+    """
+
+    def __init__(self) -> None:
+        self._term_counts: dict[Hashable, Counter[str]] = {}
+        self._df: Counter[str] = Counter()
+        self._vectors: dict[Hashable, SparseVector] | None = None
+        self._postings: dict[str, set[Hashable]] = defaultdict(set)
+
+    def __len__(self) -> int:
+        return len(self._term_counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._term_counts
+
+    def add(self, key: Hashable, text: str) -> None:
+        """Index *text* under *key* (re-adding replaces the document)."""
+        if key in self._term_counts:
+            self.remove(key)
+        counts = Counter(tokenize(text))
+        self._term_counts[key] = counts
+        for term in counts:
+            self._df[term] += 1
+            self._postings[term].add(key)
+        self._vectors = None
+
+    def remove(self, key: Hashable) -> None:
+        """Drop a document (no-op if absent)."""
+        counts = self._term_counts.pop(key, None)
+        if counts is None:
+            return
+        for term in counts:
+            self._df[term] -= 1
+            if self._df[term] <= 0:
+                del self._df[term]
+            self._postings[term].discard(key)
+        self._vectors = None
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of *term*."""
+        n_docs = len(self._term_counts)
+        if n_docs == 0:
+            return 0.0
+        return math.log((1 + n_docs) / (1 + self._df.get(term, 0))) + 1.0
+
+    def vector(self, key: Hashable) -> SparseVector:
+        """The TF-IDF vector of an indexed document (empty if unknown)."""
+        self._ensure_vectors()
+        assert self._vectors is not None
+        return dict(self._vectors.get(key, {}))
+
+    def vector_for_text(self, text: str) -> SparseVector:
+        """TF-IDF vector of arbitrary query text using the corpus IDF."""
+        counts = Counter(tokenize(text))
+        return {term: tf * self.idf(term) for term, tf in counts.items()}
+
+    def similar(
+        self, key: Hashable, limit: int = 10, min_score: float = 0.0
+    ) -> list[tuple[Hashable, float]]:
+        """Documents most similar to the indexed document *key*."""
+        self._ensure_vectors()
+        assert self._vectors is not None
+        query = self._vectors.get(key)
+        if not query:
+            return []
+        results = self._rank(query, exclude=key, limit=limit,
+                             min_score=min_score)
+        return results
+
+    def search(
+        self, text: str, limit: int = 10, min_score: float = 0.0
+    ) -> list[tuple[Hashable, float]]:
+        """Documents most similar to free *text*."""
+        query = self.vector_for_text(text)
+        if not query:
+            return []
+        self._ensure_vectors()
+        return self._rank(query, exclude=None, limit=limit, min_score=min_score)
+
+    def _rank(
+        self,
+        query: SparseVector,
+        exclude: Hashable | None,
+        limit: int,
+        min_score: float,
+    ) -> list[tuple[Hashable, float]]:
+        assert self._vectors is not None
+        # Candidate generation via postings: only documents sharing a term.
+        candidates: set[Hashable] = set()
+        for term in query:
+            candidates.update(self._postings.get(term, ()))
+        candidates.discard(exclude)
+        scored = []
+        for key in candidates:
+            score = cosine(query, self._vectors[key])
+            if score > min_score:
+                scored.append((key, score))
+        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        return scored[:limit]
+
+    def _ensure_vectors(self) -> None:
+        if self._vectors is not None:
+            return
+        vectors: dict[Hashable, SparseVector] = {}
+        for key, counts in self._term_counts.items():
+            vectors[key] = {
+                term: tf * self.idf(term) for term, tf in counts.items()
+            }
+        self._vectors = vectors

@@ -1,0 +1,235 @@
+"""Typed provider request/response envelopes.
+
+Section 4.1: a provider's spec declares *what type of data to expect* — its
+representation — not how it is fetched.  The envelopes here are that
+contract: every representation has a payload shape, and every result can be
+flattened to a plain artifact-id list so search can compose results from
+any provider ("each query element returns a list of data artifacts", §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterator
+
+from repro.errors import RepresentationError
+
+
+class Representation(str, Enum):
+    """The data shapes a provider may declare (Figure 6's six views)."""
+
+    TILES = "tiles"
+    LIST = "list"
+    HIERARCHY = "hierarchy"
+    GRAPH = "graph"
+    CATEGORIES = "categories"
+    EMBEDDING = "embedding"
+
+    @classmethod
+    def coerce(cls, value: "Representation | str") -> "Representation":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown representation {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+#: Input types a provider may require; used by the search UI to recommend
+#: plausible values (Figure 5) and by autocomplete.
+INPUT_TYPES = ("artifact", "user", "team", "badge", "artifact_type", "text")
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Declaration of one input value a provider accepts (§4.1)."""
+
+    name: str
+    input_type: str
+    required: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.input_type not in INPUT_TYPES:
+            raise ValueError(
+                f"input {self.name!r}: unknown input type "
+                f"{self.input_type!r}; expected one of {INPUT_TYPES}"
+            )
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Who is asking, from where; lets providers personalise results."""
+
+    user_id: str = ""
+    team_id: str = ""
+    limit: int = 20
+
+
+@dataclass(frozen=True)
+class ProviderRequest:
+    """A fetch request: declared inputs plus the requesting context."""
+
+    inputs: dict[str, str] = field(default_factory=dict)
+    context: RequestContext = field(default_factory=RequestContext)
+
+    def input(self, name: str, default: str = "") -> str:
+        return self.inputs.get(name, default)
+
+
+@dataclass(frozen=True)
+class ScoredArtifact:
+    """One artifact in a list/tiles payload, with rankable metadata fields."""
+
+    artifact_id: str
+    score: float = 0.0
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class HierarchyNode:
+    """A node of a hierarchy payload; children nest arbitrarily deep."""
+
+    artifact_id: str
+    children: tuple["HierarchyNode", ...] = ()
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def iter_ids(self) -> Iterator[str]:
+        yield self.artifact_id
+        for child in self.children:
+            yield from child.iter_ids()
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """An edge of a graph payload."""
+
+    src: str
+    dst: str
+    label: str = ""
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class Category:
+    """One bucket of a categories payload."""
+
+    name: str
+    artifact_ids: tuple[str, ...] = ()
+
+    @property
+    def count(self) -> int:
+        return len(self.artifact_ids)
+
+
+@dataclass(frozen=True)
+class EmbeddingPoint:
+    """One point of an embedding payload."""
+
+    artifact_id: str
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class ProviderResult:
+    """A provider response: a representation tag plus the matching payload.
+
+    Exactly one payload block is populated; :meth:`validate` enforces the
+    pairing so malformed providers fail at the framework boundary instead
+    of deep inside view generation.
+    """
+
+    representation: Representation
+    items: tuple[ScoredArtifact, ...] = ()
+    roots: tuple[HierarchyNode, ...] = ()
+    nodes: tuple[str, ...] = ()
+    edges: tuple[GraphEdge, ...] = ()
+    categories: tuple[Category, ...] = ()
+    points: tuple[EmbeddingPoint, ...] = ()
+
+    def validate(self, provider_name: str = "<anonymous>") -> "ProviderResult":
+        """Check payload/representation consistency; returns self."""
+        rep = self.representation
+        wrong: list[str] = []
+        if rep in (Representation.TILES, Representation.LIST):
+            if self.roots or self.nodes or self.edges or self.categories or self.points:
+                wrong.append("list-like results may only carry `items`")
+        elif rep is Representation.HIERARCHY:
+            if self.items or self.nodes or self.edges or self.categories or self.points:
+                wrong.append("hierarchy results may only carry `roots`")
+        elif rep is Representation.GRAPH:
+            if self.items or self.roots or self.categories or self.points:
+                wrong.append("graph results may only carry `nodes`/`edges`")
+            node_set = set(self.nodes)
+            dangling = [
+                e for e in self.edges if e.src not in node_set or e.dst not in node_set
+            ]
+            if dangling:
+                wrong.append(
+                    f"{len(dangling)} graph edge(s) reference nodes missing "
+                    f"from `nodes`"
+                )
+        elif rep is Representation.CATEGORIES:
+            if self.items or self.roots or self.nodes or self.edges or self.points:
+                wrong.append("categories results may only carry `categories`")
+        elif rep is Representation.EMBEDDING:
+            if self.items or self.roots or self.nodes or self.edges or self.categories:
+                wrong.append("embedding results may only carry `points`")
+        if wrong:
+            raise RepresentationError(provider_name, "; ".join(wrong))
+        return self
+
+    def artifact_ids(self) -> list[str]:
+        """Flatten the payload to artifact ids, payload order preserved.
+
+        Duplicates are removed keeping first occurrence; this is the list
+        the query evaluator composes with set algebra.
+        """
+        seen: set[str] = set()
+        ordered: list[str] = []
+
+        def push(artifact_id: str) -> None:
+            if artifact_id not in seen:
+                seen.add(artifact_id)
+                ordered.append(artifact_id)
+
+        for item in self.items:
+            push(item.artifact_id)
+        for root in self.roots:
+            for artifact_id in root.iter_ids():
+                push(artifact_id)
+        for node in self.nodes:
+            push(node)
+        for category in self.categories:
+            for artifact_id in category.artifact_ids:
+                push(artifact_id)
+        for point in self.points:
+            push(point.artifact_id)
+        return ordered
+
+    def is_empty(self) -> bool:
+        return not (
+            self.items or self.roots or self.nodes or self.categories or self.points
+        )
+
+
+#: The callable type an endpoint resolves to.
+Endpoint = Callable[["ProviderRequest"], ProviderResult]
+
+
+def list_result(
+    items: list[ScoredArtifact], representation: Representation = Representation.LIST
+) -> ProviderResult:
+    """Convenience constructor for list/tiles results."""
+    if representation not in (Representation.LIST, Representation.TILES):
+        raise ValueError("list_result only builds list/tiles results")
+    return ProviderResult(representation=representation, items=tuple(items))

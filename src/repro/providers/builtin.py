@@ -1,0 +1,420 @@
+"""The built-in metadata-provider suite (Figure 2).
+
+Every provider class the paper shows or mentions is implemented against the
+catalog substrate: annotation providers (Owned By, Badged, Type, Tagged),
+interaction providers (Recents, Most Viewed, Favorites, team popularity),
+and relatedness providers (Joinable, Lineage, Similar, Embedding).
+
+Endpoints are registered under ``catalog://<name>`` URIs; the Humboldt spec
+references those URIs, and the framework resolves them through the
+registry — the UI never imports this module.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.catalog.model import Artifact, ArtifactType
+from repro.catalog.store import CatalogStore
+from repro.errors import MissingInputError
+from repro.metadata.embedding import EmbeddingIndex
+from repro.metadata.joinability import JoinabilityIndex
+from repro.metadata.similarity import EnsembleSimilarity
+from repro.providers.base import (
+    Category,
+    EmbeddingPoint,
+    Endpoint,
+    GraphEdge,
+    HierarchyNode,
+    ProviderRequest,
+    ProviderResult,
+    Representation,
+    ScoredArtifact,
+)
+from repro.providers.fields import FieldResolver
+from repro.providers.registry import EndpointRegistry
+
+#: Fields attached to every list/tiles item so ranking has raw material.
+ITEM_FIELDS = ("views", "favorite", "recency", "freshness", "endorsed")
+
+#: Cap on points returned by the embedding provider regardless of limit.
+EMBEDDING_POINT_CAP = 2000
+
+
+class BuiltinProviders:
+    """Catalog-backed provider endpoints with shared lazy indexes."""
+
+    def __init__(self, store: CatalogStore):
+        self.store = store
+        self.resolver = FieldResolver(store)
+        self.joinability = JoinabilityIndex(store)
+        self.similarity = EnsembleSimilarity(store)
+        self.embedding = EmbeddingIndex(store)
+
+    # -- endpoint table ---------------------------------------------------
+
+    def endpoints(self) -> dict[str, Endpoint]:
+        """Endpoint name -> callable; the installer registers these."""
+        return {
+            "recents": self.recents,
+            "recent_documents": self.recent_documents,
+            "most_viewed": self.most_viewed,
+            "newest": self.newest,
+            "favorites": self.favorites,
+            "owned_by": self.owned_by,
+            "created_by": self.owned_by,  # alias: creation == ownership here
+            "of_type": self.of_type,
+            "types": self.types,
+            "badges": self.badges,
+            "badged": self.badged,
+            "badged_by": self.badged_by,
+            "tagged": self.tagged,
+            "team_popular": self.team_popular,
+            "team_docs": self.team_docs,
+            "joinable": self.joinable,
+            "lineage": self.lineage,
+            "lineage_graph": self.lineage_graph,
+            "similar": self.similar,
+            "embedding_map": self.embedding_map,
+        }
+
+    # -- interaction providers ---------------------------------------------
+
+    def recents(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts the requesting user touched, most recent first."""
+        user_id = request.input("user") or request.context.user_id
+        ids = self.store.usage.recent_for_user(user_id, limit=request.context.limit)
+        return self._list(ids, Representation.LIST)
+
+    def recent_documents(self, request: ProviderRequest) -> ProviderResult:
+        """Recents restricted to document-like artifacts (workbooks, docs).
+
+        This is the provider behind the paper's ``:recent_documents()``
+        query example.
+        """
+        user_id = request.input("user") or request.context.user_id
+        ids = self.store.usage.recent_for_user(user_id, limit=200)
+        wanted = (ArtifactType.WORKBOOK, ArtifactType.DOCUMENT)
+        kept = [
+            aid
+            for aid in ids
+            if self.store.has_artifact(aid)
+            and self.store.artifact(aid).artifact_type in wanted
+        ]
+        return self._list(kept[: request.context.limit], Representation.LIST)
+
+    def most_viewed(self, request: ProviderRequest) -> ProviderResult:
+        """Globally most-viewed artifacts, as tiles."""
+        ranked = self.store.usage.most_viewed(limit=request.context.limit)
+        return self._list([aid for aid, _ in ranked], Representation.TILES)
+
+    def newest(self, request: ProviderRequest) -> ProviderResult:
+        """Most recently created artifacts."""
+        ordered = sorted(
+            self.store.artifacts(), key=lambda a: (-a.created_at, a.id)
+        )
+        ids = [a.id for a in ordered[: request.context.limit]]
+        return self._list(ids, Representation.LIST)
+
+    def favorites(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts the requesting user favourited."""
+        user_id = request.input("user") or request.context.user_id
+        ids = self.store.usage.favorites_of(user_id)
+        return self._list(ids[: request.context.limit], Representation.LIST)
+
+    # -- annotation providers ---------------------------------------------------
+
+    def owned_by(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts owned/created by the given user (id or display name)."""
+        raw = request.input("user")
+        if not raw:
+            raise MissingInputError("owned_by", "user")
+        user_id = self._resolve_user(raw)
+        if user_id is None:
+            return self._list([], Representation.LIST)
+        ids = self.store.by_owner(user_id)
+        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+
+    def of_type(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts of a given type (``type: table``)."""
+        raw = request.input("artifact_type")
+        if not raw:
+            raise MissingInputError("of_type", "artifact_type")
+        try:
+            artifact_type = ArtifactType.coerce(raw)
+        except ValueError:
+            return self._list([], Representation.LIST)
+        ids = self.store.by_type(artifact_type)
+        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+
+    def types(self, request: ProviderRequest) -> ProviderResult:
+        """All artifacts grouped by type (a categories overview)."""
+        categories = []
+        for artifact_type in ArtifactType:
+            ids = self.store.by_type(artifact_type)
+            if ids:
+                categories.append(
+                    Category(name=artifact_type.value, artifact_ids=tuple(ids))
+                )
+        categories.sort(key=lambda c: (-c.count, c.name))
+        return ProviderResult(
+            representation=Representation.CATEGORIES, categories=tuple(categories)
+        )
+
+    def badges(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts grouped by badge (a categories overview)."""
+        categories = [
+            Category(name=badge, artifact_ids=tuple(self.store.by_badge(badge)))
+            for badge in self.store.badges_in_use()
+        ]
+        categories.sort(key=lambda c: (-c.count, c.name))
+        return ProviderResult(
+            representation=Representation.CATEGORIES, categories=tuple(categories)
+        )
+
+    def badged(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts carrying a given badge (``badged: endorsed``)."""
+        badge = request.input("badge")
+        if not badge:
+            raise MissingInputError("badged", "badge")
+        ids = self.store.by_badge(badge.lower())
+        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+
+    def badged_by(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts with any badge granted by the given user."""
+        raw = request.input("user")
+        if not raw:
+            raise MissingInputError("badged_by", "user")
+        user_id = self._resolve_user(raw)
+        if user_id is None:
+            return self._list([], Representation.LIST)
+        ids = sorted(
+            {
+                aid
+                for badge in self.store.badges_in_use()
+                for aid in self.store.by_badge(badge, granted_by=user_id)
+            }
+        )
+        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+
+    def tagged(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts carrying a given tag."""
+        tag = request.input("text")
+        if not tag:
+            raise MissingInputError("tagged", "text")
+        ids = self.store.by_tag(tag)
+        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+
+    # -- team providers -------------------------------------------------------
+
+    def team_popular(self, request: ProviderRequest) -> ProviderResult:
+        """Most viewed by members of a team (default: requester's team)."""
+        team_id = request.input("team") or request.context.team_id
+        if not team_id:
+            raise MissingInputError("team_popular", "team")
+        team = self._resolve_team(team_id)
+        if team is None:
+            return self._list([], Representation.LIST)
+        members = set(team.member_ids) | set(team.admin_ids)
+        counts = self.store.usage.views_by_users(members)
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        ids = [aid for aid, _ in ranked[: request.context.limit]]
+        return self._list(ids, Representation.LIST)
+
+    def team_docs(self, request: ProviderRequest) -> ProviderResult:
+        """Artifacts belonging to a team, as tiles."""
+        team_id = request.input("team") or request.context.team_id
+        if not team_id:
+            raise MissingInputError("team_docs", "team")
+        team = self._resolve_team(team_id)
+        if team is None:
+            return self._list([], Representation.TILES)
+        ids = self.store.by_team(team.id)
+        return self._list(
+            self._rank_by_views(ids, request), Representation.TILES
+        )
+
+    # -- relatedness providers ----------------------------------------------------
+
+    def joinable(self, request: ProviderRequest) -> ProviderResult:
+        """Joinability graph around an input table (Figure 3)."""
+        artifact_id = request.input("artifact")
+        if not artifact_id:
+            raise MissingInputError("joinable", "artifact")
+        if not self.store.has_artifact(artifact_id):
+            return ProviderResult(representation=Representation.GRAPH)
+        nodes, join_edges = self.joinability.join_graph(artifact_id, depth=1)
+        edges = tuple(
+            GraphEdge(
+                src=e.src,
+                dst=e.dst,
+                label=f"{e.src_column}≈{e.dst_column}",
+                weight=e.score,
+            )
+            for e in join_edges
+        )
+        return ProviderResult(
+            representation=Representation.GRAPH, nodes=tuple(nodes), edges=edges
+        )
+
+    def lineage(self, request: ProviderRequest) -> ProviderResult:
+        """Downstream derivation tree rooted at the input artifact (§6.2)."""
+        artifact_id = request.input("artifact")
+        if not artifact_id:
+            raise MissingInputError("lineage", "artifact")
+        if not self.store.has_artifact(artifact_id):
+            return ProviderResult(representation=Representation.HIERARCHY)
+        root = self._lineage_tree(artifact_id, depth=4, seen={artifact_id})
+        return ProviderResult(
+            representation=Representation.HIERARCHY, roots=(root,)
+        )
+
+    def lineage_graph(self, request: ProviderRequest) -> ProviderResult:
+        """Lineage neighbourhood (both directions) as a graph."""
+        artifact_id = request.input("artifact")
+        if not artifact_id:
+            raise MissingInputError("lineage_graph", "artifact")
+        nodes, edges = self.store.lineage.subgraph_around(artifact_id, depth=2)
+        known = [n for n in nodes if self.store.has_artifact(n)]
+        known_set = set(known)
+        graph_edges = tuple(
+            GraphEdge(src=e.src, dst=e.dst, label=e.kind)
+            for e in edges
+            if e.src in known_set and e.dst in known_set
+        )
+        return ProviderResult(
+            representation=Representation.GRAPH,
+            nodes=tuple(known),
+            edges=graph_edges,
+        )
+
+    def similar(self, request: ProviderRequest) -> ProviderResult:
+        """Ensemble-similar artifacts to the input artifact."""
+        artifact_id = request.input("artifact")
+        if not artifact_id:
+            raise MissingInputError("similar", "artifact")
+        if not self.store.has_artifact(artifact_id):
+            return self._list([], Representation.LIST)
+        hits = self.similarity.similar(artifact_id, limit=request.context.limit)
+        items = [
+            ScoredArtifact(
+                artifact_id=hit.artifact_id,
+                score=hit.score,
+                fields=self._fields_for(hit.artifact_id),
+            )
+            for hit in hits
+            if self.store.has_artifact(hit.artifact_id)
+        ]
+        return ProviderResult(representation=Representation.LIST, items=tuple(items))
+
+    def embedding_map(self, request: ProviderRequest) -> ProviderResult:
+        """2-D embedding of the catalog (Figure 6, embedding view)."""
+        coords = self.embedding.build().all_coordinates()
+        cap = min(len(coords), EMBEDDING_POINT_CAP)
+        points = tuple(
+            EmbeddingPoint(artifact_id=aid, x=round(x, 4), y=round(y, 4))
+            for aid, (x, y) in sorted(coords.items())[:cap]
+        )
+        return ProviderResult(
+            representation=Representation.EMBEDDING, points=points
+        )
+
+    # -- shared helpers -------------------------------------------------------------
+
+    def _list(self, ids: list[str], representation: Representation) -> ProviderResult:
+        items = tuple(
+            ScoredArtifact(artifact_id=aid, fields=self._fields_for(aid))
+            for aid in ids
+            if self.store.has_artifact(aid)
+        )
+        return ProviderResult(representation=representation, items=items)
+
+    def _fields_for(self, artifact_id: str) -> dict[str, float]:
+        return {
+            field: self.resolver.value(artifact_id, field)
+            for field in ITEM_FIELDS
+        }
+
+    def _rank_by_views(self, ids: list[str], request: ProviderRequest) -> list[str]:
+        ranked = sorted(
+            ids,
+            key=lambda aid: (-self.resolver.value(aid, "views"), aid),
+        )
+        return ranked[: request.context.limit]
+
+    def _resolve_user(self, raw: str) -> str | None:
+        """Resolve a user reference: id, exact name, or unique first name."""
+        if raw in {u.id for u in self.store.users()}:
+            return raw
+        user = self.store.find_user_by_name(raw)
+        if user is not None:
+            return user.id
+        lowered = raw.lower()
+        prefix_matches = [
+            u for u in self.store.users()
+            if u.name.lower().split()[0] == lowered
+        ]
+        if len(prefix_matches) == 1:
+            return prefix_matches[0].id
+        return None
+
+    def _resolve_team(self, raw: str):
+        """Resolve a team reference: id or exact name (case-insensitive)."""
+        for team in self.store.teams():
+            if team.id == raw or team.name.lower() == raw.lower():
+                return team
+        return None
+
+    def _lineage_tree(
+        self, artifact_id: str, depth: int, seen: set[str]
+    ) -> HierarchyNode:
+        if depth <= 0:
+            return HierarchyNode(artifact_id=artifact_id)
+        children = []
+        for child_id in self.store.lineage.children(artifact_id):
+            if child_id in seen or not self.store.has_artifact(child_id):
+                continue
+            seen.add(child_id)
+            children.append(self._lineage_tree(child_id, depth - 1, seen))
+        return HierarchyNode(artifact_id=artifact_id, children=tuple(children))
+
+
+def install_builtin_endpoints(
+    registry: EndpointRegistry, providers: BuiltinProviders
+) -> list[str]:
+    """Register every built-in endpoint as ``catalog://<name>``.
+
+    Returns the registered URIs (sorted) for logging/tests.
+    """
+    uris = []
+    for name, endpoint in providers.endpoints().items():
+        uri = f"catalog://{name}"
+        registry.register(uri, endpoint, replace=True)
+        uris.append(uri)
+    return sorted(uris)
+
+
+def group_ids_by(
+    store: CatalogStore, ids: list[str], key: str
+) -> list[Category]:
+    """Group artifact ids into categories by a metadata field.
+
+    Utility for custom categorical providers (e.g. group search results by
+    owner); exported because example code and tests want it too.
+    """
+    buckets: dict[str, list[str]] = defaultdict(list)
+    for aid in ids:
+        if not store.has_artifact(aid):
+            continue
+        artifact: Artifact = store.artifact(aid)
+        raw = artifact.field(key)
+        values = raw if isinstance(raw, (tuple, list)) else [raw]
+        for value in values:
+            if value:
+                buckets[str(value)].append(aid)
+    categories = [
+        Category(name=name, artifact_ids=tuple(bucket))
+        for name, bucket in buckets.items()
+    ]
+    categories.sort(key=lambda c: (-c.count, c.name))
+    return categories

@@ -1,0 +1,111 @@
+"""Fault injection for provider endpoints.
+
+Metadata providers are, per the paper, "typically an API endpoint" — and
+real endpoints fail.  These wrappers simulate the failure modes a
+production deployment sees, deterministically, so tests can verify that
+one broken provider degrades its own view and nothing else:
+
+* :class:`FlakyEndpoint` — raises :class:`~repro.errors.ProviderError`
+  on a scheduled subset of calls;
+* :class:`WrongShapeEndpoint` — returns a payload that violates the
+  declared representation (a contract-breaking provider);
+* :class:`SlowEndpoint` — counts simulated latency against a budget and
+  fails once the budget is exhausted (a timeout stand-in that needs no
+  wall-clock sleeping).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ProviderError
+from repro.providers.base import (
+    Endpoint,
+    ProviderRequest,
+    ProviderResult,
+    Representation,
+    ScoredArtifact,
+)
+
+
+class FlakyEndpoint:
+    """Wraps an endpoint; fails on calls whose 1-based index matches.
+
+    ``fail_on`` may be a set of call indexes or a predicate on the index.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        fail_on: "set[int] | Callable[[int], bool]",
+        name: str = "flaky",
+    ):
+        self._endpoint = endpoint
+        self._name = name
+        self.calls = 0
+        if callable(fail_on):
+            self._should_fail = fail_on
+        else:
+            indexes = set(fail_on)
+            self._should_fail = lambda index: index in indexes
+
+    def __call__(self, request: ProviderRequest) -> ProviderResult:
+        self.calls += 1
+        if self._should_fail(self.calls):
+            raise ProviderError(
+                self._name, f"simulated outage on call {self.calls}"
+            )
+        return self._endpoint(request)
+
+
+class WrongShapeEndpoint:
+    """Always returns a list payload, whatever was promised.
+
+    Useful to verify the framework rejects contract-breaking providers at
+    the boundary instead of rendering garbage.
+    """
+
+    def __init__(self, artifact_ids: list[str] = ()):  # noqa: B006 - tuple
+        self._ids = tuple(artifact_ids)
+
+    def __call__(self, request: ProviderRequest) -> ProviderResult:
+        return ProviderResult(
+            representation=Representation.LIST,
+            items=tuple(ScoredArtifact(aid) for aid in self._ids),
+        )
+
+
+class SlowEndpoint:
+    """Simulated-latency wrapper with a deadline.
+
+    Each call consumes ``latency`` simulated milliseconds from ``budget``;
+    when the budget cannot cover a call, the endpoint raises a timeout-
+    flavoured :class:`ProviderError`.  No real sleeping, so tests stay
+    fast and deterministic.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        latency_ms: float,
+        budget_ms: float,
+        name: str = "slow",
+    ):
+        if latency_ms < 0 or budget_ms < 0:
+            raise ValueError("latency and budget must be non-negative")
+        self._endpoint = endpoint
+        self._latency = latency_ms
+        self._name = name
+        self.remaining_ms = budget_ms
+        self.timed_out = 0
+
+    def __call__(self, request: ProviderRequest) -> ProviderResult:
+        if self._latency > self.remaining_ms:
+            self.timed_out += 1
+            raise ProviderError(
+                self._name,
+                f"simulated timeout ({self._latency:.0f}ms > "
+                f"{self.remaining_ms:.0f}ms budget)",
+            )
+        self.remaining_ms -= self._latency
+        return self._endpoint(request)

@@ -1,0 +1,78 @@
+"""Endpoint registry.
+
+The Humboldt spec names providers' endpoints as URIs (the paper shows
+``/api/metadata/...`` style endpoints; we use ``scheme://name``).  The
+registry resolves those URIs to callables.  The UI never imports provider
+implementations — it only ever resolves endpoints named by the spec, which
+is the decoupling the paper's design goals demand.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import DuplicateEntityError, ProviderError
+from repro.providers.base import Endpoint, ProviderRequest, ProviderResult
+
+_URI_RE = re.compile(r"^(?P<scheme>[a-z][a-z0-9+.-]*)://(?P<path>[A-Za-z0-9_./-]+)$")
+
+
+def parse_endpoint_uri(uri: str) -> tuple[str, str]:
+    """Split ``scheme://path`` and validate the shape."""
+    match = _URI_RE.match(uri)
+    if not match:
+        raise ValueError(
+            f"malformed endpoint uri {uri!r}; expected 'scheme://path'"
+        )
+    return (match.group("scheme"), match.group("path"))
+
+
+class EndpointRegistry:
+    """Maps endpoint URIs to fetch callables."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, Endpoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._endpoints
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._endpoints))
+
+    def register(self, uri: str, endpoint: Endpoint, replace: bool = False) -> None:
+        """Register *endpoint* under *uri*.
+
+        Re-registration must be explicit (``replace=True``) so tests catch
+        accidental double-installs.
+        """
+        parse_endpoint_uri(uri)
+        if uri in self._endpoints and not replace:
+            raise DuplicateEntityError("endpoint", uri)
+        self._endpoints[uri] = endpoint
+
+    def unregister(self, uri: str) -> None:
+        self._endpoints.pop(uri, None)
+
+    def resolve(self, uri: str) -> Endpoint:
+        try:
+            return self._endpoints[uri]
+        except KeyError:
+            raise ProviderError(
+                uri, "endpoint not registered (is the provider installed?)"
+            ) from None
+
+    def fetch(self, uri: str, request: ProviderRequest) -> ProviderResult:
+        """Resolve and invoke, validating the response envelope."""
+        endpoint = self.resolve(uri)
+        result = endpoint(request)
+        if not isinstance(result, ProviderResult):
+            raise ProviderError(
+                uri,
+                f"endpoint returned {type(result).__name__}, "
+                f"expected ProviderResult",
+            )
+        return result.validate(uri)

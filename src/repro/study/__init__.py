@@ -1,0 +1,44 @@
+"""Simulated first-use study (Section 7).
+
+The paper evaluates the generated UI with six sales engineers performing
+four tasks and a 12-statement questionnaire.  We cannot recruit those
+people; we simulate them.  Personas encode the behavioural traits the
+paper reports (search-first vs. views-first starters, who needed which
+reminder), the executor drives the *actual generated interface* through
+the same session API a human front-end would call, and the questionnaire
+model derives Likert ratings from measured UI affordances plus each
+persona's study experience.  E1 reproduces the §7.2 task-outcome counts;
+E2 reproduces the Figure 8 category statistics.
+"""
+
+from repro.study.executor import StudyRun, TaskExecutor, TaskOutcome, run_study
+from repro.study.personas import PERSONAS, Persona
+from repro.study.questionnaire import (
+    CATEGORIES,
+    STATEMENTS,
+    QuestionnaireResponse,
+    Statement,
+    answer_questionnaire,
+)
+from repro.study.stats import CategoryStats, LikertStats, category_stats, likert_stats
+from repro.study.tasks import TASKS, Task
+
+__all__ = [
+    "CATEGORIES",
+    "CategoryStats",
+    "LikertStats",
+    "PERSONAS",
+    "Persona",
+    "QuestionnaireResponse",
+    "STATEMENTS",
+    "Statement",
+    "StudyRun",
+    "TASKS",
+    "Task",
+    "TaskExecutor",
+    "TaskOutcome",
+    "answer_questionnaire",
+    "category_stats",
+    "likert_stats",
+    "run_study",
+]

@@ -1,0 +1,115 @@
+"""Figure rendering for the study results.
+
+:func:`figure8_svg` regenerates Figure 8 as a standalone SVG: one row per
+statement with a diverging stacked bar (negative left, neutral centre,
+positive right) on the top axis and a mean±std dot-and-whisker on the
+bottom axis — the same dual encoding the paper uses.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING
+
+from repro.study.questionnaire import STATEMENTS, answer_questionnaire
+from repro.study.stats import category_stats
+
+if TYPE_CHECKING:
+    from repro.study.executor import StudyRun
+
+_ROW_H = 26
+_BAR_H = 14
+_LEFT = 160
+_BAR_W = 280
+_DOT_W = 170
+_GAP = 40
+
+_COLORS = {
+    "negative": "#dc7633",
+    "neutral": "#d5d8dc",
+    "positive": "#2e86c1",
+    "dot": "#1b2631",
+}
+
+
+def figure8_svg(run: "StudyRun") -> str:
+    """Render the Figure 8 chart for *run* as an SVG document."""
+    responses = answer_questionnaire(run)
+    stats = category_stats(responses)
+
+    rows = list(STATEMENTS)
+    height = _ROW_H * (len(rows) + 3)
+    width = _LEFT + _BAR_W + _GAP + _DOT_W + 20
+    centre = _LEFT + _BAR_W / 2
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{_LEFT}" y="14" font-weight="bold">'
+        f"% responses (◄ negative / positive ►)</text>",
+        f'<text x="{_LEFT + _BAR_W + _GAP}" y="14" font-weight="bold">'
+        f"mean ± std (1–5)</text>",
+    ]
+
+    for index, statement in enumerate(rows):
+        stat = stats.by_statement[statement.sid]
+        y = _ROW_H * (index + 1) + 10
+        label = f"{statement.sid} · {statement.category}"
+        parts.append(
+            f'<text x="4" y="{y + _BAR_H - 3}">{html.escape(label)}</text>'
+        )
+        # diverging bar around the centre line
+        neg_w = stat.percent_negative / 100 * (_BAR_W / 2)
+        pos_w = stat.percent_positive / 100 * (_BAR_W / 2)
+        parts.append(
+            f'<rect x="{centre - neg_w:.1f}" y="{y}" width="{neg_w:.1f}" '
+            f'height="{_BAR_H}" fill="{_COLORS["negative"]}"/>'
+        )
+        parts.append(
+            f'<rect x="{centre:.1f}" y="{y}" width="{pos_w:.1f}" '
+            f'height="{_BAR_H}" fill="{_COLORS["positive"]}"/>'
+        )
+        parts.append(
+            f'<line x1="{centre}" y1="{y - 2}" x2="{centre}" '
+            f'y2="{y + _BAR_H + 2}" stroke="#888" stroke-width="1"/>'
+        )
+        # mean ± std dot-and-whisker on a 1..5 axis
+        axis_x = _LEFT + _BAR_W + _GAP
+        scale = _DOT_W / 4.0  # likert span 1..5
+
+        def to_x(value: float) -> float:
+            return axis_x + (min(max(value, 1.0), 5.0) - 1.0) * scale
+
+        whisker_y = y + _BAR_H / 2
+        parts.append(
+            f'<line x1="{to_x(stat.mean - stat.std):.1f}" y1="{whisker_y}" '
+            f'x2="{to_x(stat.mean + stat.std):.1f}" y2="{whisker_y}" '
+            f'stroke="{_COLORS["dot"]}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<circle cx="{to_x(stat.mean):.1f}" cy="{whisker_y}" r="4" '
+            f'fill="{_COLORS["dot"]}"/>'
+        )
+        parts.append(
+            f'<text x="{axis_x + _DOT_W + 6}" y="{whisker_y + 4}">'
+            f"{stat.mean:.2f}±{stat.std:.2f}</text>"
+        )
+
+    overall = stats.overall
+    footer_y = _ROW_H * (len(rows) + 2)
+    parts.append(
+        f'<text x="4" y="{footer_y}" font-weight="bold">overall: '
+        f"{overall.mean:.2f} ± {overall.std:.2f} "
+        f"(paper: 3.97 ± 0.85)</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_figure8(run: "StudyRun", path) -> None:
+    """Write the Figure 8 SVG to *path*."""
+    from pathlib import Path
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(figure8_svg(run), encoding="utf-8")

@@ -1,0 +1,80 @@
+"""Study personas.
+
+Six simulated participants (P1–P6) matching the behavioural facts Section
+7.2 reports:
+
+* Task 1: three "jump-started with the keyword search", three "directly
+  started from data discovery views";
+* Task 2: three had to be reminded that views populate on selection;
+* Task 3: half missed the first condition (did not filter to workbooks);
+* Task 4: two needed help finding the team configuration setting.
+
+Each trait is a persona flag the executor consults, so the aggregate
+counts are reproduced *by construction of who the participants are*, while
+task success itself still depends on the interface actually working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Persona:
+    """One simulated participant."""
+
+    pid: str  # "P1".."P6"
+    name: str
+    #: preferred entry point for directed search (Task 1)
+    search_first: bool
+    #: knows that selecting an artifact populates exploration views (Task 2)
+    explore_aware: bool
+    #: includes every query condition on the first try (Task 3)
+    thorough_query: bool
+    #: finds the team-configuration surface unaided (Task 4)
+    config_familiar: bool
+    #: general disposition added to Likert ratings (-1.0 .. +1.0);
+    #: sceptics exist in every study.
+    disposition: float = 0.0
+    #: how much the participant values configurability (§7.2: one would
+    #: "not want to touch the configuration")
+    config_appetite: float = 1.0
+
+
+#: The six study participants.  Flag totals match §7.2: 3 search-first,
+#: 3 needing the exploration reminder, 3 missing the first condition,
+#: 2 needing configuration help.
+PERSONAS: tuple[Persona, ...] = (
+    Persona(
+        pid="P1", name="Sasha", search_first=True, explore_aware=True,
+        thorough_query=True, config_familiar=True, disposition=0.3,
+    ),
+    Persona(
+        pid="P2", name="Jordan", search_first=False, explore_aware=False,
+        thorough_query=True, config_familiar=False, disposition=0.0,
+    ),
+    Persona(
+        pid="P3", name="Robin", search_first=True, explore_aware=True,
+        thorough_query=False, config_familiar=True, disposition=0.2,
+    ),
+    Persona(
+        pid="P4", name="Alexis", search_first=True, explore_aware=False,
+        thorough_query=False, config_familiar=True, disposition=-0.4,
+        config_appetite=0.3,
+    ),
+    Persona(
+        pid="P5", name="Casey", search_first=False, explore_aware=True,
+        thorough_query=False, config_familiar=False, disposition=0.1,
+    ),
+    Persona(
+        pid="P6", name="Morgan", search_first=False, explore_aware=False,
+        thorough_query=True, config_familiar=True, disposition=0.4,
+    ),
+)
+
+
+def persona_by_id(pid: str) -> Persona:
+    for persona in PERSONAS:
+        if persona.pid == pid:
+            return persona
+    raise KeyError(f"unknown persona {pid!r}")

@@ -1,0 +1,143 @@
+"""Study report printing: paper-vs-measured tables for E1 and E2."""
+
+from __future__ import annotations
+
+from repro.study.executor import StudyRun
+from repro.study.questionnaire import STATEMENTS, answer_questionnaire
+from repro.study.stats import category_stats
+
+#: Section 7.2 reference counts: (completed, assisted participants) of 6,
+#: plus the Task 1 strategy split.
+PAPER_TASK_RESULTS = {
+    "T1": {"completed": 6, "assisted": 0},
+    "T2": {"completed": 6, "assisted": 3},
+    "T3": {"completed": 6, "assisted": 3},
+    "T4": {"completed": 6, "assisted": 2},
+}
+PAPER_T1_SEARCH_FIRST = 3
+
+#: Figure 8 reference: overall mean/std across all ratings.
+PAPER_OVERALL = (3.97, 0.85)
+
+
+def task_outcome_table(run: StudyRun) -> str:
+    """E1: per-task completion/assists, paper vs. measured."""
+    lines = [
+        "E1 — Task outcomes (Section 7.2)",
+        f"{'task':<6}{'completed':>18}{'assisted':>22}",
+        f"{'':<6}{'paper':>9}{'ours':>9}{'paper':>11}{'ours':>11}",
+    ]
+    for task_id in ("T1", "T2", "T3", "T4"):
+        outcomes = run.outcomes_for(task_id)
+        completed = sum(o.completed for o in outcomes)
+        assisted = run.assisted_participants(task_id)
+        reference = PAPER_TASK_RESULTS[task_id]
+        lines.append(
+            f"{task_id:<6}{reference['completed']:>9}{completed:>9}"
+            f"{reference['assisted']:>11}{assisted:>11}"
+        )
+    split = run.strategy_split("T1")
+    lines.append(
+        f"T1 strategy split: paper {PAPER_T1_SEARCH_FIRST} search-first / "
+        f"{6 - PAPER_T1_SEARCH_FIRST} views-first; "
+        f"ours {split.get('search-first', 0)} search-first / "
+        f"{split.get('views-first', 0)} views-first"
+    )
+    return "\n".join(lines)
+
+
+def questionnaire_table(run: StudyRun) -> str:
+    """E2: Figure 8 per-statement and overall stats, paper vs. measured."""
+    responses = answer_questionnaire(run)
+    stats = category_stats(responses)
+    lines = [
+        "E2 — Post-study questionnaire (Figure 8)",
+        f"{'stmt':<5}{'category':<14}{'mean':>6}{'std':>6}"
+        f"{'pos%':>7}{'neg%':>7}{'paper mean':>12}{'paper std':>11}",
+    ]
+    for statement in STATEMENTS:
+        stat = stats.by_statement[statement.sid]
+        if statement.paper_reference:
+            ref_mean, ref_std = statement.paper_reference
+            reference = f"{ref_mean:>12.2f}{ref_std:>11.2f}"
+        else:
+            reference = f"{'—':>12}{'—':>11}"
+        lines.append(
+            f"{statement.sid:<5}{statement.category:<14}"
+            f"{stat.mean:>6.2f}{stat.std:>6.2f}"
+            f"{stat.percent_positive:>7.1f}{stat.percent_negative:>7.1f}"
+            f"{reference}"
+        )
+    lines.append("-" * 68)
+    for category, stat in stats.by_category.items():
+        lines.append(
+            f"{'':<5}{category:<14}{stat.mean:>6.2f}{stat.std:>6.2f}"
+            f"{stat.percent_positive:>7.1f}{stat.percent_negative:>7.1f}"
+        )
+    overall = stats.overall
+    lines.append(
+        f"overall: mean {overall.mean:.2f} std {overall.std:.2f} "
+        f"(paper: mean {PAPER_OVERALL[0]:.2f} std {PAPER_OVERALL[1]:.2f})"
+    )
+    return "\n".join(lines)
+
+
+def figure8_chart(run: StudyRun, width: int = 30) -> str:
+    """ASCII rendition of Figure 8's diverging bars.
+
+    Each statement gets a bar centred on the neutral column: negative
+    ratings (≤2) extend left, positive ratings (≥4) right, with the mean
+    and std printed alongside — the same encoding as the paper's figure.
+    """
+    responses = answer_questionnaire(run)
+    stats = category_stats(responses)
+    half = width // 2
+    lines = [
+        "Figure 8 — questionnaire responses "
+        "(◄ negative | neutral | positive ►)",
+        f"{'stmt':<5}{'':{half}}|{'':{half}} {'mean':>5} {'std':>5}",
+    ]
+    for statement in STATEMENTS:
+        stat = stats.by_statement[statement.sid]
+        neg = int(round(stat.percent_negative / 100 * half))
+        pos = int(round(stat.percent_positive / 100 * half))
+        left = ("░" * neg).rjust(half)
+        right = ("█" * pos).ljust(half)
+        lines.append(
+            f"{statement.sid:<5}{left}|{right} {stat.mean:>5.2f} "
+            f"{stat.std:>5.2f}"
+        )
+    overall = stats.overall
+    lines.append(
+        f"{'all':<5}{'':{half}}|{'':{half}} {overall.mean:>5.2f} "
+        f"{overall.std:>5.2f}"
+    )
+    return "\n".join(lines)
+
+
+def strategy_effort_table(run: StudyRun) -> str:
+    """UI actions spent on Task 1 by strategy — an instrumentation-only
+    measurement the paper could not report (it had no event logs)."""
+    per_strategy: dict[str, list[int]] = {}
+    for outcome in run.outcomes_for("T1"):
+        session = run.sessions[outcome.pid]
+        searches = session.events.count("search")
+        tabs = session.events.count("tab_selected")
+        suggestions = session.events.count("suggestions_shown")
+        actions = searches + tabs + suggestions
+        per_strategy.setdefault(outcome.strategy, []).append(actions)
+    lines = [f"{'T1 strategy':<15}{'participants':>13}"
+             f"{'avg UI actions (whole session)':>32}"]
+    for strategy, counts in sorted(per_strategy.items()):
+        average = sum(counts) / len(counts)
+        lines.append(f"{strategy:<15}{len(counts):>13}{average:>32.1f}")
+    return "\n".join(lines)
+
+
+def full_report(run: StudyRun) -> str:
+    return "\n\n".join([
+        task_outcome_table(run),
+        strategy_effort_table(run),
+        questionnaire_table(run),
+        figure8_chart(run),
+    ])

@@ -1,0 +1,89 @@
+"""Likert statistics for questionnaire responses.
+
+Figure 8 reports, per item and category, the mean and standard deviation
+of the 5-point ratings plus the percentage of positive (≥4) and negative
+(≤2) answers; these helpers compute the same quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.study.questionnaire import QuestionnaireResponse
+
+#: Likert thresholds used by the diverging bars in Figure 8.
+POSITIVE_MIN = 4
+NEGATIVE_MAX = 2
+
+
+@dataclass(frozen=True)
+class LikertStats:
+    """Summary of a set of 1–5 ratings."""
+
+    n: int
+    mean: float
+    std: float
+    percent_positive: float
+    percent_negative: float
+    percent_neutral: float
+
+
+def likert_stats(ratings: list[int]) -> LikertStats:
+    """Mean/std (population, as in the paper) and pos/neg/neutral shares."""
+    if not ratings:
+        return LikertStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    for rating in ratings:
+        if not 1 <= rating <= 5:
+            raise ValueError(f"rating out of range: {rating}")
+    n = len(ratings)
+    mean = sum(ratings) / n
+    variance = sum((r - mean) ** 2 for r in ratings) / n
+    positive = sum(1 for r in ratings if r >= POSITIVE_MIN)
+    negative = sum(1 for r in ratings if r <= NEGATIVE_MAX)
+    neutral = n - positive - negative
+    return LikertStats(
+        n=n,
+        mean=round(mean, 2),
+        std=round(math.sqrt(variance), 2),
+        percent_positive=round(100.0 * positive / n, 1),
+        percent_negative=round(100.0 * negative / n, 1),
+        percent_neutral=round(100.0 * neutral / n, 1),
+    )
+
+
+@dataclass(frozen=True)
+class CategoryStats:
+    """Per-category and overall questionnaire statistics."""
+
+    by_statement: dict[str, LikertStats]
+    by_category: dict[str, LikertStats]
+    overall: LikertStats
+
+
+def statement_stats(
+    responses: list[QuestionnaireResponse],
+) -> dict[str, LikertStats]:
+    ratings: dict[str, list[int]] = {}
+    for response in responses:
+        ratings.setdefault(response.sid, []).append(response.rating)
+    return {sid: likert_stats(values) for sid, values in sorted(ratings.items())}
+
+
+def category_stats(responses: list[QuestionnaireResponse]) -> CategoryStats:
+    """Aggregate responses per statement, per category and overall."""
+    by_category_ratings: dict[str, list[int]] = {}
+    all_ratings: list[int] = []
+    for response in responses:
+        by_category_ratings.setdefault(response.category, []).append(
+            response.rating
+        )
+        all_ratings.append(response.rating)
+    return CategoryStats(
+        by_statement=statement_stats(responses),
+        by_category={
+            category: likert_stats(values)
+            for category, values in sorted(by_category_ratings.items())
+        },
+        overall=likert_stats(all_ratings),
+    )

@@ -1,0 +1,48 @@
+"""The four study tasks (Section 7.1), verbatim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    """One study task."""
+
+    task_id: str
+    prompt: str  # the instruction given to participants, from the paper
+    aspect: str  # the design goal it probes
+
+
+TASKS: tuple[Task, ...] = (
+    Task(
+        task_id="T1",
+        prompt="Find table AIRLINES, which has the endorsed tag.",
+        aspect="expressivity: metadata-based overviews as entry points",
+    ),
+    Task(
+        task_id="T2",
+        prompt="Find other elements that are similar to the table "
+               "w.r.t. type or badge.",
+        aspect="composability: exploratory discovery from a selection",
+    ),
+    Task(
+        task_id="T3",
+        prompt="Find all workbooks created by user John Doe.",
+        aspect="composability: metadata-composed search and filtering",
+    ),
+    Task(
+        task_id="T4",
+        prompt="Assume you are the administrator of A Team in your "
+               "organization and set the team's home page to your "
+               "preferred content.",
+        aspect="configurability: team-level reconfiguration",
+    ),
+)
+
+
+def task_by_id(task_id: str) -> Task:
+    for task in TASKS:
+        if task.task_id == task_id:
+            return task
+    raise KeyError(f"unknown task {task_id!r}")

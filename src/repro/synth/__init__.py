@@ -1,0 +1,19 @@
+"""Synthetic enterprise catalog generation.
+
+The paper evaluates Humboldt against Sigma Computing's production catalog,
+which we cannot ship.  This package generates deterministic, realistic
+substitutes: domain-flavoured tables with overlapping key columns (so
+joinability has signal), derived datasets/visualizations/dashboards with
+lineage, users, teams, badges and Zipf-distributed usage logs.
+"""
+
+from repro.synth.generator import SynthConfig, generate_catalog, study_catalog
+from repro.synth.workload import WorkloadConfig, generate_usage
+
+__all__ = [
+    "SynthConfig",
+    "WorkloadConfig",
+    "generate_catalog",
+    "generate_usage",
+    "study_catalog",
+]

@@ -1,0 +1,433 @@
+"""Deterministic synthetic catalog generator.
+
+``generate_catalog(SynthConfig(seed=7, n_tables=200))`` always yields the
+same catalog: users, teams, domain-flavoured tables with overlapping key
+columns, derived artifacts with lineage, badges, tags and a Zipf usage log.
+
+``study_catalog()`` layers the specific entities the paper's user study
+references on top (the AIRLINES table with the *endorsed* badge, users Alex,
+Mike and John Doe, the "A Team"), so the study tasks of Section 7.1 can be
+executed verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.catalog.model import Artifact, ArtifactType, Column, Team, User
+from repro.catalog.store import CatalogStore
+from repro.synth import names
+from repro.synth.workload import WorkloadConfig, generate_usage
+from repro.util.clock import DAY, SimulationClock
+from repro.util.ids import IdFactory
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Knobs for catalog generation; defaults give a small demo catalog."""
+
+    seed: int = 7
+    n_users: int = 24
+    n_teams: int = 4
+    n_tables: int = 120
+    dataset_ratio: float = 0.3  # fraction of tables with a derived dataset
+    viz_ratio: float = 0.5  # visualizations per table (expected)
+    n_dashboards: int = 12
+    n_workbooks: int = 18
+    n_documents: int = 6
+    badge_ratio: float = 0.15  # fraction of artifacts receiving a badge
+    horizon_days: float = 365.0  # catalog age
+    usage_events: int = 4000
+    key_value_pool: int = 2000  # shared id pool size for join overlap
+    samples_per_column: int = 40
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.n_teams < 1 or self.n_tables < 1:
+            raise ValueError("n_users, n_teams and n_tables must be >= 1")
+        if not 0 <= self.badge_ratio <= 1:
+            raise ValueError("badge_ratio must be in [0, 1]")
+
+
+@dataclass
+class _Build:
+    """Mutable state threaded through the generation passes."""
+
+    config: SynthConfig
+    rng: random.Random
+    store: CatalogStore
+    ids: IdFactory
+    now: float
+    tables: list[Artifact] = field(default_factory=list)
+    datasets: list[Artifact] = field(default_factory=list)
+    visualizations: list[Artifact] = field(default_factory=list)
+
+
+def generate_catalog(config: SynthConfig | None = None) -> CatalogStore:
+    """Generate a full synthetic catalog from *config*."""
+    config = config or SynthConfig()
+    rng = random.Random(config.seed)
+    clock = SimulationClock()
+    store = CatalogStore(clock=clock)
+    now = clock.epoch + config.horizon_days * DAY
+    build = _Build(config=config, rng=rng, store=store, ids=IdFactory(), now=now)
+
+    _make_people(build)
+    _make_tables(build)
+    _make_derived(build)
+    _grant_badges(build)
+    clock.advance(seconds=now - clock.now())
+    generate_usage(
+        store,
+        WorkloadConfig(seed=config.seed + 1, n_events=config.usage_events),
+    )
+    return store
+
+
+def study_catalog(seed: int = 7, n_tables: int = 80) -> CatalogStore:
+    """A catalog containing the exact entities the paper's study tasks use.
+
+    Adds, on top of a generated base catalog:
+
+    * users **Alex**, **Mike** (manager) and **John Doe** (sales);
+    * table **AIRLINES** owned by Alex, with the ``endorsed`` badge granted
+      by Mike (Task 1);
+    * peer tables sharing AIRLINES' type and badge (Task 2);
+    * workbooks created by John Doe (Task 3);
+    * table **SALES_NUMBERS** matching the paper's flagship query
+      ``type: table owned_by: "Alex" badged: endorsed badged_by: "Mike" & "sales"``.
+    """
+    config = SynthConfig(seed=seed, n_tables=n_tables)
+    store = generate_catalog(config)
+    clock = store.clock
+    a_team = next((t for t in store.teams() if t.name == "A Team"), None)
+    team_ids = (a_team.id,) if a_team else ()
+
+    alex = store.add_user(User(id="user-alex", name="Alex", role="analyst",
+                               team_ids=team_ids))
+    mike = store.add_user(User(id="user-mike", name="Mike", role="manager",
+                               team_ids=team_ids))
+    john = store.add_user(User(id="user-john", name="John Doe", role="sales"))
+
+    created = clock.now() - 30 * DAY
+    airlines = store.add_artifact(
+        Artifact(
+            id="table-airlines",
+            name="AIRLINES",
+            artifact_type=ArtifactType.TABLE,
+            description="Carrier, route and on-time statistics for all airlines.",
+            owner_id=alex.id,
+            team_ids=team_ids,
+            created_at=created,
+            tags=("travel", "reference"),
+            columns=(
+                Column("airline_id", "integer",
+                       tuple(f"id-{i}" for i in range(0, 40))),
+                Column("carrier", "string", ("UA", "AA", "DL", "WN", "B6")),
+                Column("origin", "string", ("SFO", "JFK", "ORD", "SEA")),
+                Column("dest", "string", ("LAX", "BOS", "DEN", "ATL")),
+                Column("flight_date", "date"),
+            ),
+        )
+    )
+    store.grant_badge(airlines.id, "endorsed", mike.id, at=created + DAY)
+
+    sales_numbers = store.add_artifact(
+        Artifact(
+            id="table-sales-numbers",
+            name="SALES_NUMBERS",
+            artifact_type=ArtifactType.TABLE,
+            description="Quarterly sales numbers by region and product line.",
+            owner_id=alex.id,
+            team_ids=team_ids,
+            created_at=created,
+            tags=("sales", "revenue"),
+            columns=(
+                Column("region_id", "integer",
+                       tuple(f"id-{i}" for i in range(10, 50))),
+                Column("quarter", "string", ("Q1", "Q2", "Q3", "Q4")),
+                Column("revenue", "float"),
+            ),
+        )
+    )
+    store.grant_badge(sales_numbers.id, "endorsed", mike.id, at=created + DAY)
+
+    # Task 2 needs peers similar w.r.t. type and badge.
+    peers = ("AIRPORTS", "AIRCRAFT", "ROUTES")
+    for index, name in enumerate(peers):
+        peer = store.add_artifact(
+            Artifact(
+                id=f"table-{name.lower()}",
+                name=name,
+                artifact_type=ArtifactType.TABLE,
+                description=f"Reference data: {name.lower()}.",
+                owner_id=alex.id if index % 2 == 0 else mike.id,
+                team_ids=team_ids,
+                created_at=created + index * DAY,
+                tags=("travel", "reference"),
+                columns=(
+                    Column("airline_id", "integer",
+                           tuple(f"id-{i}" for i in range(20, 60))),
+                    Column("name", "string"),
+                ),
+            )
+        )
+        if index < 2:
+            store.grant_badge(peer.id, "endorsed", mike.id,
+                              at=created + (index + 1) * DAY)
+        store.lineage.add_edge(airlines.id, peer.id, "joins")
+
+    # Task 3: workbooks created by John Doe (plus a decoy dashboard).
+    workbook_names = ("Q1 Sales Review", "Churn Deep Dive", "Pipeline Health")
+    for index, name in enumerate(workbook_names):
+        store.add_artifact(
+            Artifact(
+                id=f"workbook-john-{index + 1}",
+                name=name,
+                artifact_type=ArtifactType.WORKBOOK,
+                description=f"Workbook by John Doe: {name.lower()}.",
+                owner_id=john.id,
+                created_at=created + index * DAY,
+                tags=("sales",),
+            )
+        )
+    store.add_artifact(
+        Artifact(
+            id="dashboard-john-1",
+            name="Sales Dashboard",
+            artifact_type=ArtifactType.DASHBOARD,
+            description="Dashboard by John Doe (not a workbook).",
+            owner_id=john.id,
+            created_at=created,
+            tags=("sales",),
+        )
+    )
+
+    # Give study artifacts some usage so ranked views surface them.
+    for artifact_id in ("table-airlines", "table-sales-numbers",
+                        "workbook-john-1"):
+        for actor in (alex.id, mike.id, john.id):
+            store.record(artifact_id, actor, "view",
+                         at=clock.now() - DAY)
+    store.record("table-airlines", alex.id, "favorite", at=clock.now() - DAY)
+    return store
+
+
+# -- generation passes --------------------------------------------------------
+
+
+def _make_people(build: _Build) -> None:
+    config, rng = build.config, build.rng
+    team_names = list(names.TEAM_NAMES[: config.n_teams])
+    while len(team_names) < config.n_teams:
+        team_names.append(f"Team {len(team_names) + 1}")
+    team_ids = [build.ids.next("team") for _ in team_names]
+
+    user_specs: list[tuple[str, str, str, tuple[str, ...]]] = []
+    memberships: dict[str, list[str]] = {tid: [] for tid in team_ids}
+    for index in range(config.n_users):
+        first = names.FIRST_NAMES[index % len(names.FIRST_NAMES)]
+        last = names.LAST_NAMES[(index // len(names.FIRST_NAMES) + index)
+                                % len(names.LAST_NAMES)]
+        full = f"{first} {last}"
+        role = names.ROLES[index % len(names.ROLES)]
+        n_memberships = 1 if rng.random() < 0.7 else 2
+        joined = rng.sample(team_ids, k=min(n_memberships, len(team_ids)))
+        user_id = build.ids.next("user")
+        user_specs.append((user_id, full, role, tuple(joined)))
+        for team_id in joined:
+            memberships[team_id].append(user_id)
+
+    for user_id, full, role, joined in user_specs:
+        build.store.add_user(User(id=user_id, name=full, role=role,
+                                  team_ids=joined))
+    for team_id, team_name in zip(team_ids, team_names):
+        members = memberships[team_id]
+        admins = tuple(members[:1])
+        build.store.add_team(Team(id=team_id, name=team_name,
+                                  admin_ids=admins,
+                                  member_ids=tuple(members)))
+
+
+def _random_timestamp(build: _Build) -> float:
+    """A creation time within the catalog horizon, at least a day old."""
+    age_days = build.rng.uniform(1.0, build.config.horizon_days - 1.0)
+    return build.now - age_days * DAY
+
+
+def _pick_owner(build: _Build) -> User:
+    users = build.store.users()
+    return users[build.rng.randrange(len(users))]
+
+
+def _key_samples(build: _Build, column_name: str) -> tuple[str, ...]:
+    """Sample values for a shared key column, drawn from a per-key window.
+
+    Every key column name owns a window of the global id pool; tables
+    sample ~half the window, so two tables sharing a key column overlap
+    with Jaccard ≈ 0.3 — comfortably above the joinability threshold —
+    while unrelated columns share nothing.
+    """
+    pool = build.config.key_value_pool
+    window = min(80, pool)
+    offset = (sum(ord(ch) for ch in column_name) * 131) % max(pool - window, 1)
+    count = min(build.config.samples_per_column, window)
+    values = build.rng.sample(range(offset, offset + window), count)
+    return tuple(f"{column_name[:3]}-{v}" for v in sorted(values))
+
+
+def _make_tables(build: _Build) -> None:
+    config, rng = build.config, build.rng
+    domains = list(names.DOMAINS)
+    for index in range(config.n_tables):
+        domain = domains[index % len(domains)]
+        subjects, column_pool = names.DOMAINS[domain]
+        subject = subjects[(index // len(domains)) % len(subjects)]
+        parts = [domain, subject]
+        if rng.random() < 0.5:
+            parts.append(names.TABLE_SUFFIXES[rng.randrange(len(names.TABLE_SUFFIXES))])
+        table_name = "_".join(parts).upper()
+
+        key_cols = rng.sample(names.KEY_COLUMNS, k=rng.randint(2, 3))
+        domain_cols = rng.sample(column_pool, k=min(rng.randint(3, 5),
+                                                    len(column_pool)))
+        columns = tuple(
+            Column(name, dtype, _key_samples(build, name))
+            for name, dtype in key_cols
+        ) + tuple(Column(name, dtype) for name, dtype in domain_cols)
+
+        owner = _pick_owner(build)
+        description = names.DESCRIPTION_TEMPLATES[
+            rng.randrange(len(names.DESCRIPTION_TEMPLATES))
+        ].format(subject=subject, domain=domain)
+        artifact = Artifact(
+            id=build.ids.next("table"),
+            name=table_name,
+            artifact_type=ArtifactType.TABLE,
+            description=description,
+            owner_id=owner.id,
+            team_ids=owner.team_ids[:1],
+            created_at=_random_timestamp(build),
+            tags=names.TAGS_BY_DOMAIN[domain],
+            columns=columns,
+        )
+        build.store.add_artifact(artifact)
+        build.tables.append(artifact)
+
+
+def _make_derived(build: _Build) -> None:
+    config, rng, store = build.config, build.rng, build.store
+
+    for table in build.tables:
+        if rng.random() >= config.dataset_ratio:
+            continue
+        owner = _pick_owner(build)
+        dataset = Artifact(
+            id=build.ids.next("dataset"),
+            name=f"{table.name.title().replace('_', ' ')} Dataset",
+            artifact_type=ArtifactType.DATASET,
+            description=f"Curated dataset derived from {table.name}.",
+            owner_id=owner.id,
+            team_ids=owner.team_ids[:1],
+            created_at=min(table.created_at + DAY, build.now - DAY),
+            tags=table.tags,
+            columns=table.columns[: max(2, len(table.columns) - 2)],
+        )
+        store.add_artifact(dataset)
+        store.lineage.add_edge(table.id, dataset.id, "derives")
+        build.datasets.append(dataset)
+
+    viz_sources = build.tables + build.datasets
+    n_viz = int(len(build.tables) * config.viz_ratio)
+    for _ in range(n_viz):
+        source = viz_sources[rng.randrange(len(viz_sources))]
+        kind = names.VIZ_KINDS[rng.randrange(len(names.VIZ_KINDS))]
+        owner = _pick_owner(build)
+        viz = Artifact(
+            id=build.ids.next("viz"),
+            name=f"{source.name.title().replace('_', ' ')} {kind.title()}",
+            artifact_type=ArtifactType.VISUALIZATION,
+            description=f"A {kind} over {source.name}.",
+            owner_id=owner.id,
+            team_ids=owner.team_ids[:1],
+            created_at=min(source.created_at + 2 * DAY, build.now - DAY),
+            tags=source.tags,
+        )
+        store.add_artifact(viz)
+        store.lineage.add_edge(source.id, viz.id, "derives")
+        build.visualizations.append(viz)
+
+    for _ in range(config.n_dashboards):
+        if not build.visualizations:
+            break
+        k = min(rng.randint(2, 5), len(build.visualizations))
+        embedded = rng.sample(build.visualizations, k=k)
+        owner = _pick_owner(build)
+        earliest = max(v.created_at for v in embedded)
+        dashboard = Artifact(
+            id=build.ids.next("dashboard"),
+            name=f"{owner.name.split()[0]}'s "
+                 f"{embedded[0].tags[0].title() if embedded[0].tags else 'Team'} "
+                 f"Dashboard",
+            artifact_type=ArtifactType.DASHBOARD,
+            description="Dashboard embedding "
+                        + ", ".join(v.name for v in embedded[:2]) + ".",
+            owner_id=owner.id,
+            team_ids=owner.team_ids[:1],
+            created_at=min(earliest + DAY, build.now - DAY),
+            tags=embedded[0].tags,
+        )
+        store.add_artifact(dashboard)
+        for viz in embedded:
+            store.lineage.add_edge(viz.id, dashboard.id, "embeds")
+
+    for _ in range(config.n_workbooks):
+        k = min(rng.randint(1, 3), len(build.tables))
+        sources = rng.sample(build.tables, k=k)
+        owner = _pick_owner(build)
+        workbook = Artifact(
+            id=build.ids.next("workbook"),
+            name=f"{sources[0].name.title().replace('_', ' ')} Analysis",
+            artifact_type=ArtifactType.WORKBOOK,
+            description="Workbook analysing "
+                        + ", ".join(s.name for s in sources) + ".",
+            owner_id=owner.id,
+            team_ids=owner.team_ids[:1],
+            created_at=min(max(s.created_at for s in sources) + DAY,
+                           build.now - DAY),
+            tags=sources[0].tags,
+        )
+        store.add_artifact(workbook)
+        for source in sources:
+            store.lineage.add_edge(source.id, workbook.id, "derives")
+
+    for index in range(config.n_documents):
+        owner = _pick_owner(build)
+        store.add_artifact(
+            Artifact(
+                id=build.ids.next("doc"),
+                name=f"Runbook {index + 1}",
+                artifact_type=ArtifactType.DOCUMENT,
+                description="Operational notes and data dictionary excerpts.",
+                owner_id=owner.id,
+                team_ids=owner.team_ids[:1],
+                created_at=_random_timestamp(build),
+                tags=("docs",),
+            )
+        )
+
+
+def _grant_badges(build: _Build) -> None:
+    config, rng, store = build.config, build.rng, build.store
+    managers = [u for u in store.users() if u.role == "manager"]
+    if not managers:
+        managers = store.users()[:1]
+    artifact_ids = store.artifact_ids()
+    n_badged = int(len(artifact_ids) * config.badge_ratio)
+    chosen = rng.sample(artifact_ids, k=min(n_badged, len(artifact_ids)))
+    for artifact_id in chosen:
+        badge = names.BADGES[rng.randrange(len(names.BADGES))]
+        grantor = managers[rng.randrange(len(managers))]
+        artifact = store.artifact(artifact_id)
+        granted_at = min(artifact.created_at + DAY, build.now)
+        store.grant_badge(artifact_id, badge, grantor.id, at=granted_at)

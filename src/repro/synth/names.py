@@ -1,0 +1,116 @@
+"""Name corpora for the synthetic catalog.
+
+The corpora are small but structured: every business domain carries its own
+subject nouns and column pools, and a set of *key columns* is shared across
+domains so that cross-domain joins exist — the joinability provider needs
+real value overlap to find.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "Ada", "Alex", "Amara", "Ben", "Carla", "Chen", "Dana", "Elena",
+    "Femi", "Grace", "Hiro", "Ines", "Jonas", "Kai", "Lena", "Mei",
+    "Mike", "Nadia", "Omar", "Priya", "Quinn", "Rosa", "Sam", "Tariq",
+    "Uma", "Viktor", "Wes", "Xena", "Yara", "Zoe",
+)
+
+LAST_NAMES = (
+    "Abebe", "Bauer", "Costa", "Dubois", "Eriksen", "Fischer", "Garcia",
+    "Haddad", "Ivanov", "Jensen", "Kimura", "Lindgren", "Moreno", "Nakamura",
+    "Okafor", "Petrov", "Quispe", "Rossi", "Singh", "Tanaka", "Ueda",
+    "Vargas", "Weber", "Xu", "Yilmaz", "Zhang",
+)
+
+ROLES = ("analyst", "engineer", "manager", "sales", "designer")
+
+TEAM_NAMES = (
+    "A Team", "Marketing", "Sales Engineering", "Finance Ops",
+    "Growth", "Data Platform", "Customer Success", "Product Analytics",
+    "Supply Chain", "Revenue Ops",
+)
+
+BADGES = ("endorsed", "certified", "warning", "deprecated")
+
+#: Columns shared across domains; these create join paths.
+KEY_COLUMNS = (
+    ("customer_id", "integer"),
+    ("order_id", "integer"),
+    ("product_id", "integer"),
+    ("account_id", "integer"),
+    ("region_id", "integer"),
+    ("event_date", "date"),
+)
+
+#: domain -> (subject nouns, domain-specific column pool)
+DOMAINS: dict[str, tuple[tuple[str, ...], tuple[tuple[str, str], ...]]] = {
+    "sales": (
+        ("orders", "pipeline", "quota", "deals", "revenue", "leads",
+         "opportunities", "bookings", "renewals", "churn"),
+        (
+            ("deal_size", "float"), ("stage", "string"), ("close_date", "date"),
+            ("rep_name", "string"), ("discount", "float"), ("won", "boolean"),
+        ),
+    ),
+    "marketing": (
+        ("campaigns", "attribution", "impressions", "clicks", "conversion",
+         "spend", "funnels", "segments", "cohorts", "emails"),
+        (
+            ("channel", "string"), ("cost", "float"), ("ctr", "float"),
+            ("audience", "string"), ("campaign_name", "string"),
+        ),
+    ),
+    "finance": (
+        ("ledger", "invoices", "payments", "budget", "forecast",
+         "expenses", "payroll", "balance", "tax", "assets"),
+        (
+            ("amount", "float"), ("currency", "string"), ("due_date", "date"),
+            ("cost_center", "string"), ("approved", "boolean"),
+        ),
+    ),
+    "product": (
+        ("usage", "signups", "retention", "features", "sessions",
+         "errors", "latency", "adoption", "feedback", "experiments"),
+        (
+            ("feature_name", "string"), ("duration_ms", "integer"),
+            ("platform", "string"), ("version", "string"), ("active", "boolean"),
+        ),
+    ),
+    "operations": (
+        ("inventory", "shipments", "suppliers", "warehouses", "returns",
+         "logistics", "fleet", "capacity", "incidents", "audits"),
+        (
+            ("sku", "string"), ("quantity", "integer"), ("warehouse", "string"),
+            ("shipped_date", "date"), ("carrier", "string"),
+        ),
+    ),
+    "hr": (
+        ("headcount", "recruiting", "onboarding", "attrition", "surveys",
+         "compensation", "reviews", "training", "benefits", "offers"),
+        (
+            ("department", "string"), ("level", "integer"), ("salary", "float"),
+            ("start_date", "date"), ("remote", "boolean"),
+        ),
+    ),
+}
+
+TABLE_SUFFIXES = ("raw", "clean", "daily", "monthly", "v2", "final", "staging", "agg")
+
+TAGS_BY_DOMAIN = {
+    "sales": ("sales", "revenue", "crm"),
+    "marketing": ("marketing", "growth", "campaigns"),
+    "finance": ("finance", "accounting", "reporting"),
+    "product": ("product", "telemetry", "engagement"),
+    "operations": ("ops", "supply-chain", "logistics"),
+    "hr": ("hr", "people", "internal"),
+}
+
+VIZ_KINDS = ("bar chart", "line chart", "scatter plot", "pivot", "map", "funnel")
+
+DESCRIPTION_TEMPLATES = (
+    "Tracks {subject} for the {domain} org, refreshed daily.",
+    "Source of truth for {domain} {subject}.",
+    "Derived {subject} metrics used in weekly {domain} reviews.",
+    "Historical {subject} snapshots for {domain} planning.",
+    "Ad-hoc exploration of {domain} {subject}.",
+)

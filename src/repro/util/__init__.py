@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic ids, a simulation clock, text helpers."""
+
+from repro.util.clock import SimulationClock
+from repro.util.ids import IdFactory, slugify
+from repro.util.textutil import normalize, tokenize
+
+__all__ = [
+    "IdFactory",
+    "SimulationClock",
+    "normalize",
+    "slugify",
+    "tokenize",
+]

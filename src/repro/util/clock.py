@@ -1,0 +1,57 @@
+"""A controllable simulation clock.
+
+Wall-clock time makes tests flaky and synthetic catalogs irreproducible, so
+every timestamp in the library flows through a :class:`SimulationClock` that
+starts at a fixed epoch and only advances when told to.
+"""
+
+from __future__ import annotations
+
+DAY = 86_400.0
+HOUR = 3_600.0
+
+#: 2024-01-01T00:00:00Z — an arbitrary but fixed simulation epoch.
+DEFAULT_EPOCH = 1_704_067_200.0
+
+
+class SimulationClock:
+    """Monotonic, manually advanced clock.
+
+    >>> clock = SimulationClock()
+    >>> t0 = clock.now()
+    >>> _ = clock.advance(days=2)
+    >>> clock.now() - t0
+    172800.0
+    """
+
+    def __init__(self, epoch: float = DEFAULT_EPOCH):
+        self._epoch = epoch
+        self._now = epoch
+
+    @property
+    def epoch(self) -> float:
+        """The time the clock started at."""
+        return self._epoch
+
+    def now(self) -> float:
+        """Current simulated time in seconds since the Unix epoch."""
+        return self._now
+
+    def advance(self, seconds: float = 0.0, days: float = 0.0) -> float:
+        """Move time forward and return the new time.
+
+        Negative advances are rejected to preserve monotonicity.
+        """
+        delta = seconds + days * DAY
+        if delta < 0:
+            raise ValueError(f"clock cannot move backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def at(self, days_after_epoch: float) -> float:
+        """Return the absolute timestamp *days_after_epoch* days past the epoch."""
+        return self._epoch + days_after_epoch * DAY
+
+    def days_since(self, timestamp: float) -> float:
+        """Age of *timestamp* in days relative to the current simulated time."""
+        return (self._now - timestamp) / DAY

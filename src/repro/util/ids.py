@@ -1,0 +1,47 @@
+"""Deterministic identifier generation.
+
+Everything in the reproduction must be reproducible from a seed, so ids are
+sequence numbers with a typed prefix rather than UUIDs.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Lower-case *text* and replace runs of non-alphanumerics with ``_``.
+
+    >>> slugify("Owned By!")
+    'owned_by'
+    """
+    slug = _SLUG_RE.sub("_", text.lower()).strip("_")
+    return slug or "x"
+
+
+class IdFactory:
+    """Produces deterministic ids such as ``table-00042``.
+
+    A single factory is shared per catalog so ids are unique per kind and
+    stable across runs with the same construction order.
+    """
+
+    def __init__(self, width: int = 5):
+        self._width = width
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def next(self, kind: str) -> str:
+        """Return the next id for *kind*, e.g. ``next('user') -> 'user-00001'``."""
+        self._counters[kind] += 1
+        return f"{kind}-{self._counters[kind]:0{self._width}d}"
+
+    def peek(self, kind: str) -> int:
+        """Return how many ids of *kind* have been issued."""
+        return self._counters[kind]
+
+    def reset(self) -> None:
+        """Forget all counters (used by tests)."""
+        self._counters.clear()

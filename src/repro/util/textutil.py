@@ -1,0 +1,50 @@
+"""Text normalisation and tokenisation used across search and similarity.
+
+Centralising these keeps the query evaluator, the TF-IDF vectoriser and the
+keyword baseline agreeing on what a "token" is.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def normalize(text: str) -> str:
+    """Lower-case and collapse whitespace; the canonical comparable form."""
+    return " ".join(text.lower().split())
+
+
+def tokenize(text: str) -> list[str]:
+    """Split *text* into lower-case alphanumeric tokens.
+
+    CamelCase identifiers are split first so ``SalesOrders`` yields
+    ``['sales', 'orders']``, matching how analysts actually search.
+
+    >>> tokenize("SalesOrders_2024 final")
+    ['sales', 'orders', '2024', 'final']
+    """
+    decamel = _CAMEL_RE.sub(" ", text)
+    return _TOKEN_RE.findall(decamel.lower())
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """Return the list of *n*-grams over *tokens* (empty if too short)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def truncate(text: str, limit: int, ellipsis: str = "…") -> str:
+    """Shorten *text* to at most *limit* characters, appending *ellipsis*."""
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+    if len(text) <= limit:
+        return text
+    if limit <= len(ellipsis):
+        return ellipsis[:limit]
+    return text[: limit - len(ellipsis)] + ellipsis

@@ -1,0 +1,80 @@
+"""UI event logging.
+
+Every session action appends a :class:`UiEvent`; the simulated user study
+replays its protocol and then reads this log to measure strategies
+(search-first vs. views-first), reminders and completions — the §7.2
+observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Event kinds emitted by :class:`repro.workbook.session.Session`.
+EVENT_KINDS = (
+    "home_opened",
+    "tab_selected",
+    "view_opened",
+    "view_filtered",
+    "search",
+    "suggestions_shown",
+    "artifact_selected",
+    "preview_shown",
+    "exploration_shown",
+    "config_opened",
+    "config_changed",
+    "home_page_configured",
+    "role_switched",
+    "assist",  # experimenter help/reminder, recorded by the study harness
+)
+
+
+@dataclass(frozen=True)
+class UiEvent:
+    """One logged interaction."""
+
+    kind: str
+    detail: str = ""
+    data: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{EVENT_KINDS}"
+            )
+
+
+class EventLog:
+    """Append-only event log with simple querying."""
+
+    def __init__(self) -> None:
+        self._events: list[UiEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[UiEvent]:
+        return iter(self._events)
+
+    def record(self, kind: str, detail: str = "", **data) -> UiEvent:
+        event = UiEvent(kind=kind, detail=detail, data=dict(data))
+        self._events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> list[UiEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def first_of(self, *kinds: str) -> UiEvent | None:
+        """The earliest event among *kinds* (strategy detection)."""
+        for event in self._events:
+            if event.kind in kinds:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()

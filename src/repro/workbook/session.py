@@ -1,0 +1,295 @@
+"""Per-user UI sessions.
+
+A :class:`Session` is the stateful surface a user (or a simulated study
+participant) drives: a tab strip of generated views, a search bar with
+autocomplete, artifact selection with preview and exploration panels, and
+— after switching to the admin role — the configuration surfaces of
+Figure 4.  Every action is event-logged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.interface.config import ConfigurationPanel
+from repro.core.interface.discovery import Tab
+from repro.core.interface.exploration import SurfacedView
+from repro.core.interface.preview import PreviewPane, build_preview
+from repro.core.query.autocomplete import Suggestion
+from repro.core.query.evaluator import SearchResult
+from repro.core.views.base import View
+from repro.errors import ConfigurationError
+from repro.workbook.events import EventLog
+
+if TYPE_CHECKING:  # circular import guard for type hints only
+    from repro.workbook.app import WorkbookApp
+
+
+class Session:
+    """One user's interactive session with the discovery UI."""
+
+    def __init__(self, app: "WorkbookApp", user_id: str, team_id: str = ""):
+        self.app = app
+        self.user_id = user_id
+        self.team_id = team_id
+        self.events = EventLog()
+        self.role = "user"
+        self._tabs: list[Tab] = []
+        self._active_tab = 0
+        self._selection: str | None = None
+        self._last_search: SearchResult | None = None
+        self._search_history: list[str] = []
+        self._saved_searches: dict[str, str] = {}
+
+    # -- home and tabs (Figure 7B) ----------------------------------------
+
+    def open_home(self) -> list[Tab]:
+        """Open the home screen: team home page if configured, else the
+        default overview tabs."""
+        if self.team_id and self.app.home_pages.page_for(self.team_id):
+            page = self.app.home_pages.home_page(
+                self.team_id, user_id=self.user_id
+            )
+            self._tabs = list(page.tabs)
+        else:
+            self._tabs = self.app.interface.overview_tabs(
+                user_id=self.user_id, team_id=self.team_id
+            )
+        self._active_tab = 0
+        self.events.record(
+            "home_opened",
+            detail=",".join(t.provider_name for t in self._tabs),
+            count=len(self._tabs),
+        )
+        return list(self._tabs)
+
+    def open_browse(self) -> list[Tab]:
+        """Open the full overview tab strip, bypassing any configured team
+        home page — the "browse everything" surface."""
+        self._tabs = self.app.interface.overview_tabs(
+            user_id=self.user_id, team_id=self.team_id
+        )
+        self._active_tab = 0
+        self.events.record(
+            "home_opened",
+            detail="browse",
+            count=len(self._tabs),
+        )
+        return list(self._tabs)
+
+    def tabs(self) -> list[Tab]:
+        return list(self._tabs)
+
+    def tab_titles(self) -> list[str]:
+        return [tab.title for tab in self._tabs]
+
+    def select_tab(self, name_or_index: "str | int") -> Tab:
+        """Activate a tab by provider name, title or index."""
+        if isinstance(name_or_index, int):
+            index = name_or_index
+            if not 0 <= index < len(self._tabs):
+                raise IndexError(f"no tab at index {index}")
+        else:
+            wanted = name_or_index.lower()
+            index = next(
+                (
+                    i
+                    for i, tab in enumerate(self._tabs)
+                    if wanted in (tab.provider_name.lower(), tab.title.lower())
+                ),
+                -1,
+            )
+            if index < 0:
+                raise KeyError(f"no tab named {name_or_index!r}")
+        self._active_tab = index
+        tab = self._tabs[index]
+        self.events.record("tab_selected", detail=tab.provider_name)
+        return tab
+
+    def active_view(self) -> View | None:
+        if not self._tabs:
+            return None
+        return self._tabs[self._active_tab].view
+
+    # -- search (Figure 7A) -----------------------------------------------------
+
+    def search(self, query: str, limit: int = 50) -> SearchResult:
+        """Global search; results open in a new search tab (list view)."""
+        result, view = self.app.interface.search(
+            query, user_id=self.user_id, team_id=self.team_id, limit=limit
+        )
+        tab = Tab(
+            provider_name="search",
+            title="Search Results",
+            category="search",
+            view=view,
+        )
+        self._tabs.append(tab)
+        self._active_tab = len(self._tabs) - 1
+        self._last_search = result
+        self._search_history.append(query)
+        self.events.record("search", detail=query, total=result.total)
+        return result
+
+    def filter_active_view(self, query: str) -> View:
+        """Filter the active view by a query (§5.3 search-over-view)."""
+        view = self.active_view()
+        if view is None:
+            raise ConfigurationError("no active view to filter")
+        filtered = self.app.interface.filter_view(
+            view, query, user_id=self.user_id, team_id=self.team_id
+        )
+        tab = self._tabs[self._active_tab]
+        self._tabs[self._active_tab] = Tab(
+            provider_name=tab.provider_name,
+            title=tab.title,
+            category=tab.category,
+            view=filtered,
+        )
+        self.events.record(
+            "view_filtered",
+            detail=query,
+            view=tab.provider_name,
+            remaining=filtered.count(),
+        )
+        return filtered
+
+    def suggest(self, partial: str, limit: int = 8) -> list[Suggestion]:
+        suggestions = self.app.interface.suggest(partial, limit=limit)
+        self.events.record(
+            "suggestions_shown", detail=partial, count=len(suggestions)
+        )
+        return suggestions
+
+    def last_search(self) -> SearchResult | None:
+        return self._last_search
+
+    def search_history(self) -> list[str]:
+        """Queries run this session, oldest first."""
+        return list(self._search_history)
+
+    def save_search(self, name: str, query: str = "") -> None:
+        """Save a query under *name* (defaults to the last query run)."""
+        query = query or (self._search_history[-1]
+                          if self._search_history else "")
+        if not query:
+            raise ConfigurationError("no query to save")
+        self._saved_searches[name] = query
+
+    def saved_searches(self) -> dict[str, str]:
+        return dict(self._saved_searches)
+
+    def run_saved(self, name: str, limit: int = 50) -> SearchResult:
+        """Re-run a saved query by name."""
+        try:
+            query = self._saved_searches[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no saved search named {name!r}; have "
+                f"{sorted(self._saved_searches)}"
+            ) from None
+        return self.search(query, limit=limit)
+
+    # -- selection, preview, exploration (§6.3, Figure 7D) ------------------------
+
+    def select_artifact(self, artifact_id: str) -> PreviewPane:
+        """Select an artifact: records the selection, returns the preview."""
+        self.app.store.artifact(artifact_id)  # validate
+        self._selection = artifact_id
+        self.events.record("artifact_selected", detail=artifact_id)
+        preview = build_preview(self.app.store, artifact_id)
+        self.events.record("preview_shown", detail=artifact_id)
+        return preview
+
+    @property
+    def selection(self) -> str | None:
+        return self._selection
+
+    def explore_selection(self, limit: int = 10) -> list[SurfacedView]:
+        """Views surfaced by the current selection (§5.2)."""
+        if self._selection is None:
+            raise ConfigurationError("no artifact selected")
+        surfaced = self.app.exploration.explore(
+            self._selection,
+            user_id=self.user_id,
+            team_id=self.team_id,
+            limit=limit,
+        )
+        self.events.record(
+            "exploration_shown",
+            detail=self._selection,
+            providers=[s.provider_name for s in surfaced],
+        )
+        return surfaced
+
+    def pivot(self, kind: str, value: str, limit: int = 10) -> list[SurfacedView]:
+        """Pivot on a metadata entity — e.g. click an owner name to see
+        their artifacts (`pivot("user", "user-alex")`), a badge chip
+        (`pivot("badge", "endorsed")`), or a tag.
+
+        Implements the §7.2 improvement request P5 raised.
+        """
+        surfaced = self.app.exploration.pivot(
+            kind, value, user_id=self.user_id, team_id=self.team_id,
+            limit=limit,
+        )
+        self.events.record(
+            "exploration_shown",
+            detail=f"pivot {kind}={value}",
+            providers=[s.provider_name for s in surfaced],
+        )
+        return surfaced
+
+    # -- roles and configuration (Figure 4, Task 4) ---------------------------------
+
+    def switch_role(self, role: str) -> None:
+        if role not in ("user", "team_admin"):
+            raise ConfigurationError(f"unknown role {role!r}")
+        self.role = role
+        self.events.record("role_switched", detail=role)
+
+    def open_team_config(self, team_id: str = "") -> ConfigurationPanel:
+        """Open the team configuration panel (requires admin role)."""
+        if self.role != "team_admin":
+            raise ConfigurationError(
+                "switch to the team_admin role to open team configuration"
+            )
+        team_id = team_id or self.team_id
+        panel = ConfigurationPanel(
+            self.app.interface, "team", team_id, acting_user=self.user_id
+        )
+        self.events.record("config_opened", detail=team_id)
+        return panel
+
+    def configure_team_home_page(
+        self, provider_names: list[str], team_id: str = "", title: str = ""
+    ) -> None:
+        """Set the team home page (Task 4) and regenerate the interface."""
+        if self.role != "team_admin":
+            raise ConfigurationError(
+                "switch to the team_admin role to configure the home page"
+            )
+        team_id = team_id or self.team_id
+        new_spec = self.app.home_pages.configure(
+            team_id, provider_names, acting_user=self.user_id, title=title
+        )
+        self.app.update_spec(new_spec)
+        self.events.record(
+            "home_page_configured",
+            detail=team_id,
+            providers=list(provider_names),
+        )
+
+    def hide_provider(self, provider_name: str) -> None:
+        """User-level hide (the §4.4 individual customization)."""
+        layer = self.app.customization.user_layer(self.user_id)
+        layer.hide(provider_name)
+        self.events.record("config_changed", detail=f"hide {provider_name}")
+
+    def reorder_providers(self, provider_names: list[str]) -> None:
+        """User-level reorder."""
+        layer = self.app.customization.user_layer(self.user_id)
+        layer.set_order(provider_names)
+        self.events.record(
+            "config_changed", detail=f"reorder {','.join(provider_names)}"
+        )

@@ -1,0 +1,94 @@
+"""Tests for the keyword-search and hardcoded-UI baselines."""
+
+import pytest
+
+from repro.baselines.hardcoded import TOUCH_POINTS, HardcodedDiscoveryUI
+from repro.baselines.keyword import KeywordSearchBaseline
+
+
+class TestKeywordBaseline:
+    def test_conjunctive_matching(self, tiny_store):
+        baseline = KeywordSearchBaseline(tiny_store)
+        hits = baseline.search("sales dashboard")
+        assert [h.artifact_id for h in hits] == ["d-sales"]
+
+    def test_ranked_by_relevance(self, tiny_store):
+        baseline = KeywordSearchBaseline(tiny_store)
+        hits = baseline.search("orders")
+        assert hits
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_match(self, tiny_store):
+        assert KeywordSearchBaseline(tiny_store).search("xylophone") == []
+
+    def test_empty_query(self, tiny_store):
+        assert KeywordSearchBaseline(tiny_store).search("") == []
+
+    def test_rank_of(self, tiny_store):
+        baseline = KeywordSearchBaseline(tiny_store)
+        assert baseline.rank_of("customer dimension", "t-customers") == 1
+        assert baseline.rank_of("customer dimension", "t-web") is None
+
+    def test_cannot_express_metadata_constraints(self, tiny_store):
+        """The motivating limitation: no way to say badged:endorsed."""
+        baseline = KeywordSearchBaseline(tiny_store)
+        hits = baseline.search("endorsed")
+        # 'endorsed' is a badge, not text, so plain keyword search misses
+        # every endorsed artifact.
+        assert hits == []
+
+
+class TestHardcodedBaseline:
+    def test_views_match_generated_equivalents(self, tiny_store, tiny_app):
+        hardcoded = HardcodedDiscoveryUI(tiny_store)
+        generated = tiny_app.interface.open_view("most_viewed",
+                                                 user_id="u-ann")
+        assert (hardcoded.view_most_viewed().artifact_ids()
+                == generated.artifact_ids())
+
+    def test_recents_equivalent_content(self, tiny_store, tiny_app):
+        # Same artifacts; ordering policy differs by design (the generated
+        # view ranks with spec weights, the hardcoded one is frozen).
+        hardcoded = HardcodedDiscoveryUI(tiny_store)
+        generated = tiny_app.interface.open_view("recents", user_id="u-dee")
+        assert (set(hardcoded.view_recents("u-dee").artifact_ids())
+                == set(generated.artifact_ids()))
+
+    def test_search_dispatch(self, tiny_store):
+        hardcoded = HardcodedDiscoveryUI(tiny_store)
+        assert hardcoded.search("badged", "endorsed") == [
+            "t-orders", "d-sales",
+        ]
+        assert hardcoded.search("type", "workbook") == ["w-q1"]
+        assert hardcoded.search("owned_by", "Ann Lee")
+
+    def test_unknown_field_silently_fails(self, tiny_store):
+        """The hardcoded failure mode Humboldt's compile step prevents."""
+        hardcoded = HardcodedDiscoveryUI(tiny_store)
+        assert hardcoded.search("badged_by", "Bob Ray") == []
+
+    def test_autocomplete_is_stale_by_design(self, tiny_store, tiny_app):
+        hardcoded = HardcodedDiscoveryUI(tiny_store)
+        hand_kept = set(hardcoded.FIELD_NAMES)
+        generated = set(tiny_app.interface.language.field_names())
+        # the hand-kept list lags the actual capability surface
+        assert hand_kept < generated
+
+    def test_home_enumerates_three_views(self, tiny_store):
+        hardcoded = HardcodedDiscoveryUI(tiny_store)
+        assert len(hardcoded.home("u-ann")) == 3
+
+    def test_change_cost_accounting(self):
+        sites = HardcodedDiscoveryUI.change_cost_add_source()
+        assert set(sites) == {
+            "view method", "home() registration", "search dispatch",
+            "autocomplete list", "ranking literals",
+        }
+        assert all(loc >= 1 for loc in sites.values())
+        assert HardcodedDiscoveryUI.touched_sites() == len(TOUCH_POINTS)
+
+    def test_ranking_matches_listing1_weights(self, tiny_store):
+        hardcoded = HardcodedDiscoveryUI(tiny_store)
+        # 4.3 * favorites + 1.5 * views for t-orders
+        assert hardcoded._rank("t-orders") == pytest.approx(4.3 + 1.5 * 7)

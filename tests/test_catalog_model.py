@@ -1,0 +1,123 @@
+"""Unit tests for catalog entities."""
+
+import pytest
+
+from repro.catalog.model import (
+    Artifact,
+    ArtifactType,
+    BadgeAssignment,
+    Column,
+    Team,
+    UsageEvent,
+    User,
+)
+
+
+class TestArtifactType:
+    def test_coerce_from_string(self):
+        assert ArtifactType.coerce("table") is ArtifactType.TABLE
+        assert ArtifactType.coerce("TABLE") is ArtifactType.TABLE
+
+    def test_coerce_passthrough(self):
+        assert ArtifactType.coerce(ArtifactType.WORKBOOK) is ArtifactType.WORKBOOK
+
+    def test_coerce_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown artifact type"):
+            ArtifactType.coerce("spreadsheet")
+
+
+class TestColumn:
+    def test_valid_dtypes(self):
+        for dtype in ("string", "integer", "float", "date", "boolean"):
+            assert Column("c", dtype).dtype == dtype
+
+    def test_invalid_dtype(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            Column("c", "varchar")
+
+
+class TestUsageEvent:
+    def test_valid_actions(self):
+        for action in UsageEvent.VALID_ACTIONS:
+            UsageEvent("a", "u", action, 0.0)
+
+    def test_invalid_action(self):
+        with pytest.raises(ValueError, match="unknown usage action"):
+            UsageEvent("a", "u", "click", 0.0)
+
+
+class TestTeam:
+    def test_admin_is_member(self):
+        team = Team(id="t", name="T", admin_ids=("u1",), member_ids=("u2",))
+        assert team.is_member("u1")
+        assert team.is_member("u2")
+        assert team.is_admin("u1")
+        assert not team.is_admin("u2")
+        assert not team.is_member("u3")
+
+
+def make_artifact(**overrides):
+    defaults = dict(
+        id="a-1",
+        name="SALES",
+        artifact_type="table",
+        owner_id="u-1",
+        created_at=100.0,
+    )
+    defaults.update(overrides)
+    return Artifact(**defaults)
+
+
+class TestArtifact:
+    def test_type_coerced_from_string(self):
+        assert make_artifact().artifact_type is ArtifactType.TABLE
+
+    def test_modified_defaults_to_created(self):
+        assert make_artifact().modified_at == 100.0
+
+    def test_badge_queries(self):
+        artifact = make_artifact(badges=(
+            BadgeAssignment("endorsed", "u-2", 1.0),
+            BadgeAssignment("endorsed", "u-3", 2.0),
+            BadgeAssignment("warning", "u-2", 3.0),
+        ))
+        assert artifact.badge_names() == ("endorsed", "endorsed", "warning")
+        assert artifact.badged_by("endorsed") == ("u-2", "u-3")
+        assert artifact.has_badge("endorsed")
+        assert artifact.has_badge("endorsed", granted_by="u-3")
+        assert not artifact.has_badge("endorsed", granted_by="u-9")
+        assert not artifact.has_badge("certified")
+
+    def test_field_accessor_direct(self):
+        artifact = make_artifact(tags=("sales",))
+        assert artifact.field("name") == "SALES"
+        assert artifact.field("type") == "table"
+        assert artifact.field("owner") == "u-1"
+        assert artifact.field("tags") == ("sales",)
+
+    def test_field_accessor_extra_and_default(self):
+        artifact = make_artifact(extra={"quality": 0.9})
+        assert artifact.field("quality") == 0.9
+        assert artifact.field("nonexistent") is None
+        assert artifact.field("nonexistent", 7) == 7
+
+    def test_searchable_text_includes_columns(self):
+        artifact = make_artifact(
+            description="fact table",
+            columns=(Column("order_id", "integer"),),
+        )
+        text = artifact.searchable_text()
+        assert "SALES" in text
+        assert "fact table" in text
+        assert "order_id" in text
+
+    def test_with_badge_is_copy(self):
+        original = make_artifact()
+        updated = original.with_badge(BadgeAssignment("endorsed", "u-2", 1.0))
+        assert original.badges == ()
+        assert updated.badge_names() == ("endorsed",)
+        assert updated.id == original.id
+
+    def test_iter_text_tokens(self):
+        artifact = make_artifact(name="SalesOrders")
+        assert "sales" in list(artifact.iter_text_tokens())

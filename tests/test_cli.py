@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.spec import spec_to_json
+from repro.providers.suite import default_spec
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestSearch:
+    def test_metadata_query(self):
+        code, output = run_cli("search", "badged: endorsed AIRLINES")
+        assert code == 0
+        assert "AIRLINES" in output
+
+    def test_nl_translation(self):
+        code, output = run_cli(
+            "search", "--nl", "tables owned by Alex endorsed by Mike"
+        )
+        assert code == 0
+        assert "translated:" in output
+        assert "owned_by: Alex" in output
+
+    def test_no_results_exit_code(self):
+        code, output = run_cli("search", "zzz_nothing_matches_zzz")
+        assert code == 1
+        assert "0 result(s)" in output
+
+    def test_bad_query_error_exit(self):
+        code, _ = run_cli("search", "bogus_field: x")
+        assert code == 2
+
+    def test_generated_catalog_options(self):
+        code, output = run_cli("search", "type: table", "--tables", "20",
+                               "--seed", "3", "--limit", "2")
+        assert code == 0
+
+    def test_explains_the_query(self):
+        _, output = run_cli("search", "type: workbook")
+        assert "of type workbook" in output
+
+
+class TestSpec:
+    def test_prints_default_spec(self):
+        code, output = run_cli("spec")
+        assert code == 0
+        payload = json.loads(output)
+        assert len(payload["providers"]) == len(default_spec())
+
+    def test_validate_good_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(spec_to_json(default_spec()), encoding="utf-8")
+        code, output = run_cli("spec", "--validate", str(path))
+        assert code == 0
+        assert "OK" in output
+
+    def test_validate_bad_spec(self, tmp_path):
+        payload = json.loads(spec_to_json(default_spec()))
+        payload["providers"].append(dict(payload["providers"][0]))  # dup
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        code, output = run_cli("spec", "--validate", str(path))
+        assert code == 1
+        assert "INVALID" in output
+
+    def test_lint_flag(self, tmp_path):
+        import dataclasses
+
+        spec = default_spec()
+        # strip a description to trigger a lint warning
+        stripped = spec.with_provider(
+            dataclasses.replace(spec.provider("recents"), description="")
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec_to_json(stripped), encoding="utf-8")
+        code, output = run_cli("spec", "--validate", str(path), "--lint")
+        assert code == 0
+        assert "WARN" in output
+        assert "no description" in output
+
+    def test_validate_malformed_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope", encoding="utf-8")
+        code, _ = run_cli("spec", "--validate", str(path))
+        assert code == 2
+
+
+class TestGenerateAndLoad:
+    def test_generate_then_search(self, tmp_path):
+        catalog_path = tmp_path / "catalog.json"
+        code, output = run_cli("generate", "--tables", "25",
+                               "--out", str(catalog_path))
+        assert code == 0
+        assert catalog_path.exists()
+        code, output = run_cli("search", "type: table",
+                               "--catalog", str(catalog_path),
+                               "--limit", "3")
+        assert code == 0
+        assert "table" in output
+
+
+class TestDemoAndExport:
+    def test_demo_runs(self):
+        code, output = run_cli("demo", "--tables", "20")
+        assert code == 0
+        assert "catalog:" in output
+        assert "query>" in output
+
+    def test_export_writes_html(self, tmp_path):
+        out_dir = tmp_path / "html"
+        code, output = run_cli("export", "--tables", "20",
+                               "--out", str(out_dir))
+        assert code == 0
+        assert (out_dir / "interface.html").exists()
+        assert "wrote" in output
+
+
+class TestStudy:
+    def test_study_prints_report(self):
+        code, output = run_cli("study")
+        assert code == 0
+        assert "E1 — Task outcomes" in output
+        assert "E2 — Post-study questionnaire" in output

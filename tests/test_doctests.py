@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.query.ast
+import repro.core.query.nlq
+import repro.util.clock
+import repro.util.ids
+import repro.util.textutil
+
+MODULES = [
+    repro.core.query.ast,
+    repro.core.query.nlq,
+    repro.util.clock,
+    repro.util.ids,
+    repro.util.textutil,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"

@@ -1,0 +1,61 @@
+"""Tests pinning evaluator fetch-limit semantics.
+
+The evaluator fetches provider results with a large internal limit so
+set operations see complete lists; these tests pin that behaviour and
+document what happens when the limit is made artificially small.
+"""
+
+import pytest
+
+from repro.core.query.evaluator import QueryEvaluator
+from repro.core.query.language import QueryLanguage
+from repro.core.ranking import Ranker
+from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
+from repro.providers.fields import FieldResolver
+from repro.providers.registry import EndpointRegistry
+from repro.providers.suite import default_spec
+from repro.synth import SynthConfig, generate_catalog
+
+
+@pytest.fixture(scope="module")
+def big_eval():
+    store = generate_catalog(SynthConfig(seed=19, n_tables=120,
+                                         usage_events=1000))
+    registry = EndpointRegistry()
+    install_builtin_endpoints(registry, BuiltinProviders(store))
+    language = QueryLanguage(default_spec())
+    evaluator = QueryEvaluator(store, registry, language,
+                               Ranker(FieldResolver(store)))
+    return store, evaluator
+
+
+class TestFetchLimit:
+    def test_default_limit_sees_all_matches(self, big_eval):
+        store, evaluator = big_eval
+        result = evaluator.search("type: table", limit=1000)
+        assert result.total == len(store.by_type("table"))
+
+    def test_intersection_complete_at_scale(self, big_eval):
+        store, evaluator = big_eval
+        both = evaluator.search("type: table & tagged: sales", limit=1000)
+        expected = set(store.by_type("table")) & set(store.by_tag("sales"))
+        assert set(both.artifact_ids()) == expected
+
+    def test_small_fetch_limit_truncates_provider_lists(self, big_eval):
+        """Documented trade-off: a small fetch limit caps each provider's
+        contribution, so conjunctions may under-report — the reason the
+        default is intentionally large."""
+        store, evaluator = big_eval
+        original = evaluator.fetch_limit
+        try:
+            evaluator.fetch_limit = 5
+            truncated = evaluator.search("type: table", limit=1000)
+            assert truncated.total <= 5
+        finally:
+            evaluator.fetch_limit = original
+
+    def test_display_limit_does_not_affect_total(self, big_eval):
+        _, evaluator = big_eval
+        result = evaluator.search("type: table", limit=3)
+        assert len(result.entries) == 3
+        assert result.total > 3

@@ -1,0 +1,83 @@
+"""Run every example script in-process and assert its key output.
+
+Examples are documentation that executes; this module keeps them honest.
+Each runs via runpy with stdout captured, so a broken example fails the
+test suite rather than a reader's first five minutes.
+"""
+
+import contextlib
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: script -> substrings its output must contain
+EXPECTATIONS = {
+    "quickstart.py": [
+        "SALES_NUMBERS",          # flagship query hit
+        "AIRLINES",               # preview pane
+        "Recents",                # tab strip
+        "suggest(",               # autocomplete demo
+    ],
+    "custom_provider.py": [
+        "added trending",         # spec diff summary
+        "Trending This Week",     # generated tab
+        "tabs after removal:",    # clean removal
+    ],
+    "team_homepage.py": [
+        "configuration panel",
+        "A Team HQ",
+        "'providers':",           # Listing 2 entry printed
+    ],
+    "search_tour.py": [
+        "admissible query fields",
+        "same AST as parsing that text: True",
+        "after 'tagged: sales'",
+    ],
+    "nl_search.py": [
+        "SALES_NUMBERS",          # motivating sentence resolves
+        "reads as: artifacts",    # explain() direction
+    ],
+    "governance.py": [
+        "Stale Data",
+        "customer_id column",
+        "unionable with",
+    ],
+    "curated_collections.py": [
+        "Golden Datasets",
+        "Certified & Popular",
+        "saved search 'hot sales'",
+    ],
+}
+
+
+def run_example(name: str, argv: list[str] | None = None) -> str:
+    buffer = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        with contextlib.redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs_and_prints_expected(script):
+    output = run_example(script)
+    for marker in EXPECTATIONS[script]:
+        assert marker in output, f"{script}: missing {marker!r}"
+
+
+def test_export_html_example(tmp_path):
+    output = run_example("export_html.py", argv=[str(tmp_path)])
+    assert "6 of 6 view types rendered" in output
+    assert (tmp_path / "interface.html").exists()
+    for representation in ("tiles", "list", "hierarchy", "graph",
+                           "categories", "embedding"):
+        assert (tmp_path / f"view_{representation}.html").exists()

@@ -1,0 +1,133 @@
+"""Failure-injection tests: broken providers degrade, never crash the UI."""
+
+import pytest
+
+from repro.errors import ProviderError, RepresentationError
+from repro.providers.base import ProviderRequest, Representation
+from repro.providers.faults import FlakyEndpoint, SlowEndpoint, WrongShapeEndpoint
+
+
+@pytest.fixture
+def flaky_app(tiny_app):
+    """tiny_app with the most_viewed endpoint failing on every call."""
+    original = tiny_app.registry.resolve("catalog://most_viewed")
+    tiny_app.registry.register(
+        "catalog://most_viewed",
+        FlakyEndpoint(original, fail_on=lambda index: True,
+                      name="most_viewed"),
+        replace=True,
+    )
+    return tiny_app
+
+
+class TestFlakyEndpoint:
+    def test_fails_on_schedule(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        flaky = FlakyEndpoint(original, fail_on={2}, name="newest")
+        request = ProviderRequest()
+        flaky(request)  # call 1 succeeds
+        with pytest.raises(ProviderError, match="simulated outage"):
+            flaky(request)  # call 2 fails
+        flaky(request)  # call 3 succeeds
+        assert flaky.calls == 3
+
+    def test_predicate_schedule(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        flaky = FlakyEndpoint(original, fail_on=lambda i: i % 2 == 0)
+        request = ProviderRequest()
+        flaky(request)
+        with pytest.raises(ProviderError):
+            flaky(request)
+
+
+class TestSlowEndpoint:
+    def test_budget_exhaustion(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        slow = SlowEndpoint(original, latency_ms=40, budget_ms=100)
+        request = ProviderRequest()
+        slow(request)
+        slow(request)
+        with pytest.raises(ProviderError, match="timeout"):
+            slow(request)  # 120ms > 100ms budget
+        assert slow.timed_out == 1
+        assert slow.remaining_ms == pytest.approx(20.0)
+
+    def test_negative_params_rejected(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        with pytest.raises(ValueError):
+            SlowEndpoint(original, latency_ms=-1, budget_ms=10)
+
+
+class TestInterfaceContainment:
+    def test_overview_skips_broken_provider(self, flaky_app):
+        session = flaky_app.session("u-ann")
+        tabs = session.open_home()
+        names = [t.provider_name for t in tabs]
+        assert "most_viewed" not in names
+        assert "recents" in names  # the rest of the UI is intact
+
+    def test_failure_recorded_for_observability(self, flaky_app):
+        flaky_app.session("u-ann").open_home()
+        errors = dict(flaky_app.interface.last_errors)
+        assert "most_viewed" in errors
+        assert "simulated outage" in errors["most_viewed"]
+
+    def test_errors_reset_between_generations(self, flaky_app):
+        session = flaky_app.session("u-ann")
+        session.open_home()
+        # heal the endpoint
+        from repro.providers.builtin import BuiltinProviders
+
+        healthy = BuiltinProviders(flaky_app.store).most_viewed
+        flaky_app.registry.register("catalog://most_viewed", healthy,
+                                    replace=True)
+        session.open_browse()
+        assert flaky_app.interface.last_errors == []
+
+    def test_open_view_still_raises_directly(self, flaky_app):
+        """Explicitly opening the broken view surfaces the error — only
+        bulk generation degrades silently."""
+        with pytest.raises(ProviderError):
+            flaky_app.interface.open_view("most_viewed", user_id="u-ann")
+
+    def test_home_page_skips_broken_provider(self, flaky_app):
+        manager = flaky_app.home_pages
+        spec = manager.configure(
+            "t-1", ["most_viewed", "recents"], acting_user="u-ann"
+        )
+        flaky_app.update_spec(spec)
+        # re-break the endpoint (update_spec doesn't touch the registry,
+        # but be explicit for readability)
+        page = flaky_app.home_pages.home_page("t-1", user_id="u-ann")
+        assert page.provider_names() == ["recents"]
+
+    def test_exploration_skips_broken_provider(self, tiny_app):
+        original = tiny_app.registry.resolve("catalog://similar")
+        tiny_app.registry.register(
+            "catalog://similar",
+            FlakyEndpoint(original, fail_on=lambda i: True, name="similar"),
+            replace=True,
+        )
+        session = tiny_app.session("u-ann")
+        session.select_artifact("t-orders")
+        surfaced = session.explore_selection()
+        providers = {s.provider_name for s in surfaced}
+        assert "similar" not in providers
+        assert "joinable" in providers  # others unaffected
+
+
+class TestContractEnforcement:
+    def test_wrong_shape_rejected_at_boundary(self, tiny_app):
+        tiny_app.registry.register(
+            "catalog://embedding_map",
+            WrongShapeEndpoint(["t-orders"]),
+            replace=True,
+        )
+        with pytest.raises(RepresentationError, match="declares"):
+            tiny_app.interface.open_view("embedding_map", user_id="u-ann")
+
+    def test_search_propagates_provider_failure(self, flaky_app):
+        """A query that *needs* the broken provider fails loudly —
+        silent empty results would be worse than an error."""
+        with pytest.raises(ProviderError):
+            flaky_app.interface.search(":most_viewed()")

@@ -1,0 +1,179 @@
+"""Integration tests: whole-system flows reproducing the paper's scenarios."""
+
+import pytest
+
+from repro import (
+    ProviderRequest,
+    ProviderResult,
+    Representation,
+    WorkbookApp,
+    study_catalog,
+)
+from repro.core.render import render_tabs_text, render_view_text
+from repro.core.spec import diff_specs
+from repro.core.spec.model import ProviderSpec, Visibility
+from repro.providers.base import ScoredArtifact
+
+
+class TestPaperFlagshipQuery:
+    """Section 1: 'find the tables created by Alex and endorsed by Mike
+    that contain sales numbers'."""
+
+    def test_flagship_query_finds_exactly_the_target(self, study_app):
+        session = study_app.session("user-alex")
+        result = session.search(
+            "type: table owned by: 'Alex' badged: endorsed "
+            "badged by: 'Mike' & 'sales'"
+        )
+        names = [study_app.store.artifact(a).name
+                 for a in result.artifact_ids()]
+        assert names == ["SALES_NUMBERS"]
+
+    def test_each_constraint_widens_without_it(self, study_app):
+        session = study_app.session("user-alex")
+        full = session.search(
+            "type: table owned_by: 'Alex' badged: endorsed "
+            "badged_by: 'Mike' & 'sales'"
+        ).total
+        without_type = session.search(
+            "owned_by: 'Alex' badged: endorsed badged_by: 'Mike'"
+        ).total
+        assert without_type >= full
+
+    def test_prefix_language_example(self, study_app):
+        session = study_app.session("user-john")
+        study_app.store.record("workbook-john-1", "user-john", "view")
+        result = session.search(":recent_documents()")
+        assert "workbook-john-1" in result.artifact_ids()
+
+
+class TestSpecEvolutionFlow:
+    """Section 1: adding an ML provider is 'a matter of adding a few lines
+    of specification'."""
+
+    def test_add_provider_end_to_end(self, study_app):
+        store = study_app.store
+
+        def quality_model(request: ProviderRequest) -> ProviderResult:
+            items = [
+                ScoredArtifact(aid, score=float(len(aid)))
+                for aid in store.by_type("table")[: request.context.limit]
+            ]
+            return ProviderResult(
+                representation=Representation.LIST, items=tuple(items)
+            )
+
+        study_app.registry.register("model://quality", quality_model)
+        old_spec = study_app.spec
+        new_spec = old_spec.with_provider(ProviderSpec(
+            name="quality_scores",
+            endpoint="model://quality",
+            representation="list",
+            category="relatedness",
+            title="Quality Scores",
+        ))
+        diff = diff_specs(old_spec, new_spec)
+        assert diff.added == ("quality_scores",)
+        assert diff.touched_elements() == 1
+
+        study_app.update_spec(new_spec)
+        session = study_app.session("user-alex")
+        tabs = session.open_home()
+        assert "quality_scores" in [t.provider_name for t in tabs]
+        result = session.search(":quality_scores()")
+        assert result.total > 0
+        # autocomplete knows the new field immediately
+        texts = [s.text for s in session.suggest("qual")]
+        assert "quality_scores: " in texts
+
+    def test_remove_provider_cleans_everything(self, study_app):
+        study_app.update_spec(study_app.spec.without_provider("recents"))
+        session = study_app.session("user-alex")
+        assert "recents" not in [
+            t.provider_name for t in session.open_home()
+        ]
+        assert "recents" not in study_app.interface.language.field_names()
+
+    def test_ranking_retune_without_code(self, study_app):
+        from repro.core.spec.model import RankingWeight
+
+        session = study_app.session("user-alex")
+        before = session.search("type: table", limit=5).artifact_ids()
+        retuned = study_app.spec.with_global_ranking(
+            RankingWeight("freshness", 1000.0)
+        )
+        study_app.update_spec(retuned)
+        session2 = study_app.session("user-alex")
+        after = session2.search("type: table", limit=5).artifact_ids()
+        assert before != after  # ordering policy changed, spec-only edit
+
+
+class TestFigure6AllViews:
+    """All six view types generate from one catalog (Figure 6)."""
+
+    def test_all_representations_reachable(self, study_app):
+        session = study_app.session("user-alex")
+        seen = {t.view.representation for t in session.open_home()}
+        session.select_artifact("table-airlines")
+        seen |= {s.view.representation for s in session.explore_selection()}
+        assert seen == {"tiles", "list", "hierarchy", "graph",
+                        "categories", "embedding"}
+
+    def test_all_views_render_text(self, study_app):
+        session = study_app.session("user-alex")
+        tabs = session.open_home()
+        text = render_tabs_text(tabs)
+        assert text
+        session.select_artifact("table-airlines")
+        for surfaced in session.explore_selection():
+            assert render_view_text(surfaced.view)
+
+
+class TestSearchFilterComposition:
+    """Section 5.3: same query machinery searches globally and filters
+    any view."""
+
+    def test_filter_is_search_restricted_to_view(self, study_app):
+        session = study_app.session("user-alex")
+        session.open_home()
+        tab = session.select_tab("Type")
+        view_ids = set(tab.view.artifact_ids())
+        global_hits = set(
+            session.search("tagged: travel", limit=1000).artifact_ids()
+        )
+        session.select_tab("Type")
+        filtered = session.filter_active_view("tagged: travel")
+        assert set(filtered.artifact_ids()) == view_ids & global_hits
+
+    def test_graph_view_filterable(self, study_app):
+        """§6.4: keyword search can filter the joinability graph."""
+        interface = study_app.interface
+        view = interface.open_view(
+            "joinable", inputs={"artifact": "table-airlines"}
+        )
+        filtered = interface.filter_view(view, "airlines | airports")
+        assert set(filtered.artifact_ids()) <= set(view.artifact_ids())
+        assert "table-airlines" in filtered.artifact_ids()
+
+
+class TestPersistedCatalogIntegration:
+    def test_interface_on_reloaded_catalog(self, tmp_path):
+        from repro.catalog.persistence import load_catalog, save_catalog
+
+        store = study_catalog()
+        path = save_catalog(store, tmp_path / "catalog.json")
+        app = WorkbookApp(load_catalog(path))
+        session = app.session("user-alex")
+        result = session.search("badged: endorsed AIRLINES")
+        assert "table-airlines" in result.artifact_ids()
+
+
+class TestCustomizationIsolation:
+    def test_user_customization_does_not_leak(self, study_app):
+        alice = study_app.session("user-alex")
+        alice.hide_provider("most_viewed")
+        mike = study_app.session("user-mike")
+        mike_tabs = [t.provider_name for t in mike.open_home()]
+        alex_tabs = [t.provider_name for t in alice.open_browse()]
+        assert "most_viewed" in mike_tabs
+        assert "most_viewed" not in alex_tabs

@@ -1,0 +1,179 @@
+"""Tests for joinability, similarity ensembles, and embeddings."""
+
+import pytest
+
+from repro.catalog.model import Artifact, Column
+from repro.metadata.embedding import EmbeddingIndex
+from repro.metadata.joinability import JoinabilityIndex
+from repro.metadata.similarity import (
+    EnsembleSimilarity,
+    SchemaSimilarity,
+    SemanticSimilarity,
+)
+
+
+class TestJoinability:
+    def test_finds_shared_key_join(self, tiny_store):
+        index = JoinabilityIndex(tiny_store)
+        edges = index.joinable("t-orders")
+        partners = {e.dst for e in edges}
+        # ORDERS.customer_id overlaps CUSTOMERS.customer_id (20/40 values)
+        assert "t-customers" in partners
+        edge = next(e for e in edges if e.dst == "t-customers")
+        assert edge.src_column == "customer_id"
+        assert edge.dst_column == "customer_id"
+        assert 0.2 < edge.score <= 1.0
+
+    def test_unrelated_table_not_joinable(self, tiny_store):
+        index = JoinabilityIndex(tiny_store)
+        partners = {e.dst for e in index.joinable("t-orders")}
+        assert "t-web" not in partners
+
+    def test_join_graph_contains_anchor(self, tiny_store):
+        index = JoinabilityIndex(tiny_store)
+        nodes, edges = index.join_graph("t-orders")
+        assert "t-orders" in nodes
+        assert all(e.src in nodes and e.dst in nodes for e in edges)
+
+    def test_columns_without_samples_skipped(self, tiny_store):
+        index = JoinabilityIndex(tiny_store).build()
+        # "amount" and "name" have no samples: only 4 sketchable columns
+        assert index.sketch_count == 4
+
+    def test_non_tabular_artifacts_not_sketched(self, tiny_store):
+        index = JoinabilityIndex(tiny_store)
+        assert index.add_artifact(tiny_store.artifact("d-sales")) == 0
+
+    def test_remove_artifact(self, tiny_store):
+        index = JoinabilityIndex(tiny_store).build()
+        index.remove_artifact("t-customers")
+        partners = {e.dst for e in index.joinable("t-orders")}
+        assert "t-customers" not in partners
+
+    def test_build_idempotent(self, tiny_store):
+        index = JoinabilityIndex(tiny_store)
+        index.build()
+        count = index.sketch_count
+        index.build()
+        assert index.sketch_count == count
+
+    def test_synth_catalog_has_join_structure(self, synth_store):
+        index = JoinabilityIndex(synth_store)
+        tables = synth_store.by_type("table")
+        with_joins = sum(
+            1 for table_id in tables[:20] if index.joinable(table_id)
+        )
+        assert with_joins >= 10  # shared key columns create join paths
+
+
+class TestSemanticSimilarity:
+    def test_similar_shares_vocabulary(self, tiny_store):
+        sim = SemanticSimilarity(tiny_store)
+        hits = sim.similar("t-orders")
+        ids = [h.artifact_id for h in hits]
+        assert "v-orders" in ids  # "Orders Chart ... over ORDERS"
+
+    def test_search(self, tiny_store):
+        sim = SemanticSimilarity(tiny_store)
+        hits = sim.search("customer dimension")
+        assert hits[0].artifact_id == "t-customers"
+
+    def test_scores_in_range(self, tiny_store):
+        for hit in SemanticSimilarity(tiny_store).similar("t-orders"):
+            assert 0.0 <= hit.score <= 1.0
+
+
+class TestSchemaSimilarity:
+    def test_shared_columns_score(self, tiny_store):
+        sim = SchemaSimilarity(tiny_store)
+        hits = sim.similar("t-orders")
+        ids = {h.artifact_id for h in hits}
+        assert "t-customers" in ids  # shares customer_id:integer
+
+    def test_no_columns_no_hits(self, tiny_store):
+        assert SchemaSimilarity(tiny_store).similar("d-sales") == []
+
+    def test_score_is_jaccard(self, tiny_store):
+        sim = SchemaSimilarity(tiny_store)
+        hit = next(
+            h for h in sim.similar("t-orders")
+            if h.artifact_id == "t-customers"
+        )
+        # ORDERS {order_id, customer_id, amount}, CUSTOMERS {customer_id,
+        # name} -> intersection 1, union 4
+        assert hit.score == pytest.approx(0.25)
+
+
+class TestEnsemble:
+    def test_combines_measures(self, tiny_store):
+        ensemble = EnsembleSimilarity(tiny_store)
+        hits = ensemble.similar("t-orders")
+        assert hits  # non-empty
+        ids = [h.artifact_id for h in hits]
+        assert "t-customers" in ids
+
+    def test_weights_validated(self, tiny_store):
+        with pytest.raises(ValueError, match="unknown similarity measures"):
+            EnsembleSimilarity(tiny_store, weights={"embeddings": 1.0})
+
+    def test_zero_weight_disables_measure(self, tiny_store):
+        semantic_only = EnsembleSimilarity(
+            tiny_store, weights={"semantic": 1.0, "schema": 0.0}
+        )
+        schema_only = EnsembleSimilarity(
+            tiny_store, weights={"semantic": 0.0, "schema": 1.0}
+        )
+        semantic_ids = [h.artifact_id for h in semantic_only.similar("t-orders")]
+        schema_ids = [h.artifact_id for h in schema_only.similar("t-orders")]
+        assert semantic_ids != schema_ids
+
+    def test_sorted_descending(self, tiny_store):
+        hits = EnsembleSimilarity(tiny_store).similar("t-orders")
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestEmbedding:
+    def test_every_artifact_gets_coordinates(self, tiny_store):
+        index = EmbeddingIndex(tiny_store)
+        coords = index.all_coordinates()
+        assert set(coords) == set(tiny_store.artifact_ids())
+
+    def test_deterministic(self, tiny_store):
+        a = EmbeddingIndex(tiny_store).all_coordinates()
+        b = EmbeddingIndex(tiny_store).all_coordinates()
+        assert a == b
+
+    def test_unknown_artifact_origin(self, tiny_store):
+        assert EmbeddingIndex(tiny_store).coordinates("ghost") == (0.0, 0.0)
+
+    def test_coordinates_not_all_identical(self, tiny_store):
+        coords = EmbeddingIndex(tiny_store).all_coordinates()
+        assert len({xy for xy in coords.values()}) > 1
+
+    def test_invalidate_recomputes(self, tiny_store):
+        index = EmbeddingIndex(tiny_store)
+        index.build()
+        tiny_store.record("t-web", "u-ann", "view")
+        index.invalidate()
+        coords = index.all_coordinates()
+        assert set(coords) == set(tiny_store.artifact_ids())
+
+    def test_empty_store(self):
+        from repro.catalog.store import CatalogStore
+
+        index = EmbeddingIndex(CatalogStore())
+        assert index.all_coordinates() == {}
+
+    def test_single_artifact(self):
+        from repro.catalog.store import CatalogStore
+
+        store = CatalogStore()
+        store.add_artifact(Artifact(id="a", name="A", artifact_type="table",
+                                    columns=(Column("x", "integer"),)))
+        coords = EmbeddingIndex(store).all_coordinates()
+        assert coords == {"a": (0.0, 0.0)}
+
+    def test_text_dims_validation(self, tiny_store):
+        with pytest.raises(ValueError):
+            EmbeddingIndex(tiny_store, text_dims=1)

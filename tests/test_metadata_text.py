@@ -1,0 +1,105 @@
+"""Tests for the TF-IDF index and cosine similarity."""
+
+import pytest
+
+from repro.metadata.text import TfIdfIndex, cosine
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = {"a": 1.0, "b": 2.0}
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert cosine({}, {"a": 1.0}) == 0.0
+
+    def test_symmetry(self):
+        left = {"a": 1.0, "b": 3.0}
+        right = {"b": 2.0, "c": 1.0}
+        assert cosine(left, right) == pytest.approx(cosine(right, left))
+
+    def test_scale_invariant(self):
+        left = {"a": 1.0, "b": 2.0}
+        scaled = {"a": 10.0, "b": 20.0}
+        other = {"a": 3.0, "c": 1.0}
+        assert cosine(left, other) == pytest.approx(cosine(scaled, other))
+
+
+class TestTfIdfIndex:
+    @pytest.fixture
+    def index(self):
+        idx = TfIdfIndex()
+        idx.add("doc-sales", "sales orders revenue quarterly")
+        idx.add("doc-crm", "customer accounts sales pipeline")
+        idx.add("doc-logs", "web logs sessions errors latency")
+        return idx
+
+    def test_len_and_contains(self, index):
+        assert len(index) == 3
+        assert "doc-sales" in index
+        assert "ghost" not in index
+
+    def test_similar_prefers_shared_terms(self, index):
+        hits = index.similar("doc-sales")
+        assert hits[0][0] == "doc-crm"  # shares "sales"
+        keys = [k for k, _ in hits]
+        assert "doc-logs" not in keys  # no shared term
+
+    def test_similar_excludes_self(self, index):
+        keys = [k for k, _ in index.similar("doc-sales")]
+        assert "doc-sales" not in keys
+
+    def test_similar_unknown_doc(self, index):
+        assert index.similar("ghost") == []
+
+    def test_search_free_text(self, index):
+        hits = index.search("sales revenue")
+        assert hits[0][0] == "doc-sales"
+
+    def test_search_no_match(self, index):
+        assert index.search("xylophone") == []
+
+    def test_search_empty_text(self, index):
+        assert index.search("") == []
+
+    def test_idf_rare_terms_weigh_more(self, index):
+        assert index.idf("revenue") > index.idf("sales")
+
+    def test_remove_updates_df(self, index):
+        idf_before = index.idf("sales")
+        index.remove("doc-crm")
+        # "sales" now appears in 1 of 2 docs instead of 2 of 3: rarer,
+        # so its idf rises.
+        assert index.idf("sales") > idf_before
+        assert "doc-crm" not in index
+
+    def test_remove_missing_noop(self, index):
+        index.remove("ghost")
+        assert len(index) == 3
+
+    def test_re_add_replaces(self, index):
+        index.add("doc-sales", "completely different text")
+        hits = index.search("revenue")
+        assert all(k != "doc-sales" for k, _ in hits)
+
+    def test_vector_for_indexed_doc(self, index):
+        vector = index.vector("doc-sales")
+        assert "sales" in vector
+        assert all(weight > 0 for weight in vector.values())
+
+    def test_vector_unknown_doc_empty(self, index):
+        assert index.vector("ghost") == {}
+
+    def test_scores_sorted_descending(self, index):
+        index.add("doc-mix", "sales customer web")
+        hits = index.search("sales customer")
+        scores = [score for _, score in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit_respected(self, index):
+        for i in range(20):
+            index.add(f"extra-{i}", "sales data")
+        assert len(index.search("sales", limit=5)) == 5

@@ -1,0 +1,155 @@
+"""Tests for natural-language translation and query explanation (§8)."""
+
+import pytest
+
+from repro.core.query.ast import FieldTerm, Not, Or, ProviderCall, TextTerm
+from repro.core.query.nlq import NaturalLanguageTranslator, explain
+from repro.core.query.parser import parse_query
+from repro.errors import QueryCompileError
+
+
+@pytest.fixture
+def translator(study_app):
+    return NaturalLanguageTranslator(
+        study_app.interface.language, study_app.store
+    )
+
+
+class TestTranslation:
+    def test_motivating_sentence(self, translator, study_app):
+        """§1: 'find the tables created by Alex and endorsed by Mike that
+        contain sales numbers'."""
+        translation = translator.translate(
+            "find the tables created by Alex and endorsed by Mike "
+            "that contain sales numbers"
+        )
+        result, _ = study_app.interface.search(
+            translation.query_text(), user_id="user-alex"
+        )
+        names = [study_app.store.artifact(a).name
+                 for a in result.artifact_ids()]
+        assert names == ["SALES_NUMBERS"]
+
+    def test_ownership_patterns(self, translator):
+        for verb in ("owned by", "created by", "made by", "authored by"):
+            translation = translator.translate(f"tables {verb} Alex")
+            terms = translation.node.iter_terms()
+            field_terms = [t for t in terms if isinstance(t, FieldTerm)]
+            assert any(
+                t.field in ("owned_by", "created_by") and t.value == "Alex"
+                for t in field_terms
+            ), verb
+
+    def test_quoted_name(self, translator):
+        translation = translator.translate(
+            'workbooks created by "John Doe"'
+        )
+        terms = translation.node.iter_terms()
+        assert FieldTerm("created_by", "John Doe") in terms
+
+    def test_badge_grant_pattern(self, translator):
+        translation = translator.translate("endorsed by Mike")
+        terms = translation.node.iter_terms()
+        assert FieldTerm("badged", "endorsed") in terms
+        assert FieldTerm("badged_by", "Mike") in terms
+
+    def test_bare_badge_adjective(self, translator):
+        translation = translator.translate("deprecated dashboards")
+        terms = translation.node.iter_terms()
+        assert FieldTerm("badged", "deprecated") in terms
+        assert FieldTerm("type", "dashboard") in terms
+
+    def test_type_words_singular_and_plural(self, translator):
+        for phrase, expected in (("tables", "table"),
+                                 ("a chart", "visualization"),
+                                 ("workbooks", "workbook")):
+            terms = translator.translate(phrase).node.iter_terms()
+            assert FieldTerm("type", expected) in terms, phrase
+
+    def test_multiple_types_become_or(self, translator):
+        node = translator.translate("dashboards and workbooks").node
+        ors = [t for t in [node] if isinstance(t, Or)]
+        if not ors:  # Or may be nested under And
+            ors = [c for c in getattr(node, "children", ()) if isinstance(c, Or)]
+        assert ors
+        values = {t.value for t in ors[0].children}
+        assert values == {"dashboard", "workbook"}
+
+    def test_similar_to_resolves_artifact(self, translator):
+        node = translator.translate("similar to AIRLINES").node
+        assert ProviderCall("similar", "table-airlines") in node.iter_terms()
+
+    def test_similar_to_unresolved_falls_back_to_text(self, translator):
+        node = translator.translate("similar to Bigfoot").node
+        assert TextTerm("Bigfoot") in node.iter_terms()
+
+    def test_recent_becomes_provider_call(self, translator):
+        node = translator.translate("recent workbooks").node
+        assert ProviderCall("recents") in node.iter_terms()
+
+    def test_tagged_known_tag(self, translator):
+        node = translator.translate("about sales").node
+        assert FieldTerm("tagged", "sales") in node.iter_terms()
+
+    def test_about_unknown_word_is_text(self, translator):
+        node = translator.translate("about zeppelins").node
+        assert TextTerm("zeppelins") in node.iter_terms()
+
+    def test_stopwords_dropped(self, translator):
+        translation = translator.translate("find me all the airline stats")
+        assert "the" not in translation.residual
+        assert "airline" in translation.residual
+
+    def test_pure_keywords_degrade_to_text(self, translator):
+        translation = translator.translate("quarterly revenue")
+        assert translation.matched == ()
+        assert set(translation.residual) == {"quarterly", "revenue"}
+
+    def test_empty_raises(self, translator):
+        with pytest.raises(QueryCompileError):
+            translator.translate("   ")
+
+    def test_only_stopwords_raises(self, translator):
+        with pytest.raises(QueryCompileError):
+            translator.translate("the of and")
+
+    def test_query_text_is_parseable(self, translator):
+        translation = translator.translate(
+            "recent tables owned by Alex about sales"
+        )
+        assert parse_query(translation.query_text()) is not None
+
+    def test_deterministic(self, translator):
+        a = translator.translate("tables owned by Alex")
+        b = translator.translate("tables owned by Alex")
+        assert a.node == b.node
+
+
+class TestExplain:
+    def test_flagship(self):
+        node = parse_query(
+            "type: table owned_by: Alex badged: endorsed & 'sales'"
+        )
+        sentence = explain(node)
+        assert sentence == (
+            "artifacts of type table, owned by Alex, badged endorsed, "
+            'matching "sales"'
+        )
+
+    def test_or_and_not(self):
+        node = parse_query("badged: endorsed | !type: table")
+        sentence = explain(node)
+        assert "or" in sentence
+        assert "not of type table" in sentence
+
+    def test_provider_call(self):
+        assert "from recent documents" in explain(
+            parse_query(":recent_documents()")
+        )
+
+    def test_call_with_argument(self):
+        assert "(x)" in explain(parse_query(":similar(x)"))
+
+    def test_unknown_field_generic_phrase(self):
+        sentence = explain(parse_query("quality_tier: gold"))
+        assert "whose quality tier is gold" in sentence

@@ -1,0 +1,77 @@
+"""Tests for entity pivots (§7.2 improvement: click an owner/badge/tag)."""
+
+import pytest
+
+from repro.providers.faults import FlakyEndpoint
+
+
+class TestPivot:
+    def test_pivot_on_owner(self, tiny_app):
+        session = tiny_app.session("u-bob")
+        surfaced = session.pivot("user", "u-ann")
+        providers = {s.provider_name for s in surfaced}
+        assert "owned_by" in providers
+        owned = next(s for s in surfaced if s.provider_name == "owned_by")
+        assert set(owned.view.artifact_ids()) == {"t-orders", "v-orders"}
+        assert owned.reason == "user = u-ann"
+
+    def test_pivot_on_owner_by_display_name(self, tiny_app):
+        session = tiny_app.session("u-bob")
+        surfaced = session.pivot("user", "Ann Lee")
+        owned = next(s for s in surfaced if s.provider_name == "owned_by")
+        assert "t-orders" in owned.view.artifact_ids()
+
+    def test_pivot_on_badge(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        surfaced = session.pivot("badge", "endorsed")
+        badged = next(s for s in surfaced if s.provider_name == "badged")
+        assert set(badged.view.artifact_ids()) == {"t-orders", "d-sales"}
+
+    def test_pivot_on_type(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        surfaced = session.pivot("artifact_type", "workbook")
+        of_type = next(s for s in surfaced if s.provider_name == "of_type")
+        assert of_type.view.artifact_ids() == ["w-q1"]
+
+    def test_pivot_on_tag(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        surfaced = session.pivot("text", "crm")
+        tagged = next(s for s in surfaced if s.provider_name == "tagged")
+        assert tagged.view.artifact_ids() == ["t-customers"]
+
+    def test_pivot_on_artifact_surfaces_relatedness(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        surfaced = session.pivot("artifact", "t-orders")
+        providers = {s.provider_name for s in surfaced}
+        assert {"joinable", "lineage", "similar"} <= providers
+
+    def test_pivot_unknown_kind(self, tiny_app):
+        with pytest.raises(ValueError, match="unknown input type"):
+            tiny_app.session("u-ann").pivot("galaxy", "x")
+
+    def test_pivot_empty_values_dropped(self, tiny_app):
+        surfaced = tiny_app.session("u-ann").pivot("badge", "nonexistent")
+        assert surfaced == []
+
+    def test_pivot_contains_failures(self, tiny_app):
+        original = tiny_app.registry.resolve("catalog://badged")
+        tiny_app.registry.register(
+            "catalog://badged",
+            FlakyEndpoint(original, fail_on=lambda i: True, name="badged"),
+            replace=True,
+        )
+        surfaced = tiny_app.session("u-ann").pivot("badge", "endorsed")
+        assert all(s.provider_name != "badged" for s in surfaced)
+
+    def test_pivot_respects_customization(self, tiny_app):
+        tiny_app.customization.user_layer("u-ann").hide("owned_by")
+        surfaced = tiny_app.session("u-ann").pivot("user", "u-ann")
+        providers = {s.provider_name for s in surfaced}
+        assert "owned_by" not in providers
+        assert "created_by" in providers  # the alias still pivots
+
+    def test_pivot_logs_event(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        session.pivot("badge", "endorsed")
+        events = session.events.of_kind("exploration_shown")
+        assert events[0].detail == "pivot badge=endorsed"

@@ -1,0 +1,94 @@
+"""Property-based tests for customization-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec.customization import Customization
+from repro.core.spec.model import HumboldtSpec, ProviderSpec
+
+_NAMES = ["p1", "p2", "p3", "p4", "p5", "p6"]
+_SPEC = HumboldtSpec(providers=tuple(
+    ProviderSpec(name=name, endpoint=f"c://{name}", representation="list")
+    for name in _NAMES
+))
+
+name_sets = st.sets(st.sampled_from(_NAMES))
+name_orders = st.lists(st.sampled_from(_NAMES), unique=True)
+
+
+class TestCustomizationInvariants:
+    @given(org_hidden=name_sets, team_hidden=name_sets, user_hidden=name_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_hidden_anywhere_is_hidden(self, org_hidden, team_hidden,
+                                       user_hidden):
+        custom = Customization()
+        custom.org.hidden |= org_hidden
+        custom.team_layer("t").hidden |= team_hidden
+        custom.user_layer("u").hidden |= user_hidden
+        visible = {
+            p.name
+            for p in custom.effective_providers(
+                _SPEC, "overview", user_id="u", team_id="t"
+            )
+        }
+        assert visible == set(_NAMES) - org_hidden - team_hidden - user_hidden
+
+    @given(order=name_orders, hidden=name_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_order_is_permutation_of_visible(self, order, hidden):
+        custom = Customization()
+        custom.user_layer("u").hidden |= hidden
+        if order:
+            custom.user_layer("u").set_order(order)
+        result = [
+            p.name
+            for p in custom.effective_providers(_SPEC, "overview",
+                                                user_id="u")
+        ]
+        assert sorted(result) == sorted(set(_NAMES) - hidden)
+        assert len(result) == len(set(result))  # no duplicates ever
+
+    @given(order=name_orders)
+    @settings(max_examples=40, deadline=None)
+    def test_ordered_prefix_respected(self, order):
+        custom = Customization()
+        if order:
+            custom.user_layer("u").set_order(order)
+        result = [
+            p.name
+            for p in custom.effective_providers(_SPEC, "overview",
+                                                user_id="u")
+        ]
+        # visible ordered names appear first, in the given order
+        prefix = [n for n in order if n in result]
+        assert result[: len(prefix)] == prefix
+
+    @given(team_order=name_orders, user_order=name_orders)
+    @settings(max_examples=40, deadline=None)
+    def test_most_specific_order_wins(self, team_order, user_order):
+        custom = Customization()
+        if team_order:
+            custom.team_layer("t").set_order(team_order)
+        if user_order:
+            custom.user_layer("u").set_order(user_order)
+        result = [
+            p.name
+            for p in custom.effective_providers(
+                _SPEC, "overview", user_id="u", team_id="t"
+            )
+        ]
+        winning = user_order or team_order
+        prefix = [n for n in winning if n in result]
+        assert result[: len(prefix)] == prefix
+
+    @given(hidden=name_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_layers_do_not_leak_across_scopes(self, hidden):
+        custom = Customization()
+        custom.user_layer("u1").hidden |= hidden
+        other = {
+            p.name
+            for p in custom.effective_providers(_SPEC, "overview",
+                                                user_id="u2")
+        }
+        assert other == set(_NAMES)

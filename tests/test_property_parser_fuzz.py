@@ -1,0 +1,76 @@
+"""Fuzz tests: the query front end never fails with anything but its own
+typed errors, for arbitrary printable input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query.lexer import tokenize_query
+from repro.core.query.nlq import NaturalLanguageTranslator
+from repro.core.query.parser import parse_query
+from repro.errors import QueryCompileError, QuerySyntaxError
+from repro.providers.suite import default_spec
+from repro.core.query.language import QueryLanguage
+from repro.core.query.autocomplete import Autocompleter
+from tests.conftest import build_tiny_store
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FFF),
+    max_size=60,
+)
+
+_STORE = build_tiny_store()
+_LANGUAGE = QueryLanguage(default_spec())
+_COMPLETER = Autocompleter(_LANGUAGE, _STORE)
+_TRANSLATOR = NaturalLanguageTranslator(_LANGUAGE, _STORE)
+
+
+class TestFrontEndFuzz:
+    @given(text=printable)
+    @settings(max_examples=300, deadline=None)
+    def test_lexer_total(self, text):
+        try:
+            tokens = tokenize_query(text)
+        except QuerySyntaxError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @given(text=printable)
+    @settings(max_examples=300, deadline=None)
+    def test_parser_total(self, text):
+        try:
+            node = parse_query(text)
+        except QuerySyntaxError:
+            return
+        # anything that parses must render and re-parse
+        assert parse_query(node.to_text()) is not None
+
+    @given(text=printable)
+    @settings(max_examples=200, deadline=None)
+    def test_autocomplete_never_raises(self, text):
+        suggestions = _COMPLETER.suggest(text)
+        assert isinstance(suggestions, list)
+
+    @given(text=printable)
+    @settings(max_examples=200, deadline=None)
+    def test_compiler_only_typed_errors(self, text):
+        try:
+            node = parse_query(text)
+        except QuerySyntaxError:
+            return
+        try:
+            _LANGUAGE.compile(node)
+        except QueryCompileError:
+            pass  # unknown fields etc. — the expected failure mode
+
+    @given(text=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=127),
+        max_size=50,
+    ))
+    @settings(max_examples=200, deadline=None)
+    def test_nl_translator_total(self, text):
+        try:
+            translation = _TRANSLATOR.translate(text)
+        except QueryCompileError:
+            return  # nothing extractable — fine
+        # whatever it produced must be a valid query
+        assert parse_query(translation.query_text()) is not None

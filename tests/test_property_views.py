@@ -1,0 +1,105 @@
+"""Property-based tests for view filtering invariants.
+
+For every view type: ``filtered(S)`` shows a subset of the original
+artifacts, only artifacts in ``S``, is idempotent, and filtering with
+the full id set loses nothing (except hierarchy nodes kept only as
+ancestors, which by construction are already in the set).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranking import Ranker
+from repro.core.views.factory import ViewFactory
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.builtin import BuiltinProviders
+from repro.providers.fields import FieldResolver
+from repro.providers.suite import default_spec
+from tests.conftest import build_tiny_store
+
+_STORE = build_tiny_store()
+_PROVIDERS = BuiltinProviders(_STORE)
+_SPEC = default_spec()
+_FACTORY = ViewFactory(_STORE, _SPEC, Ranker(FieldResolver(_STORE)))
+
+
+def _build(name, inputs=None, user=""):
+    request = ProviderRequest(
+        inputs=dict(inputs or {}),
+        context=RequestContext(user_id=user, limit=50),
+    )
+    result = _PROVIDERS.endpoints()[name](request)
+    return _FACTORY.build(_SPEC.provider(name), result,
+                          inputs=dict(inputs or {}))
+
+
+_VIEWS = {
+    "list": _build("of_type", {"artifact_type": "table"}),
+    "tiles": _build("most_viewed"),
+    "hierarchy": _build("lineage", {"artifact": "t-orders"}),
+    "graph": _build("joinable", {"artifact": "t-orders"}),
+    "categories": _build("types"),
+    "embedding": _build("embedding_map"),
+}
+
+_ALL_IDS = sorted(_STORE.artifact_ids())
+
+id_subsets = st.sets(st.sampled_from(_ALL_IDS))
+
+
+@pytest.mark.parametrize("view_kind", sorted(_VIEWS))
+class TestFilterInvariants:
+    @given(allowed=id_subsets)
+    @settings(max_examples=30, deadline=None)
+    def test_filtered_is_subset_of_original(self, view_kind, allowed):
+        view = _VIEWS[view_kind]
+        filtered = view.filtered(allowed)
+        assert set(filtered.artifact_ids()) <= set(view.artifact_ids())
+
+    @given(allowed=id_subsets)
+    @settings(max_examples=30, deadline=None)
+    def test_filtered_only_contains_allowed(self, view_kind, allowed):
+        view = _VIEWS[view_kind]
+        filtered = view.filtered(allowed)
+        if view_kind == "hierarchy":
+            # ancestors of allowed nodes survive to keep paths navigable
+            survivors = set(filtered.artifact_ids())
+            leaves_allowed = survivors & allowed
+            extra = survivors - allowed
+            # every extra node must be an ancestor of some allowed node
+            for node in extra:
+                descendants = set(_STORE.lineage.downstream(node))
+                assert descendants & leaves_allowed, node
+        else:
+            assert set(filtered.artifact_ids()) <= allowed
+
+    @given(allowed=id_subsets)
+    @settings(max_examples=30, deadline=None)
+    def test_filtering_is_idempotent(self, view_kind, allowed):
+        view = _VIEWS[view_kind]
+        once = view.filtered(allowed)
+        twice = once.filtered(allowed)
+        assert once.artifact_ids() == twice.artifact_ids()
+
+    def test_full_set_preserves_content(self, view_kind):
+        view = _VIEWS[view_kind]
+        filtered = view.filtered(set(_ALL_IDS))
+        assert filtered.artifact_ids() == view.artifact_ids()
+
+    def test_empty_set_empties_view(self, view_kind):
+        view = _VIEWS[view_kind]
+        assert view.filtered(set()).artifact_ids() == []
+
+    @given(a=id_subsets, b=id_subsets)
+    @settings(max_examples=20, deadline=None)
+    def test_sequential_filters_compose_like_intersection(self, view_kind,
+                                                          a, b):
+        if view_kind == "hierarchy":
+            # ancestor-preservation makes tree filtering non-compositional
+            # by design; skip.
+            return
+        view = _VIEWS[view_kind]
+        sequential = view.filtered(a).filtered(b)
+        direct = view.filtered(a & b)
+        assert sequential.artifact_ids() == direct.artifact_ids()

@@ -1,0 +1,238 @@
+"""Tests for provider envelopes, registry and field resolver."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateEntityError,
+    ProviderError,
+    RepresentationError,
+)
+from repro.providers.base import (
+    Category,
+    EmbeddingPoint,
+    GraphEdge,
+    HierarchyNode,
+    InputSpec,
+    ProviderRequest,
+    ProviderResult,
+    Representation,
+    RequestContext,
+    ScoredArtifact,
+    list_result,
+)
+from repro.providers.fields import FieldResolver, _as_number
+from repro.providers.registry import EndpointRegistry, parse_endpoint_uri
+
+
+class TestRepresentation:
+    def test_coerce_string(self):
+        assert Representation.coerce("graph") is Representation.GRAPH
+
+    def test_coerce_unknown(self):
+        with pytest.raises(ValueError, match="unknown representation"):
+            Representation.coerce("pie_chart")
+
+
+class TestInputSpec:
+    def test_valid_types(self):
+        for t in ("artifact", "user", "team", "badge", "artifact_type", "text"):
+            InputSpec(name="x", input_type=t)
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError, match="unknown input type"):
+            InputSpec(name="x", input_type="number")
+
+
+class TestProviderResult:
+    def test_list_result_helper(self):
+        result = list_result([ScoredArtifact("a")])
+        assert result.representation is Representation.LIST
+        assert result.artifact_ids() == ["a"]
+
+    def test_list_result_rejects_graph(self):
+        with pytest.raises(ValueError):
+            list_result([], representation=Representation.GRAPH)
+
+    def test_validate_rejects_mixed_payload(self):
+        result = ProviderResult(
+            representation=Representation.LIST,
+            items=(ScoredArtifact("a"),),
+            nodes=("a",),
+        )
+        with pytest.raises(RepresentationError):
+            result.validate("p")
+
+    def test_validate_rejects_dangling_edges(self):
+        result = ProviderResult(
+            representation=Representation.GRAPH,
+            nodes=("a",),
+            edges=(GraphEdge("a", "ghost"),),
+        )
+        with pytest.raises(RepresentationError, match="dangling|missing"):
+            result.validate("p")
+
+    def test_validate_accepts_clean_graph(self):
+        ProviderResult(
+            representation=Representation.GRAPH,
+            nodes=("a", "b"),
+            edges=(GraphEdge("a", "b"),),
+        ).validate("p")
+
+    def test_artifact_ids_flattens_hierarchy(self):
+        tree = HierarchyNode(
+            "root",
+            children=(HierarchyNode("c1"), HierarchyNode("c2",
+                      children=(HierarchyNode("g1"),))),
+        )
+        result = ProviderResult(
+            representation=Representation.HIERARCHY, roots=(tree,)
+        )
+        assert result.artifact_ids() == ["root", "c1", "c2", "g1"]
+
+    def test_artifact_ids_dedupes_preserving_order(self):
+        result = ProviderResult(
+            representation=Representation.CATEGORIES,
+            categories=(
+                Category("x", ("a", "b")),
+                Category("y", ("b", "c")),
+            ),
+        )
+        assert result.artifact_ids() == ["a", "b", "c"]
+
+    def test_artifact_ids_from_points(self):
+        result = ProviderResult(
+            representation=Representation.EMBEDDING,
+            points=(EmbeddingPoint("a", 0.0, 1.0),),
+        )
+        assert result.artifact_ids() == ["a"]
+
+    def test_is_empty(self):
+        assert ProviderResult(representation=Representation.LIST).is_empty()
+        assert not list_result([ScoredArtifact("a")]).is_empty()
+
+    def test_hierarchy_depth(self):
+        tree = HierarchyNode("r", children=(HierarchyNode("c"),))
+        assert tree.depth() == 2
+
+
+class TestRegistry:
+    def endpoint(self, request):
+        return list_result([ScoredArtifact("a")])
+
+    def test_uri_validation(self):
+        assert parse_endpoint_uri("catalog://recents") == ("catalog", "recents")
+        with pytest.raises(ValueError):
+            parse_endpoint_uri("no-scheme")
+        with pytest.raises(ValueError):
+            parse_endpoint_uri("http://bad space")
+
+    def test_register_and_fetch(self):
+        registry = EndpointRegistry()
+        registry.register("x://p", self.endpoint)
+        result = registry.fetch("x://p", ProviderRequest())
+        assert result.artifact_ids() == ["a"]
+
+    def test_double_register_needs_replace(self):
+        registry = EndpointRegistry()
+        registry.register("x://p", self.endpoint)
+        with pytest.raises(DuplicateEntityError):
+            registry.register("x://p", self.endpoint)
+        registry.register("x://p", self.endpoint, replace=True)
+
+    def test_unregistered_fetch_raises(self):
+        with pytest.raises(ProviderError, match="not registered"):
+            EndpointRegistry().fetch("x://ghost", ProviderRequest())
+
+    def test_fetch_validates_result_type(self):
+        registry = EndpointRegistry()
+        registry.register("x://bad", lambda req: ["not", "a", "result"])
+        with pytest.raises(ProviderError, match="expected ProviderResult"):
+            registry.fetch("x://bad", ProviderRequest())
+
+    def test_fetch_validates_envelope(self):
+        registry = EndpointRegistry()
+        registry.register(
+            "x://mixed",
+            lambda req: ProviderResult(
+                representation=Representation.LIST, nodes=("a",)
+            ),
+        )
+        with pytest.raises(RepresentationError):
+            registry.fetch("x://mixed", ProviderRequest())
+
+    def test_iteration_sorted(self):
+        registry = EndpointRegistry()
+        registry.register("x://b", self.endpoint)
+        registry.register("x://a", self.endpoint)
+        assert list(registry) == ["x://a", "x://b"]
+
+    def test_unregister(self):
+        registry = EndpointRegistry()
+        registry.register("x://p", self.endpoint)
+        registry.unregister("x://p")
+        assert "x://p" not in registry
+
+
+class TestRequest:
+    def test_input_default(self):
+        request = ProviderRequest(inputs={"user": "u-1"})
+        assert request.input("user") == "u-1"
+        assert request.input("missing") == ""
+        assert request.input("missing", "d") == "d"
+
+    def test_context_defaults(self):
+        context = RequestContext()
+        assert context.limit == 20
+        assert context.user_id == ""
+
+
+class TestFieldResolver:
+    def test_usage_fields(self, tiny_store):
+        resolver = FieldResolver(tiny_store)
+        assert resolver.value("t-orders", "views") == 7.0
+        assert resolver.value("t-orders", "favorite") == 1.0
+        assert resolver.value("t-orders", "unique_viewers") == 2.0
+        assert resolver.value("w-q1", "edits") == 1.0
+
+    def test_badge_fields(self, tiny_store):
+        resolver = FieldResolver(tiny_store)
+        assert resolver.value("t-orders", "endorsed") == 1.0
+        assert resolver.value("t-orders", "certified") == 0.0
+        assert resolver.value("t-orders", "badge_count") == 1.0
+
+    def test_recency_in_unit_interval(self, tiny_store):
+        resolver = FieldResolver(tiny_store)
+        recency = resolver.value("t-orders", "recency")
+        assert 0.0 < recency <= 1.0
+        assert resolver.value("t-web", "recency") == 0.0  # never viewed
+
+    def test_freshness_decreases_with_age(self, tiny_store):
+        resolver = FieldResolver(tiny_store)
+        old = resolver.value("t-orders", "freshness")  # created day 10
+        new = resolver.value("w-q1", "freshness")  # created day 30
+        assert new > old
+
+    def test_extra_field_fallback(self, tiny_store):
+        artifact = tiny_store.artifact("t-orders")
+        artifact.extra["quality_score"] = 0.8
+        resolver = FieldResolver(tiny_store)
+        assert resolver.value("t-orders", "quality_score") == 0.8
+
+    def test_unknown_field_zero(self, tiny_store):
+        assert FieldResolver(tiny_store).value("t-orders", "nope") == 0.0
+
+    def test_register_custom_resolver(self, tiny_store):
+        resolver = FieldResolver(tiny_store)
+        resolver.register("name_length",
+                          lambda aid: float(len(tiny_store.artifact(aid).name)))
+        assert resolver.value("t-orders", "name_length") == 6.0
+
+    def test_as_number_coercions(self):
+        assert _as_number(True) == 1.0
+        assert _as_number(False) == 0.0
+        assert _as_number(3) == 3.0
+        assert _as_number("2.5") == 2.5
+        assert _as_number("abc") == 0.0
+        assert _as_number(float("nan")) == 0.0
+        assert _as_number(None) == 0.0
+        assert _as_number([1, 2]) == 0.0

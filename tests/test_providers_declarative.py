@@ -1,0 +1,155 @@
+"""Tests for declarative endpoints (lookup collections and rule filters)."""
+
+import pytest
+
+from repro.core.spec.model import ProviderSpec, Visibility
+from repro.errors import SpecError
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.declarative import LookupEndpoint, RuleEndpoint
+
+
+def req(limit=20):
+    return ProviderRequest(context=RequestContext(limit=limit))
+
+
+class TestLookupEndpoint:
+    def test_serves_curated_order(self, tiny_store):
+        endpoint = LookupEndpoint(tiny_store, ["w-q1", "t-orders"])
+        assert endpoint(req()).artifact_ids() == ["w-q1", "t-orders"]
+
+    def test_missing_artifacts_skipped(self, tiny_store):
+        endpoint = LookupEndpoint(tiny_store, ["ghost", "t-orders"])
+        assert endpoint(req()).artifact_ids() == ["t-orders"]
+
+    def test_add_and_remove(self, tiny_store):
+        endpoint = LookupEndpoint(tiny_store, ["t-orders"])
+        endpoint.add("t-web")
+        endpoint.add("t-web")  # idempotent
+        assert endpoint.artifact_ids == ["t-orders", "t-web"]
+        endpoint.remove("t-orders")
+        endpoint.remove("ghost")  # no-op
+        assert endpoint(req()).artifact_ids() == ["t-web"]
+
+    def test_limit(self, tiny_store):
+        endpoint = LookupEndpoint(tiny_store,
+                                  ["t-orders", "t-web", "w-q1"])
+        assert len(endpoint(req(limit=2)).artifact_ids()) == 2
+
+
+class TestRuleEndpointValidation:
+    def test_empty_rules_rejected(self, tiny_store):
+        with pytest.raises(SpecError, match="at least one rule"):
+            RuleEndpoint(tiny_store, [])
+
+    def test_missing_keys_rejected(self, tiny_store):
+        with pytest.raises(SpecError, match="missing"):
+            RuleEndpoint(tiny_store, [{"field": "type"}])
+
+    def test_unknown_op_rejected(self, tiny_store):
+        with pytest.raises(SpecError, match="unknown op"):
+            RuleEndpoint(tiny_store,
+                         [{"field": "type", "op": "~=", "value": "x"}])
+
+
+class TestRuleEndpointMatching:
+    def test_eq_on_annotation_field(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "type", "op": "eq", "value": "table"},
+        ])
+        assert set(endpoint(req()).artifact_ids()) == {
+            "t-orders", "t-customers", "t-web",
+        }
+
+    def test_eq_is_case_insensitive(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "type", "op": "eq", "value": "TABLE"},
+        ])
+        assert endpoint(req()).artifact_ids()
+
+    def test_gte_on_usage_field(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "views", "op": "gte", "value": 5},
+        ])
+        assert endpoint(req()).artifact_ids() == ["t-orders"]
+
+    def test_conjunction(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "type", "op": "eq", "value": "table"},
+            {"field": "endorsed", "op": "gte", "value": 1},
+        ])
+        assert endpoint(req()).artifact_ids() == ["t-orders"]
+
+    def test_contains_on_name(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "name", "op": "contains", "value": "order"},
+        ])
+        assert set(endpoint(req()).artifact_ids()) == {
+            "t-orders", "v-orders",
+        }
+
+    def test_multivalue_field_any_semantics(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "tags", "op": "eq", "value": "crm"},
+        ])
+        assert endpoint(req()).artifact_ids() == ["t-customers"]
+
+    def test_in_operator(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "type", "op": "in",
+             "value": ["workbook", "dashboard"]},
+        ])
+        assert set(endpoint(req()).artifact_ids()) == {"w-q1", "d-sales"}
+
+    def test_results_ranked_by_views(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "type", "op": "eq", "value": "table"},
+        ])
+        items = endpoint(req()).items
+        scores = [item.score for item in items]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_lt_and_ne(self, tiny_store):
+        endpoint = RuleEndpoint(tiny_store, [
+            {"field": "views", "op": "lt", "value": 1},
+            {"field": "type", "op": "ne", "value": "document"},
+        ])
+        assert "t-web" in endpoint(req()).artifact_ids()
+
+
+class TestDeclarativeProvidersEndToEnd:
+    def test_curated_collection_in_interface(self, tiny_app):
+        """An admin-curated 'golden datasets' view: config only."""
+        endpoint = LookupEndpoint(tiny_app.store, ["t-orders", "d-sales"])
+        tiny_app.registry.register("lookup://golden", endpoint)
+        tiny_app.update_spec(tiny_app.spec.with_provider(ProviderSpec(
+            name="golden",
+            endpoint="lookup://golden",
+            representation="list",
+            category="annotation",
+            title="Golden Datasets",
+        )))
+        session = tiny_app.session("u-ann")
+        tabs = session.open_home()
+        golden = next(t for t in tabs if t.provider_name == "golden")
+        assert golden.view.artifact_ids() == ["t-orders", "d-sales"]
+        # and it is searchable like any provider
+        result = session.search(":golden() & type: table")
+        assert result.artifact_ids() == ["t-orders"]
+
+    def test_rule_provider_in_interface(self, tiny_app):
+        endpoint = RuleEndpoint(tiny_app.store, [
+            {"field": "type", "op": "eq", "value": "table"},
+            {"field": "views", "op": "gte", "value": 2},
+        ])
+        tiny_app.registry.register("rules://hot-tables", endpoint)
+        tiny_app.update_spec(tiny_app.spec.with_provider(ProviderSpec(
+            name="hot_tables",
+            endpoint="rules://hot-tables",
+            representation="list",
+            category="interaction",
+            title="Hot Tables",
+            visibility=Visibility(overview=True, exploration=False,
+                                  search=True),
+        )))
+        result, _ = tiny_app.interface.search(":hot_tables()")
+        assert set(result.artifact_ids()) == {"t-orders", "t-customers"}

@@ -1,0 +1,128 @@
+"""Tests for the extended provider suite and extended_spec()."""
+
+import pytest
+
+from repro.catalog.model import Artifact, ArtifactType, Column
+from repro.core.spec.validation import validate_spec
+from repro.errors import MissingInputError
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.extended import (
+    ExtendedProviders,
+    extended_spec,
+    install_extended_endpoints,
+)
+from repro.providers.registry import EndpointRegistry
+from repro.util.clock import DAY
+
+
+def req(inputs=None, limit=20):
+    return ProviderRequest(inputs=dict(inputs or {}),
+                           context=RequestContext(limit=limit))
+
+
+@pytest.fixture
+def extended(tiny_store):
+    return ExtendedProviders(tiny_store)
+
+
+class TestUnionable:
+    def test_finds_schema_compatible_tables(self, extended):
+        result = extended.unionable(req({"artifact": "t-orders"}))
+        assert "t-customers" in result.artifact_ids()
+
+    def test_requires_artifact(self, extended):
+        with pytest.raises(MissingInputError):
+            extended.unionable(req())
+
+    def test_unknown_artifact_empty(self, extended):
+        assert extended.unionable(req({"artifact": "ghost"})).is_empty()
+
+
+class TestStale:
+    def test_never_viewed_old_artifact_is_stale(self, tiny_store, extended):
+        # t-web was created at day 20 and (in the fixture) never viewed;
+        # "now" is day 100, so it is 80 days untouched -> not stale at 90.
+        result = extended.stale(req())
+        assert "t-web" not in result.artifact_ids()
+        tiny_store.clock.advance(days=30)  # now 110 days, t-web 90+ stale
+        result = extended.stale(req())
+        assert "t-web" in result.artifact_ids()
+
+    def test_deprecated_badge_is_always_stale(self, tiny_store, extended):
+        tiny_store.grant_badge("w-q1", "deprecated", "u-bob")
+        result = extended.stale(req())
+        assert result.artifact_ids()[0] == "w-q1"  # deprecated ranks first
+
+    def test_recently_viewed_not_stale(self, tiny_store, extended):
+        assert "t-orders" not in extended.stale(req()).artifact_ids()
+
+
+class TestHasColumn:
+    def test_finds_tables_with_column(self, extended):
+        result = extended.has_column(req({"text": "customer_id"}))
+        assert set(result.artifact_ids()) == {"t-orders", "t-customers"}
+
+    def test_substring_match(self, extended):
+        result = extended.has_column(req({"text": "customer"}))
+        assert "t-orders" in result.artifact_ids()
+
+    def test_requires_text(self, extended):
+        with pytest.raises(MissingInputError):
+            extended.has_column(req())
+
+    def test_non_tabular_excluded(self, tiny_store, extended):
+        result = extended.has_column(req({"text": "id"}))
+        types = {
+            tiny_store.artifact(aid).artifact_type
+            for aid in result.artifact_ids()
+        }
+        assert types <= {ArtifactType.TABLE, ArtifactType.DATASET}
+
+
+class TestOrphans:
+    def test_unlinked_artifacts_listed(self, extended):
+        result = extended.orphans(req())
+        assert "t-web" in result.artifact_ids()
+        assert "w-q1" in result.artifact_ids()
+
+    def test_linked_artifacts_excluded(self, extended):
+        ids = extended.orphans(req()).artifact_ids()
+        assert "t-orders" not in ids
+        assert "d-sales" not in ids
+
+
+class TestExtendedSpec:
+    def test_spec_validates_against_full_registry(self, tiny_store,
+                                                  tiny_registry):
+        install_extended_endpoints(tiny_registry,
+                                   ExtendedProviders(tiny_store))
+        spec = extended_spec()
+        assert validate_spec(spec, registry=tiny_registry) == []
+
+    def test_extends_default(self, tiny_store):
+        from repro.providers.suite import default_spec
+
+        spec = extended_spec()
+        assert len(spec) == len(default_spec()) + 4
+        assert "unionable" in spec
+        assert "governance" in spec.categories()
+
+    def test_search_fields_added(self):
+        fields = extended_spec().search_fields()
+        assert "has_column" in fields
+        assert "stale" in fields
+
+    def test_end_to_end_with_workbook(self, tiny_store):
+        from repro.workbook.app import WorkbookApp
+
+        app = WorkbookApp(tiny_store)
+        install_extended_endpoints(app.registry,
+                                   ExtendedProviders(tiny_store))
+        app.update_spec(extended_spec())
+        result, _ = app.interface.search("has_column: customer_id")
+        assert set(result.artifact_ids()) == {"t-orders", "t-customers"}
+        # exploration now also surfaces unionable views
+        session = app.session("u-ann")
+        session.select_artifact("t-orders")
+        providers = {s.provider_name for s in session.explore_selection()}
+        assert "unionable" in providers

@@ -1,0 +1,228 @@
+"""Tests for the query lexer and parser."""
+
+import pytest
+
+from repro.core.query import lexer
+from repro.core.query.ast import (
+    And,
+    FieldTerm,
+    Not,
+    Or,
+    ProviderCall,
+    TextTerm,
+    flatten_and,
+    flatten_or,
+)
+from repro.core.query.lexer import tokenize_query
+from repro.core.query.parser import parse_query
+from repro.errors import QuerySyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize_query(text)]
+
+
+class TestLexer:
+    def test_words_and_eof(self):
+        assert kinds("hello world") == [lexer.WORD, lexer.WORD, lexer.EOF]
+
+    def test_symbols(self):
+        assert kinds("& | ! : ( )") == [
+            lexer.AND, lexer.OR, lexer.NOT, lexer.COLON,
+            lexer.LPAREN, lexer.RPAREN, lexer.EOF,
+        ]
+
+    def test_word_operators_case_insensitive(self):
+        assert kinds("AND or Not") == [lexer.AND, lexer.OR, lexer.NOT,
+                                       lexer.EOF]
+
+    def test_quoted_strings(self):
+        tokens = tokenize_query("'John Doe' \"sales data\"")
+        assert tokens[0].kind == lexer.QUOTED
+        assert tokens[0].value == "John Doe"
+        assert tokens[1].value == "sales data"
+
+    def test_quote_escapes(self):
+        tokens = tokenize_query(r'"say \"hi\""')
+        assert tokens[0].value == 'say "hi"'
+
+    def test_unterminated_quote(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokenize_query("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            tokenize_query("a @ b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize_query("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_word_chars_include_dash_dot(self):
+        tokens = tokenize_query("v1.2-beta")
+        assert tokens[0].value == "v1.2-beta"
+
+
+class TestParserTerms:
+    def test_single_word(self):
+        assert parse_query("sales") == TextTerm("sales")
+
+    def test_quoted_text(self):
+        assert parse_query("'John Doe'") == TextTerm("John Doe")
+
+    def test_field_term(self):
+        assert parse_query("type: table") == FieldTerm("type", "table")
+
+    def test_field_term_quoted_value(self):
+        assert parse_query("owned_by: 'Alex'") == FieldTerm("owned_by", "Alex")
+
+    def test_spaced_field_name(self):
+        assert parse_query("owned by: 'Alex'") == FieldTerm("owned_by", "Alex")
+        assert parse_query("badged by: 'Mike'") == FieldTerm("badged_by", "Mike")
+
+    def test_spaced_field_requires_joiner(self):
+        # "sales type: table" must NOT become field "sales_type".
+        node = parse_query("sales type: table")
+        assert node == And((TextTerm("sales"), FieldTerm("type", "table")))
+
+    def test_detached_colon_is_provider_call(self):
+        node = parse_query("bit :recent_documents()")
+        assert node == And((TextTerm("bit"),
+                            ProviderCall("recent_documents")))
+
+    def test_provider_call_no_arg(self):
+        assert parse_query(":recents()") == ProviderCall("recents")
+
+    def test_provider_call_with_arg(self):
+        assert parse_query(":owned_by('Alex')") == ProviderCall(
+            "owned_by", "Alex"
+        )
+
+    def test_field_without_value_errors(self):
+        with pytest.raises(QuerySyntaxError, match="expected a value"):
+            parse_query("type: &")
+
+    def test_call_missing_paren_errors(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(":recents(")
+
+
+class TestParserOperators:
+    def test_explicit_and(self):
+        assert parse_query("a & b") == And((TextTerm("a"), TextTerm("b")))
+
+    def test_implicit_and(self):
+        assert parse_query("a b") == And((TextTerm("a"), TextTerm("b")))
+
+    def test_or(self):
+        assert parse_query("a | b") == Or((TextTerm("a"), TextTerm("b")))
+
+    def test_word_operators(self):
+        assert parse_query("a and b or c") == Or((
+            And((TextTerm("a"), TextTerm("b"))), TextTerm("c"),
+        ))
+
+    def test_precedence_and_over_or(self):
+        node = parse_query("a & b | c & d")
+        assert isinstance(node, Or)
+        assert all(isinstance(child, And) for child in node.children)
+
+    def test_not(self):
+        assert parse_query("!a") == Not(TextTerm("a"))
+        assert parse_query("not a") == Not(TextTerm("a"))
+
+    def test_not_binds_tighter_than_and(self):
+        node = parse_query("!a & b")
+        assert node == And((Not(TextTerm("a")), TextTerm("b")))
+
+    def test_brackets_override(self):
+        node = parse_query("a & (b | c)")
+        assert node == And((TextTerm("a"),
+                            Or((TextTerm("b"), TextTerm("c")))))
+
+    def test_nested_brackets(self):
+        node = parse_query("((a))")
+        assert node == TextTerm("a")
+
+    def test_unclosed_bracket(self):
+        with pytest.raises(QuerySyntaxError, match="closing bracket"):
+            parse_query("(a | b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError, match="trailing"):
+            parse_query("a )")
+
+    def test_empty_query(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("")
+
+    def test_double_not(self):
+        assert parse_query("!!a") == Not(Not(TextTerm("a")))
+
+
+class TestPaperQueries:
+    def test_flagship_intro_query(self):
+        node = parse_query(
+            "type: table owned by: 'Alex' badged: endorsed "
+            "badged by: 'Mike' & 'sales'"
+        )
+        assert node == And((
+            FieldTerm("type", "table"),
+            FieldTerm("owned_by", "Alex"),
+            FieldTerm("badged", "endorsed"),
+            FieldTerm("badged_by", "Mike"),
+            TextTerm("sales"),
+        ))
+
+    def test_prefix_language_example(self):
+        node = parse_query(":recent_documents() & bit")
+        assert node == And((ProviderCall("recent_documents"),
+                            TextTerm("bit")))
+
+
+class TestRoundTrip:
+    CASES = [
+        "sales",
+        "type: table",
+        "owned_by: Alex",
+        'owned_by: "John Doe"',
+        "a & b & c",
+        "a | b",
+        "!a",
+        "a & (b | c)",
+        "!(a & b)",
+        ":recents()",
+        ":owned_by(Alex)",
+        "type: table & owned_by: Alex | sales",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_to_text_reparses_identically(self, text):
+        node = parse_query(text)
+        assert parse_query(node.to_text()) == node
+
+
+class TestFlatteners:
+    def test_flatten_and_unwraps_singleton(self):
+        assert flatten_and([TextTerm("a")]) == TextTerm("a")
+
+    def test_flatten_and_merges_nested(self):
+        nested = And((TextTerm("a"), TextTerm("b")))
+        node = flatten_and([nested, TextTerm("c")])
+        assert node == And((TextTerm("a"), TextTerm("b"), TextTerm("c")))
+
+    def test_flatten_or_merges_nested(self):
+        nested = Or((TextTerm("a"), TextTerm("b")))
+        node = flatten_or([nested, TextTerm("c")])
+        assert node == Or((TextTerm("a"), TextTerm("b"), TextTerm("c")))
+
+    def test_flatten_empty_raises(self):
+        with pytest.raises(ValueError):
+            flatten_and([])
+
+    def test_iter_terms_order(self):
+        node = parse_query("a & !(b | c) & type: table")
+        terms = node.iter_terms()
+        assert terms == [TextTerm("a"), TextTerm("b"), TextTerm("c"),
+                         FieldTerm("type", "table")]

@@ -1,0 +1,137 @@
+"""Tests for text and HTML renderers."""
+
+import pytest
+
+from repro.core.interface.preview import build_preview
+from repro.core.ranking import Ranker
+from repro.core.render.html import render_interface_html, render_view_html
+from repro.core.render.text import (
+    render_preview_text,
+    render_tabs_text,
+    render_view_text,
+)
+from repro.core.views.factory import ViewFactory
+from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.fields import FieldResolver
+from repro.providers.suite import default_spec
+
+
+@pytest.fixture
+def views(tiny_store, tiny_providers, spec):
+    """One built view per representation."""
+    factory = ViewFactory(tiny_store, spec, Ranker(FieldResolver(tiny_store)))
+
+    def build(name, inputs=None, user=""):
+        request = ProviderRequest(
+            inputs=dict(inputs or {}),
+            context=RequestContext(user_id=user, limit=20),
+        )
+        result = tiny_providers.endpoints()[name](request)
+        return factory.build(spec.provider(name), result,
+                             inputs=dict(inputs or {}))
+
+    return {
+        "list": build("of_type", {"artifact_type": "table"}),
+        "tiles": build("most_viewed"),
+        "hierarchy": build("lineage", {"artifact": "t-orders"}),
+        "graph": build("joinable", {"artifact": "t-orders"}),
+        "categories": build("types"),
+        "embedding": build("embedding_map"),
+    }
+
+
+class TestTextRenderer:
+    def test_every_representation_renders(self, views):
+        for representation, view in views.items():
+            text = render_view_text(view)
+            assert view.title in text
+            assert representation in text
+
+    def test_list_shows_names_and_badges(self, views):
+        text = render_view_text(views["list"])
+        assert "ORDERS" in text
+        assert "endorsed" in text
+
+    def test_tiles_truncation_note(self, views):
+        text = render_view_text(views["tiles"], max_items=1)
+        assert "more tiles" in text
+
+    def test_hierarchy_indentation(self, views):
+        text = render_view_text(views["hierarchy"])
+        assert "ORDERS" in text
+        assert "└─" in text
+
+    def test_graph_edge_lines(self, views):
+        text = render_view_text(views["graph"])
+        assert "-->" in text
+        assert "customer_id" in text
+
+    def test_categories_counts(self, views):
+        text = render_view_text(views["categories"])
+        assert "table" in text
+        assert "3" in text
+
+    def test_embedding_ascii_scatter(self, views):
+        text = render_view_text(views["embedding"])
+        assert "●" in text
+
+    def test_empty_view(self, views):
+        empty = views["list"].filtered(set())
+        assert "(empty)" in render_view_text(empty)
+
+    def test_deterministic(self, views):
+        for view in views.values():
+            assert render_view_text(view) == render_view_text(view)
+
+    def test_preview_text(self, tiny_store):
+        text = render_preview_text(build_preview(tiny_store, "t-orders"))
+        assert "ORDERS" in text
+        assert "endorsed" in text
+        assert "order_id" in text  # snippet header
+
+
+class TestTabsRenderer:
+    def test_active_tab_marked(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        tabs = session.open_home()
+        text = render_tabs_text(tabs, active=1)
+        assert f"*{tabs[1].title}*" in text
+
+    def test_no_tabs(self):
+        assert "no views" in render_tabs_text([])
+
+
+class TestHtmlRenderer:
+    def test_every_representation_renders(self, views):
+        for view in views.values():
+            html = render_view_html(view)
+            assert html.startswith("<section>")
+            assert view.title in html
+
+    def test_escaping(self, views):
+        view = views["list"]
+        # inject a hostile title through replace (frozen dataclass)
+        import dataclasses
+
+        hostile = dataclasses.replace(view, title="<script>alert(1)</script>")
+        html = render_view_html(hostile)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_graph_svg_nodes(self, views):
+        html = render_view_html(views["graph"])
+        assert "<svg" in html
+        assert "<circle" in html
+        assert "<line" in html
+
+    def test_embedding_svg_tooltips(self, views):
+        html = render_view_html(views["embedding"])
+        assert "<title>" in html
+
+    def test_full_document(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        tabs = session.open_home()
+        document = render_interface_html(tabs, title="Discovery")
+        assert document.startswith("<!DOCTYPE html>")
+        assert "Discovery" in document
+        assert 'class="tab active"' in document

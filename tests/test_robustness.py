@@ -1,0 +1,110 @@
+"""Robustness tests: seeds, scale extremes, degenerate catalogs."""
+
+import pytest
+
+from repro.catalog.store import CatalogStore
+from repro.core.render import render_screen_text
+from repro.study.executor import run_study
+from repro.synth import SynthConfig, generate_catalog
+from repro.workbook.app import WorkbookApp
+
+
+class TestStudyAcrossSeeds:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 11, 42])
+    def test_all_tasks_complete_for_any_seed(self, seed):
+        run = run_study(seed=seed)
+        failures = [o for o in run.outcomes if not o.completed]
+        assert failures == []
+
+
+class TestDegenerateCatalogs:
+    def test_empty_catalog_interface(self):
+        from repro.catalog.model import User
+
+        store = CatalogStore()
+        store.add_user(User(id="u", name="Solo"))
+        app = WorkbookApp(store)
+        session = app.session("u")
+        tabs = session.open_home()
+        # every generated tab on an empty catalog is empty but valid
+        for tab in tabs:
+            assert tab.view.count() == 0
+        result = session.search("anything at all")
+        assert result.is_empty()
+        assert session.suggest("") != []  # fields still suggested
+
+    def test_single_artifact_catalog(self):
+        from repro.catalog.model import Artifact, User
+
+        store = CatalogStore()
+        store.add_user(User(id="u", name="Solo"))
+        store.add_artifact(Artifact(id="a", name="ONLY_TABLE",
+                                    artifact_type="table", owner_id="u",
+                                    created_at=1.0))
+        app = WorkbookApp(store)
+        session = app.session("u")
+        session.open_home()
+        result = session.search("only table")
+        assert result.artifact_ids() == ["a"]
+        session.select_artifact("a")
+        # exploring the lone artifact finds nothing similar — no crash
+        surfaced = session.explore_selection()
+        for view in surfaced:
+            assert not view.view.is_empty()
+
+    def test_minimal_synth_config(self):
+        store = generate_catalog(SynthConfig(seed=1, n_users=1, n_teams=1,
+                                             n_tables=1, n_dashboards=0,
+                                             n_workbooks=0, n_documents=0,
+                                             usage_events=5))
+        app = WorkbookApp(store)
+        session = app.session(store.users()[0].id)
+        assert session.open_home() is not None
+
+
+class TestScreenRenderer:
+    def test_full_figure7_screen(self, study_app):
+        session = study_app.session("user-alex")
+        session.open_home()
+        session.select_artifact("table-airlines")
+        screen = render_screen_text(session, query="badged: endorsed")
+        assert "search> badged: endorsed" in screen
+        assert "AIRLINES" in screen  # preview pane
+        assert "Recents" in screen  # tab strip
+
+    def test_screen_before_home(self, study_app):
+        session = study_app.session("user-alex")
+        screen = render_screen_text(session)
+        assert "no views" in screen
+
+    def test_screen_without_selection(self, study_app):
+        session = study_app.session("user-alex")
+        session.open_home()
+        screen = render_screen_text(session)
+        assert "┌─" not in screen  # no preview box
+
+
+class TestUnicodeAndOddNames:
+    def test_unicode_artifact_names(self):
+        from repro.catalog.model import Artifact, User
+
+        store = CatalogStore()
+        store.add_user(User(id="u", name="Ünal Çağatay"))
+        store.add_artifact(Artifact(id="a", name="VERKÄUFE_2024",
+                                    artifact_type="table", owner_id="u",
+                                    description="Umsätze für Q1 — naïve",
+                                    created_at=1.0))
+        app = WorkbookApp(store)
+        result, view = app.interface.search("verkäufe")
+        # tokenizer is ascii-alnum; umlauts split words but search still
+        # finds the artifact via its ascii fragments
+        result2, _ = app.interface.search("2024")
+        assert "a" in result2.artifact_ids()
+        from repro.core.render import render_view_html
+
+        html = render_view_html(view)
+        assert html  # renders without encoding errors
+
+    def test_quoted_value_with_spaces_everywhere(self, study_app):
+        result, _ = study_app.interface.search('owned_by: "John Doe"')
+        assert result.total == 4  # 3 workbooks + 1 dashboard

@@ -1,0 +1,58 @@
+"""Tests for session search history and saved searches."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+
+
+class TestHistory:
+    def test_history_in_order(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        session.search("badged: endorsed")
+        session.search("type: table")
+        assert session.search_history() == [
+            "badged: endorsed", "type: table",
+        ]
+
+    def test_history_starts_empty(self, tiny_app):
+        assert tiny_app.session("u-ann").search_history() == []
+
+    def test_history_is_copy(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        session.search("orders")
+        history = session.search_history()
+        history.clear()
+        assert session.search_history() == ["orders"]
+
+
+class TestSavedSearches:
+    def test_save_last_and_rerun(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        first = session.search("badged: endorsed")
+        session.save_search("endorsed stuff")
+        rerun = session.run_saved("endorsed stuff")
+        assert rerun.artifact_ids() == first.artifact_ids()
+
+    def test_save_explicit_query(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        session.save_search("tables", query="type: table")
+        assert session.saved_searches() == {"tables": "type: table"}
+        assert session.run_saved("tables").total == 3
+
+    def test_save_without_query_raises(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        with pytest.raises(ConfigurationError, match="no query"):
+            session.save_search("empty")
+
+    def test_run_unknown_saved_raises(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        with pytest.raises(ConfigurationError, match="no saved search"):
+            session.run_saved("ghost")
+
+    def test_rerun_reflects_catalog_changes(self, tiny_app):
+        session = tiny_app.session("u-ann")
+        session.save_search("endorsed", query="badged: endorsed")
+        before = session.run_saved("endorsed").total
+        tiny_app.store.grant_badge("t-web", "endorsed", "u-bob")
+        after = session.run_saved("endorsed").total
+        assert after == before + 1

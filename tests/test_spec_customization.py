@@ -1,0 +1,126 @@
+"""Tests for layered customization (org → team → user)."""
+
+import pytest
+
+from repro.core.spec.customization import Customization, CustomizationLayer
+from repro.core.spec.model import HumboldtSpec, ProviderSpec, Visibility
+from repro.errors import ConfigurationError
+
+
+def provider(name, **overrides):
+    defaults = dict(name=name, endpoint=f"c://{name}", representation="list")
+    defaults.update(overrides)
+    return ProviderSpec(**defaults)
+
+
+@pytest.fixture
+def spec4():
+    return HumboldtSpec(providers=(
+        provider("a"), provider("b"), provider("c"),
+        provider("d", visibility=Visibility(overview=False,
+                                            exploration=True, search=True)),
+    ))
+
+
+class TestLayer:
+    def test_hide_unhide(self):
+        layer = CustomizationLayer()
+        layer.hide("x")
+        assert "x" in layer.hidden
+        layer.unhide("x")
+        assert layer.is_empty()
+
+    def test_order_rejects_duplicates(self):
+        layer = CustomizationLayer()
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            layer.set_order(["a", "a"])
+
+
+class TestEffectiveProviders:
+    def test_default_is_spec_order(self, spec4):
+        names = [
+            p.name
+            for p in Customization().effective_providers(spec4, "overview")
+        ]
+        assert names == ["a", "b", "c"]  # d is not overview-visible
+
+    def test_org_hide_applies_to_everyone(self, spec4):
+        custom = Customization()
+        custom.org.hide("b")
+        names = [
+            p.name
+            for p in custom.effective_providers(
+                spec4, "overview", user_id="u", team_id="t"
+            )
+        ]
+        assert names == ["a", "c"]
+
+    def test_team_hide_applies_to_team_only(self, spec4):
+        custom = Customization()
+        custom.team_layer("t-1").hide("a")
+        in_team = custom.effective_providers(spec4, "overview",
+                                             team_id="t-1")
+        outside = custom.effective_providers(spec4, "overview",
+                                             team_id="t-2")
+        assert [p.name for p in in_team] == ["b", "c"]
+        assert [p.name for p in outside] == ["a", "b", "c"]
+
+    def test_user_hide_stacks_on_team(self, spec4):
+        custom = Customization()
+        custom.team_layer("t-1").hide("a")
+        custom.user_layer("u-1").hide("b")
+        names = [
+            p.name
+            for p in custom.effective_providers(
+                spec4, "overview", user_id="u-1", team_id="t-1"
+            )
+        ]
+        assert names == ["c"]
+
+    def test_user_order_beats_team_order(self, spec4):
+        custom = Customization()
+        custom.team_layer("t-1").set_order(["c", "a", "b"])
+        custom.user_layer("u-1").set_order(["b", "c"])
+        names = [
+            p.name
+            for p in custom.effective_providers(
+                spec4, "overview", user_id="u-1", team_id="t-1"
+            )
+        ]
+        assert names == ["b", "c", "a"]  # ordered ones first, rest follow
+
+    def test_order_ignores_hidden_and_unknown(self, spec4):
+        custom = Customization()
+        custom.user_layer("u").hide("a")
+        custom.user_layer("u").set_order(["a", "zzz", "c"])
+        names = [
+            p.name
+            for p in custom.effective_providers(spec4, "overview",
+                                                user_id="u")
+        ]
+        assert names == ["c", "b"]
+
+    def test_exploration_surface(self, spec4):
+        names = [
+            p.name
+            for p in Customization().effective_providers(spec4, "exploration")
+        ]
+        assert "d" in names
+
+    def test_reset_team(self, spec4):
+        custom = Customization()
+        custom.team_layer("t-1").hide("a")
+        custom.reset_team("t-1")
+        names = [
+            p.name
+            for p in custom.effective_providers(spec4, "overview",
+                                                team_id="t-1")
+        ]
+        assert names == ["a", "b", "c"]
+
+    def test_reset_user(self, spec4):
+        custom = Customization()
+        custom.user_layer("u-1").hide("a")
+        custom.reset_user("u-1")
+        assert len(custom.effective_providers(spec4, "overview",
+                                              user_id="u-1")) == 3

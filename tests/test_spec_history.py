@@ -1,0 +1,132 @@
+"""Tests for the versioned spec store."""
+
+import pytest
+
+from repro.core.spec.history import SpecStore
+from repro.core.spec.model import ProviderSpec, RankingWeight
+from repro.errors import SpecError, SpecValidationError
+from repro.providers.suite import default_spec
+
+
+def new_provider(name="quality"):
+    return ProviderSpec(name=name, endpoint=f"model://{name}",
+                        representation="list", category="relatedness")
+
+
+@pytest.fixture
+def store():
+    return SpecStore(default_spec(), author="ops")
+
+
+class TestCommit:
+    def test_initial_revision(self, store):
+        assert store.current_revision == 1
+        assert store.current == default_spec()
+        assert store.history()[0].author == "ops"
+
+    def test_commit_advances(self, store):
+        updated = store.current.with_provider(new_provider())
+        entry = store.commit(updated, author="ada", message="add quality")
+        assert entry.revision == 2
+        assert store.current == updated
+        assert "added quality" in entry.diff_summary
+
+    def test_default_message_is_diff_summary(self, store):
+        updated = store.current.without_provider("recents")
+        entry = store.commit(updated, author="ada")
+        assert entry.message == "removed recents"
+
+    def test_noop_commit_rejected(self, store):
+        with pytest.raises(SpecError, match="no-op"):
+            store.commit(store.current, author="ada")
+
+    def test_invalid_spec_rejected(self, store):
+        broken = store.current.with_provider(
+            ProviderSpec(name="bad", endpoint="not a uri",
+                         representation="list")
+        )
+        with pytest.raises(SpecValidationError):
+            store.commit(broken, author="ada")
+        assert store.current_revision == 1  # nothing recorded
+
+    def test_initial_spec_validated(self):
+        from repro.core.spec.model import HumboldtSpec
+
+        bad = HumboldtSpec(providers=(
+            ProviderSpec(name="x", endpoint="nope", representation="list"),
+        ))
+        with pytest.raises(SpecValidationError):
+            SpecStore(bad)
+
+
+class TestRollback:
+    def test_rollback_appends(self, store):
+        v2 = store.commit(store.current.with_provider(new_provider()),
+                          author="ada")
+        entry = store.rollback(1, author="ops")
+        assert entry.revision == 3
+        assert store.current == default_spec()
+        assert "rollback to r1" in entry.message
+        # history intact: all three revisions visible
+        assert [e.revision for e in store.history()] == [1, 2, 3]
+        assert store.revision(2).spec == v2.spec
+
+    def test_rollback_to_current_rejected(self, store):
+        with pytest.raises(SpecError, match="already the current"):
+            store.rollback(1, author="ops")
+
+    def test_rollback_unknown_revision(self, store):
+        with pytest.raises(SpecError, match="no spec revision"):
+            store.rollback(99, author="ops")
+
+
+class TestChangelog:
+    def test_newest_first(self, store):
+        store.commit(store.current.with_provider(new_provider()),
+                     author="ada", message="add quality model")
+        log = store.changelog()
+        first_line = log.splitlines()[0]
+        assert first_line.startswith("r2 by ada: add quality model")
+
+
+class TestPersistence:
+    def test_round_trip(self, store, tmp_path):
+        store.commit(store.current.with_provider(new_provider()),
+                     author="ada")
+        store.commit(
+            store.current.with_global_ranking(RankingWeight("views", 9.0)),
+            author="ada",
+        )
+        path = store.save(tmp_path / "spec_history.json")
+        loaded = SpecStore.load(path)
+        assert loaded.current == store.current
+        assert [e.revision for e in loaded.history()] == [1, 2, 3]
+        assert loaded.history()[1].author == "ada"
+
+    def test_load_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text('{"revisions": []}', encoding="utf-8")
+        with pytest.raises(SpecError, match="no revisions"):
+            SpecStore.load(path)
+
+    def test_loaded_store_accepts_commits(self, store, tmp_path):
+        path = store.save(tmp_path / "h.json")
+        loaded = SpecStore.load(path)
+        loaded.commit(loaded.current.with_provider(new_provider()),
+                      author="ada")
+        assert loaded.current_revision == 2
+
+
+class TestIntegrationWithWorkbook:
+    def test_spec_store_drives_the_app(self, tiny_app, tmp_path):
+        store = SpecStore(tiny_app.spec, author="ops")
+        updated = store.commit(
+            store.current.without_provider("newest"), author="ada"
+        ).spec
+        tiny_app.update_spec(updated)
+        session = tiny_app.session("u-ann")
+        assert "newest" not in [t.provider_name for t in session.open_home()]
+        # roll back and regenerate
+        tiny_app.update_spec(store.rollback(1, author="ops").spec)
+        session = tiny_app.session("u-ann")
+        assert "newest" in [t.provider_name for t in session.open_home()]

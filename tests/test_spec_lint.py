@@ -1,0 +1,89 @@
+"""Tests for the spec linter (warnings, never blocking)."""
+
+from repro.core.spec import lint_spec
+from repro.core.spec.model import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    Visibility,
+)
+from repro.providers.base import InputSpec
+from repro.providers.suite import default_spec
+
+
+def provider(name, **overrides):
+    defaults = dict(name=name, endpoint=f"c://{name}",
+                    representation="list", description=f"About {name}.")
+    defaults.update(overrides)
+    return ProviderSpec(**defaults)
+
+
+GLOBAL = (RankingWeight("views", 1.0),)
+
+
+class TestLint:
+    def test_clean_spec_no_warnings(self):
+        spec = HumboldtSpec(providers=(provider("a"),),
+                            global_ranking=GLOBAL)
+        assert lint_spec(spec) == []
+
+    def test_missing_description_flagged(self):
+        spec = HumboldtSpec(providers=(provider("a", description=""),),
+                            global_ranking=GLOBAL)
+        warnings = lint_spec(spec)
+        assert any("no description" in w for w in warnings)
+
+    def test_invisible_provider_flagged(self):
+        spec = HumboldtSpec(
+            providers=(provider("a", visibility=Visibility.nowhere(),
+                                search_field=None),),
+            global_ranking=GLOBAL,
+        )
+        assert any("not visible on any surface" in w for w in lint_spec(spec))
+
+    def test_unrenderable_overview_flagged(self):
+        spec = HumboldtSpec(
+            providers=(provider(
+                "a",
+                inputs=(InputSpec("artifact", "artifact", required=True),),
+                visibility=Visibility(overview=True, exploration=True,
+                                      search=True),
+            ),),
+            global_ranking=GLOBAL,
+        )
+        assert any("never render" in w for w in lint_spec(spec))
+
+    def test_ambient_inputs_not_flagged(self):
+        spec = HumboldtSpec(
+            providers=(provider(
+                "a", inputs=(InputSpec("team", "team", required=True),),
+            ),),
+            global_ranking=GLOBAL,
+        )
+        assert not any("never render" in w for w in lint_spec(spec))
+
+    def test_shared_endpoint_flagged(self):
+        spec = HumboldtSpec(
+            providers=(
+                provider("a", endpoint="c://same"),
+                provider("b", endpoint="c://same", search_field="bb"),
+            ),
+            global_ranking=GLOBAL,
+        )
+        assert any("shared by a, b" in w for w in lint_spec(spec))
+
+    def test_missing_ranking_everywhere_flagged(self):
+        spec = HumboldtSpec(providers=(provider("a"),))
+        assert any("unranked" in w for w in lint_spec(spec))
+
+    def test_disabled_search_field_flagged(self):
+        spec = HumboldtSpec(
+            providers=(provider("a", search_field=None),),
+            global_ranking=GLOBAL,
+        )
+        assert any("search_field is disabled" in w for w in lint_spec(spec))
+
+    def test_default_spec_is_lint_clean(self):
+        """The shipped spec must not trip its own linter (the created_by
+        alias uses its own endpoint URI, so no sharing warning)."""
+        assert lint_spec(default_spec()) == []

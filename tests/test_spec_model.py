@@ -1,0 +1,161 @@
+"""Tests for the specification data model."""
+
+import pytest
+
+from repro.core.spec.model import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    Visibility,
+)
+from repro.errors import UnknownProviderError
+from repro.providers.base import InputSpec, Representation
+
+
+def provider(name="p", **overrides):
+    defaults = dict(
+        name=name,
+        endpoint=f"catalog://{name}",
+        representation="list",
+    )
+    defaults.update(overrides)
+    return ProviderSpec(**defaults)
+
+
+class TestRankingWeight:
+    def test_empty_field_rejected(self):
+        with pytest.raises(ValueError):
+            RankingWeight(field="", weight=1.0)
+
+
+class TestVisibility:
+    def test_surfaces(self):
+        assert Visibility().surfaces() == ("overview", "exploration", "search")
+        assert Visibility.nowhere().surfaces() == ()
+        assert Visibility(overview=True, exploration=False,
+                          search=False).surfaces() == ("overview",)
+
+
+class TestProviderSpec:
+    def test_name_slugified(self):
+        assert provider(name="Owned By!").name == "owned_by"
+
+    def test_title_defaults_from_name(self):
+        assert provider(name="owned_by").title == "Owned By"
+
+    def test_search_field_defaults_to_name(self):
+        assert provider(name="badged").search_field == "badged"
+
+    def test_search_field_none_disables(self):
+        assert provider(search_field=None).search_field is None
+
+    def test_representation_coerced(self):
+        assert provider(representation="graph").representation is Representation.GRAPH
+
+    def test_required_optional_split(self):
+        spec = provider(inputs=(
+            InputSpec("a", "user", required=True),
+            InputSpec("b", "team", required=False),
+        ))
+        assert [i.name for i in spec.required_inputs()] == ["a"]
+        assert [i.name for i in spec.optional_inputs()] == ["b"]
+
+    def test_input_named(self):
+        spec = provider(inputs=(InputSpec("a", "user"),))
+        assert spec.input_named("a").input_type == "user"
+        assert spec.input_named("z") is None
+
+    def test_is_ready(self):
+        spec = provider(inputs=(
+            InputSpec("a", "user", required=True),
+            InputSpec("b", "team", required=False),
+        ))
+        assert spec.is_ready({"a": "u-1"})
+        assert not spec.is_ready({})
+        assert not spec.is_ready({"a": ""})
+        assert not spec.is_ready({"b": "t-1"})
+
+    def test_with_ranking_replaces(self):
+        spec = provider(ranking=(RankingWeight("views", 1.0),))
+        updated = spec.with_ranking(RankingWeight("favorite", 2.0))
+        assert [w.field for w in updated.ranking] == ["favorite"]
+        assert [w.field for w in spec.ranking] == ["views"]
+
+
+class TestHumboldtSpec:
+    @pytest.fixture
+    def spec3(self):
+        return HumboldtSpec(providers=(
+            provider("alpha", category="interaction"),
+            provider("beta", category="relatedness",
+                     visibility=Visibility(overview=False, exploration=True,
+                                           search=True)),
+            provider("gamma", category="interaction", search_field=None),
+        ))
+
+    def test_container_protocol(self, spec3):
+        assert len(spec3) == 3
+        assert "beta" in spec3
+        assert "zeta" not in spec3
+        assert [p.name for p in spec3] == ["alpha", "beta", "gamma"]
+
+    def test_provider_lookup(self, spec3):
+        assert spec3.provider("beta").category == "relatedness"
+        with pytest.raises(UnknownProviderError):
+            spec3.provider("zeta")
+
+    def test_categories_first_appearance_order(self, spec3):
+        assert spec3.categories() == ["interaction", "relatedness"]
+
+    def test_by_category(self, spec3):
+        assert [p.name for p in spec3.by_category("interaction")] == [
+            "alpha", "gamma",
+        ]
+
+    def test_visible_in(self, spec3):
+        assert [p.name for p in spec3.visible_in("overview")] == [
+            "alpha", "gamma",
+        ]
+        with pytest.raises(ValueError):
+            spec3.visible_in("sidebar")
+
+    def test_search_fields_skips_disabled(self, spec3):
+        fields = spec3.search_fields()
+        assert set(fields) == {"alpha", "beta"}  # gamma opted out
+
+    def test_effective_ranking_fallback(self):
+        spec = HumboldtSpec(
+            providers=(
+                provider("with", ranking=(RankingWeight("views", 2.0),)),
+                provider("without"),
+            ),
+            global_ranking=(RankingWeight("favorite", 4.3),),
+        )
+        assert spec.effective_ranking("with")[0].field == "views"
+        assert spec.effective_ranking("without")[0].field == "favorite"
+
+    def test_with_provider_appends(self, spec3):
+        updated = spec3.with_provider(provider("delta"))
+        assert len(updated) == 4
+        assert len(spec3) == 3  # original untouched
+
+    def test_with_provider_replaces_in_place(self, spec3):
+        updated = spec3.with_provider(provider("beta", category="changed"))
+        assert updated.provider_names() == spec3.provider_names()
+        assert updated.provider("beta").category == "changed"
+
+    def test_without_provider(self, spec3):
+        updated = spec3.without_provider("beta")
+        assert "beta" not in updated
+        with pytest.raises(UnknownProviderError):
+            spec3.without_provider("zeta")
+
+    def test_with_global_ranking(self, spec3):
+        updated = spec3.with_global_ranking(RankingWeight("views", 1.0))
+        assert updated.global_ranking[0].field == "views"
+        assert spec3.global_ranking == ()
+
+    def test_with_custom(self, spec3):
+        updated = spec3.with_custom("key", {"a": 1})
+        assert updated.custom == {"key": {"a": 1}}
+        assert spec3.custom == {}

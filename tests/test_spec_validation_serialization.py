@@ -1,0 +1,288 @@
+"""Tests for spec validation, serialization, diffing, builder."""
+
+import pytest
+
+from repro.core.spec.builder import SpecBuilder
+from repro.core.spec.diff import diff_specs
+from repro.core.spec.model import (
+    HumboldtSpec,
+    ProviderSpec,
+    RankingWeight,
+    Visibility,
+)
+from repro.core.spec.serialization import (
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.core.spec.validation import validate_spec
+from repro.errors import SpecError, SpecValidationError
+from repro.providers.base import InputSpec
+from repro.providers.registry import EndpointRegistry
+
+
+def provider(name="p", **overrides):
+    defaults = dict(name=name, endpoint=f"catalog://{name}",
+                    representation="list")
+    defaults.update(overrides)
+    return ProviderSpec(**defaults)
+
+
+class TestValidation:
+    def test_valid_spec_passes(self):
+        spec = HumboldtSpec(providers=(provider("a"), provider("b")))
+        assert validate_spec(spec) == []
+
+    def test_duplicate_names_flagged(self):
+        spec = HumboldtSpec(providers=(provider("a"), provider("a")))
+        with pytest.raises(SpecValidationError, match="declared 2 times"):
+            validate_spec(spec)
+
+    def test_duplicate_search_fields_flagged(self):
+        spec = HumboldtSpec(providers=(
+            provider("a", search_field="q"),
+            provider("b", search_field="q"),
+        ))
+        with pytest.raises(SpecValidationError, match="claimed by 2"):
+            validate_spec(spec)
+
+    def test_bad_endpoint_flagged(self):
+        spec = HumboldtSpec(providers=(provider("a", endpoint="not a uri"),))
+        with pytest.raises(SpecValidationError, match="malformed endpoint"):
+            validate_spec(spec)
+
+    def test_unknown_ranking_field_flagged(self):
+        spec = HumboldtSpec(providers=(
+            provider("a", ranking=(RankingWeight("bogus", 1.0),)),
+        ))
+        with pytest.raises(SpecValidationError, match="unknown field 'bogus'"):
+            validate_spec(spec)
+
+    def test_custom_known_fields_allowed(self):
+        spec = HumboldtSpec(
+            providers=(provider("a",
+                                ranking=(RankingWeight("magic", 1.0),)),),
+        )
+        assert validate_spec(spec, known_fields={"magic"}) == []
+
+    def test_unknown_global_ranking_field(self):
+        spec = HumboldtSpec(global_ranking=(RankingWeight("bogus", 1.0),))
+        with pytest.raises(SpecValidationError, match="global ranking"):
+            validate_spec(spec)
+
+    def test_multi_required_input_search_provider_flagged(self):
+        spec = HumboldtSpec(providers=(
+            provider("a", inputs=(
+                InputSpec("x", "user"), InputSpec("y", "badge"),
+            )),
+        ))
+        with pytest.raises(SpecValidationError, match="at most one"):
+            validate_spec(spec)
+
+    def test_duplicate_inputs_flagged(self):
+        spec = HumboldtSpec(providers=(
+            provider("a", search_field=None,
+                     visibility=Visibility(search=False),
+                     inputs=(InputSpec("x", "user"), InputSpec("x", "team"))),
+        ))
+        with pytest.raises(SpecValidationError, match="input 'x' declared"):
+            validate_spec(spec)
+
+    def test_custom_home_page_unknown_provider_tolerated(self):
+        # Spec drift (a page referencing a removed provider) must not make
+        # the spec invalid — the renderer skips such entries (§4.3).
+        spec = HumboldtSpec(
+            providers=(provider("a"),),
+            custom={"team_home_pages": [
+                {"team": "t-1", "providers": ["ghost"]},
+            ]},
+        )
+        assert validate_spec(spec) == []
+
+    def test_custom_home_page_providers_must_be_list(self):
+        spec = HumboldtSpec(
+            custom={"team_home_pages": [{"team": "t", "providers": "oops"}]},
+        )
+        with pytest.raises(SpecValidationError, match="must be a list"):
+            validate_spec(spec)
+
+    def test_custom_home_page_missing_team(self):
+        spec = HumboldtSpec(
+            providers=(provider("a"),),
+            custom={"team_home_pages": [{"providers": ["a"]}]},
+        )
+        with pytest.raises(SpecValidationError, match="missing 'team'"):
+            validate_spec(spec)
+
+    def test_custom_home_pages_wrong_type(self):
+        spec = HumboldtSpec(custom={"team_home_pages": "oops"})
+        with pytest.raises(SpecValidationError, match="must be a list"):
+            validate_spec(spec)
+
+    def test_unknown_custom_keys_ignored(self):
+        spec = HumboldtSpec(custom={"acme_specific": {"x": 1}})
+        assert validate_spec(spec) == []
+
+    def test_registry_cross_check(self):
+        registry = EndpointRegistry()
+        spec = HumboldtSpec(providers=(provider("a"),))
+        problems = validate_spec(spec, registry=registry, strict=False)
+        assert any("not registered" in p for p in problems)
+
+    def test_non_strict_returns_problems(self):
+        spec = HumboldtSpec(providers=(provider("a"), provider("a")))
+        problems = validate_spec(spec, strict=False)
+        # Duplicate provider names also collide on the search field.
+        assert any("declared 2 times" in p for p in problems)
+        assert any("claimed by 2" in p for p in problems)
+
+    def test_all_problems_collected(self):
+        spec = HumboldtSpec(providers=(
+            provider("a", endpoint="bad"),
+            provider("a", ranking=(RankingWeight("bogus", 1.0),)),
+        ))
+        problems = validate_spec(spec, strict=False)
+        assert len(problems) >= 3  # duplicate + endpoint + ranking
+
+
+class TestSerialization:
+    def test_round_trip_default_spec(self, spec):
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_round_trip_dict(self, spec):
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_listing1_shape(self):
+        spec = HumboldtSpec(global_ranking=(
+            RankingWeight("favorite", 4.3), RankingWeight("views", 1.5),
+        ))
+        payload = spec_to_dict(spec)
+        assert payload["ranking"] == [
+            {"field": "favorite", "weight": 4.3},
+            {"field": "views", "weight": 1.5},
+        ]
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            spec_from_json("{nope")
+
+    def test_non_object_payload_raises(self):
+        with pytest.raises(SpecError):
+            spec_from_dict(["not", "an", "object"])
+
+    def test_missing_provider_keys_raise(self):
+        with pytest.raises(SpecError, match="missing required keys"):
+            spec_from_dict({"providers": [{"name": "x"}]})
+
+    def test_missing_ranking_keys_raise(self):
+        with pytest.raises(SpecError, match="'field' and 'weight'"):
+            spec_from_dict({"providers": [], "ranking": [{"field": "x"}]})
+
+    def test_custom_content_preserved(self):
+        spec = HumboldtSpec(custom={"team_home_pages": [
+            {"team": "t", "providers": []},
+        ]})
+        assert spec_from_dict(spec_to_dict(spec)).custom == spec.custom
+
+    def test_defaults_fill_in(self):
+        loaded = spec_from_dict({
+            "providers": [{"name": "x", "endpoint": "c://x"}],
+        })
+        p = loaded.provider("x")
+        assert p.representation.value == "list"
+        assert p.visibility.overview
+        assert p.search_field == "x"
+
+
+class TestDiff:
+    def test_no_changes(self, spec):
+        diff = diff_specs(spec, spec)
+        assert diff.is_empty()
+        assert diff.summary() == "no changes"
+        assert diff.touched_elements() == 0
+
+    def test_added_and_removed(self, spec):
+        updated = spec.without_provider("recents").with_provider(
+            provider("brand_new")
+        )
+        diff = diff_specs(spec, updated)
+        assert diff.added == ("brand_new",)
+        assert diff.removed == ("recents",)
+        assert diff.touched_elements() == 2
+
+    def test_changed_keys_detected(self, spec):
+        updated = spec.with_provider(
+            spec.provider("most_viewed").with_ranking(
+                RankingWeight("recency", 9.0)
+            )
+        )
+        diff = diff_specs(spec, updated)
+        assert diff.changed[0].name == "most_viewed"
+        assert "ranking" in diff.changed[0].changed_keys
+
+    def test_global_ranking_change(self, spec):
+        updated = spec.with_global_ranking(RankingWeight("views", 1.0))
+        assert diff_specs(spec, updated).global_ranking_changed
+
+    def test_custom_change(self, spec):
+        updated = spec.with_custom("team_home_pages", [])
+        diff = diff_specs(spec, updated)
+        assert diff.custom_changed == ("team_home_pages",)
+        assert "custom.team_home_pages" in diff.summary()
+
+
+class TestBuilder:
+    def test_builds_paper_shape(self):
+        spec = (
+            SpecBuilder()
+            .provider("joinable", "catalog://joinable", "graph",
+                      category="relatedness",
+                      inputs=[("artifact", "artifact", True)])
+            .ranking("favorite", 4.3)
+            .ranking("views", 1.5)
+            .build()
+        )
+        assert spec.provider("joinable").representation.value == "graph"
+        assert [(w.field, w.weight) for w in spec.global_ranking] == [
+            ("favorite", 4.3), ("views", 1.5),
+        ]
+
+    def test_input_shorthand_forms(self):
+        spec = (
+            SpecBuilder()
+            .provider("p", "c://p", "list", inputs=[
+                ("a", "user"),
+                ("b", "team", False),
+                InputSpec("c", "badge"),
+            ])
+            # Two required inputs are fine for non-search providers; skip
+            # the search-arity check here.
+            .build(validate=False)
+        )
+        inputs = spec.provider("p").inputs
+        assert inputs[0].required is True
+        assert inputs[1].required is False
+        assert inputs[2].input_type == "badge"
+
+    def test_bad_input_shorthand(self):
+        with pytest.raises(TypeError):
+            SpecBuilder().provider("p", "c://p", "list", inputs=["oops"])
+
+    def test_build_validates(self):
+        builder = SpecBuilder().provider("a", "c://a", "list")
+        builder.provider("a", "c://a", "list")  # duplicate
+        with pytest.raises(SpecValidationError):
+            builder.build()
+        assert len(builder.build(validate=False)) == 2
+
+    def test_team_home_page_helper(self):
+        spec = (
+            SpecBuilder()
+            .provider("recents", "c://recents", "list")
+            .team_home_page("t-1", ["recents"], title="Home")
+            .build()
+        )
+        pages = spec.custom["team_home_pages"]
+        assert pages == [{"team": "t-1", "title": "Home",
+                          "providers": ["recents"]}]

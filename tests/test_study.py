@@ -1,0 +1,188 @@
+"""Tests for the simulated user study (E1/E2 machinery)."""
+
+import pytest
+
+from repro.study.executor import StudyRun, TaskExecutor, prepare_study_app, run_study
+from repro.study.personas import PERSONAS, persona_by_id
+from repro.study.questionnaire import (
+    STATEMENTS,
+    answer_questionnaire,
+    measure_affordances,
+)
+from repro.study.report import full_report, task_outcome_table
+from repro.study.stats import category_stats, likert_stats
+from repro.study.tasks import TASKS, task_by_id
+
+
+@pytest.fixture(scope="module")
+def run() -> StudyRun:
+    return run_study()
+
+
+class TestPersonas:
+    def test_six_participants(self):
+        assert len(PERSONAS) == 6
+        assert [p.pid for p in PERSONAS] == [f"P{i}" for i in range(1, 7)]
+
+    def test_trait_totals_match_paper(self):
+        assert sum(p.search_first for p in PERSONAS) == 3
+        assert sum(not p.explore_aware for p in PERSONAS) == 3
+        assert sum(not p.thorough_query for p in PERSONAS) == 3
+        assert sum(not p.config_familiar for p in PERSONAS) == 2
+
+    def test_lookup(self):
+        assert persona_by_id("P4").pid == "P4"
+        with pytest.raises(KeyError):
+            persona_by_id("P9")
+
+
+class TestTasks:
+    def test_four_tasks(self):
+        assert [t.task_id for t in TASKS] == ["T1", "T2", "T3", "T4"]
+
+    def test_prompts_from_paper(self):
+        assert "AIRLINES" in task_by_id("T1").prompt
+        assert "John Doe" in task_by_id("T3").prompt
+        assert "A Team" in task_by_id("T4").prompt
+
+
+class TestPreparation:
+    def test_participants_are_team_admins(self):
+        app, team_id = prepare_study_app()
+        team = app.store.team(team_id)
+        for persona in PERSONAS:
+            assert team.is_admin(f"user-{persona.pid.lower()}")
+
+
+class TestExecution:
+    def test_all_tasks_complete(self, run):
+        for task_id in ("T1", "T2", "T3", "T4"):
+            assert run.completion_rate(task_id) == 1.0
+
+    def test_assisted_counts_match_paper(self, run):
+        assert run.assisted_participants("T1") == 0
+        assert run.assisted_participants("T2") == 3
+        assert run.assisted_participants("T3") == 3
+        assert run.assisted_participants("T4") == 2
+
+    def test_t1_strategy_split(self, run):
+        split = run.strategy_split("T1")
+        assert split == {"search-first": 3, "views-first": 3}
+
+    def test_outcomes_cover_all_cells(self, run):
+        assert len(run.outcomes) == 24  # 6 participants x 4 tasks
+
+    def test_assists_recorded_in_event_logs(self, run):
+        for persona in PERSONAS:
+            session = run.sessions[persona.pid]
+            expected = sum(
+                o.assists for o in run.outcomes if o.pid == persona.pid
+            )
+            assert session.events.count("assist") == expected
+
+    def test_t3_detail_counts_workbooks(self, run):
+        for outcome in run.outcomes_for("T3"):
+            assert outcome.detail == "3/3 workbooks found"
+
+    def test_deterministic(self):
+        a = run_study()
+        b = run_study()
+        assert [(o.task_id, o.pid, o.completed, o.assists)
+                for o in a.outcomes] == \
+               [(o.task_id, o.pid, o.completed, o.assists)
+                for o in b.outcomes]
+
+    def test_single_executor_runs_in_order(self):
+        app, team_id = prepare_study_app()
+        executor = TaskExecutor(app, PERSONAS[0], team_id)
+        outcomes = executor.run_all()
+        assert [o.task_id for o in outcomes] == ["T1", "T2", "T3", "T4"]
+
+
+class TestQuestionnaire:
+    def test_full_response_matrix(self, run):
+        responses = answer_questionnaire(run)
+        assert len(responses) == 6 * 12
+        assert all(1 <= r.rating <= 5 for r in responses)
+
+    def test_affordances_measured(self, run):
+        affordances = measure_affordances(run)
+        assert affordances.n_search_fields >= 12
+        assert affordances.autocomplete_coverage > 0.9
+        assert affordances.n_view_types == 6
+        assert affordances.preview_richness == 1.0
+        assert affordances.avg_surfaced_views > 3
+
+    def test_category_shape_matches_figure8(self, run):
+        stats = category_stats(answer_questionnaire(run))
+        by_cat = stats.by_category
+        # search rated highest, entry points lowest — the Figure 8 shape
+        assert by_cat["search"].mean > by_cat["entry_points"].mean
+        assert by_cat["exploration"].mean > by_cat["entry_points"].mean
+        assert by_cat["customization"].mean > by_cat["entry_points"].mean
+
+    def test_overall_near_paper(self, run):
+        stats = category_stats(answer_questionnaire(run))
+        assert abs(stats.overall.mean - 3.97) < 0.35
+        assert abs(stats.overall.std - 0.85) < 0.35
+
+    def test_referenced_statements_close_to_paper(self, run):
+        stats = category_stats(answer_questionnaire(run))
+        for statement in STATEMENTS:
+            if statement.paper_reference is None:
+                continue
+            measured = stats.by_statement[statement.sid]
+            paper_mean, _ = statement.paper_reference
+            assert abs(measured.mean - paper_mean) < 0.6, statement.sid
+
+    def test_deterministic(self, run):
+        assert answer_questionnaire(run) == answer_questionnaire(run)
+
+
+class TestStats:
+    def test_likert_stats_basic(self):
+        stats = likert_stats([5, 5, 5, 4, 4, 3])
+        assert stats.mean == 4.33
+        assert stats.std == 0.75
+        assert stats.percent_positive == pytest.approx(83.3)
+        assert stats.percent_negative == 0.0
+
+    def test_likert_stats_empty(self):
+        assert likert_stats([]).n == 0
+
+    def test_likert_stats_validates(self):
+        with pytest.raises(ValueError):
+            likert_stats([0])
+
+    def test_neutral_share(self):
+        stats = likert_stats([3, 3, 4, 2])
+        assert stats.percent_neutral == 50.0
+
+
+class TestReport:
+    def test_tables_render(self, run):
+        report = full_report(run)
+        assert "E1 — Task outcomes" in report
+        assert "E2 — Post-study questionnaire" in report
+        assert "3.97" in report  # paper overall reference shown
+
+    def test_outcome_table_has_paper_columns(self, run):
+        table = task_outcome_table(run)
+        assert "paper" in table
+        assert "search-first" in table
+
+    def test_figure8_chart_renders_all_statements(self, run):
+        from repro.study.report import figure8_chart
+
+        chart = figure8_chart(run)
+        for statement in STATEMENTS:
+            assert statement.sid in chart
+        assert "█" in chart  # positive bars exist
+        assert chart.count("\n") == len(STATEMENTS) + 2  # header x2 + all
+
+    def test_strategy_effort_table(self, run):
+        from repro.study.report import strategy_effort_table
+
+        table = strategy_effort_table(run)
+        assert "search-first" in table
+        assert "views-first" in table

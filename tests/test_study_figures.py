@@ -1,0 +1,50 @@
+"""Tests for the Figure 8 SVG renderer."""
+
+import pytest
+
+from repro.study.executor import run_study
+from repro.study.figures import figure8_svg, save_figure8
+from repro.study.questionnaire import STATEMENTS
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_study()
+
+
+class TestFigure8Svg:
+    def test_is_valid_svg_document(self, run):
+        svg = figure8_svg(run)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_one_row_per_statement(self, run):
+        svg = figure8_svg(run)
+        for statement in STATEMENTS:
+            assert statement.sid in svg
+
+    def test_dual_encoding_present(self, run):
+        svg = figure8_svg(run)
+        assert "<rect" in svg  # diverging bars
+        assert "<circle" in svg  # mean dots
+        assert "±" in svg  # std whisker labels
+
+    def test_paper_reference_in_footer(self, run):
+        assert "3.97" in figure8_svg(run)
+
+    def test_parses_as_xml(self, run):
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(figure8_svg(run))
+        assert root.tag.endswith("svg")
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        assert len(circles) == len(STATEMENTS)
+
+    def test_save(self, run, tmp_path):
+        path = tmp_path / "figs" / "figure8.svg"
+        save_figure8(run, path)
+        assert path.exists()
+        assert path.read_text(encoding="utf-8").startswith("<svg")
+
+    def test_deterministic(self, run):
+        assert figure8_svg(run) == figure8_svg(run)

@@ -1,0 +1,90 @@
+"""Negative controls for the simulated study.
+
+E1's claim is that task completions are *measured*, not scripted.  These
+tests prove it: breaking the interface pieces a task depends on makes
+that task fail, while the untouched tasks keep succeeding.
+"""
+
+import pytest
+
+from repro.providers.faults import FlakyEndpoint
+from repro.study.executor import TaskExecutor, prepare_study_app
+from repro.study.personas import PERSONAS
+
+
+def always_broken(app, endpoint_name: str) -> None:
+    original = app.registry.resolve(f"catalog://{endpoint_name}")
+    app.registry.register(
+        f"catalog://{endpoint_name}",
+        FlakyEndpoint(original, fail_on=lambda i: True, name=endpoint_name),
+        replace=True,
+    )
+
+
+class TestNegativeControls:
+    def test_task1_fails_without_badge_providers(self):
+        """Both Task-1 routes (Badges view, badged: query) need the badge
+        providers; killing them must fail the task for every persona."""
+        app, team_id = prepare_study_app()
+        always_broken(app, "badges")
+        always_broken(app, "badged")
+        for persona in PERSONAS[:2]:  # one search-first, one views-first
+            executor = TaskExecutor(app, persona, team_id)
+            outcome = executor.task1()
+            assert not outcome.completed, persona.pid
+
+    def test_task1_fails_if_target_artifact_missing(self):
+        """Remove the endorsed badge from AIRLINES: the views route no
+        longer lists it under 'endorsed' and the search route misses."""
+        app, team_id = prepare_study_app()
+        store = app.store
+
+        # Rebuild AIRLINES without badges (the store has no un-badge op;
+        # swap the artifact wholesale).
+        airlines = store.artifact("table-airlines")
+        store._deindex(airlines)  # test-only surgical edit
+        import dataclasses
+
+        stripped = dataclasses.replace(airlines, badges=())
+        store._artifacts["table-airlines"] = stripped
+        store._index(stripped)
+
+        executor = TaskExecutor(app, PERSONAS[0], team_id)
+        outcome = executor.task1()
+        assert not outcome.completed
+
+    def test_task3_fails_without_ownership_provider(self):
+        app, team_id = prepare_study_app()
+        always_broken(app, "created_by")
+        always_broken(app, "owned_by")
+        executor = TaskExecutor(app, PERSONAS[0], team_id)
+        executor.task1()
+        executor.task2()
+        from repro.errors import ProviderError
+
+        # The search itself surfaces the outage (queries that need a
+        # provider fail loudly, §test_faults) — the task cannot complete.
+        with pytest.raises(ProviderError):
+            executor.task3()
+
+    def test_other_tasks_unaffected_by_badge_outage(self):
+        """Fault containment: Task 4 (configuration) succeeds even while
+        the badge providers are down."""
+        app, team_id = prepare_study_app()
+        always_broken(app, "badges")
+        always_broken(app, "badged")
+        executor = TaskExecutor(app, PERSONAS[0], team_id)
+        outcome = executor.task4()
+        assert outcome.completed
+
+    def test_task2_fails_with_no_peers(self):
+        """Strip every other endorsed table and the type/badge exploration
+        can still find same-type elements — so only breaking *both*
+        providers fails Task 2."""
+        app, team_id = prepare_study_app()
+        always_broken(app, "of_type")
+        always_broken(app, "badged")
+        executor = TaskExecutor(app, PERSONAS[0], team_id)
+        executor.task1()
+        outcome = executor.task2()
+        assert not outcome.completed

@@ -1,0 +1,93 @@
+"""Tests for the default specification's contents and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.providers.base import Representation
+from repro.providers.suite import default_spec
+
+
+class TestDefaultSpecContents:
+    """The default spec is a public artifact; pin its load-bearing facts."""
+
+    def test_listing1_global_ranking(self, spec):
+        weights = [(w.field, w.weight) for w in spec.global_ranking]
+        assert weights == [("favorite", 4.3), ("views", 1.5)]
+
+    def test_figure2_provider_classes_present(self, spec):
+        names = set(spec.provider_names())
+        assert {"recents", "most_viewed", "owned_by", "badged", "badged_by",
+                "of_type", "joinable", "lineage", "similar",
+                "embedding_map", "team_popular"} <= names
+
+    def test_every_representation_used(self, spec):
+        used = {p.representation for p in spec.providers}
+        assert used == set(Representation)
+
+    def test_categories(self, spec):
+        assert set(spec.categories()) == {
+            "interaction", "annotation", "team", "relatedness",
+        }
+
+    def test_type_field_aliases_of_type(self, spec):
+        assert spec.search_fields()["type"].name == "of_type"
+
+    def test_exploration_providers_require_inputs(self, spec):
+        for provider in spec.visible_in("exploration"):
+            if provider.visibility.overview:
+                continue  # ambient providers can do both
+            assert provider.required_inputs(), provider.name
+
+    def test_all_endpoints_catalog_scheme(self, spec):
+        for provider in spec.providers:
+            assert provider.endpoint.startswith("catalog://"), provider.name
+
+    def test_spec_is_self_consistent(self, spec):
+        from repro.core.spec.validation import validate_spec
+
+        assert validate_spec(spec) == []
+
+    def test_deterministic_construction(self):
+        assert default_spec() == default_spec()
+
+
+class TestErrorHierarchy:
+    def test_everything_is_humboldt_error(self):
+        leaf_classes = [
+            errors.CatalogError, errors.SpecError, errors.ProviderError,
+            errors.QueryError, errors.ConfigurationError, errors.StudyError,
+            errors.UnknownEntityError, errors.DuplicateEntityError,
+            errors.SpecValidationError, errors.UnknownProviderError,
+            errors.MissingInputError, errors.RepresentationError,
+            errors.QuerySyntaxError, errors.QueryCompileError,
+        ]
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.HumboldtError), cls
+
+    def test_lookup_errors_are_keyerrors(self):
+        assert issubclass(errors.UnknownEntityError, KeyError)
+        assert issubclass(errors.UnknownProviderError, KeyError)
+
+    def test_unknown_entity_str_is_readable(self):
+        exc = errors.UnknownEntityError("artifact", "x-1")
+        assert str(exc) == "unknown artifact: 'x-1'"
+
+    def test_spec_validation_error_collects_problems(self):
+        exc = errors.SpecValidationError(["a", "b"])
+        assert exc.problems == ["a", "b"]
+        assert "a; b" in str(exc)
+
+    def test_query_syntax_error_position(self):
+        exc = errors.QuerySyntaxError("bad", position=7, text="0123456@")
+        assert exc.position == 7
+        assert "position 7" in str(exc)
+
+    def test_missing_input_error_fields(self):
+        exc = errors.MissingInputError("joinable", "artifact")
+        assert exc.provider == "joinable"
+        assert exc.input_name == "artifact"
+        assert "missing required input" in str(exc)
+
+    def test_catching_base_class_works(self, tiny_store):
+        with pytest.raises(errors.HumboldtError):
+            tiny_store.artifact("ghost")

@@ -1,0 +1,122 @@
+"""Unit tests for repro.util: ids, clock, text helpers."""
+
+import pytest
+
+from repro.util.clock import DAY, SimulationClock
+from repro.util.ids import IdFactory, slugify
+from repro.util.textutil import ngrams, normalize, tokenize, truncate
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Owned By!") == "owned_by"
+
+    def test_collapses_runs(self):
+        assert slugify("a  -- b") == "a_b"
+
+    def test_strips_edges(self):
+        assert slugify("--x--") == "x"
+
+    def test_empty_becomes_placeholder(self):
+        assert slugify("!!!") == "x"
+
+    def test_numbers_preserved(self):
+        assert slugify("Q1 2024") == "q1_2024"
+
+
+class TestIdFactory:
+    def test_sequence_per_kind(self):
+        ids = IdFactory()
+        assert ids.next("user") == "user-00001"
+        assert ids.next("user") == "user-00002"
+        assert ids.next("table") == "table-00001"
+
+    def test_peek_counts_issued(self):
+        ids = IdFactory()
+        ids.next("x")
+        ids.next("x")
+        assert ids.peek("x") == 2
+        assert ids.peek("y") == 0
+
+    def test_reset(self):
+        ids = IdFactory()
+        ids.next("x")
+        ids.reset()
+        assert ids.next("x") == "x-00001"
+
+    def test_custom_width(self):
+        assert IdFactory(width=3).next("t") == "t-001"
+
+
+class TestSimulationClock:
+    def test_starts_at_epoch(self):
+        clock = SimulationClock(epoch=1000.0)
+        assert clock.now() == 1000.0
+        assert clock.epoch == 1000.0
+
+    def test_advance_seconds_and_days(self):
+        clock = SimulationClock(epoch=0.0)
+        clock.advance(seconds=10)
+        clock.advance(days=1)
+        assert clock.now() == 10 + DAY
+
+    def test_advance_rejects_negative(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance(seconds=-1)
+
+    def test_at_and_days_since(self):
+        clock = SimulationClock(epoch=0.0)
+        clock.advance(days=10)
+        assert clock.at(3) == 3 * DAY
+        assert clock.days_since(clock.at(4)) == pytest.approx(6.0)
+
+
+class TestTokenize:
+    def test_splits_camel_case(self):
+        assert tokenize("SalesOrders") == ["sales", "orders"]
+
+    def test_splits_underscores_and_numbers(self):
+        assert tokenize("SALES_ORDERS_2024") == ["sales", "orders", "2024"]
+
+    def test_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_punctuation_is_separator(self):
+        assert tokenize("a.b-c,d") == ["a", "b", "c", "d"]
+
+
+class TestNormalize:
+    def test_collapses_whitespace(self):
+        assert normalize("  A   B\tC ") == "a b c"
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_too_short_returns_empty(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestTruncate:
+    def test_short_text_unchanged(self):
+        assert truncate("abc", 5) == "abc"
+
+    def test_long_text_gets_ellipsis(self):
+        assert truncate("abcdef", 4) == "abc…"
+        assert len(truncate("abcdef", 4)) == 4
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            truncate("abc", -1)
+
+    def test_limit_smaller_than_ellipsis(self):
+        assert truncate("abcdef", 1) == "…"
