@@ -39,6 +39,20 @@ class CatalogStore:
         self._by_team: dict[str, set[str]] = defaultdict(set)
         self._by_token: dict[str, set[str]] = defaultdict(set)
         self._users_by_name: dict[str, str] = {}
+        # Monotonic mutation counter; the provider execution layer keys
+        # cache validity on it so any catalog write invalidates results.
+        self._version = 0
+        # Per-artifact (name tokens, searchable-text tokens) memo for the
+        # query evaluator's text scoring; dropped on reindex.
+        self._token_cache: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
+
+    @property
+    def version(self) -> int:
+        """Count of catalog mutations; bumped on every write."""
+        return self._version
+
+    def _mutated(self) -> None:
+        self._version += 1
 
     # -- sizes ------------------------------------------------------------
 
@@ -64,12 +78,14 @@ class CatalogStore:
             raise DuplicateEntityError("user", user.id)
         self._users[user.id] = user
         self._users_by_name[user.name.lower()] = user.id
+        self._mutated()
         return user
 
     def add_team(self, team: Team) -> Team:
         if team.id in self._teams:
             raise DuplicateEntityError("team", team.id)
         self._teams[team.id] = team
+        self._mutated()
         return team
 
     def set_team(self, team: Team) -> Team:
@@ -77,6 +93,7 @@ class CatalogStore:
         if team.id not in self._teams:
             raise UnknownEntityError("team", team.id)
         self._teams[team.id] = team
+        self._mutated()
         return team
 
     def user(self, user_id: str) -> User:
@@ -123,6 +140,7 @@ class CatalogStore:
             raise DuplicateEntityError("artifact", artifact.id)
         self._artifacts[artifact.id] = artifact
         self._index(artifact)
+        self._mutated()
         return artifact
 
     def artifact(self, artifact_id: str) -> Artifact:
@@ -178,6 +196,27 @@ class CatalogStore:
     def tags_in_use(self) -> list[str]:
         return sorted(tag for tag, ids in self._by_tag.items() if ids)
 
+    def artifact_tokens(self, artifact_id: str) -> tuple[frozenset[str], frozenset[str]]:
+        """``(name tokens, searchable-text tokens)`` for one artifact.
+
+        Tokenizing every result artifact per query dominated text scoring
+        at scale; the sets are immutable per artifact revision, so they
+        are memoised here and dropped when the artifact is reindexed.
+        """
+        cached = self._token_cache.get(artifact_id)
+        if cached is None:
+            artifact = self.artifact(artifact_id)
+            cached = (
+                frozenset(tokenize(artifact.name)),
+                frozenset(tokenize(artifact.searchable_text())),
+            )
+            self._token_cache[artifact_id] = cached
+        return cached
+
+    def clear_token_cache(self) -> None:
+        """Drop all memoised token sets (benchmarking hook)."""
+        self._token_cache.clear()
+
     def search_tokens(self, tokens: Iterable[str]) -> list[str]:
         """Artifact ids matching *all* tokens (conjunctive keyword search)."""
         result: set[str] | None = None
@@ -205,6 +244,7 @@ class CatalogStore:
         self._deindex(artifact)
         self._artifacts[artifact_id] = updated
         self._index(updated)
+        self._mutated()
         return updated
 
     def record_event(self, event: UsageEvent) -> None:
@@ -212,6 +252,7 @@ class CatalogStore:
         self.artifact(event.artifact_id)
         self.user(event.user_id)
         self.usage.record(event)
+        self._mutated()
 
     def record(
         self, artifact_id: str, user_id: str, action: str, at: float | None = None
@@ -232,6 +273,7 @@ class CatalogStore:
     # -- internal indexing -------------------------------------------------------
 
     def _index(self, artifact: Artifact) -> None:
+        self._token_cache.pop(artifact.id, None)
         self._by_type[artifact.artifact_type].add(artifact.id)
         if artifact.owner_id:
             self._by_owner[artifact.owner_id].add(artifact.id)
@@ -247,6 +289,7 @@ class CatalogStore:
             self._by_token[token].add(artifact.id)
 
     def _deindex(self, artifact: Artifact) -> None:
+        self._token_cache.pop(artifact.id, None)
         self._by_type[artifact.artifact_type].discard(artifact.id)
         if artifact.owner_id:
             self._by_owner[artifact.owner_id].discard(artifact.id)

@@ -48,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="generate a catalog with this many tables")
         p.add_argument("--seed", type=int, default=7,
                        help="generation seed (default 7)")
+        p.add_argument("--stats", action="store_true",
+                       help="print provider execution stats (calls, cache "
+                            "hits, latency percentiles) after the command")
 
     demo = sub.add_parser("demo", help="guided walkthrough")
     add_catalog_options(demo)
@@ -92,6 +95,12 @@ def _resolve_store(args) -> CatalogStore:
     return study_catalog(seed=getattr(args, "seed", 7))
 
 
+def _maybe_print_stats(args, app: WorkbookApp, out) -> None:
+    if getattr(args, "stats", False):
+        print("\nexecution stats:", file=out)
+        print(app.stats.render(), file=out)
+
+
 def _default_user(store: CatalogStore) -> str:
     if store.find_user_by_name("Alex"):
         return store.find_user_by_name("Alex").id
@@ -117,6 +126,7 @@ def cmd_demo(args, out) -> int:
         preview = session.select_artifact(result.entries[0].artifact_id)
         print("", file=out)
         print(render_preview_text(preview), file=out)
+    _maybe_print_stats(args, app, out)
     return 0
 
 
@@ -138,6 +148,10 @@ def cmd_search(args, out) -> int:
         artifact = store.artifact(entry.artifact_id)
         print(f"  {artifact.name:<40} {artifact.artifact_type.value:<14}"
               f" score={entry.score:.2f}", file=out)
+    if result.truncated:
+        print("note: at least one provider filled the fetch limit; "
+              "totals may under-report", file=out)
+    _maybe_print_stats(args, app, out)
     return 0 if result.total else 1
 
 
@@ -197,6 +211,7 @@ def cmd_export(args, out) -> int:
             encoding="utf-8",
         )
     print(f"wrote {len(tabs) + 1} HTML files to {args.out}", file=out)
+    _maybe_print_stats(args, app, out)
     return 0
 
 

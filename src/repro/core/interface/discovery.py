@@ -24,6 +24,7 @@ from repro.core.views.factory import ViewFactory
 from repro.core.views.listing import ListView
 from repro.errors import MissingInputError, ProviderError, UnknownProviderError
 from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.execution import ExecutionEngine, ExecutionStats
 from repro.providers.fields import FieldResolver
 from repro.providers.registry import EndpointRegistry
 
@@ -48,17 +49,21 @@ class DiscoveryInterface:
         spec: HumboldtSpec,
         customization: Customization | None = None,
         validate: bool = True,
+        engine: ExecutionEngine | None = None,
     ):
         if validate:
             validate_spec(spec, registry=registry)
         self.store = store
         self.registry = registry
+        #: The single execution layer every fetch of this interface (and
+        #: its evaluator/exploration consumers) routes through.
+        self.engine = engine or ExecutionEngine(registry, store=store)
         self.spec = spec
         self.customization = customization or Customization()
         self.resolver = FieldResolver(store)
         self.ranker = Ranker(self.resolver)
         self.language = QueryLanguage(spec)
-        self.evaluator = QueryEvaluator(store, registry, self.language, self.ranker)
+        self.evaluator = QueryEvaluator(store, self.engine, self.language, self.ranker)
         self.factory = ViewFactory(store, spec, self.ranker)
         self.autocompleter = Autocompleter(self.language, store)
         #: (provider, message) pairs skipped during the last overview
@@ -72,12 +77,18 @@ class DiscoveryInterface:
 
         This is the paper's headline move: adding/removing a provider is a
         spec change; the interface regenerates, no UI code changes.
+
+        The execution engine is shared (its stats span spec versions) but
+        its cache is invalidated — the new spec may bind the same
+        endpoints with different limits or visibility.
         """
+        self.engine.invalidate()
         return DiscoveryInterface(
             store=self.store,
             registry=self.registry,
             spec=spec,
             customization=self.customization,
+            engine=self.engine,
         )
 
     # -- overviews (§5.1) ------------------------------------------------------
@@ -96,18 +107,31 @@ class DiscoveryInterface:
         )
         context = RequestContext(user_id=user_id, team_id=team_id, limit=limit)
         self.last_errors = []
+        candidates = [
+            (provider, inputs)
+            for provider in providers
+            for inputs in [self._ambient_inputs(provider, user_id, team_id)]
+            if provider.is_ready(inputs)
+        ]
+        # One parallel fan-out instead of a serial fetch per provider;
+        # outcomes align with candidates, so tab order stays spec order.
+        outcomes = self.engine.fetch_many(
+            [
+                (provider.endpoint, ProviderRequest(inputs=inputs, context=context))
+                for provider, inputs in candidates
+            ]
+        )
         tabs = []
-        for provider in providers:
-            inputs = self._ambient_inputs(provider, user_id, team_id)
-            if not provider.is_ready(inputs):
-                continue
-            try:
-                view = self._fetch_view(provider, inputs, context)
-            except MissingInputError:
+        for (provider, inputs), outcome in zip(candidates, outcomes):
+            if isinstance(outcome.error, MissingInputError):
                 # The provider needs an input the session context cannot
                 # supply (e.g. a team view for a team-less user): §6.1 says
                 # to simply not generate the view.
                 continue
+            try:
+                if outcome.error is not None:
+                    raise outcome.error
+                view = self.factory.build(provider, outcome.result, inputs=inputs)
             except ProviderError as exc:
                 # A broken endpoint must degrade only its own view, never
                 # the whole generated interface.
@@ -132,6 +156,26 @@ class DiscoveryInterface:
         limit: int = 20,
     ) -> View:
         """Generate a single provider's view with explicit inputs."""
+        provider, merged, request = self.resolve_request(
+            provider_name, inputs, user_id=user_id, team_id=team_id, limit=limit
+        )
+        result = self.engine.fetch(provider.endpoint, request)
+        return self.factory.build(provider, result, inputs=merged)
+
+    def resolve_request(
+        self,
+        provider_name: str,
+        inputs: dict[str, str] | None = None,
+        user_id: str = "",
+        team_id: str = "",
+        limit: int = 20,
+    ) -> tuple[ProviderSpec, dict[str, str], ProviderRequest]:
+        """Bind a provider call without executing it.
+
+        Merges explicit inputs over ambient ones and enforces required
+        inputs; callers (exploration) batch the returned requests through
+        :meth:`ExecutionEngine.fetch_many`.
+        """
         provider = self.spec.provider(provider_name)
         inputs = dict(inputs or {})
         merged = {**self._ambient_inputs(provider, user_id, team_id), **inputs}
@@ -143,7 +187,7 @@ class DiscoveryInterface:
         if missing:
             raise MissingInputError(provider_name, missing[0])
         context = RequestContext(user_id=user_id, team_id=team_id, limit=limit)
-        return self._fetch_view(provider, merged, context)
+        return (provider, merged, ProviderRequest(inputs=merged, context=context))
 
     # -- search and filters (§5.3, §6.4) ------------------------------------------
 
@@ -213,17 +257,12 @@ class DiscoveryInterface:
                 inputs[spec.name] = team_id
         return inputs
 
-    def _fetch_view(
-        self,
-        provider: ProviderSpec,
-        inputs: dict[str, str],
-        context: RequestContext,
-    ) -> View:
-        result = self.registry.fetch(
-            provider.endpoint,
-            ProviderRequest(inputs=inputs, context=context),
-        )
-        return self.factory.build(provider, result, inputs=inputs)
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def stats(self) -> ExecutionStats:
+        """Execution metrics for every fetch this interface performed."""
+        return self.engine.stats
 
     def provider_titles(self) -> dict[str, str]:
         """name -> title for every specified provider (UI labelling)."""

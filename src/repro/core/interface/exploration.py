@@ -75,31 +75,51 @@ class ExplorationEngine:
         providers = self.interface.customization.effective_providers(
             self.interface.spec, "exploration", user_id=user_id, team_id=team_id
         )
-        surfaced: list[SurfacedView] = []
+        # Resolve every candidate binding first, then fan all fetches out
+        # in one batch — the exploration panel's providers are independent,
+        # so they execute on the engine's thread pool while the ordering
+        # (spec order, then binding order) stays deterministic.
+        candidates = []
         for provider in providers:
             for inputs, reason in self._bindings(provider, values):
                 try:
-                    view = self.interface.open_view(
+                    _, merged, request = self.interface.resolve_request(
                         provider.name,
-                        inputs=inputs,
+                        inputs,
                         user_id=user_id,
                         team_id=team_id,
                         limit=limit,
                     )
                 except ProviderError:
                     continue
-                view = self._drop_self(view, artifact_id, provider)
-                if view.is_empty():
-                    continue
-                surfaced.append(
-                    SurfacedView(
-                        provider_name=provider.name,
-                        title=provider.title,
-                        reason=reason,
-                        inputs=inputs,
-                        view=view,
-                    )
+                candidates.append((provider, inputs, merged, reason, request))
+        outcomes = self.interface.engine.fetch_many(
+            [(p.endpoint, request) for p, _, _, _, request in candidates]
+        )
+        surfaced: list[SurfacedView] = []
+        for (provider, inputs, merged, reason, _), outcome in zip(
+            candidates, outcomes
+        ):
+            try:
+                if outcome.error is not None:
+                    raise outcome.error
+                view = self.interface.factory.build(
+                    provider, outcome.result, inputs=merged
                 )
+            except ProviderError:
+                continue
+            view = self._drop_self(view, artifact_id, provider)
+            if view.is_empty():
+                continue
+            surfaced.append(
+                SurfacedView(
+                    provider_name=provider.name,
+                    title=provider.title,
+                    reason=reason,
+                    inputs=inputs,
+                    view=view,
+                )
+            )
         return surfaced
 
     def pivot(

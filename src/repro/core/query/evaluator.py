@@ -8,11 +8,18 @@ Evaluation is set algebra over those lists: AND intersects, OR unions,
 NOT subtracts from the universe (all artifacts for global search, the
 current view's artifacts when filtering a view).  Results are ranked with
 the spec's global ranking weights plus a text-match base score.
+
+Provider fetches route through the :class:`~repro.providers.execution.
+ExecutionEngine`: one search opens a request-scoped memo (identical
+sub-fetches execute once), independent ``And``/``Or`` branches fan out on
+the engine's thread pool with deterministic result ordering, and fetches
+that fill :attr:`QueryEvaluator.fetch_limit` are flagged as truncated on
+the :class:`SearchResult` instead of silently dropping matches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.catalog.store import CatalogStore
 from repro.core.query.ast import (
@@ -27,7 +34,8 @@ from repro.core.query.ast import (
 from repro.core.query.language import CompiledQuery, QueryLanguage
 from repro.core.ranking import RankedArtifact, Ranker
 from repro.errors import QueryCompileError
-from repro.providers.base import ProviderRequest, RequestContext
+from repro.providers.base import ProviderRequest, ProviderResult, RequestContext
+from repro.providers.execution import ExecutionEngine
 from repro.providers.registry import EndpointRegistry
 from repro.util.textutil import tokenize
 
@@ -44,6 +52,9 @@ class SearchResult:
     query: CompiledQuery
     entries: tuple[RankedArtifact, ...]
     total: int
+    #: True when at least one provider fetch filled the evaluator's
+    #: fetch limit — set algebra may then under-report matches.
+    truncated: bool = False
 
     def artifact_ids(self) -> list[str]:
         return [entry.artifact_id for entry in self.entries]
@@ -52,23 +63,40 @@ class SearchResult:
         return self.total == 0
 
 
+@dataclass
+class _EvalState:
+    """Per-search bookkeeping threaded through the AST walk."""
+
+    truncated: bool = False
+    #: id(child-node) -> prefetched artifact ids for And/Or fan-out.
+    prefetched: dict[int, list[str]] = field(default_factory=dict)
+
+
 class QueryEvaluator:
     """Evaluates compiled queries against providers and the catalog."""
 
     def __init__(
         self,
         store: CatalogStore,
-        registry: EndpointRegistry,
+        engine: "ExecutionEngine | EndpointRegistry",
         language: QueryLanguage,
         ranker: Ranker,
     ):
         self.store = store
-        self.registry = registry
+        # Accept a bare registry for convenience (tests, embedders) and
+        # wrap it; all fetches go through an engine either way.
+        if isinstance(engine, EndpointRegistry):
+            engine = ExecutionEngine(engine, store=store)
+        self.engine = engine
         self.language = language
         self.ranker = ranker
         #: Result-size cap passed to providers during evaluation; large so
         #: intersections don't lose matches to provider-side truncation.
         self.fetch_limit = 10_000
+
+    @property
+    def registry(self) -> EndpointRegistry:
+        return self.engine.registry
 
     def search(
         self,
@@ -90,7 +118,9 @@ class QueryEvaluator:
             else self.language.compile(query)
         )
         context = context or RequestContext()
-        ids = self._eval(compiled.node, context, universe)
+        state = _EvalState()
+        with self.engine.scope():
+            ids = self._eval(compiled.node, context, universe, state)
         if universe is not None:
             allowed = set(universe)
             ids = [aid for aid in ids if aid in allowed]
@@ -107,6 +137,7 @@ class QueryEvaluator:
             query=compiled,
             entries=tuple(entries[:limit]),
             total=len(entries),
+            truncated=state.truncated,
         )
 
     # -- AST evaluation ----------------------------------------------------
@@ -116,25 +147,20 @@ class QueryEvaluator:
         node: QueryNode,
         context: RequestContext,
         universe: list[str] | None,
+        state: _EvalState,
     ) -> list[str]:
+        if id(node) in state.prefetched:
+            return state.prefetched.pop(id(node))
         if isinstance(node, TextTerm):
             return self._eval_text(node)
-        if isinstance(node, FieldTerm):
-            provider = self.language.provider_for_field(node.field)
-            if provider is None:
-                raise QueryCompileError(f"unknown query field {node.field!r}")
-            inputs = self._bind(provider, node.value)
-            return self._fetch(provider.endpoint, inputs, context)
-        if isinstance(node, ProviderCall):
-            provider = self.language._resolve_call(node.name)
-            inputs = (
-                self._bind(provider, node.argument) if node.argument else {}
-            )
-            return self._fetch(provider.endpoint, inputs, context)
+        if isinstance(node, (FieldTerm, ProviderCall)):
+            endpoint, request = self._leaf_call(node, context)
+            return self._ids_from(self.engine.fetch(endpoint, request), state)
         if isinstance(node, And):
+            self._prefetch_branches(node.children, context, state)
             result: list[str] | None = None
             for child in node.children:
-                child_ids = self._eval(child, context, universe)
+                child_ids = self._eval(child, context, universe, state)
                 if result is None:
                     result = child_ids
                 else:
@@ -144,16 +170,17 @@ class QueryEvaluator:
                     return []
             return result or []
         if isinstance(node, Or):
+            self._prefetch_branches(node.children, context, state)
             seen: set[str] = set()
             merged: list[str] = []
             for child in node.children:
-                for aid in self._eval(child, context, universe):
+                for aid in self._eval(child, context, universe, state):
                     if aid not in seen:
                         seen.add(aid)
                         merged.append(aid)
             return merged
         if isinstance(node, Not):
-            excluded = set(self._eval(node.child, context, universe))
+            excluded = set(self._eval(node.child, context, universe, state))
             scope = universe if universe is not None else self.store.artifact_ids()
             return [aid for aid in scope if aid not in excluded]
         raise QueryCompileError(f"unsupported query node {type(node).__name__}")
@@ -172,9 +199,22 @@ class QueryEvaluator:
             )
         return {input_spec.name: value}
 
-    def _fetch(
-        self, endpoint: str, inputs: dict[str, str], context: RequestContext
-    ) -> list[str]:
+    # -- provider fetches ---------------------------------------------------
+
+    def _leaf_call(
+        self, node: "FieldTerm | ProviderCall", context: RequestContext
+    ) -> tuple[str, ProviderRequest]:
+        """Resolve a provider-backed leaf to its (endpoint, request)."""
+        if isinstance(node, FieldTerm):
+            provider = self.language.provider_for_field(node.field)
+            if provider is None:
+                raise QueryCompileError(f"unknown query field {node.field!r}")
+            inputs = self._bind(provider, node.value)
+        else:
+            provider = self.language._resolve_call(node.name)
+            inputs = (
+                self._bind(provider, node.argument) if node.argument else {}
+            )
         request = ProviderRequest(
             inputs=inputs,
             context=RequestContext(
@@ -183,7 +223,45 @@ class QueryEvaluator:
                 limit=self.fetch_limit,
             ),
         )
-        return self.registry.fetch(endpoint, request).artifact_ids()
+        return (provider.endpoint, request)
+
+    def _prefetch_branches(
+        self,
+        children: tuple[QueryNode, ...],
+        context: RequestContext,
+        state: _EvalState,
+    ) -> None:
+        """Fan independent provider leaves of an And/Or out in parallel.
+
+        Only direct FieldTerm/ProviderCall children qualify — they need
+        no universe and are side-effect free.  Results land in the state
+        keyed by node identity and are consumed (in child order, so the
+        outcome is deterministic) by the sequential combination loop.
+        """
+        slots: list[int] = []
+        calls: list[tuple[str, ProviderRequest]] = []
+        for index, child in enumerate(children):
+            if isinstance(child, (FieldTerm, ProviderCall)):
+                slots.append(index)
+                calls.append(self._leaf_call(child, context))
+        if len(calls) < 2:
+            return  # nothing to parallelise
+        outcomes = self.engine.fetch_many(calls)
+        for index, outcome in zip(slots, outcomes):
+            if not outcome.ok:
+                # Same contract as the serial path: a query that needs a
+                # broken provider fails loudly, first failure in child
+                # order wins.
+                raise outcome.error
+            state.prefetched[id(children[index])] = self._ids_from(
+                outcome.result, state
+            )
+
+    def _ids_from(self, result: ProviderResult, state: _EvalState) -> list[str]:
+        ids = result.artifact_ids()
+        if self.fetch_limit > 0 and len(ids) >= self.fetch_limit:
+            state.truncated = True
+        return ids
 
     # -- text relevance ---------------------------------------------------------
 
@@ -197,9 +275,7 @@ class QueryEvaluator:
             return {}
         scores: dict[str, float] = {}
         for aid in ids:
-            artifact = self.store.artifact(aid)
-            name_tokens = set(tokenize(artifact.name))
-            text_tokens = set(tokenize(artifact.searchable_text()))
+            name_tokens, text_tokens = self.store.artifact_tokens(aid)
             score = 0.0
             for term_tokens in terms:
                 if all(tok in name_tokens for tok in term_tokens):

@@ -73,6 +73,14 @@ class ProviderError(HumboldtError):
         super().__init__(f"provider {provider!r}: {message}")
 
 
+class ProviderTimeoutError(ProviderError):
+    """A metadata provider exceeded its latency budget.
+
+    Timeouts are transient by definition, so the execution layer's retry
+    middleware treats them as retryable (unlike contract violations).
+    """
+
+
 class MissingInputError(ProviderError):
     """A provider requiring an input value was queried without it."""
 

@@ -9,6 +9,8 @@ Humboldt framework:
   embedding);
 * :mod:`repro.providers.registry` — endpoint registry resolving the
   ``endpoint`` URIs named in a Humboldt specification to callables;
+* :mod:`repro.providers.execution` — the execution layer every consumer
+  fetches through (caching, parallel fan-out, retry middleware, stats);
 * :mod:`repro.providers.fields` — the metadata-field resolver ranking
   weights refer to;
 * :mod:`repro.providers.builtin` — the full provider suite of Figure 2
@@ -28,6 +30,13 @@ from repro.providers.base import (
     ScoredArtifact,
 )
 from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
+from repro.providers.execution import (
+    ExecutionEngine,
+    ExecutionPolicy,
+    ExecutionStats,
+    FetchOutcome,
+    request_key,
+)
 from repro.providers.fields import FieldResolver, RANKABLE_FIELDS
 from repro.providers.registry import EndpointRegistry
 
@@ -36,6 +45,10 @@ __all__ = [
     "Category",
     "EmbeddingPoint",
     "EndpointRegistry",
+    "ExecutionEngine",
+    "ExecutionPolicy",
+    "ExecutionStats",
+    "FetchOutcome",
     "FieldResolver",
     "GraphEdge",
     "HierarchyNode",
@@ -47,4 +60,5 @@ __all__ = [
     "RequestContext",
     "ScoredArtifact",
     "install_builtin_endpoints",
+    "request_key",
 ]

@@ -217,9 +217,37 @@ class ProviderResult:
         return ordered
 
     def is_empty(self) -> bool:
+        """True when no payload block carries data.
+
+        ``edges`` counts as payload so emptiness stays consistent with
+        :meth:`validate` — a graph result is whatever its nodes *and*
+        edges say, even though a valid graph with edges always has nodes.
+        """
         return not (
-            self.items or self.roots or self.nodes or self.categories or self.points
+            self.items
+            or self.roots
+            or self.nodes
+            or self.edges
+            or self.categories
+            or self.points
         )
+
+    def payload_size(self) -> int:
+        """Number of payload entries, without flattening to artifact ids.
+
+        Used by the execution layer to detect provider-side truncation
+        (a result exactly filling ``context.limit`` probably hit the cap)
+        cheaply — :meth:`artifact_ids` allocates, this only counts.
+        """
+        if self.items:
+            return len(self.items)
+        if self.roots:
+            return sum(1 for root in self.roots for _ in root.iter_ids())
+        if self.nodes or self.edges:
+            return len(self.nodes)
+        if self.categories:
+            return sum(category.count for category in self.categories)
+        return len(self.points)
 
 
 #: The callable type an endpoint resolves to.

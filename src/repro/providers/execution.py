@@ -1,0 +1,552 @@
+"""The provider execution layer.
+
+Every consumer of metadata providers — the query evaluator, the generated
+discovery interface, exploration, workbook sessions — routes fetches
+through one :class:`ExecutionEngine` instead of calling the
+:class:`~repro.providers.registry.EndpointRegistry` directly.  The engine
+owns the cross-cutting concerns the paper's UI-side design implies but a
+naive reproduction scatters per call site:
+
+* **canonical request keys** — one fetch is identified by its endpoint
+  URI plus the request's inputs and context, so identical fetches are
+  recognisable wherever they originate;
+* **caching** — a TTL/LRU result cache keyed on those request keys,
+  invalidated explicitly (:meth:`ExecutionEngine.invalidate`) and
+  implicitly whenever the catalog mutates (the store's ``version``
+  counter) or the spec is swapped;
+* **request-scoped memoisation** — :meth:`ExecutionEngine.scope` opens a
+  memo so one logical operation (a search, an overview generation) never
+  re-invokes an endpoint for the same key, even with the cache disabled;
+* **parallel fan-out** — :meth:`ExecutionEngine.fetch_many` executes
+  independent fetches on a thread pool with deterministic, input-ordered
+  results and per-call fault containment;
+* **middleware** — a retry/backoff policy composing with
+  :mod:`repro.providers.faults` (transient outages and timeouts retry;
+  contract violations do not) and envelope validation at the boundary;
+* **instrumentation** — :class:`ExecutionStats`: per-endpoint call
+  counts, latency percentiles, cache hits/misses, retries, errors and
+  truncation events, surfaced via ``DiscoveryInterface.stats`` and the
+  CLI's ``--stats`` flag.
+
+The registry stays pure name→callable resolution; this module is the seam
+future scaling work (sharding, async backends, remote endpoints) plugs
+into.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.errors import HumboldtError, ProviderError
+from repro.providers.base import ProviderRequest, ProviderResult
+from repro.providers.faults import is_transient
+from repro.providers.registry import EndpointRegistry
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime cycle
+    from repro.catalog.store import CatalogStore
+
+#: A fully canonicalised fetch identity: endpoint URI, sorted inputs,
+#: and the context fields that can change a provider's answer.
+RequestKey = tuple[str, tuple[tuple[str, str], ...], str, str, int]
+
+
+def request_key(endpoint: str, request: ProviderRequest) -> RequestKey:
+    """Canonical cache key for one fetch.
+
+    Input order is irrelevant to providers, so inputs are sorted; the
+    user, team and limit all participate because providers personalise
+    and cap results on them.
+    """
+    return (
+        endpoint,
+        tuple(sorted(request.inputs.items())),
+        request.context.user_id,
+        request.context.team_id,
+        request.context.limit,
+    )
+
+
+# -- instrumentation --------------------------------------------------------
+
+#: Latency samples kept per endpoint for percentile estimates; a rolling
+#: window bounds memory on long-lived engines.
+LATENCY_WINDOW = 1024
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (already a copy, unsorted)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class EndpointStats:
+    """Counters for one endpoint URI."""
+
+    calls: int = 0
+    errors: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    truncations: int = 0
+    latencies_ms: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    def latency_summary(self) -> dict[str, float]:
+        samples = list(self.latencies_ms)
+        if not samples:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "mean": sum(samples) / len(samples),
+            "p50": _percentile(samples, 0.50),
+            "p95": _percentile(samples, 0.95),
+            "p99": _percentile(samples, 0.99),
+            "max": max(samples),
+        }
+
+
+class ExecutionStats:
+    """Thread-safe per-endpoint execution metrics.
+
+    ``calls`` counts actual endpoint invocations (each retry attempt is
+    an invocation), so "a repeated operation performed zero duplicate
+    fetches" is assertable as an unchanged ``total_calls``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointStats] = {}
+
+    def _for(self, endpoint: str) -> EndpointStats:
+        stats = self._endpoints.get(endpoint)
+        if stats is None:
+            stats = self._endpoints[endpoint] = EndpointStats()
+        return stats
+
+    # -- recording (called by the engine) ---------------------------------
+
+    def record_call(self, endpoint: str, latency_ms: float) -> None:
+        with self._lock:
+            stats = self._for(endpoint)
+            stats.calls += 1
+            stats.latencies_ms.append(latency_ms)
+
+    def record_error(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).errors += 1
+
+    def record_retry(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).retries += 1
+
+    def record_cache_hit(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).cache_hits += 1
+
+    def record_cache_miss(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).cache_misses += 1
+
+    def record_truncation(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).truncations += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def _total(self, attr: str) -> int:
+        with self._lock:
+            return sum(getattr(s, attr) for s in self._endpoints.values())
+
+    @property
+    def total_calls(self) -> int:
+        return self._total("calls")
+
+    @property
+    def total_errors(self) -> int:
+        return self._total("errors")
+
+    @property
+    def total_retries(self) -> int:
+        return self._total("retries")
+
+    @property
+    def cache_hits(self) -> int:
+        return self._total("cache_hits")
+
+    @property
+    def cache_misses(self) -> int:
+        return self._total("cache_misses")
+
+    @property
+    def truncations(self) -> int:
+        return self._total("truncations")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits, misses = self.cache_hits, self.cache_misses
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def endpoint(self, uri: str) -> EndpointStats:
+        """Counters for one endpoint (zeros if never fetched)."""
+        with self._lock:
+            return self._endpoints.get(uri, EndpointStats())
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly copy of every counter."""
+        with self._lock:
+            endpoints = {
+                uri: {
+                    "calls": s.calls,
+                    "errors": s.errors,
+                    "retries": s.retries,
+                    "cache_hits": s.cache_hits,
+                    "cache_misses": s.cache_misses,
+                    "truncations": s.truncations,
+                    "latency_ms": s.latency_summary(),
+                }
+                for uri, s in sorted(self._endpoints.items())
+            }
+        totals = {
+            "calls": sum(e["calls"] for e in endpoints.values()),
+            "errors": sum(e["errors"] for e in endpoints.values()),
+            "retries": sum(e["retries"] for e in endpoints.values()),
+            "cache_hits": sum(e["cache_hits"] for e in endpoints.values()),
+            "cache_misses": sum(e["cache_misses"] for e in endpoints.values()),
+            "truncations": sum(e["truncations"] for e in endpoints.values()),
+        }
+        return {"totals": totals, "endpoints": endpoints}
+
+    def render(self) -> str:
+        """Plain-text stats table for the CLI's ``--stats`` flag."""
+        snap = self.snapshot()
+        lines = [
+            f"{'endpoint':<32}{'calls':>6}{'hits':>6}{'miss':>6}"
+            f"{'err':>5}{'retry':>6}{'trunc':>6}{'p50 ms':>8}{'p95 ms':>8}"
+        ]
+        for uri, s in snap["endpoints"].items():
+            lat = s["latency_ms"]
+            lines.append(
+                f"{uri:<32}{s['calls']:>6}{s['cache_hits']:>6}"
+                f"{s['cache_misses']:>6}{s['errors']:>5}{s['retries']:>6}"
+                f"{s['truncations']:>6}{lat['p50']:>8.2f}{lat['p95']:>8.2f}"
+            )
+        t = snap["totals"]
+        lines.append(
+            f"{'TOTAL':<32}{t['calls']:>6}{t['cache_hits']:>6}"
+            f"{t['cache_misses']:>6}{t['errors']:>5}{t['retries']:>6}"
+            f"{t['truncations']:>6}"
+        )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._endpoints.clear()
+
+
+# -- policy and middleware ---------------------------------------------------
+
+#: The continuation a middleware wraps: the rest of the stack.
+CallNext = Callable[[str, ProviderRequest], ProviderResult]
+#: A middleware: observe/transform a call, then delegate to ``call_next``.
+Middleware = Callable[[str, ProviderRequest, CallNext], ProviderResult]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Tunable knobs of one engine.
+
+    The defaults preserve pre-engine behaviour exactly (no retries) while
+    adding caching; hosts opt into retries per deployment.
+    """
+
+    #: Total invocation attempts per fetch (1 = no retries).
+    attempts: int = 1
+    #: First retry delay; doubles per subsequent attempt.
+    backoff_base_ms: float = 25.0
+    backoff_multiplier: float = 2.0
+    #: Result-cache time-to-live in seconds; 0 disables caching.
+    cache_ttl_s: float = 300.0
+    cache_max_entries: int = 2048
+    #: Thread-pool width for :meth:`ExecutionEngine.fetch_many`;
+    #: 1 degrades to serial execution.
+    max_workers: int = 8
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """One :meth:`ExecutionEngine.fetch_many` result slot.
+
+    Exactly one of ``result``/``error`` is set — fault containment means
+    a failed call occupies its slot instead of aborting the batch.
+    """
+
+    endpoint: str
+    result: ProviderResult | None = None
+    error: HumboldtError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ExecutionEngine:
+    """Cached, parallel, instrumented execution of provider fetches."""
+
+    def __init__(
+        self,
+        registry: EndpointRegistry,
+        store: "CatalogStore | None" = None,
+        policy: ExecutionPolicy | None = None,
+        middlewares: Sequence[Middleware] = (),
+        timer: Callable[[], float] = time.perf_counter,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.registry = registry
+        self.store = store
+        self.policy = policy or ExecutionPolicy()
+        self.stats = ExecutionStats()
+        self._timer = timer
+        self._sleep = sleep
+        self._lock = threading.RLock()
+        self._cache: OrderedDict[RequestKey, tuple[float, ProviderResult]] = (
+            OrderedDict()
+        )
+        self._seen_store_version = store.version if store is not None else -1
+        self._seen_registry_version = registry.version
+        self._memos = threading.local()
+        self._pool: ThreadPoolExecutor | None = None
+        # Innermost first: validation sits at the boundary, retries wrap
+        # it (so a transient failure re-enters validation too), and
+        # caller-supplied middlewares observe the whole stack.
+        chain: CallNext = self._invoke
+        chain = self._wrap(_validation_middleware, chain)
+        chain = self._wrap(self._retry_middleware, chain)
+        for middleware in reversed(tuple(middlewares)):
+            chain = self._wrap(middleware, chain)
+        self._chain = chain
+
+    # -- the public fetch API ----------------------------------------------
+
+    def fetch(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
+        """Resolve-and-invoke one endpoint through cache and middleware.
+
+        Raises the underlying :class:`~repro.errors.ProviderError` on
+        failure — containment is the batch API's job, not this one's.
+        """
+        key = request_key(endpoint, request)
+        cached = self._lookup(key)
+        if cached is not None:
+            self.stats.record_cache_hit(endpoint)
+            return cached
+        self.stats.record_cache_miss(endpoint)
+        result = self._execute(endpoint, request)
+        self._remember(key, result)
+        return result
+
+    def fetch_many(
+        self, calls: Sequence[tuple[str, ProviderRequest]]
+    ) -> list[FetchOutcome]:
+        """Execute *calls* concurrently; results align with the input.
+
+        Duplicate request keys within the batch are fetched once.  Each
+        failing call yields a :class:`FetchOutcome` carrying its error —
+        one broken endpoint never poisons its neighbours (§6.1 fault
+        containment, now in one place instead of per call site).
+        """
+        keys = [request_key(endpoint, request) for endpoint, request in calls]
+        outcomes: dict[RequestKey, FetchOutcome] = {}
+        pending: list[tuple[RequestKey, str, ProviderRequest]] = []
+        for key, (endpoint, request) in zip(keys, calls):
+            if key in outcomes:
+                self.stats.record_cache_hit(endpoint)
+                continue
+            cached = self._lookup(key)
+            if cached is not None:
+                self.stats.record_cache_hit(endpoint)
+                outcomes[key] = FetchOutcome(endpoint, result=cached)
+            else:
+                self.stats.record_cache_miss(endpoint)
+                outcomes[key] = FetchOutcome(endpoint)  # placeholder
+                pending.append((key, endpoint, request))
+
+        def run_one(endpoint: str, request: ProviderRequest) -> FetchOutcome:
+            try:
+                return FetchOutcome(endpoint, result=self._execute(endpoint, request))
+            except HumboldtError as exc:
+                return FetchOutcome(endpoint, error=exc)
+
+        if len(pending) > 1 and self.policy.max_workers > 1:
+            futures = [
+                self._executor().submit(run_one, endpoint, request)
+                for _, endpoint, request in pending
+            ]
+            finished = [future.result() for future in futures]
+        else:
+            finished = [
+                run_one(endpoint, request) for _, endpoint, request in pending
+            ]
+        for (key, _, _), outcome in zip(pending, finished):
+            outcomes[key] = outcome
+            if outcome.ok:
+                self._remember(key, outcome.result)
+        return [outcomes[key] for key in keys]
+
+    @contextmanager
+    def scope(self) -> Iterator[None]:
+        """Open a request-scoped memo for one logical operation.
+
+        Within the scope, repeated fetches of one request key reuse the
+        first result regardless of TTL — a single search evaluating
+        ``owned_by: alex | owned_by: alex`` must not pay twice.  Scopes
+        nest; the memo dies with the outermost exit.
+        """
+        stack = self._memo_stack()
+        stack.append({} if not stack else stack[-1])
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def invalidate(self, endpoint: str | None = None) -> None:
+        """Drop cached results — all of them, or one endpoint's.
+
+        Called on spec swap; catalog mutation invalidates automatically
+        through the store's ``version`` counter.
+        """
+        with self._lock:
+            if endpoint is None:
+                self._cache.clear()
+            else:
+                for key in [k for k in self._cache if k[0] == endpoint]:
+                    del self._cache[key]
+
+    @property
+    def cache_size(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- cache internals ----------------------------------------------------
+
+    def _memo_stack(self) -> list[dict]:
+        stack = getattr(self._memos, "stack", None)
+        if stack is None:
+            stack = self._memos.stack = []
+        return stack
+
+    def _lookup(self, key: RequestKey) -> ProviderResult | None:
+        stack = self._memo_stack()
+        if stack and key in stack[-1]:
+            return stack[-1][key]
+        with self._lock:
+            self._check_store_version()
+            entry = self._cache.get(key)
+            if entry is None:
+                return None
+            expires_at, result = entry
+            if self._timer() >= expires_at:
+                del self._cache[key]
+                return None
+            self._cache.move_to_end(key)
+            return result
+
+    def _remember(self, key: RequestKey, result: ProviderResult) -> None:
+        stack = self._memo_stack()
+        if stack:
+            stack[-1][key] = result
+        if self.policy.cache_ttl_s <= 0:
+            return
+        with self._lock:
+            self._check_store_version()
+            self._cache[key] = (self._timer() + self.policy.cache_ttl_s, result)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.policy.cache_max_entries:
+                self._cache.popitem(last=False)
+
+    def _check_store_version(self) -> None:
+        """Flush the cache when the catalog or registry mutated (lock held)."""
+        registry_version = self.registry.version
+        if registry_version != self._seen_registry_version:
+            self._cache.clear()
+            self._seen_registry_version = registry_version
+        if self.store is None:
+            return
+        version = self.store.version
+        if version != self._seen_store_version:
+            self._cache.clear()
+            self._seen_store_version = version
+
+    # -- execution internals -------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.policy.max_workers,
+                    thread_name_prefix="humboldt-exec",
+                )
+            return self._pool
+
+    def _execute(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
+        try:
+            result = self._chain(endpoint, request)
+        except ProviderError:
+            self.stats.record_error(endpoint)
+            raise
+        limit = request.context.limit
+        if limit > 0 and result.payload_size() >= limit:
+            self.stats.record_truncation(endpoint)
+        return result
+
+    def _wrap(self, middleware: Middleware, call_next: CallNext) -> CallNext:
+        def wrapped(endpoint: str, request: ProviderRequest) -> ProviderResult:
+            return middleware(endpoint, request, call_next)
+
+        return wrapped
+
+    def _invoke(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
+        """Terminal stage: resolve and call, timing the invocation."""
+        resolved = self.registry.resolve(endpoint)
+        started = self._timer()
+        try:
+            return resolved(request)
+        finally:
+            self.stats.record_call(endpoint, (self._timer() - started) * 1000.0)
+
+    def _retry_middleware(
+        self, endpoint: str, request: ProviderRequest, call_next: CallNext
+    ) -> ProviderResult:
+        attempt = 1
+        while True:
+            try:
+                return call_next(endpoint, request)
+            except ProviderError as exc:
+                if attempt >= self.policy.attempts or not is_transient(exc):
+                    raise
+                self.stats.record_retry(endpoint)
+                delay_ms = self.policy.backoff_base_ms * (
+                    self.policy.backoff_multiplier ** (attempt - 1)
+                )
+                if delay_ms > 0:
+                    self._sleep(delay_ms / 1000.0)
+                attempt += 1
+
+
+def _validation_middleware(
+    endpoint: str, request: ProviderRequest, call_next: CallNext
+) -> ProviderResult:
+    """Enforce the response envelope at the execution boundary."""
+    result = call_next(endpoint, request)
+    if not isinstance(result, ProviderResult):
+        raise ProviderError(
+            endpoint,
+            f"endpoint returned {type(result).__name__}, expected ProviderResult",
+        )
+    return result.validate(endpoint)

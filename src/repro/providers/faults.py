@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import ProviderError
+from repro.errors import (
+    MissingInputError,
+    ProviderError,
+    ProviderTimeoutError,
+    RepresentationError,
+)
 from repro.providers.base import (
     Endpoint,
     ProviderRequest,
@@ -26,6 +31,22 @@ from repro.providers.base import (
     Representation,
     ScoredArtifact,
 )
+
+
+#: Failure classes that retrying cannot fix: the request itself is wrong
+#: (missing input) or the provider is broken by contract (wrong shape).
+NON_TRANSIENT_ERRORS = (MissingInputError, RepresentationError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether the execution layer's retry middleware may retry *exc*.
+
+    Outages and timeouts are transient; contract violations and missing
+    inputs would fail identically on every attempt.
+    """
+    if not isinstance(exc, ProviderError):
+        return False
+    return not isinstance(exc, NON_TRANSIENT_ERRORS)
 
 
 class FlakyEndpoint:
@@ -102,7 +123,7 @@ class SlowEndpoint:
     def __call__(self, request: ProviderRequest) -> ProviderResult:
         if self._latency > self.remaining_ms:
             self.timed_out += 1
-            raise ProviderError(
+            raise ProviderTimeoutError(
                 self._name,
                 f"simulated timeout ({self._latency:.0f}ms > "
                 f"{self.remaining_ms:.0f}ms budget)",

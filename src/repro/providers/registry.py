@@ -33,6 +33,14 @@ class EndpointRegistry:
 
     def __init__(self) -> None:
         self._endpoints: dict[str, Endpoint] = {}
+        # Bumped on every (un)registration; the execution layer keys
+        # cache validity on it so swapping an endpoint drops its results.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Count of registry mutations."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._endpoints)
@@ -53,9 +61,11 @@ class EndpointRegistry:
         if uri in self._endpoints and not replace:
             raise DuplicateEntityError("endpoint", uri)
         self._endpoints[uri] = endpoint
+        self._version += 1
 
     def unregister(self, uri: str) -> None:
-        self._endpoints.pop(uri, None)
+        if self._endpoints.pop(uri, None) is not None:
+            self._version += 1
 
     def resolve(self, uri: str) -> Endpoint:
         try:

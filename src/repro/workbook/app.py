@@ -16,6 +16,7 @@ from repro.core.interface.homepage import HomePageManager
 from repro.core.spec.customization import Customization
 from repro.core.spec.model import HumboldtSpec
 from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
+from repro.providers.execution import ExecutionEngine, ExecutionStats
 from repro.providers.registry import EndpointRegistry
 from repro.providers.suite import default_spec
 from repro.workbook.session import Session
@@ -48,6 +49,16 @@ class WorkbookApp:
     @property
     def spec(self) -> HumboldtSpec:
         return self.interface.spec
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The provider execution layer all of this app's fetches use."""
+        return self.interface.engine
+
+    @property
+    def stats(self) -> ExecutionStats:
+        """Execution metrics across every session and spec version."""
+        return self.interface.stats
 
     def update_spec(self, spec: HumboldtSpec) -> None:
         """Swap in an updated spec; the UI regenerates, no code changes."""

@@ -1,0 +1,573 @@
+"""Tests for the provider execution layer.
+
+Covers the engine's cache (hit/miss, TTL, LRU, invalidation on catalog
+mutation, registry swap and spec swap), parallel ``fetch_many`` with
+deterministic ordering and fault containment, the retry/backoff
+middleware composing with :mod:`repro.providers.faults`, instrumentation,
+and the end-to-end guarantees: repeated queries and overview
+regenerations on an unchanged catalog perform zero duplicate endpoint
+invocations.
+"""
+
+import threading
+
+import pytest
+
+from repro.catalog.model import Artifact, User
+from repro.errors import (
+    MissingInputError,
+    ProviderError,
+    ProviderTimeoutError,
+    RepresentationError,
+)
+from repro.providers.base import (
+    ProviderRequest,
+    ProviderResult,
+    Representation,
+    RequestContext,
+    ScoredArtifact,
+    list_result,
+)
+from repro.providers.execution import (
+    ExecutionEngine,
+    ExecutionPolicy,
+    request_key,
+)
+from repro.providers.faults import FlakyEndpoint, SlowEndpoint, is_transient
+from repro.providers.registry import EndpointRegistry
+from repro.workbook.app import WorkbookApp
+
+
+class CountingEndpoint:
+    """Returns a fixed list result; counts invocations."""
+
+    def __init__(self, ids=("a-1", "a-2")):
+        self.calls = 0
+        self._ids = tuple(ids)
+
+    def __call__(self, request):
+        self.calls += 1
+        return list_result([ScoredArtifact(aid) for aid in self._ids])
+
+
+@pytest.fixture
+def counting_registry():
+    registry = EndpointRegistry()
+    endpoint = CountingEndpoint()
+    registry.register("x://count", endpoint)
+    return registry, endpoint
+
+
+class TestRequestKey:
+    def test_input_order_is_canonical(self):
+        a = ProviderRequest(inputs={"user": "u-1", "badge": "gold"})
+        b = ProviderRequest(inputs={"badge": "gold", "user": "u-1"})
+        assert request_key("x://p", a) == request_key("x://p", b)
+
+    def test_context_participates(self):
+        base = ProviderRequest()
+        other = ProviderRequest(context=RequestContext(user_id="u-1"))
+        limited = ProviderRequest(context=RequestContext(limit=5))
+        keys = {
+            request_key("x://p", base),
+            request_key("x://p", other),
+            request_key("x://p", limited),
+        }
+        assert len(keys) == 3
+
+    def test_endpoint_participates(self):
+        request = ProviderRequest()
+        assert request_key("x://p", request) != request_key("x://q", request)
+
+
+class TestCache:
+    def test_second_fetch_is_a_hit(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry)
+        request = ProviderRequest()
+        first = engine.fetch("x://count", request)
+        second = engine.fetch("x://count", request)
+        assert endpoint.calls == 1
+        assert first.artifact_ids() == second.artifact_ids()
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 1
+
+    def test_distinct_requests_both_fetch(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        engine.fetch(
+            "x://count", ProviderRequest(context=RequestContext(limit=99))
+        )
+        assert endpoint.calls == 2
+
+    def test_ttl_expiry(self, counting_registry):
+        registry, endpoint = counting_registry
+        fake_now = [0.0]
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy(cache_ttl_s=10.0),
+            timer=lambda: fake_now[0],
+        )
+        engine.fetch("x://count", ProviderRequest())
+        fake_now[0] = 5.0
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 1
+        fake_now[0] = 11.0
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 2
+
+    def test_ttl_zero_disables_caching(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry, policy=ExecutionPolicy(cache_ttl_s=0))
+        engine.fetch("x://count", ProviderRequest())
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 2
+        assert engine.cache_size == 0
+
+    def test_lru_bound(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(
+            registry, policy=ExecutionPolicy(cache_max_entries=3)
+        )
+        for limit in range(1, 6):
+            engine.fetch(
+                "x://count",
+                ProviderRequest(context=RequestContext(limit=limit)),
+            )
+        assert engine.cache_size == 3
+
+    def test_explicit_invalidation(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        engine.invalidate()
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 2
+
+    def test_per_endpoint_invalidation(self, counting_registry):
+        registry, endpoint = counting_registry
+        other = CountingEndpoint(ids=("b-1",))
+        registry.register("x://other", other)
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        engine.fetch("x://other", ProviderRequest())
+        engine.invalidate("x://other")
+        engine.fetch("x://count", ProviderRequest())
+        engine.fetch("x://other", ProviderRequest())
+        assert endpoint.calls == 1
+        assert other.calls == 2
+
+    def test_errors_are_not_cached(self):
+        registry = EndpointRegistry()
+        inner = CountingEndpoint()
+        flaky = FlakyEndpoint(inner, fail_on={1}, name="flaky")
+        registry.register("x://flaky", flaky)
+        engine = ExecutionEngine(registry)
+        with pytest.raises(ProviderError):
+            engine.fetch("x://flaky", ProviderRequest())
+        result = engine.fetch("x://flaky", ProviderRequest())
+        assert result.artifact_ids() == ["a-1", "a-2"]
+
+
+class TestInvalidationOnMutation:
+    def test_catalog_mutation_flushes_cache(self, tiny_store):
+        registry = EndpointRegistry()
+        endpoint = CountingEndpoint()
+        registry.register("x://count", endpoint)
+        engine = ExecutionEngine(registry, store=tiny_store)
+        engine.fetch("x://count", ProviderRequest())
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 1
+        tiny_store.grant_badge("t-web", "endorsed", "u-ann")
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 2
+
+    def test_usage_event_flushes_cache(self, tiny_store):
+        registry = EndpointRegistry()
+        endpoint = CountingEndpoint()
+        registry.register("x://count", endpoint)
+        engine = ExecutionEngine(registry, store=tiny_store)
+        engine.fetch("x://count", ProviderRequest())
+        tiny_store.record("t-orders", "u-bob", "view")
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 2
+
+    def test_registry_swap_flushes_cache(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        healed = CountingEndpoint(ids=("z-9",))
+        registry.register("x://count", healed, replace=True)
+        result = engine.fetch("x://count", ProviderRequest())
+        assert result.artifact_ids() == ["z-9"]
+
+    def test_spec_swap_invalidates(self, tiny_app):
+        user = "u-ann"
+        tiny_app.interface.overview_tabs(user_id=user)
+        assert tiny_app.engine.cache_size > 0
+        tiny_app.update_spec(tiny_app.spec)
+        assert tiny_app.engine.cache_size == 0
+        # stats survive the swap — the engine is shared across versions
+        assert tiny_app.stats.total_calls > 0
+
+
+class TestScope:
+    def test_scope_memoises_even_without_cache(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry, policy=ExecutionPolicy(cache_ttl_s=0))
+        with engine.scope():
+            engine.fetch("x://count", ProviderRequest())
+            engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 1
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 2  # memo died with the scope
+
+
+class TestFetchMany:
+    def test_results_align_with_input_order(self):
+        registry = EndpointRegistry()
+        for name in ("alpha", "beta", "gamma"):
+            registry.register(
+                f"x://{name}", CountingEndpoint(ids=(f"{name}-1",))
+            )
+        engine = ExecutionEngine(registry)
+        calls = [
+            ("x://gamma", ProviderRequest()),
+            ("x://alpha", ProviderRequest()),
+            ("x://beta", ProviderRequest()),
+        ]
+        outcomes = engine.fetch_many(calls)
+        assert [o.endpoint for o in outcomes] == [
+            "x://gamma", "x://alpha", "x://beta",
+        ]
+        assert [o.result.artifact_ids() for o in outcomes] == [
+            ["gamma-1"], ["alpha-1"], ["beta-1"],
+        ]
+
+    def test_ordering_is_deterministic_across_runs(self):
+        registry = EndpointRegistry()
+        for index in range(12):
+            registry.register(
+                f"x://p{index}", CountingEndpoint(ids=(f"id-{index}",))
+            )
+        engine = ExecutionEngine(registry)
+        calls = [(f"x://p{index}", ProviderRequest()) for index in range(12)]
+        first = [o.result.artifact_ids() for o in engine.fetch_many(calls)]
+        engine.invalidate()
+        second = [o.result.artifact_ids() for o in engine.fetch_many(calls)]
+        assert first == second
+
+    def test_duplicates_fetch_once(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry, policy=ExecutionPolicy(cache_ttl_s=0))
+        outcomes = engine.fetch_many(
+            [("x://count", ProviderRequest())] * 4
+        )
+        assert endpoint.calls == 1
+        assert all(o.ok for o in outcomes)
+
+    def test_fault_containment(self, counting_registry):
+        registry, _ = counting_registry
+        registry.register(
+            "x://broken",
+            FlakyEndpoint(CountingEndpoint(), fail_on=lambda i: True,
+                          name="broken"),
+        )
+        engine = ExecutionEngine(registry)
+        outcomes = engine.fetch_many([
+            ("x://count", ProviderRequest()),
+            ("x://broken", ProviderRequest()),
+            ("x://count", ProviderRequest(context=RequestContext(limit=3))),
+        ])
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].error, ProviderError)
+        assert engine.stats.total_errors == 1
+
+    def test_actually_runs_on_threads(self):
+        registry = EndpointRegistry()
+        seen_threads = set()
+
+        def make_endpoint(name):
+            def endpoint(request):
+                seen_threads.add(threading.current_thread().name)
+                return list_result([ScoredArtifact(name)])
+            return endpoint
+
+        for index in range(6):
+            registry.register(f"x://t{index}", make_endpoint(f"id-{index}"))
+        engine = ExecutionEngine(registry)
+        engine.fetch_many(
+            [(f"x://t{index}", ProviderRequest()) for index in range(6)]
+        )
+        assert any(t.startswith("humboldt-exec") for t in seen_threads)
+
+    def test_serial_when_one_worker(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry, policy=ExecutionPolicy(max_workers=1))
+        outcomes = engine.fetch_many([
+            ("x://count", ProviderRequest()),
+            ("x://count", ProviderRequest(context=RequestContext(limit=3))),
+        ])
+        assert all(o.ok for o in outcomes)
+        assert endpoint.calls == 2
+
+
+class TestRetryMiddleware:
+    def test_transient_outage_retried(self):
+        registry = EndpointRegistry()
+        flaky = FlakyEndpoint(CountingEndpoint(), fail_on={1}, name="flaky")
+        registry.register("x://flaky", flaky)
+        sleeps = []
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy(attempts=3, backoff_base_ms=10),
+            sleep=sleeps.append,
+        )
+        result = engine.fetch("x://flaky", ProviderRequest())
+        assert result.artifact_ids() == ["a-1", "a-2"]
+        assert flaky.calls == 2
+        assert engine.stats.total_retries == 1
+        assert sleeps == [0.01]
+
+    def test_backoff_doubles(self):
+        registry = EndpointRegistry()
+        flaky = FlakyEndpoint(CountingEndpoint(), fail_on={1, 2}, name="flaky")
+        registry.register("x://flaky", flaky)
+        sleeps = []
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy(attempts=3, backoff_base_ms=10),
+            sleep=sleeps.append,
+        )
+        engine.fetch("x://flaky", ProviderRequest())
+        assert sleeps == [0.01, 0.02]
+
+    def test_attempts_exhausted_raises(self):
+        registry = EndpointRegistry()
+        flaky = FlakyEndpoint(CountingEndpoint(), fail_on=lambda i: True,
+                              name="flaky")
+        registry.register("x://flaky", flaky)
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy(attempts=3, backoff_base_ms=0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(ProviderError):
+            engine.fetch("x://flaky", ProviderRequest())
+        assert flaky.calls == 3
+        assert engine.stats.total_retries == 2
+
+    def test_timeout_is_retried(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        slow = SlowEndpoint(original, latency_ms=60, budget_ms=100,
+                            name="newest")
+        tiny_registry.register("catalog://newest", slow, replace=True)
+        engine = ExecutionEngine(
+            tiny_registry,
+            policy=ExecutionPolicy(attempts=2, backoff_base_ms=0),
+            sleep=lambda s: None,
+        )
+        engine.fetch("catalog://newest", ProviderRequest())  # 60ms spent
+        # second call times out (60 > 40 remaining) and the retry also
+        # times out: ProviderTimeoutError surfaces after both attempts
+        with pytest.raises(ProviderTimeoutError):
+            engine.fetch(
+                "catalog://newest",
+                ProviderRequest(context=RequestContext(limit=5)),
+            )
+        assert slow.timed_out == 2
+
+    def test_missing_input_not_retried(self, tiny_registry):
+        engine = ExecutionEngine(
+            tiny_registry, policy=ExecutionPolicy(attempts=5)
+        )
+        with pytest.raises(MissingInputError):
+            engine.fetch("catalog://owned_by", ProviderRequest())
+        assert engine.stats.total_retries == 0
+
+    def test_wrong_shape_not_retried(self):
+        registry = EndpointRegistry()
+        calls = []
+
+        def wrong_shape(request):
+            calls.append(1)
+            return ProviderResult(
+                representation=Representation.GRAPH,
+                items=(ScoredArtifact("a-1"),),
+            )
+
+        registry.register("x://wrong", wrong_shape)
+        engine = ExecutionEngine(registry, policy=ExecutionPolicy(attempts=5))
+        with pytest.raises(RepresentationError):
+            engine.fetch("x://wrong", ProviderRequest())
+        assert len(calls) == 1
+
+    def test_is_transient_classification(self):
+        assert is_transient(ProviderError("p", "outage"))
+        assert is_transient(ProviderTimeoutError("p", "timeout"))
+        assert not is_transient(MissingInputError("p", "user"))
+        assert not is_transient(RepresentationError("p", "bad shape"))
+        assert not is_transient(ValueError("not a provider error"))
+
+
+class TestStats:
+    def test_latency_percentiles_present(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        snap = engine.stats.snapshot()
+        latency = snap["endpoints"]["x://count"]["latency_ms"]
+        assert set(latency) == {"mean", "p50", "p95", "p99", "max"}
+        assert latency["max"] >= latency["p50"] >= 0.0
+
+    def test_render_is_a_table(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        engine.fetch("x://count", ProviderRequest())
+        text = engine.stats.render()
+        assert "x://count" in text
+        assert "TOTAL" in text
+
+    def test_truncation_recorded_when_limit_filled(self):
+        registry = EndpointRegistry()
+        registry.register("x://big", CountingEndpoint(ids=("a", "b", "c")))
+        engine = ExecutionEngine(registry)
+        engine.fetch(
+            "x://big", ProviderRequest(context=RequestContext(limit=3))
+        )
+        assert engine.stats.endpoint("x://big").truncations == 1
+        assert engine.stats.truncations == 1
+
+    def test_reset(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        engine.stats.reset()
+        assert engine.stats.total_calls == 0
+
+
+class TestEndToEndDeduplication:
+    """The acceptance bar: unchanged catalog ⇒ zero duplicate fetches."""
+
+    def test_repeated_overview_zero_duplicate_invocations(self, tiny_app):
+        tiny_app.interface.overview_tabs(user_id="u-ann")
+        calls_after_first = tiny_app.stats.total_calls
+        assert calls_after_first > 0
+        second = tiny_app.interface.overview_tabs(user_id="u-ann")
+        assert tiny_app.stats.total_calls == calls_after_first
+        assert [t.provider_name for t in second]  # still fully generated
+
+    def test_repeated_query_zero_duplicate_invocations(self, tiny_app):
+        first = tiny_app.interface.search("badged: endorsed & type: table")
+        calls_after_first = tiny_app.stats.total_calls
+        second = tiny_app.interface.search("badged: endorsed & type: table")
+        assert tiny_app.stats.total_calls == calls_after_first
+        assert first[0].artifact_ids() == second[0].artifact_ids()
+
+    def test_duplicate_subquery_fetches_once_within_search(self, tiny_app):
+        tiny_app.interface.search("badged: endorsed | badged: endorsed")
+        endpoint_stats = tiny_app.stats.endpoint("catalog://badged")
+        assert endpoint_stats.calls == 1
+
+    def test_mutation_invalidates_between_overviews(self, tiny_app):
+        tiny_app.interface.overview_tabs(user_id="u-ann")
+        calls_after_first = tiny_app.stats.total_calls
+        tiny_app.store.grant_badge("t-web", "endorsed", "u-ann")
+        tiny_app.interface.overview_tabs(user_id="u-ann")
+        assert tiny_app.stats.total_calls > calls_after_first
+
+    def test_parallel_overview_matches_serial_content(self, tiny_store):
+        """Parallel fan-out must not change what the UI shows: a serial
+        engine (one worker) and the default parallel one generate
+        identical tabs."""
+        parallel_app = WorkbookApp(tiny_store)
+        serial_app = WorkbookApp(tiny_store)
+        serial_app.interface.engine.policy = ExecutionPolicy(max_workers=1)
+        parallel = [
+            (tab.provider_name, tab.view.artifact_ids())
+            for tab in parallel_app.interface.overview_tabs(user_id="u-ann")
+        ]
+        serial = [
+            (tab.provider_name, tab.view.artifact_ids())
+            for tab in serial_app.interface.overview_tabs(user_id="u-ann")
+        ]
+        assert parallel == serial
+        assert parallel  # non-degenerate
+
+
+class TestSearchTruncationSignal:
+    def test_truncated_flag_set_when_limit_filled(self, tiny_app):
+        evaluator = tiny_app.interface.evaluator
+        original = evaluator.fetch_limit
+        try:
+            evaluator.fetch_limit = 2
+            result = tiny_app.interface.search("type: table")[0]
+            assert result.truncated
+            assert tiny_app.stats.truncations > 0
+        finally:
+            evaluator.fetch_limit = original
+
+    def test_not_truncated_by_default(self, tiny_app):
+        result = tiny_app.interface.search("type: table")[0]
+        assert not result.truncated
+
+
+class TestIsEmptyRegression:
+    def test_graph_with_edges_is_not_empty(self):
+        """A nodes+edges graph where only ``nodes`` was checked used to be
+        inconsistent with ``validate``; edges now count as payload."""
+        from repro.providers.base import GraphEdge
+
+        result = ProviderResult(
+            representation=Representation.GRAPH,
+            nodes=("a", "b"),
+            edges=(GraphEdge("a", "b", "joins"),),
+        )
+        assert not result.is_empty()
+        assert result.payload_size() == 2
+
+    def test_empty_graph_is_empty(self):
+        result = ProviderResult(representation=Representation.GRAPH)
+        assert result.is_empty()
+
+    def test_list_payload_size(self):
+        result = list_result([ScoredArtifact("a"), ScoredArtifact("b")])
+        assert not result.is_empty()
+        assert result.payload_size() == 2
+
+
+class TestTokenCache:
+    def test_cached_tokens_match_fresh_tokenize(self, tiny_store):
+        from repro.util.textutil import tokenize
+
+        artifact = tiny_store.artifact("t-orders")
+        name_tokens, text_tokens = tiny_store.artifact_tokens("t-orders")
+        assert name_tokens == frozenset(tokenize(artifact.name))
+        assert text_tokens == frozenset(tokenize(artifact.searchable_text()))
+        # second call returns the memo (same object)
+        again = tiny_store.artifact_tokens("t-orders")
+        assert again[0] is name_tokens
+
+    def test_mutation_invalidates_token_cache(self, tiny_store):
+        from repro.util.textutil import tokenize
+
+        before = tiny_store.artifact_tokens("t-orders")
+        tiny_store.grant_badge("t-orders", "golden", "u-ann")
+        after = tiny_store.artifact_tokens("t-orders")
+        # the memo entry was dropped and rebuilt from the new revision
+        assert after[0] is not before[0]
+        fresh = tiny_store.artifact("t-orders")
+        assert after[1] == frozenset(tokenize(fresh.searchable_text()))
+
+    def test_version_counter_monotonic(self, tiny_store):
+        before = tiny_store.version
+        tiny_store.add_user(User(id="u-new", name="New User"))
+        tiny_store.add_artifact(
+            Artifact(id="a-new", name="NEW_TABLE", artifact_type="table",
+                     owner_id="u-new", created_at=1.0)
+        )
+        tiny_store.record("a-new", "u-new", "view")
+        assert tiny_store.version == before + 3
