@@ -9,6 +9,7 @@ graph; it is a thin, typed wrapper over :mod:`networkx`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import networkx as nx
 
@@ -36,8 +37,12 @@ class LineageEdge:
 class LineageGraph:
     """Directed acyclic lineage over artifact ids."""
 
-    def __init__(self) -> None:
+    def __init__(self, on_mutate: Callable[[], None] | None = None) -> None:
+        # Callers add edges through the graph directly (bulk loaders,
+        # persistence), bypassing the owning store's mutators — the hook
+        # lets the store keep its version counters truthful anyway.
         self._graph = nx.DiGraph()
+        self._on_mutate = on_mutate
 
     def __contains__(self, artifact_id: str) -> bool:
         return artifact_id in self._graph
@@ -66,6 +71,8 @@ class LineageGraph:
                 f"lineage edge {src!r} -> {dst!r} would create a cycle"
             )
         self._graph.add_edge(src, dst, kind=edge.kind)
+        if self._on_mutate is not None:
+            self._on_mutate()
 
     def upstream(self, artifact_id: str, depth: int | None = None) -> list[str]:
         """Ancestors of *artifact_id* within *depth* hops (all if None)."""

@@ -12,6 +12,15 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Iterable, Iterator
 
+from repro.catalog.domains import (
+    ALL_DOMAINS,
+    DOMAIN_ENTITIES,
+    DOMAIN_LINEAGE,
+    DOMAIN_MEMBERSHIP,
+    DOMAIN_TEXT,
+    DOMAIN_USAGE,
+    DOMAINS,
+)
 from repro.catalog.lineage import LineageGraph
 from repro.catalog.model import Artifact, ArtifactType, BadgeAssignment, Team, UsageEvent, User
 from repro.catalog.usage import UsageLog, UsageStats
@@ -25,8 +34,20 @@ class CatalogStore:
 
     def __init__(self, clock: SimulationClock | None = None):
         self.clock = clock or SimulationClock()
+        # Monotonic mutation counters.  ``_version`` counts every write;
+        # ``_versions`` splits the count by metadata domain so the
+        # provider execution layer can invalidate only the results whose
+        # providers depend on what actually changed.
+        self._version = 0
+        self._versions: dict[str, int] = {domain: 0 for domain in DOMAINS}
         self.usage = UsageLog()
-        self.lineage = LineageGraph()
+        # Lineage edges are added through ``store.lineage`` directly
+        # (bulk loaders, persistence), so the graph reports its writes
+        # back — without the hook, lineage mutations would be invisible
+        # to cache invalidation.
+        self.lineage = LineageGraph(
+            on_mutate=lambda: self._mutated(DOMAIN_LINEAGE)
+        )
         self._artifacts: dict[str, Artifact] = {}
         self._users: dict[str, User] = {}
         self._teams: dict[str, Team] = {}
@@ -38,10 +59,9 @@ class CatalogStore:
         self._by_tag: dict[str, set[str]] = defaultdict(set)
         self._by_team: dict[str, set[str]] = defaultdict(set)
         self._by_token: dict[str, set[str]] = defaultdict(set)
-        self._users_by_name: dict[str, str] = {}
-        # Monotonic mutation counter; the provider execution layer keys
-        # cache validity on it so any catalog write invalidates results.
-        self._version = 0
+        # Display name -> ids; a multimap because display names are not
+        # unique, and "resolve if unique" must detect collisions.
+        self._users_by_name: dict[str, set[str]] = defaultdict(set)
         # Per-artifact (name tokens, searchable-text tokens) memo for the
         # query evaluator's text scoring; dropped on reindex.
         self._token_cache: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
@@ -51,8 +71,21 @@ class CatalogStore:
         """Count of catalog mutations; bumped on every write."""
         return self._version
 
-    def _mutated(self) -> None:
+    @property
+    def domain_versions(self) -> dict[str, int]:
+        """Per-domain mutation counters (a copy; see :mod:`.domains`)."""
+        return dict(self._versions)
+
+    def domain_version(self, domain: str) -> int:
+        """Mutation count of one domain; unknown domains raise KeyError."""
+        return self._versions[domain]
+
+    def _mutated(self, *domains: str) -> None:
+        """Record a write to *domains* (all of them when unspecified —
+        the conservative choice for callers that cannot say)."""
         self._version += 1
+        for domain in domains or ALL_DOMAINS:
+            self._versions[domain] += 1
 
     # -- sizes ------------------------------------------------------------
 
@@ -77,15 +110,15 @@ class CatalogStore:
         if user.id in self._users:
             raise DuplicateEntityError("user", user.id)
         self._users[user.id] = user
-        self._users_by_name[user.name.lower()] = user.id
-        self._mutated()
+        self._users_by_name[user.name.lower()].add(user.id)
+        self._mutated(DOMAIN_MEMBERSHIP)
         return user
 
     def add_team(self, team: Team) -> Team:
         if team.id in self._teams:
             raise DuplicateEntityError("team", team.id)
         self._teams[team.id] = team
-        self._mutated()
+        self._mutated(DOMAIN_MEMBERSHIP)
         return team
 
     def set_team(self, team: Team) -> Team:
@@ -93,7 +126,7 @@ class CatalogStore:
         if team.id not in self._teams:
             raise UnknownEntityError("team", team.id)
         self._teams[team.id] = team
-        self._mutated()
+        self._mutated(DOMAIN_MEMBERSHIP)
         return team
 
     def user(self, user_id: str) -> User:
@@ -115,9 +148,17 @@ class CatalogStore:
         return [self._teams[tid] for tid in sorted(self._teams)]
 
     def find_user_by_name(self, name: str) -> User | None:
-        """Resolve a display name (case-insensitive) to a user, if unique."""
-        user_id = self._users_by_name.get(name.lower())
-        return self._users.get(user_id) if user_id else None
+        """Resolve a display name (case-insensitive) to a user, if unique.
+
+        Display names are not unique: when two or more users share the
+        name the lookup is ambiguous and returns ``None`` rather than an
+        arbitrary (historically: last-added) user.
+        """
+        user_ids = self._users_by_name.get(name.lower())
+        if not user_ids or len(user_ids) > 1:
+            return None
+        (user_id,) = user_ids
+        return self._users.get(user_id)
 
     def teams_of(self, user_id: str) -> list[Team]:
         """Teams the user belongs to.
@@ -140,7 +181,7 @@ class CatalogStore:
             raise DuplicateEntityError("artifact", artifact.id)
         self._artifacts[artifact.id] = artifact
         self._index(artifact)
-        self._mutated()
+        self._mutated(DOMAIN_ENTITIES, DOMAIN_TEXT)
         return artifact
 
     def artifact(self, artifact_id: str) -> Artifact:
@@ -244,7 +285,7 @@ class CatalogStore:
         self._deindex(artifact)
         self._artifacts[artifact_id] = updated
         self._index(updated)
-        self._mutated()
+        self._mutated(DOMAIN_ENTITIES, DOMAIN_TEXT)
         return updated
 
     def record_event(self, event: UsageEvent) -> None:
@@ -252,7 +293,7 @@ class CatalogStore:
         self.artifact(event.artifact_id)
         self.user(event.user_id)
         self.usage.record(event)
-        self._mutated()
+        self._mutated(DOMAIN_USAGE)
 
     def record(
         self, artifact_id: str, user_id: str, action: str, at: float | None = None

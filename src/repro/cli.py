@@ -110,48 +110,49 @@ def _default_user(store: CatalogStore) -> str:
 
 def cmd_demo(args, out) -> int:
     store = _resolve_store(args)
-    app = WorkbookApp(store)
-    user_id = _default_user(store)
-    session = app.session(user_id)
-    tabs = session.open_home()
-    print(f"catalog: {store.artifact_count} artifacts, "
-          f"{store.user_count} users", file=out)
-    print(render_tabs_text(tabs, max_items=5), file=out)
-    query = "badged: endorsed"
-    result = session.search(query)
-    print(f"\nquery> {query}  ({result.total} results)", file=out)
-    for entry in result.entries[:5]:
-        print(f"  {store.artifact(entry.artifact_id).name}", file=out)
-    if result.entries:
-        preview = session.select_artifact(result.entries[0].artifact_id)
-        print("", file=out)
-        print(render_preview_text(preview), file=out)
-    _maybe_print_stats(args, app, out)
+    with WorkbookApp(store) as app:
+        user_id = _default_user(store)
+        session = app.session(user_id)
+        tabs = session.open_home()
+        print(f"catalog: {store.artifact_count} artifacts, "
+              f"{store.user_count} users", file=out)
+        print(render_tabs_text(tabs, max_items=5), file=out)
+        query = "badged: endorsed"
+        result = session.search(query)
+        print(f"\nquery> {query}  ({result.total} results)", file=out)
+        for entry in result.entries[:5]:
+            print(f"  {store.artifact(entry.artifact_id).name}", file=out)
+        if result.entries:
+            preview = session.select_artifact(result.entries[0].artifact_id)
+            print("", file=out)
+            print(render_preview_text(preview), file=out)
+        _maybe_print_stats(args, app, out)
     return 0
 
 
 def cmd_search(args, out) -> int:
     store = _resolve_store(args)
-    app = WorkbookApp(store)
-    user_id = args.user or _default_user(store)
-    query = args.query
-    if args.nl:
-        translator = NaturalLanguageTranslator(app.interface.language, store)
-        translation = translator.translate(query)
-        query = translation.query_text()
-        print(f"translated: {query}", file=out)
-    result, _ = app.interface.search(query, user_id=user_id,
-                                     limit=args.limit)
-    print(f"{result.total} result(s); "
-          f"{explain(result.query.node)}", file=out)
-    for entry in result.entries:
-        artifact = store.artifact(entry.artifact_id)
-        print(f"  {artifact.name:<40} {artifact.artifact_type.value:<14}"
-              f" score={entry.score:.2f}", file=out)
-    if result.truncated:
-        print("note: at least one provider filled the fetch limit; "
-              "totals may under-report", file=out)
-    _maybe_print_stats(args, app, out)
+    with WorkbookApp(store) as app:
+        user_id = args.user or _default_user(store)
+        query = args.query
+        if args.nl:
+            translator = NaturalLanguageTranslator(app.interface.language,
+                                                   store)
+            translation = translator.translate(query)
+            query = translation.query_text()
+            print(f"translated: {query}", file=out)
+        result, _ = app.interface.search(query, user_id=user_id,
+                                         limit=args.limit)
+        print(f"{result.total} result(s); "
+              f"{explain(result.query.node)}", file=out)
+        for entry in result.entries:
+            artifact = store.artifact(entry.artifact_id)
+            print(f"  {artifact.name:<40} {artifact.artifact_type.value:<14}"
+                  f" score={entry.score:.2f}", file=out)
+        if result.truncated:
+            print("note: at least one provider filled the fetch limit; "
+                  "totals may under-report", file=out)
+        _maybe_print_stats(args, app, out)
     return 0 if result.total else 1
 
 
@@ -195,23 +196,23 @@ def cmd_export(args, out) -> int:
     from repro.core.render import render_interface_html, render_view_html
 
     store = _resolve_store(args)
-    app = WorkbookApp(store)
-    session = app.session(_default_user(store))
-    tabs = session.open_home()
-    args.out.mkdir(parents=True, exist_ok=True)
-    (args.out / "interface.html").write_text(
-        render_interface_html(tabs), encoding="utf-8"
-    )
-    for tab in tabs:
-        path = args.out / f"view_{tab.provider_name}.html"
-        path.write_text(
-            "<!DOCTYPE html><html><body>"
-            + render_view_html(tab.view)
-            + "</body></html>",
-            encoding="utf-8",
+    with WorkbookApp(store) as app:
+        session = app.session(_default_user(store))
+        tabs = session.open_home()
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "interface.html").write_text(
+            render_interface_html(tabs), encoding="utf-8"
         )
-    print(f"wrote {len(tabs) + 1} HTML files to {args.out}", file=out)
-    _maybe_print_stats(args, app, out)
+        for tab in tabs:
+            path = args.out / f"view_{tab.provider_name}.html"
+            path.write_text(
+                "<!DOCTYPE html><html><body>"
+                + render_view_html(tab.view)
+                + "</body></html>",
+                encoding="utf-8",
+            )
+        print(f"wrote {len(tabs) + 1} HTML files to {args.out}", file=out)
+        _maybe_print_stats(args, app, out)
     return 0
 
 

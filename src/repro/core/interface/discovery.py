@@ -59,6 +59,14 @@ class DiscoveryInterface:
         #: its evaluator/exploration consumers) routes through.
         self.engine = engine or ExecutionEngine(registry, store=store)
         self.spec = spec
+        # Surface spec-declared metadata-domain dependencies to the
+        # engine so dependency-aware cache invalidation covers endpoints
+        # whose callables carry no @depends_on decoration of their own.
+        for provider in spec.providers:
+            if provider.dependencies:
+                self.engine.declare_dependencies(
+                    provider.endpoint, provider.dependencies
+                )
         self.customization = customization or Customization()
         self.resolver = FieldResolver(store)
         self.ranker = Ranker(self.resolver)

@@ -19,7 +19,7 @@ the :class:`SearchResult` instead of silently dropping matches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.store import CatalogStore
 from repro.core.query.ast import (
@@ -68,8 +68,6 @@ class _EvalState:
     """Per-search bookkeeping threaded through the AST walk."""
 
     truncated: bool = False
-    #: id(child-node) -> prefetched artifact ids for And/Or fan-out.
-    prefetched: dict[int, list[str]] = field(default_factory=dict)
 
 
 class QueryEvaluator:
@@ -149,18 +147,20 @@ class QueryEvaluator:
         universe: list[str] | None,
         state: _EvalState,
     ) -> list[str]:
-        if id(node) in state.prefetched:
-            return state.prefetched.pop(id(node))
         if isinstance(node, TextTerm):
             return self._eval_text(node)
         if isinstance(node, (FieldTerm, ProviderCall)):
             endpoint, request = self._leaf_call(node, context)
             return self._ids_from(self.engine.fetch(endpoint, request), state)
         if isinstance(node, And):
-            self._prefetch_branches(node.children, context, state)
+            prefetched = self._prefetch_branches(node.children, context, state)
             result: list[str] | None = None
-            for child in node.children:
-                child_ids = self._eval(child, context, universe, state)
+            for index, child in enumerate(node.children):
+                child_ids = (
+                    prefetched[index]
+                    if index in prefetched
+                    else self._eval(child, context, universe, state)
+                )
                 if result is None:
                     result = child_ids
                 else:
@@ -170,11 +170,16 @@ class QueryEvaluator:
                     return []
             return result or []
         if isinstance(node, Or):
-            self._prefetch_branches(node.children, context, state)
+            prefetched = self._prefetch_branches(node.children, context, state)
             seen: set[str] = set()
             merged: list[str] = []
-            for child in node.children:
-                for aid in self._eval(child, context, universe, state):
+            for index, child in enumerate(node.children):
+                child_ids = (
+                    prefetched[index]
+                    if index in prefetched
+                    else self._eval(child, context, universe, state)
+                )
+                for aid in child_ids:
                     if aid not in seen:
                         seen.add(aid)
                         merged.append(aid)
@@ -230,14 +235,18 @@ class QueryEvaluator:
         children: tuple[QueryNode, ...],
         context: RequestContext,
         state: _EvalState,
-    ) -> None:
+    ) -> dict[int, list[str]]:
         """Fan independent provider leaves of an And/Or out in parallel.
 
         Only direct FieldTerm/ProviderCall children qualify — they need
-        no universe and are side-effect free.  Results land in the state
-        keyed by node identity and are consumed (in child order, so the
-        outcome is deterministic) by the sequential combination loop.
+        no universe and are side-effect free.  Returns child index ->
+        artifact ids, consumed by the caller's own combination loop.
+        Keying on the branch position (not ``id(node)``, as this once
+        did) means a short-circuiting ``And`` simply abandons the dict:
+        there is no shared residue to mis-attribute to an unrelated node
+        whose ``id()`` happens to collide later in the same search.
         """
+        prefetched: dict[int, list[str]] = {}
         slots: list[int] = []
         calls: list[tuple[str, ProviderRequest]] = []
         for index, child in enumerate(children):
@@ -245,7 +254,7 @@ class QueryEvaluator:
                 slots.append(index)
                 calls.append(self._leaf_call(child, context))
         if len(calls) < 2:
-            return  # nothing to parallelise
+            return prefetched  # nothing to parallelise
         outcomes = self.engine.fetch_many(calls)
         for index, outcome in zip(slots, outcomes):
             if not outcome.ok:
@@ -253,9 +262,8 @@ class QueryEvaluator:
                 # broken provider fails loudly, first failure in child
                 # order wins.
                 raise outcome.error
-            state.prefetched[id(children[index])] = self._ids_from(
-                outcome.result, state
-            )
+            prefetched[index] = self._ids_from(outcome.result, state)
+        return prefetched
 
     def _ids_from(self, result: ProviderResult, state: _EvalState) -> list[str]:
         ids = result.artifact_ids()

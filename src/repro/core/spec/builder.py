@@ -66,6 +66,7 @@ class SpecBuilder:
         visibility: Visibility | None = None,
         ranking: Iterable[tuple[str, float]] = (),
         search_field: str | None = "",
+        dependencies: Iterable[str] = (),
     ) -> "SpecBuilder":
         """Declare one metadata provider (the Figure 3 shape)."""
         self._providers.append(
@@ -82,6 +83,7 @@ class SpecBuilder:
                     RankingWeight(field=f, weight=w) for f, w in ranking
                 ),
                 search_field=search_field,
+                dependencies=frozenset(dependencies),
             )
         )
         return self

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterator
 
+from repro.catalog.domains import coerce_domains
 from repro.errors import UnknownProviderError
 from repro.providers.base import InputSpec, Representation
 from repro.util.ids import slugify
@@ -83,11 +84,19 @@ class ProviderSpec:
     #: removes the provider from the query language even if
     #: ``visibility.search`` is set.
     search_field: str | None = ""
+    #: Metadata domains (see :mod:`repro.catalog.domains`) whose mutation
+    #: can change this provider's result membership.  Empty means
+    #: undeclared: the execution layer then conservatively invalidates
+    #: the provider's cached results on any catalog write.
+    dependencies: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "name", slugify(self.name))
         object.__setattr__(
             self, "representation", Representation.coerce(self.representation)
+        )
+        object.__setattr__(
+            self, "dependencies", coerce_domains(self.dependencies)
         )
         if not self.title:
             object.__setattr__(

@@ -84,6 +84,8 @@ def _provider_to_dict(provider: ProviderSpec) -> dict[str, Any]:
     }
     if provider.search_field != provider.name:
         data["search_field"] = provider.search_field
+    if provider.dependencies:
+        data["dependencies"] = sorted(provider.dependencies)
     return data
 
 
@@ -118,6 +120,7 @@ def _provider_from_dict(data: dict[str, Any]) -> ProviderSpec:
         ),
         ranking=tuple(_weight_from_dict(w) for w in data.get("ranking", [])),
         search_field=search_field,
+        dependencies=frozenset(data.get("dependencies", ())),
     )
 
 

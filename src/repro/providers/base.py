@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Iterator
 
+from repro.catalog.domains import coerce_domains
 from repro.errors import RepresentationError
 
 
@@ -252,6 +253,44 @@ class ProviderResult:
 
 #: The callable type an endpoint resolves to.
 Endpoint = Callable[["ProviderRequest"], ProviderResult]
+
+#: Attribute carrying an endpoint's declared metadata-domain dependencies.
+DEPENDENCIES_ATTR = "__metadata_domains__"
+
+
+def depends_on(*domains: str) -> Callable[[Endpoint], Endpoint]:
+    """Declare the metadata domains an endpoint reads.
+
+    The execution engine keys cache invalidation on this declaration:
+    a cached result is dropped only when a depended-on domain mutates.
+    Endpoints that declare nothing stay correct — they fall back to
+    invalidate-on-any-write — but pay for every usage event.
+
+    Usable on plain functions and on methods (the attribute survives
+    ``functools.partial``-free bound-method access since it lives on the
+    underlying function object).
+    """
+    frozen = coerce_domains(domains)
+
+    def decorate(endpoint: Endpoint) -> Endpoint:
+        setattr(endpoint, DEPENDENCIES_ATTR, frozen)
+        return endpoint
+
+    return decorate
+
+
+def declared_dependencies(endpoint: Endpoint) -> frozenset[str] | None:
+    """The domains *endpoint* declared via :func:`depends_on`, else None.
+
+    ``None`` means "undeclared" — distinct from ``frozenset()`` which
+    would mean "depends on nothing, never invalidate".  Bound methods
+    expose the attribute through ``__func__``; plain attribute access
+    covers both cases.
+    """
+    deps = getattr(endpoint, DEPENDENCIES_ATTR, None)
+    if deps is None:
+        return None
+    return coerce_domains(deps)
 
 
 def list_result(

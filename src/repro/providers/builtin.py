@@ -14,6 +14,13 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.catalog.domains import (
+    DOMAIN_ENTITIES,
+    DOMAIN_LINEAGE,
+    DOMAIN_MEMBERSHIP,
+    DOMAIN_TEXT,
+    DOMAIN_USAGE,
+)
 from repro.catalog.model import Artifact, ArtifactType
 from repro.catalog.store import CatalogStore
 from repro.errors import MissingInputError
@@ -30,6 +37,7 @@ from repro.providers.base import (
     ProviderResult,
     Representation,
     ScoredArtifact,
+    depends_on,
 )
 from repro.providers.fields import FieldResolver
 from repro.providers.registry import EndpointRegistry
@@ -79,13 +87,23 @@ class BuiltinProviders:
         }
 
     # -- interaction providers ---------------------------------------------
+    #
+    # Dependency declarations (``@depends_on``) cover the domains that
+    # determine result *membership* — which artifact ids come back for a
+    # given request.  Usage-derived ordering and the advisory ``fields``
+    # snapshots attached to items are NOT covered: search re-ranks from
+    # the live resolver, so they never make a search result stale (see
+    # docs/execution.md).  Interaction providers, whose membership itself
+    # comes from the usage log, declare ``usage`` and flush on events.
 
+    @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
     def recents(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts the requesting user touched, most recent first."""
         user_id = request.input("user") or request.context.user_id
         ids = self.store.usage.recent_for_user(user_id, limit=request.context.limit)
         return self._list(ids, Representation.LIST)
 
+    @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
     def recent_documents(self, request: ProviderRequest) -> ProviderResult:
         """Recents restricted to document-like artifacts (workbooks, docs).
 
@@ -103,11 +121,13 @@ class BuiltinProviders:
         ]
         return self._list(kept[: request.context.limit], Representation.LIST)
 
+    @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
     def most_viewed(self, request: ProviderRequest) -> ProviderResult:
         """Globally most-viewed artifacts, as tiles."""
         ranked = self.store.usage.most_viewed(limit=request.context.limit)
         return self._list([aid for aid, _ in ranked], Representation.TILES)
 
+    @depends_on(DOMAIN_ENTITIES)
     def newest(self, request: ProviderRequest) -> ProviderResult:
         """Most recently created artifacts."""
         ordered = sorted(
@@ -116,6 +136,7 @@ class BuiltinProviders:
         ids = [a.id for a in ordered[: request.context.limit]]
         return self._list(ids, Representation.LIST)
 
+    @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
     def favorites(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts the requesting user favourited."""
         user_id = request.input("user") or request.context.user_id
@@ -124,6 +145,7 @@ class BuiltinProviders:
 
     # -- annotation providers ---------------------------------------------------
 
+    @depends_on(DOMAIN_ENTITIES, DOMAIN_MEMBERSHIP)
     def owned_by(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts owned/created by the given user (id or display name)."""
         raw = request.input("user")
@@ -135,6 +157,7 @@ class BuiltinProviders:
         ids = self.store.by_owner(user_id)
         return self._list(self._rank_by_views(ids, request), Representation.LIST)
 
+    @depends_on(DOMAIN_ENTITIES)
     def of_type(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts of a given type (``type: table``)."""
         raw = request.input("artifact_type")
@@ -147,6 +170,7 @@ class BuiltinProviders:
         ids = self.store.by_type(artifact_type)
         return self._list(self._rank_by_views(ids, request), Representation.LIST)
 
+    @depends_on(DOMAIN_ENTITIES)
     def types(self, request: ProviderRequest) -> ProviderResult:
         """All artifacts grouped by type (a categories overview)."""
         categories = []
@@ -161,6 +185,7 @@ class BuiltinProviders:
             representation=Representation.CATEGORIES, categories=tuple(categories)
         )
 
+    @depends_on(DOMAIN_ENTITIES)
     def badges(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts grouped by badge (a categories overview)."""
         categories = [
@@ -172,6 +197,7 @@ class BuiltinProviders:
             representation=Representation.CATEGORIES, categories=tuple(categories)
         )
 
+    @depends_on(DOMAIN_ENTITIES)
     def badged(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts carrying a given badge (``badged: endorsed``)."""
         badge = request.input("badge")
@@ -180,6 +206,7 @@ class BuiltinProviders:
         ids = self.store.by_badge(badge.lower())
         return self._list(self._rank_by_views(ids, request), Representation.LIST)
 
+    @depends_on(DOMAIN_ENTITIES, DOMAIN_MEMBERSHIP)
     def badged_by(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts with any badge granted by the given user."""
         raw = request.input("user")
@@ -197,6 +224,7 @@ class BuiltinProviders:
         )
         return self._list(self._rank_by_views(ids, request), Representation.LIST)
 
+    @depends_on(DOMAIN_ENTITIES)
     def tagged(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts carrying a given tag."""
         tag = request.input("text")
@@ -207,6 +235,7 @@ class BuiltinProviders:
 
     # -- team providers -------------------------------------------------------
 
+    @depends_on(DOMAIN_USAGE, DOMAIN_MEMBERSHIP, DOMAIN_ENTITIES)
     def team_popular(self, request: ProviderRequest) -> ProviderResult:
         """Most viewed by members of a team (default: requester's team)."""
         team_id = request.input("team") or request.context.team_id
@@ -221,6 +250,7 @@ class BuiltinProviders:
         ids = [aid for aid, _ in ranked[: request.context.limit]]
         return self._list(ids, Representation.LIST)
 
+    @depends_on(DOMAIN_ENTITIES, DOMAIN_MEMBERSHIP)
     def team_docs(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts belonging to a team, as tiles."""
         team_id = request.input("team") or request.context.team_id
@@ -236,6 +266,7 @@ class BuiltinProviders:
 
     # -- relatedness providers ----------------------------------------------------
 
+    @depends_on(DOMAIN_ENTITIES)
     def joinable(self, request: ProviderRequest) -> ProviderResult:
         """Joinability graph around an input table (Figure 3)."""
         artifact_id = request.input("artifact")
@@ -257,6 +288,7 @@ class BuiltinProviders:
             representation=Representation.GRAPH, nodes=tuple(nodes), edges=edges
         )
 
+    @depends_on(DOMAIN_LINEAGE, DOMAIN_ENTITIES)
     def lineage(self, request: ProviderRequest) -> ProviderResult:
         """Downstream derivation tree rooted at the input artifact (§6.2)."""
         artifact_id = request.input("artifact")
@@ -269,6 +301,7 @@ class BuiltinProviders:
             representation=Representation.HIERARCHY, roots=(root,)
         )
 
+    @depends_on(DOMAIN_LINEAGE, DOMAIN_ENTITIES)
     def lineage_graph(self, request: ProviderRequest) -> ProviderResult:
         """Lineage neighbourhood (both directions) as a graph."""
         artifact_id = request.input("artifact")
@@ -288,6 +321,7 @@ class BuiltinProviders:
             edges=graph_edges,
         )
 
+    @depends_on(DOMAIN_ENTITIES, DOMAIN_TEXT)
     def similar(self, request: ProviderRequest) -> ProviderResult:
         """Ensemble-similar artifacts to the input artifact."""
         artifact_id = request.input("artifact")
@@ -307,6 +341,7 @@ class BuiltinProviders:
         ]
         return ProviderResult(representation=Representation.LIST, items=tuple(items))
 
+    @depends_on(DOMAIN_ENTITIES, DOMAIN_TEXT)
     def embedding_map(self, request: ProviderRequest) -> ProviderResult:
         """2-D embedding of the catalog (Figure 6, embedding view)."""
         coords = self.embedding.build().all_coordinates()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.catalog.domains import DOMAIN_ENTITIES, DOMAIN_USAGE
 from repro.catalog.store import CatalogStore
 from repro.errors import SpecError
 from repro.providers.base import (
@@ -52,6 +53,10 @@ class LookupEndpoint:
         self.store = store
         self._ids = list(artifact_ids)
         self.representation = _list_like(representation)
+        # Membership is the curated list filtered to live artifacts, so
+        # only entity churn can change it.  (``add``/``remove`` edits are
+        # out-of-band endpoint mutations, bounded by the cache TTL.)
+        self.__metadata_domains__ = frozenset({DOMAIN_ENTITIES})
 
     @property
     def artifact_ids(self) -> list[str]:
@@ -98,6 +103,13 @@ _RESOLVER_FIELDS = frozenset(
      "freshness", "badge_count", "endorsed", "certified", "deprecated"}
 )
 
+#: the subset of resolver fields whose values come from the usage log; a
+#: rule predicate over one of these makes the endpoint's membership
+#: usage-dependent (the rest derive from the artifact record itself).
+_USAGE_FIELDS = frozenset(
+    {"views", "opens", "edits", "favorite", "unique_viewers", "recency"}
+)
+
 
 def _norm(value: Any) -> Any:
     return value.lower() if isinstance(value, str) else value
@@ -132,6 +144,10 @@ class RuleEndpoint:
         self.rules = [self._validate_rule(rule) for rule in rules]
         if not self.rules:
             raise SpecError("a RuleEndpoint needs at least one rule")
+        domains = {DOMAIN_ENTITIES}
+        if any(rule["field"] in _USAGE_FIELDS for rule in self.rules):
+            domains.add(DOMAIN_USAGE)
+        self.__metadata_domains__ = frozenset(domains)
 
     @staticmethod
     def _validate_rule(rule: dict[str, Any]) -> dict[str, Any]:

@@ -12,8 +12,13 @@ naive reproduction scatters per call site:
   recognisable wherever they originate;
 * **caching** — a TTL/LRU result cache keyed on those request keys,
   invalidated explicitly (:meth:`ExecutionEngine.invalidate`) and
-  implicitly whenever the catalog mutates (the store's ``version``
-  counter) or the spec is swapped;
+  implicitly whenever the catalog mutates or the spec is swapped.
+  Invalidation is **dependency-aware**: the store versions each metadata
+  domain separately (:mod:`repro.catalog.domains`) and endpoints declare
+  the domains they read, so a usage event only drops results of
+  endpoints that depend on usage.  Endpoints with no declaration fall
+  back to invalidate-on-any-write — never less correct than the old
+  monolithic counter, just slower;
 * **request-scoped memoisation** — :meth:`ExecutionEngine.scope` opens a
   memo so one logical operation (a search, an overview generation) never
   re-invokes an endpoint for the same key, even with the cache disabled;
@@ -43,6 +48,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
+from repro.catalog.domains import coerce_domains
 from repro.errors import HumboldtError, ProviderError
 from repro.providers.base import ProviderRequest, ProviderResult
 from repro.providers.faults import is_transient
@@ -90,27 +96,58 @@ def _percentile(samples: list[float], fraction: float) -> float:
 
 @dataclass
 class EndpointStats:
-    """Counters for one endpoint URI."""
+    """Counters for one endpoint URI (the engine's live, internal record)."""
 
     calls: int = 0
     errors: int = 0
     retries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: In-batch duplicates of a pending miss in ``fetch_many`` — the work
+    #: was shared, but no cache entry answered it.
+    dedups: int = 0
     truncations: int = 0
+    #: Cache entries dropped because a depended-on domain mutated.
+    invalidations: int = 0
     latencies_ms: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
     def latency_summary(self) -> dict[str, float]:
-        samples = list(self.latencies_ms)
-        if not samples:
-            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
-        return {
-            "mean": sum(samples) / len(samples),
-            "p50": _percentile(samples, 0.50),
-            "p95": _percentile(samples, 0.95),
-            "p99": _percentile(samples, 0.99),
-            "max": max(samples),
-        }
+        return _latency_summary(list(self.latencies_ms))
+
+
+@dataclass(frozen=True)
+class EndpointStatsSnapshot:
+    """An immutable point-in-time copy of one endpoint's counters.
+
+    This is what :meth:`ExecutionStats.endpoint` hands out: it shares no
+    state with the engine, so callers can neither race the engine's
+    bookkeeping nor corrupt it by mutation.
+    """
+
+    calls: int = 0
+    errors: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    dedups: int = 0
+    truncations: int = 0
+    invalidations: int = 0
+    latencies_ms: tuple[float, ...] = ()
+
+    def latency_summary(self) -> dict[str, float]:
+        return _latency_summary(list(self.latencies_ms))
+
+
+def _latency_summary(samples: list[float]) -> dict[str, float]:
+    if not samples:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": sum(samples) / len(samples),
+        "p50": _percentile(samples, 0.50),
+        "p95": _percentile(samples, 0.95),
+        "p99": _percentile(samples, 0.99),
+        "max": max(samples),
+    }
 
 
 class ExecutionStats:
@@ -155,9 +192,17 @@ class ExecutionStats:
         with self._lock:
             self._for(endpoint).cache_misses += 1
 
+    def record_dedup(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).dedups += 1
+
     def record_truncation(self, endpoint: str) -> None:
         with self._lock:
             self._for(endpoint).truncations += 1
+
+    def record_invalidation(self, endpoint: str, dropped: int = 1) -> None:
+        with self._lock:
+            self._for(endpoint).invalidations += dropped
 
     # -- reading -----------------------------------------------------------
 
@@ -186,18 +231,45 @@ class ExecutionStats:
         return self._total("cache_misses")
 
     @property
+    def dedups(self) -> int:
+        return self._total("dedups")
+
+    @property
     def truncations(self) -> int:
         return self._total("truncations")
+
+    @property
+    def invalidations(self) -> int:
+        return self._total("invalidations")
 
     @property
     def cache_hit_rate(self) -> float:
         hits, misses = self.cache_hits, self.cache_misses
         return hits / (hits + misses) if hits + misses else 0.0
 
-    def endpoint(self, uri: str) -> EndpointStats:
-        """Counters for one endpoint (zeros if never fetched)."""
+    def endpoint(self, uri: str) -> EndpointStatsSnapshot:
+        """Counters for one endpoint (zeros if never fetched).
+
+        Returns an immutable :class:`EndpointStatsSnapshot` — historically
+        this handed out the live :class:`EndpointStats` (shared
+        ``latencies_ms`` deque included), letting callers observe torn
+        updates or mutate engine internals.
+        """
         with self._lock:
-            return self._endpoints.get(uri, EndpointStats())
+            live = self._endpoints.get(uri)
+            if live is None:
+                return EndpointStatsSnapshot()
+            return EndpointStatsSnapshot(
+                calls=live.calls,
+                errors=live.errors,
+                retries=live.retries,
+                cache_hits=live.cache_hits,
+                cache_misses=live.cache_misses,
+                dedups=live.dedups,
+                truncations=live.truncations,
+                invalidations=live.invalidations,
+                latencies_ms=tuple(live.latencies_ms),
+            )
 
     def snapshot(self) -> dict:
         """A JSON-friendly copy of every counter."""
@@ -209,7 +281,9 @@ class ExecutionStats:
                     "retries": s.retries,
                     "cache_hits": s.cache_hits,
                     "cache_misses": s.cache_misses,
+                    "dedups": s.dedups,
                     "truncations": s.truncations,
+                    "invalidations": s.invalidations,
                     "latency_ms": s.latency_summary(),
                 }
                 for uri, s in sorted(self._endpoints.items())
@@ -220,7 +294,11 @@ class ExecutionStats:
             "retries": sum(e["retries"] for e in endpoints.values()),
             "cache_hits": sum(e["cache_hits"] for e in endpoints.values()),
             "cache_misses": sum(e["cache_misses"] for e in endpoints.values()),
+            "dedups": sum(e["dedups"] for e in endpoints.values()),
             "truncations": sum(e["truncations"] for e in endpoints.values()),
+            "invalidations": sum(
+                e["invalidations"] for e in endpoints.values()
+            ),
         }
         return {"totals": totals, "endpoints": endpoints}
 
@@ -228,21 +306,25 @@ class ExecutionStats:
         """Plain-text stats table for the CLI's ``--stats`` flag."""
         snap = self.snapshot()
         lines = [
-            f"{'endpoint':<32}{'calls':>6}{'hits':>6}{'miss':>6}"
-            f"{'err':>5}{'retry':>6}{'trunc':>6}{'p50 ms':>8}{'p95 ms':>8}"
+            f"{'endpoint':<32}{'calls':>6}{'hits':>6}{'miss':>6}{'dedup':>6}"
+            f"{'err':>5}{'retry':>6}{'trunc':>6}{'inval':>6}"
+            f"{'p50 ms':>8}{'p95 ms':>8}"
         ]
         for uri, s in snap["endpoints"].items():
             lat = s["latency_ms"]
             lines.append(
                 f"{uri:<32}{s['calls']:>6}{s['cache_hits']:>6}"
-                f"{s['cache_misses']:>6}{s['errors']:>5}{s['retries']:>6}"
-                f"{s['truncations']:>6}{lat['p50']:>8.2f}{lat['p95']:>8.2f}"
+                f"{s['cache_misses']:>6}{s['dedups']:>6}"
+                f"{s['errors']:>5}{s['retries']:>6}"
+                f"{s['truncations']:>6}{s['invalidations']:>6}"
+                f"{lat['p50']:>8.2f}{lat['p95']:>8.2f}"
             )
         t = snap["totals"]
         lines.append(
             f"{'TOTAL':<32}{t['calls']:>6}{t['cache_hits']:>6}"
-            f"{t['cache_misses']:>6}{t['errors']:>5}{t['retries']:>6}"
-            f"{t['truncations']:>6}"
+            f"{t['cache_misses']:>6}{t['dedups']:>6}"
+            f"{t['errors']:>5}{t['retries']:>6}"
+            f"{t['truncations']:>6}{t['invalidations']:>6}"
         )
         return "\n".join(lines)
 
@@ -321,6 +403,15 @@ class ExecutionEngine:
         )
         self._seen_store_version = store.version if store is not None else -1
         self._seen_registry_version = registry.version
+        # Per-domain counters seen at the last sweep; None when the store
+        # predates domain versioning (duck-typed), forcing full flushes.
+        versions = getattr(store, "domain_versions", None)
+        self._seen_domain_versions: dict[str, int] | None = (
+            dict(versions) if isinstance(versions, dict) else None
+        )
+        # Spec-declared dependencies overlaid per endpoint URI; unioned
+        # with registry-declared dependencies by :meth:`dependencies_for`.
+        self._dependency_overlay: dict[str, frozenset[str]] = {}
         self._memos = threading.local()
         self._pool: ThreadPoolExecutor | None = None
         # Innermost first: validation sits at the boundary, retries wrap
@@ -363,14 +454,23 @@ class ExecutionEngine:
         """
         keys = [request_key(endpoint, request) for endpoint, request in calls]
         outcomes: dict[RequestKey, FetchOutcome] = {}
+        hit_keys: set[RequestKey] = set()
         pending: list[tuple[RequestKey, str, ProviderRequest]] = []
         for key, (endpoint, request) in zip(keys, calls):
             if key in outcomes:
-                self.stats.record_cache_hit(endpoint)
+                # A duplicate of a key already answered by the cache is
+                # another hit; a duplicate of a pending miss shares that
+                # miss's single execution — counting it as a hit inflated
+                # cache_hit_rate, so it gets its own counter.
+                if key in hit_keys:
+                    self.stats.record_cache_hit(endpoint)
+                else:
+                    self.stats.record_dedup(endpoint)
                 continue
             cached = self._lookup(key)
             if cached is not None:
                 self.stats.record_cache_hit(endpoint)
+                hit_keys.add(key)
                 outcomes[key] = FetchOutcome(endpoint, result=cached)
             else:
                 self.stats.record_cache_miss(endpoint)
@@ -433,6 +533,60 @@ class ExecutionEngine:
         with self._lock:
             return len(self._cache)
 
+    # -- dependency declarations ---------------------------------------------
+
+    def declare_dependencies(
+        self, endpoint: str, domains: "frozenset[str] | Sequence[str]"
+    ) -> None:
+        """Overlay a dependency declaration for *endpoint*.
+
+        Discovery calls this with each :class:`ProviderSpec`'s declared
+        ``dependencies`` so spec-level declarations reach the cache even
+        when the endpoint callable carries no ``@depends_on`` decoration.
+        Empty *domains* is a no-op (an empty declaration means
+        "undeclared", not "depends on nothing").
+        """
+        frozen = coerce_domains(domains)
+        if not frozen:
+            return
+        with self._lock:
+            current = self._dependency_overlay.get(endpoint, frozenset())
+            self._dependency_overlay[endpoint] = current | frozen
+
+    def dependencies_for(self, endpoint: str) -> frozenset[str] | None:
+        """Effective domains for *endpoint*: registry ∪ overlay, or None.
+
+        ``None`` means no declaration exists anywhere, and the endpoint's
+        cached results are conservatively dropped on any catalog write.
+        """
+        declared = self.registry.dependencies(endpoint) if hasattr(
+            self.registry, "dependencies"
+        ) else None
+        overlaid = self._dependency_overlay.get(endpoint)
+        if declared is None and overlaid is None:
+            return None
+        return (declared or frozenset()) | (overlaid or frozenset())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the lazily-created thread pool, joining its workers.
+
+        Idempotent; a later :meth:`fetch_many` lazily recreates the pool,
+        so closing is safe even on engines that keep serving.  Without
+        this, every engine leaked its workers for the process lifetime.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- cache internals ----------------------------------------------------
 
     def _memo_stack(self) -> list[dict]:
@@ -471,7 +625,14 @@ class ExecutionEngine:
                 self._cache.popitem(last=False)
 
     def _check_store_version(self) -> None:
-        """Flush the cache when the catalog or registry mutated (lock held)."""
+        """Sweep the cache when the catalog or registry mutated (lock held).
+
+        Registry mutation (an endpoint swapped or removed) still clears
+        everything — any entry may now belong to a different callable.
+        Catalog mutation is dependency-aware: only entries whose endpoint
+        depends on a mutated domain are dropped; endpoints without any
+        declaration are dropped on every write (conservative fallback).
+        """
         registry_version = self.registry.version
         if registry_version != self._seen_registry_version:
             self._cache.clear()
@@ -479,9 +640,38 @@ class ExecutionEngine:
         if self.store is None:
             return
         version = self.store.version
-        if version != self._seen_store_version:
+        if version == self._seen_store_version:
+            return
+        self._seen_store_version = version
+        current = getattr(self.store, "domain_versions", None)
+        if not isinstance(current, dict) or self._seen_domain_versions is None:
+            # Store without domain versioning: monolithic behaviour.
             self._cache.clear()
-            self._seen_store_version = version
+            return
+        changed = {
+            domain
+            for domain, counter in current.items()
+            if self._seen_domain_versions.get(domain) != counter
+        }
+        self._seen_domain_versions = dict(current)
+        if not changed:
+            return
+        self._invalidate_domains(changed)
+
+    def _invalidate_domains(self, changed: set[str]) -> None:
+        """Drop cache entries depending on any of *changed* (lock held)."""
+        dependencies: dict[str, frozenset[str] | None] = {}
+        doomed: list[RequestKey] = []
+        for key in self._cache:
+            endpoint = key[0]
+            if endpoint not in dependencies:
+                dependencies[endpoint] = self.dependencies_for(endpoint)
+            deps = dependencies[endpoint]
+            if deps is None or deps & changed:
+                doomed.append(key)
+        for key in doomed:
+            del self._cache[key]
+            self.stats.record_invalidation(key[0])
 
     # -- execution internals -------------------------------------------------
 

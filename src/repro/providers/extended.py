@@ -21,6 +21,11 @@ Providers:
 
 from __future__ import annotations
 
+from repro.catalog.domains import (
+    DOMAIN_ENTITIES,
+    DOMAIN_LINEAGE,
+    DOMAIN_USAGE,
+)
 from repro.catalog.model import ArtifactType
 from repro.catalog.store import CatalogStore
 from repro.core.spec.model import HumboldtSpec, ProviderSpec, Visibility
@@ -32,6 +37,7 @@ from repro.providers.base import (
     ProviderResult,
     Representation,
     ScoredArtifact,
+    depends_on,
 )
 from repro.providers.fields import FieldResolver
 from repro.providers.registry import EndpointRegistry
@@ -58,6 +64,7 @@ class ExtendedProviders:
             "orphans": self.orphans,
         }
 
+    @depends_on(DOMAIN_ENTITIES)
     def unionable(self, request: ProviderRequest) -> ProviderResult:
         """Tables union-compatible with the input table (schema Jaccard)."""
         artifact_id = request.input("artifact")
@@ -73,6 +80,7 @@ class ExtendedProviders:
         )
         return ProviderResult(representation=Representation.LIST, items=items)
 
+    @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
     def stale(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts unviewed for STALE_AFTER_DAYS or badged deprecated."""
         now = self.store.clock.now()
@@ -97,6 +105,7 @@ class ExtendedProviders:
             items=tuple(items[: request.context.limit]),
         )
 
+    @depends_on(DOMAIN_ENTITIES)
     def has_column(self, request: ProviderRequest) -> ProviderResult:
         """Tables/datasets containing a column named like the input text."""
         wanted = request.input("text").lower()
@@ -125,6 +134,7 @@ class ExtendedProviders:
             items=tuple(items[: request.context.limit]),
         )
 
+    @depends_on(DOMAIN_ENTITIES, DOMAIN_LINEAGE)
     def orphans(self, request: ProviderRequest) -> ProviderResult:
         """Artifacts with no lineage edges in either direction."""
         items = []
@@ -170,6 +180,7 @@ def extended_spec() -> HumboldtSpec:
                     "(schema similarity).",
         inputs=(_artifact_input(),),
         visibility=Visibility(overview=False, exploration=True, search=True),
+        dependencies=frozenset({DOMAIN_ENTITIES}),
     ))
     spec = spec.with_provider(ProviderSpec(
         name="stale",
@@ -179,6 +190,7 @@ def extended_spec() -> HumboldtSpec:
         title="Stale Data",
         description="Artifacts unviewed for 90+ days or badged deprecated.",
         visibility=Visibility(overview=True, exploration=False, search=True),
+        dependencies=frozenset({DOMAIN_USAGE, DOMAIN_ENTITIES}),
     ))
     spec = spec.with_provider(ProviderSpec(
         name="has_column",
@@ -189,6 +201,7 @@ def extended_spec() -> HumboldtSpec:
         description="Tables containing a column with a given name.",
         inputs=(_text_input(),),
         visibility=Visibility(overview=False, exploration=False, search=True),
+        dependencies=frozenset({DOMAIN_ENTITIES}),
     ))
     spec = spec.with_provider(ProviderSpec(
         name="orphans",
@@ -198,6 +211,7 @@ def extended_spec() -> HumboldtSpec:
         title="Orphaned Artifacts",
         description="Artifacts with no lineage connections at all.",
         visibility=Visibility(overview=True, exploration=False, search=True),
+        dependencies=frozenset({DOMAIN_ENTITIES, DOMAIN_LINEAGE}),
     ))
     return spec
 

@@ -10,10 +10,16 @@ is the decoupling the paper's design goals demand.
 from __future__ import annotations
 
 import re
-from typing import Iterator
+from typing import Iterable, Iterator
 
+from repro.catalog.domains import coerce_domains
 from repro.errors import DuplicateEntityError, ProviderError
-from repro.providers.base import Endpoint, ProviderRequest, ProviderResult
+from repro.providers.base import (
+    Endpoint,
+    ProviderRequest,
+    ProviderResult,
+    declared_dependencies,
+)
 
 _URI_RE = re.compile(r"^(?P<scheme>[a-z][a-z0-9+.-]*)://(?P<path>[A-Za-z0-9_./-]+)$")
 
@@ -33,6 +39,10 @@ class EndpointRegistry:
 
     def __init__(self) -> None:
         self._endpoints: dict[str, Endpoint] = {}
+        # Declared metadata-domain dependencies per uri.  Absent uri means
+        # undeclared: the execution layer then conservatively invalidates
+        # that endpoint's cached results on any catalog write.
+        self._dependencies: dict[str, frozenset[str]] = {}
         # Bumped on every (un)registration; the execution layer keys
         # cache validity on it so swapping an endpoint drops its results.
         self._version = 0
@@ -51,21 +61,46 @@ class EndpointRegistry:
     def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._endpoints))
 
-    def register(self, uri: str, endpoint: Endpoint, replace: bool = False) -> None:
+    def register(
+        self,
+        uri: str,
+        endpoint: Endpoint,
+        replace: bool = False,
+        dependencies: Iterable[str] | None = None,
+    ) -> None:
         """Register *endpoint* under *uri*.
 
         Re-registration must be explicit (``replace=True``) so tests catch
         accidental double-installs.
+
+        *dependencies* names the metadata domains the endpoint reads (see
+        :mod:`repro.catalog.domains`).  When omitted, the declaration is
+        auto-discovered from a :func:`~repro.providers.base.depends_on`
+        decoration on the endpoint; with neither, the endpoint is treated
+        as depending on everything (conservative invalidation).
         """
         parse_endpoint_uri(uri)
         if uri in self._endpoints and not replace:
             raise DuplicateEntityError("endpoint", uri)
+        if dependencies is None:
+            deps = declared_dependencies(endpoint)
+        else:
+            deps = coerce_domains(dependencies)
         self._endpoints[uri] = endpoint
+        if deps is None:
+            self._dependencies.pop(uri, None)
+        else:
+            self._dependencies[uri] = deps
         self._version += 1
 
     def unregister(self, uri: str) -> None:
         if self._endpoints.pop(uri, None) is not None:
+            self._dependencies.pop(uri, None)
             self._version += 1
+
+    def dependencies(self, uri: str) -> frozenset[str] | None:
+        """Declared domains for *uri*; ``None`` when undeclared."""
+        return self._dependencies.get(uri)
 
     def resolve(self, uri: str) -> Endpoint:
         try:

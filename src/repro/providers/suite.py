@@ -25,6 +25,7 @@ def default_spec() -> HumboldtSpec:
             description="Artifacts you recently viewed or edited.",
             inputs=[("user", "user", False)],
             ranking=[("recency", 5.0)],
+            dependencies=("usage", "entities"),
         )
         .provider(
             "recent_documents", "catalog://recent_documents", "list",
@@ -34,6 +35,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("user", "user", False)],
             visibility=Visibility(overview=False, exploration=False,
                                   search=True),
+            dependencies=("usage", "entities"),
         )
         .provider(
             "most_viewed", "catalog://most_viewed", "tiles",
@@ -41,6 +43,7 @@ def default_spec() -> HumboldtSpec:
             title="Most Viewed",
             description="The most viewed artifacts across the organisation.",
             ranking=[("views", 2.0), ("recency", 1.0)],
+            dependencies=("usage", "entities"),
         )
         .provider(
             "newest", "catalog://newest", "list",
@@ -48,6 +51,7 @@ def default_spec() -> HumboldtSpec:
             title="Newly Created",
             description="Artifacts created most recently.",
             ranking=[("freshness", 3.0)],
+            dependencies=("entities",),
         )
         .provider(
             "favorites", "catalog://favorites", "list",
@@ -55,6 +59,7 @@ def default_spec() -> HumboldtSpec:
             title="Favorites",
             description="Artifacts you marked as favorites.",
             inputs=[("user", "user", False)],
+            dependencies=("usage", "entities"),
         )
         # -- annotation providers ---------------------------------------
         .provider(
@@ -65,6 +70,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("user", "user", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("entities", "membership"),
         )
         .provider(
             "created_by", "catalog://created_by", "list",
@@ -74,6 +80,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("user", "user", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("entities", "membership"),
         )
         .provider(
             "of_type", "catalog://of_type", "list",
@@ -84,6 +91,7 @@ def default_spec() -> HumboldtSpec:
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
             search_field="type",
+            dependencies=("entities",),
         )
         .provider(
             "types", "catalog://types", "categories",
@@ -92,6 +100,7 @@ def default_spec() -> HumboldtSpec:
             description="All artifacts grouped by artifact type.",
             visibility=Visibility(overview=True, exploration=False,
                                   search=False),
+            dependencies=("entities",),
         )
         .provider(
             "badges", "catalog://badges", "categories",
@@ -100,6 +109,7 @@ def default_spec() -> HumboldtSpec:
             description="All artifacts grouped by badge.",
             visibility=Visibility(overview=True, exploration=False,
                                   search=False),
+            dependencies=("entities",),
         )
         .provider(
             "badged", "catalog://badged", "list",
@@ -109,6 +119,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("badge", "badge", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("entities",),
         )
         .provider(
             "badged_by", "catalog://badged_by", "list",
@@ -118,6 +129,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("user", "user", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("entities", "membership"),
         )
         .provider(
             "tagged", "catalog://tagged", "list",
@@ -127,6 +139,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("text", "text", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("entities",),
         )
         # -- team providers -----------------------------------------------
         .provider(
@@ -135,6 +148,7 @@ def default_spec() -> HumboldtSpec:
             title="Popular With Your Team",
             description="Most viewed by members of your team.",
             inputs=[("team", "team", False)],
+            dependencies=("usage", "membership", "entities"),
         )
         .provider(
             "team_docs", "catalog://team_docs", "tiles",
@@ -142,6 +156,7 @@ def default_spec() -> HumboldtSpec:
             title="Team Documents",
             description="Artifacts belonging to your team.",
             inputs=[("team", "team", False)],
+            dependencies=("entities", "membership"),
         )
         # -- relatedness providers ---------------------------------------------
         .provider(
@@ -152,6 +167,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("artifact", "artifact", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("entities",),
         )
         .provider(
             "lineage", "catalog://lineage", "hierarchy",
@@ -161,6 +177,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("artifact", "artifact", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("lineage", "entities"),
         )
         .provider(
             "lineage_graph", "catalog://lineage_graph", "graph",
@@ -170,6 +187,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("artifact", "artifact", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=False),
+            dependencies=("lineage", "entities"),
         )
         .provider(
             "similar", "catalog://similar", "list",
@@ -180,6 +198,7 @@ def default_spec() -> HumboldtSpec:
             inputs=[("artifact", "artifact", True)],
             visibility=Visibility(overview=False, exploration=True,
                                   search=True),
+            dependencies=("entities", "text"),
         )
         .provider(
             "embedding_map", "catalog://embedding_map", "embedding",
@@ -188,6 +207,7 @@ def default_spec() -> HumboldtSpec:
             description="2-D embedding of the whole catalog.",
             visibility=Visibility(overview=True, exploration=False,
                                   search=False),
+            dependencies=("entities", "text"),
         )
         # -- global ranking: the paper's Listing 1 ------------------------------
         .ranking("favorite", 4.3)

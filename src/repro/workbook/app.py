@@ -66,6 +66,16 @@ class WorkbookApp:
         self.exploration = ExplorationEngine(self.interface)
         self.home_pages = HomePageManager(self.interface)
 
+    def close(self) -> None:
+        """Release execution resources (joins the engine's worker pool)."""
+        self.engine.close()
+
+    def __enter__(self) -> "WorkbookApp":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def session(self, user_id: str, team_id: str = "") -> Session:
         """Open a UI session for *user_id*.
 

@@ -47,6 +47,20 @@ class TestEntities:
         assert tiny_store.find_user_by_name("ann lee").id == "u-ann"
         assert tiny_store.find_user_by_name("Nobody") is None
 
+    def test_find_user_by_name_ambiguous_returns_none(self, tiny_store):
+        """Two users sharing a display name: resolving by name must not
+        silently pick one (it used to return whichever was added last)."""
+        tiny_store.add_user(User(id="u-ann2", name="Ann Lee", role="intern"))
+        assert tiny_store.find_user_by_name("Ann Lee") is None
+        assert tiny_store.find_user_by_name("ann lee") is None
+        # unambiguous names keep resolving
+        assert tiny_store.find_user_by_name("Bob Ray").id == "u-bob"
+
+    def test_find_user_by_name_survives_many_collisions(self, tiny_store):
+        for index in range(3):
+            tiny_store.add_user(User(id=f"u-dup{index}", name="Same Name"))
+        assert tiny_store.find_user_by_name("Same Name") is None
+
     def test_teams_of_uses_both_sides(self, tiny_store):
         tiny_store.add_user(User(id="u-new", name="New", team_ids=("t-2",)))
         teams = tiny_store.teams_of("u-new")

@@ -59,3 +59,50 @@ class TestFetchLimit:
         result = evaluator.search("type: table", limit=3)
         assert len(result.entries) == 3
         assert result.total > 3
+
+
+class TestPrefetchIdentity:
+    """Prefetch results are keyed by branch position, not ``id(node)``.
+
+    A short-circuiting ``And`` used to leave prefetched entries keyed by
+    object ids on the shared eval state; CPython reuses ids, so a later
+    node could inherit a dead node's result.  The dict is now local to
+    each combination loop and indexed by child position.
+    """
+
+    def test_short_circuit_leaves_no_state_residue(self, big_eval):
+        from repro.core.query.evaluator import _EvalState
+        from repro.providers.base import RequestContext
+
+        _, evaluator = big_eval
+        compiled = evaluator.language.compile(
+            "tagged: no-such-tag-anywhere & type: table & tagged: sales"
+        )
+        state = _EvalState()
+        with evaluator.engine.scope():
+            ids = evaluator._eval(compiled.node, RequestContext(), None, state)
+        assert ids == []
+        # The state must carry nothing addressable by object identity.
+        assert not getattr(state, "prefetched", {})
+
+    def test_prefetched_and_serial_paths_agree(self, big_eval):
+        """The parallel-prefetch fast path and a forced-serial walk must
+        produce identical membership and order for And/Or queries."""
+        store, evaluator = big_eval
+        serial = QueryEvaluator(
+            store,
+            evaluator.registry,
+            evaluator.language,
+            evaluator.ranker,
+        )
+        # Forcing the prefetcher to decline makes every branch evaluate
+        # through the serial recursive path.
+        serial._prefetch_branches = lambda children, context, state: {}
+        for query in (
+            "type: table & tagged: sales",
+            "tagged: sales | badged: endorsed | type: workbook",
+            "type: table & tagged: sales & tagged: crm",
+        ):
+            fast = evaluator.search(query, limit=1000)
+            slow = serial.search(query, limit=1000)
+            assert fast.artifact_ids() == slow.artifact_ids(), query

@@ -571,3 +571,126 @@ class TestTokenCache:
         )
         tiny_store.record("a-new", "u-new", "view")
         assert tiny_store.version == before + 3
+
+
+class TestStatsSnapshotImmutability:
+    """``ExecutionStats.endpoint`` hands out a frozen snapshot, not the
+    live mutable record (callers used to be able to corrupt counters)."""
+
+    def test_snapshot_is_detached_from_later_activity(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        snap = engine.stats.endpoint("x://count")
+        assert snap.calls == 1
+        engine.fetch("x://count", ProviderRequest(
+            context=RequestContext(limit=3)
+        ))
+        assert snap.calls == 1  # not a live view
+        assert engine.stats.endpoint("x://count").calls == 2
+
+    def test_snapshot_rejects_mutation(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        snap = engine.stats.endpoint("x://count")
+        with pytest.raises(AttributeError):
+            snap.calls = 99
+        assert engine.stats.endpoint("x://count").calls == 1
+
+    def test_snapshot_latencies_are_a_tuple_copy(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        snap = engine.stats.endpoint("x://count")
+        assert isinstance(snap.latencies_ms, tuple)
+        assert len(snap.latencies_ms) == 1
+        summary = snap.latency_summary()
+        assert summary["max"] >= summary["p50"] >= 0.0
+
+    def test_unknown_endpoint_snapshot_is_zeroed(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        snap = engine.stats.endpoint("x://never-fetched")
+        assert snap.calls == 0 and snap.latencies_ms == ()
+
+
+class TestBatchDedupCounting:
+    """In-batch duplicates of a *pending miss* are dedups, not cache
+    hits — counting them as hits used to inflate cache_hit_rate."""
+
+    def test_duplicate_of_pending_miss_counts_as_dedup(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch_many([("x://count", ProviderRequest())] * 3)
+        assert endpoint.calls == 1
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.dedups == 2
+        assert engine.stats.endpoint("x://count").dedups == 2
+
+    def test_duplicate_of_cached_hit_still_counts_as_hit(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())  # prime the cache
+        engine.fetch_many([("x://count", ProviderRequest())] * 2)
+        assert endpoint.calls == 1
+        assert engine.stats.cache_hits == 2
+        assert engine.stats.dedups == 0
+
+    def test_hit_rate_unpolluted_by_batch_duplicates(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch_many([("x://count", ProviderRequest())] * 10)
+        assert engine.stats.cache_hit_rate == 0.0
+
+
+def _exec_threads():
+    """Live executor thread *objects* (names repeat across pools)."""
+    return {
+        t for t in threading.enumerate()
+        if t.name.startswith("humboldt-exec")
+    }
+
+
+class TestEngineLifecycle:
+    def test_close_joins_worker_threads(self):
+        registry = EndpointRegistry()
+        for index in range(4):
+            registry.register(f"x://t{index}", CountingEndpoint())
+        before = _exec_threads()
+        engine = ExecutionEngine(registry)
+        engine.fetch_many(
+            [(f"x://t{index}", ProviderRequest()) for index in range(4)]
+        )
+        spawned = _exec_threads() - before
+        assert spawned  # pool actually spun up
+        engine.close()
+        assert all(not t.is_alive() for t in spawned)
+
+    def test_close_is_idempotent_and_allows_reuse(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.close()
+        engine.close()
+        # fetches after close still work (pool recreated on demand)
+        engine.fetch("x://count", ProviderRequest())
+        assert endpoint.calls == 1
+        engine.close()
+
+    def test_context_manager_closes(self):
+        registry = EndpointRegistry()
+        for index in range(4):
+            registry.register(f"x://t{index}", CountingEndpoint())
+        before = _exec_threads()
+        with ExecutionEngine(registry) as engine:
+            engine.fetch_many(
+                [(f"x://t{index}", ProviderRequest()) for index in range(4)]
+            )
+        assert all(not t.is_alive() for t in _exec_threads() - before)
+
+    def test_workbook_app_context_manager_closes_engine(self, tiny_store):
+        before = _exec_threads()
+        with WorkbookApp(tiny_store) as app:
+            app.interface.overview_tabs(user_id="u-ann")
+        assert all(not t.is_alive() for t in _exec_threads() - before)

@@ -1,0 +1,352 @@
+"""Per-domain versioning and dependency-aware cache invalidation.
+
+Covers the store's per-domain counters (which mutators bump which
+domains, including lineage edges added directly on ``store.lineage``),
+the ``@depends_on`` declaration plumbing through registry and spec, the
+engine's selective invalidation matrix (domain mutated × endpoint
+dependency), the conservative full-flush fallbacks (undeclared
+endpoints, stores without domain counters), and the headline guarantee:
+no interleaving of mutations and queries ever serves a stale result.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.domains import (
+    ALL_DOMAINS,
+    DOMAIN_ENTITIES,
+    DOMAIN_LINEAGE,
+    DOMAIN_MEMBERSHIP,
+    DOMAIN_TEXT,
+    DOMAIN_USAGE,
+    coerce_domains,
+)
+from repro.catalog.model import Artifact, ArtifactType, Team, User
+from repro.providers.base import (
+    ProviderRequest,
+    ScoredArtifact,
+    declared_dependencies,
+    depends_on,
+    list_result,
+)
+from repro.providers.execution import ExecutionEngine
+from repro.providers.registry import EndpointRegistry
+from repro.workbook.app import WorkbookApp
+
+from tests.conftest import build_tiny_store
+
+
+class CountingEndpoint:
+    def __init__(self, ids=("a-1",)):
+        self.calls = 0
+        self._ids = tuple(ids)
+
+    def __call__(self, request):
+        self.calls += 1
+        return list_result([ScoredArtifact(aid) for aid in self._ids])
+
+
+#: Mutation label -> (mutator, domains the store must report as changed).
+MUTATIONS = {
+    "record_view": (
+        lambda store: store.record("t-orders", "u-ann", "view"),
+        {DOMAIN_USAGE},
+    ),
+    "add_artifact": (
+        lambda store: store.add_artifact(
+            Artifact(id="t-new", name="NEW", artifact_type=ArtifactType.TABLE)
+        ),
+        {DOMAIN_ENTITIES, DOMAIN_TEXT},
+    ),
+    "grant_badge": (
+        lambda store: store.grant_badge("t-orders", "endorsed", "u-ann"),
+        {DOMAIN_ENTITIES, DOMAIN_TEXT},
+    ),
+    "add_user": (
+        lambda store: store.add_user(User(id="u-new", name="New Person")),
+        {DOMAIN_MEMBERSHIP},
+    ),
+    "add_team": (
+        lambda store: store.add_team(Team(id="t-9", name="Gamma")),
+        {DOMAIN_MEMBERSHIP},
+    ),
+    "lineage_edge": (
+        lambda store: store.lineage.add_edge("t-orders", "w-q1"),
+        {DOMAIN_LINEAGE},
+    ),
+}
+
+
+class TestDomainVersions:
+    @pytest.mark.parametrize("label", sorted(MUTATIONS))
+    def test_mutators_bump_exactly_their_domains(self, label):
+        store = build_tiny_store()
+        mutate, expected = MUTATIONS[label]
+        before = store.domain_versions
+        mutate(store)
+        after = store.domain_versions
+        bumped = {d for d in ALL_DOMAINS if after[d] > before[d]}
+        assert bumped == expected
+
+    def test_direct_lineage_edge_bumps_lineage_domain(self):
+        """Edges added on ``store.lineage`` directly (synth, persistence)
+        must not bypass versioning — regression for the on_mutate hook."""
+        store = build_tiny_store()
+        before = store.domain_version(DOMAIN_LINEAGE)
+        store.lineage.add_edge("t-orders", "w-q1")
+        assert store.domain_version(DOMAIN_LINEAGE) == before + 1
+
+    def test_monolithic_version_still_bumps(self):
+        store = build_tiny_store()
+        before = store.version
+        store.record("t-orders", "u-ann", "view")
+        assert store.version > before
+
+    def test_domain_versions_returns_copy(self):
+        store = build_tiny_store()
+        versions = store.domain_versions
+        versions[DOMAIN_USAGE] = -99
+        assert store.domain_version(DOMAIN_USAGE) != -99
+
+    def test_coerce_domains_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            coerce_domains(["usage", "weather"])
+
+
+class TestDependencyDeclaration:
+    def test_depends_on_sets_declared_dependencies(self):
+        @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
+        def endpoint(request):
+            return list_result([])
+
+        assert declared_dependencies(endpoint) == frozenset(
+            {DOMAIN_USAGE, DOMAIN_ENTITIES}
+        )
+
+    def test_undecorated_endpoint_is_undeclared(self):
+        assert declared_dependencies(lambda request: list_result([])) is None
+
+    def test_depends_on_rejects_unknown_domain(self):
+        with pytest.raises(ValueError):
+            depends_on("nonsense")
+
+    def test_registry_autodiscovers_decorated_endpoint(self):
+        registry = EndpointRegistry()
+
+        @depends_on(DOMAIN_LINEAGE)
+        def endpoint(request):
+            return list_result([])
+
+        registry.register("x://lin", endpoint)
+        assert registry.dependencies("x://lin") == frozenset({DOMAIN_LINEAGE})
+
+    def test_registry_explicit_dependencies_win(self):
+        registry = EndpointRegistry()
+        registry.register(
+            "x://e", lambda r: list_result([]), dependencies=("membership",)
+        )
+        assert registry.dependencies("x://e") == frozenset({"membership"})
+
+    def test_registry_undeclared_returns_none(self):
+        registry = EndpointRegistry()
+        registry.register("x://u", lambda r: list_result([]))
+        assert registry.dependencies("x://u") is None
+
+    def test_builtin_suite_is_fully_declared(self, tiny_store):
+        with WorkbookApp(tiny_store) as app:
+            for provider in app.spec.providers:
+                deps = app.engine.dependencies_for(provider.endpoint)
+                assert deps, f"{provider.name} has no declared dependencies"
+                assert deps <= ALL_DOMAINS
+
+    def test_spec_declared_dependencies_reach_engine(self, tiny_store):
+        """ProviderSpec.dependencies overlay endpoints with no decorator."""
+        with WorkbookApp(tiny_store) as app:
+            assert app.engine.dependencies_for("catalog://owned_by") >= frozenset(
+                {DOMAIN_ENTITIES, DOMAIN_MEMBERSHIP}
+            )
+
+    def test_declare_dependencies_unions_with_registry(self):
+        registry = EndpointRegistry()
+
+        @depends_on(DOMAIN_ENTITIES)
+        def endpoint(request):
+            return list_result([])
+
+        registry.register("x://e", endpoint)
+        engine = ExecutionEngine(registry)
+        engine.declare_dependencies("x://e", (DOMAIN_USAGE,))
+        assert engine.dependencies_for("x://e") == frozenset(
+            {DOMAIN_ENTITIES, DOMAIN_USAGE}
+        )
+
+
+#: Endpoint URI -> declared dependency domains (None = undeclared).
+ENDPOINT_DEPS = {
+    "x://usage": frozenset({DOMAIN_USAGE}),
+    "x://entities": frozenset({DOMAIN_ENTITIES}),
+    "x://lineage": frozenset({DOMAIN_LINEAGE}),
+    "x://membership": frozenset({DOMAIN_MEMBERSHIP}),
+    "x://text": frozenset({DOMAIN_TEXT}),
+    "x://mixed": frozenset({DOMAIN_USAGE, DOMAIN_MEMBERSHIP}),
+    "x://undeclared": None,
+}
+
+
+def build_matrix_engine(store):
+    registry = EndpointRegistry()
+    endpoints = {}
+    for uri, deps in ENDPOINT_DEPS.items():
+        endpoint = CountingEndpoint()
+        if deps is not None:
+            depends_on(*deps)(endpoint)
+        registry.register(uri, endpoint)
+        endpoints[uri] = endpoint
+    return ExecutionEngine(registry, store=store), endpoints
+
+
+class TestInvalidationMatrix:
+    @pytest.mark.parametrize("label", sorted(MUTATIONS))
+    def test_only_dependent_entries_invalidate(self, label):
+        store = build_tiny_store()
+        mutate, changed = MUTATIONS[label]
+        engine, endpoints = build_matrix_engine(store)
+        for uri in ENDPOINT_DEPS:
+            engine.fetch(uri, ProviderRequest())
+        mutate(store)
+        for uri in ENDPOINT_DEPS:
+            engine.fetch(uri, ProviderRequest())
+        for uri, deps in ENDPOINT_DEPS.items():
+            should_refetch = deps is None or bool(deps & changed)
+            expected_calls = 2 if should_refetch else 1
+            assert endpoints[uri].calls == expected_calls, (
+                f"{uri} (deps={deps}) after {label}: "
+                f"expected {expected_calls} calls, saw {endpoints[uri].calls}"
+            )
+
+    def test_usage_write_preserves_annotation_cache(self, tiny_store):
+        """The tentpole scenario: usage traffic must not evict results of
+        providers that only depend on entity metadata."""
+        engine, endpoints = build_matrix_engine(tiny_store)
+        engine.fetch("x://entities", ProviderRequest())
+        for _ in range(25):
+            tiny_store.record("t-orders", "u-ann", "view")
+            engine.fetch("x://entities", ProviderRequest())
+        assert endpoints["x://entities"].calls == 1
+        assert engine.stats.cache_hits == 25
+
+    def test_invalidations_counter_records_drops(self, tiny_store):
+        engine, _ = build_matrix_engine(tiny_store)
+        for uri in ENDPOINT_DEPS:
+            engine.fetch(uri, ProviderRequest())
+        tiny_store.record("t-orders", "u-ann", "view")
+        engine.fetch("x://usage", ProviderRequest())
+        # usage, mixed and the undeclared endpoint were dropped.
+        assert engine.stats.invalidations == 3
+        assert engine.stats.endpoint("x://usage").invalidations == 1
+        assert engine.stats.endpoint("x://entities").invalidations == 0
+
+
+class TestConservativeFallback:
+    def test_undeclared_endpoint_flushes_on_any_write(self, tiny_store):
+        engine, endpoints = build_matrix_engine(tiny_store)
+        engine.fetch("x://undeclared", ProviderRequest())
+        tiny_store.record("t-orders", "u-ann", "view")
+        engine.fetch("x://undeclared", ProviderRequest())
+        tiny_store.grant_badge("t-orders", "endorsed", "u-ann")
+        engine.fetch("x://undeclared", ProviderRequest())
+        assert endpoints["x://undeclared"].calls == 3
+
+    def test_store_without_domain_counters_flushes_everything(self):
+        """Duck-typed stores predating domain versioning fall back to the
+        old invalidate-on-any-write behaviour, even for declared deps."""
+
+        class LegacyStore:
+            def __init__(self):
+                self.version = 0
+
+        store = LegacyStore()
+        registry = EndpointRegistry()
+        endpoint = CountingEndpoint()
+        depends_on(DOMAIN_ENTITIES)(endpoint)
+        registry.register("x://e", endpoint)
+        engine = ExecutionEngine(registry, store=store)
+        engine.fetch("x://e", ProviderRequest())
+        store.version += 1  # a "usage-like" write on a legacy store
+        engine.fetch("x://e", ProviderRequest())
+        assert endpoint.calls == 2
+
+    def test_registry_swap_still_flushes_everything(self, tiny_store):
+        engine, endpoints = build_matrix_engine(tiny_store)
+        for uri in ENDPOINT_DEPS:
+            engine.fetch(uri, ProviderRequest())
+        engine.registry.register("x://late", CountingEndpoint())
+        for uri in ENDPOINT_DEPS:
+            engine.fetch(uri, ProviderRequest())
+        assert all(ep.calls == 2 for ep in endpoints.values())
+
+
+#: Queries whose membership is independent of usage traffic; their cached
+#: provider results must survive `store.record` writes *and* stay correct.
+QUERIES = (
+    "badged: endorsed",
+    "type: table",
+    "owned_by: Ann Lee",
+    "tagged: sales",
+)
+
+
+def fresh_results(store, query):
+    """Ground truth: evaluate on a brand-new app with a cold cache."""
+    with WorkbookApp(store) as app:
+        result, _ = app.interface.search(query, user_id="u-ann")
+        return result.artifact_ids()
+
+
+class TestNoStaleResults:
+    def test_interleaved_mutations_never_serve_stale_results(self):
+        store = build_tiny_store()
+        store.grant_badge("t-orders", "endorsed", "u-bob")
+        rng = random.Random(7)
+        mutators = sorted(set(MUTATIONS) - {"add_artifact", "add_user", "add_team"})
+        with WorkbookApp(store) as app:
+            for step in range(40):
+                label = mutators[step % len(mutators)]
+                try:
+                    MUTATIONS[label][0](store)
+                except Exception:
+                    pass  # duplicate badge/edge grants are fine to skip
+                query = QUERIES[rng.randrange(len(QUERIES))]
+                result, _ = app.interface.search(query, user_id="u-ann")
+                assert result.artifact_ids() == fresh_results(store, query), (
+                    f"stale result for {query!r} after {label} at step {step}"
+                )
+            # The cache did real work across those searches.
+            assert app.stats.cache_hits > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.sampled_from(sorted(MUTATIONS)),
+            st.sampled_from(QUERIES),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_property_random_interleaving_never_stale(steps):
+    store = build_tiny_store()
+    store.grant_badge("t-orders", "endorsed", "u-bob")
+    with WorkbookApp(store) as app:
+        for label, query in steps:
+            try:
+                MUTATIONS[label][0](store)
+            except Exception:
+                pass  # duplicate entity/edge from repeated labels
+            result, _ = app.interface.search(query, user_id="u-ann")
+            assert result.artifact_ids() == fresh_results(store, query)
