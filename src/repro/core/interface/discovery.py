@@ -139,7 +139,9 @@ class DiscoveryInterface:
             try:
                 if outcome.error is not None:
                     raise outcome.error
-                view = self.factory.build(provider, outcome.result, inputs=inputs)
+                view = self.factory.build(
+                    provider, outcome.result, inputs=inputs, limit=limit
+                )
             except ProviderError as exc:
                 # A broken endpoint must degrade only its own view, never
                 # the whole generated interface.
@@ -168,7 +170,7 @@ class DiscoveryInterface:
             provider_name, inputs, user_id=user_id, team_id=team_id, limit=limit
         )
         result = self.engine.fetch(provider.endpoint, request)
-        return self.factory.build(provider, result, inputs=merged)
+        return self.factory.build(provider, result, inputs=merged, limit=limit)
 
     def resolve_request(
         self,

@@ -104,7 +104,7 @@ class ExplorationEngine:
                 if outcome.error is not None:
                     raise outcome.error
                 view = self.interface.factory.build(
-                    provider, outcome.result, inputs=merged
+                    provider, outcome.result, inputs=merged, limit=limit
                 )
             except ProviderError:
                 continue

@@ -266,9 +266,14 @@ class QueryEvaluator:
         return prefetched
 
     def _ids_from(self, result: ProviderResult, state: _EvalState) -> list[str]:
+        # Providers return full membership (their cache entries must not
+        # bake in a usage-ranked top-N), so the evaluator applies its own
+        # fetch cap here, after the cache: each leaf contributes at most
+        # fetch_limit ids, in the provider's advisory order.
         ids = result.artifact_ids()
         if self.fetch_limit > 0 and len(ids) >= self.fetch_limit:
             state.truncated = True
+            ids = ids[: self.fetch_limit]
         return ids
 
     # -- text relevance ---------------------------------------------------------

@@ -66,8 +66,17 @@ class Ranker:
         self,
         items: Iterable[ScoredArtifact],
         weights: Sequence[RankingWeight],
+        live: bool = False,
     ) -> list[RankedArtifact]:
-        """Rank provider items; ties break on artifact id for determinism."""
+        """Rank provider items; ties break on artifact id for determinism.
+
+        With ``live=True``, fields the resolver serves are re-resolved
+        from the catalog instead of read from the items' attached
+        snapshots — provider results may come from a cache, and a view
+        truncated on snapshot values would pin stale usage numbers into
+        its visible head.  Snapshots still win for provider-computed
+        fields the resolver cannot serve (e.g. per-item match counts).
+        """
         ranked = [
             self.score(
                 item.artifact_id,
@@ -76,7 +85,9 @@ class Ranker:
                 fields={
                     k: v
                     for k, v in item.fields.items()
-                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                    if isinstance(v, (int, float))
+                    and not isinstance(v, bool)
+                    and not (live and self.resolver.serves(k))
                 },
             )
             for item in items

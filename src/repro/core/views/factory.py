@@ -41,11 +41,18 @@ class ViewFactory:
         provider: ProviderSpec,
         result: ProviderResult,
         inputs: dict[str, str] | None = None,
+        limit: int = 0,
     ) -> View:
         """Generate the view for *provider* from *result*.
 
         The result's representation must match the spec's declaration —
         a mismatch means the provider violated its contract.
+
+        *limit* caps list/tiles views to the top-*limit* cards **after**
+        live re-ranking (0 = no cap).  Cached provider results carry full
+        membership precisely so this truncation happens on fresh values;
+        truncating inside the provider would bake usage-ranked membership
+        into cache entries that don't declare a usage dependency.
         """
         if result.representation != provider.representation:
             raise RepresentationError(
@@ -65,7 +72,7 @@ class ViewFactory:
         }
         rep = provider.representation
         if rep in (Representation.LIST, Representation.TILES):
-            return self._build_listing(provider, result, common)
+            return self._build_listing(provider, result, common, limit)
         if rep is Representation.HIERARCHY:
             return HierarchyView(
                 roots=tuple(
@@ -97,15 +104,21 @@ class ViewFactory:
     # -- per-representation builders ------------------------------------------
 
     def _build_listing(
-        self, provider: ProviderSpec, result: ProviderResult, common: dict
+        self,
+        provider: ProviderSpec,
+        result: ProviderResult,
+        common: dict,
+        limit: int = 0,
     ) -> View:
         weights = self.spec.effective_ranking(provider.name)
-        ranked = self.ranker.rank_items(result.items, weights)
+        ranked = self.ranker.rank_items(result.items, weights, live=True)
         cards = tuple(
             make_card(self.store, entry.artifact_id, score=entry.score)
             for entry in ranked
             if self.store.has_artifact(entry.artifact_id)
         )
+        if limit > 0:
+            cards = cards[:limit]
         if provider.representation is Representation.TILES:
             return TilesView(cards=cards, **common)
         return ListView(cards=cards, **common)

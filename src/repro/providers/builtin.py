@@ -91,10 +91,14 @@ class BuiltinProviders:
     # Dependency declarations (``@depends_on``) cover the domains that
     # determine result *membership* — which artifact ids come back for a
     # given request.  Usage-derived ordering and the advisory ``fields``
-    # snapshots attached to items are NOT covered: search re-ranks from
-    # the live resolver, so they never make a search result stale (see
-    # docs/execution.md).  Interaction providers, whose membership itself
-    # comes from the usage log, declare ``usage`` and flush on events.
+    # snapshots attached to items are NOT covered: consumers re-rank from
+    # the live resolver before display, so they never make a served
+    # result stale (see docs/execution.md).  For that contract to hold,
+    # no provider may *truncate* a usage-ordered list below its match
+    # count unless it declares ``usage`` — ``_rank_by_views`` therefore
+    # returns full membership and leaves truncation to the view layer.
+    # Interaction providers, whose membership itself comes from the
+    # usage log, declare ``usage`` and flush on events.
 
     @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
     def recents(self, request: ProviderRequest) -> ProviderResult:
@@ -155,7 +159,7 @@ class BuiltinProviders:
         if user_id is None:
             return self._list([], Representation.LIST)
         ids = self.store.by_owner(user_id)
-        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+        return self._list(self._rank_by_views(ids), Representation.LIST)
 
     @depends_on(DOMAIN_ENTITIES)
     def of_type(self, request: ProviderRequest) -> ProviderResult:
@@ -168,7 +172,7 @@ class BuiltinProviders:
         except ValueError:
             return self._list([], Representation.LIST)
         ids = self.store.by_type(artifact_type)
-        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+        return self._list(self._rank_by_views(ids), Representation.LIST)
 
     @depends_on(DOMAIN_ENTITIES)
     def types(self, request: ProviderRequest) -> ProviderResult:
@@ -204,7 +208,7 @@ class BuiltinProviders:
         if not badge:
             raise MissingInputError("badged", "badge")
         ids = self.store.by_badge(badge.lower())
-        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+        return self._list(self._rank_by_views(ids), Representation.LIST)
 
     @depends_on(DOMAIN_ENTITIES, DOMAIN_MEMBERSHIP)
     def badged_by(self, request: ProviderRequest) -> ProviderResult:
@@ -222,7 +226,7 @@ class BuiltinProviders:
                 for aid in self.store.by_badge(badge, granted_by=user_id)
             }
         )
-        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+        return self._list(self._rank_by_views(ids), Representation.LIST)
 
     @depends_on(DOMAIN_ENTITIES)
     def tagged(self, request: ProviderRequest) -> ProviderResult:
@@ -231,7 +235,7 @@ class BuiltinProviders:
         if not tag:
             raise MissingInputError("tagged", "text")
         ids = self.store.by_tag(tag)
-        return self._list(self._rank_by_views(ids, request), Representation.LIST)
+        return self._list(self._rank_by_views(ids), Representation.LIST)
 
     # -- team providers -------------------------------------------------------
 
@@ -261,7 +265,7 @@ class BuiltinProviders:
             return self._list([], Representation.TILES)
         ids = self.store.by_team(team.id)
         return self._list(
-            self._rank_by_views(ids, request), Representation.TILES
+            self._rank_by_views(ids), Representation.TILES
         )
 
     # -- relatedness providers ----------------------------------------------------
@@ -370,12 +374,21 @@ class BuiltinProviders:
             for field in ITEM_FIELDS
         }
 
-    def _rank_by_views(self, ids: list[str], request: ProviderRequest) -> list[str]:
-        ranked = sorted(
+    def _rank_by_views(self, ids: list[str]) -> list[str]:
+        """Order *ids* by view count (advisory) without truncating.
+
+        The ordering is cosmetic — consumers re-rank live — but the
+        *membership* of the returned list must stay a pure function of
+        the endpoint's declared domains.  Truncating a views-sorted list
+        to ``context.limit`` would make membership depend on usage, so
+        cached results of entities-only endpoints would go stale after
+        usage events; the view factory truncates after live re-ranking
+        instead.
+        """
+        return sorted(
             ids,
             key=lambda aid: (-self.resolver.value(aid, "views"), aid),
         )
-        return ranked[: request.context.limit]
 
     def _resolve_user(self, raw: str) -> str | None:
         """Resolve a user reference: id, exact name, or unique first name."""

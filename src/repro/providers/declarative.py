@@ -54,8 +54,10 @@ class LookupEndpoint:
         self._ids = list(artifact_ids)
         self.representation = _list_like(representation)
         # Membership is the curated list filtered to live artifacts, so
-        # only entity churn can change it.  (``add``/``remove`` edits are
-        # out-of-band endpoint mutations, bounded by the cache TTL.)
+        # only entity churn can change it — truncation below happens in
+        # curated order, which no usage event can reorder.  (``add``/
+        # ``remove`` edits are out-of-band endpoint mutations, bounded by
+        # the cache TTL.)
         self.__metadata_domains__ = frozenset({DOMAIN_ENTITIES})
 
     @property
@@ -144,6 +146,9 @@ class RuleEndpoint:
         self.rules = [self._validate_rule(rule) for rule in rules]
         if not self.rules:
             raise SpecError("a RuleEndpoint needs at least one rule")
+        # Membership is exactly the set of predicate matches (results are
+        # never truncated below it), so the declaration needs ``usage``
+        # only when a rule predicate reads a usage-derived field.
         domains = {DOMAIN_ENTITIES}
         if any(rule["field"] in _USAGE_FIELDS for rule in self.rules):
             domains.add(DOMAIN_USAGE)
@@ -190,7 +195,12 @@ class RuleEndpoint:
                     )
                 )
         items.sort(key=lambda i: (-i.score, i.artifact_id))
+        # Full membership, views order advisory only: truncating the
+        # views-sorted list here would make membership usage-dependent
+        # even when no rule reads a usage field, going stale in the cache
+        # after usage events the declaration does not cover.  Consumers
+        # truncate after re-ranking live.
         return ProviderResult(
             representation=self.representation,
-            items=tuple(items[: request.context.limit]),
+            items=tuple(items),
         )

@@ -411,7 +411,11 @@ class ExecutionEngine:
         )
         # Spec-declared dependencies overlaid per endpoint URI; unioned
         # with registry-declared dependencies by :meth:`dependencies_for`.
-        self._dependency_overlay: dict[str, frozenset[str]] = {}
+        # Each entry is stamped with the endpoint's registration
+        # generation at declaration time, so re-registering the endpoint
+        # (possibly with a callable declaring nothing) retires the stale
+        # overlay instead of silently narrowing invalidation.
+        self._dependency_overlay: dict[str, tuple[int, frozenset[str]]] = {}
         self._memos = threading.local()
         self._pool: ThreadPoolExecutor | None = None
         # Innermost first: validation sits at the boundary, retries wrap
@@ -519,11 +523,16 @@ class ExecutionEngine:
         """Drop cached results — all of them, or one endpoint's.
 
         Called on spec swap; catalog mutation invalidates automatically
-        through the store's ``version`` counter.
+        through the store's ``version`` counter.  A full invalidation
+        also clears the spec-declared dependency overlay: the swapped-in
+        spec re-declares its dependencies when its interface is built,
+        and keeping the old spec's declarations around would let them
+        linger past the spec they came from.
         """
         with self._lock:
             if endpoint is None:
                 self._cache.clear()
+                self._dependency_overlay.clear()
             else:
                 for key in [k for k in self._cache if k[0] == endpoint]:
                     del self._cache[key]
@@ -545,27 +554,54 @@ class ExecutionEngine:
         when the endpoint callable carries no ``@depends_on`` decoration.
         Empty *domains* is a no-op (an empty declaration means
         "undeclared", not "depends on nothing").
+
+        The declaration is bound to the endpoint's *current* registration
+        generation: when the endpoint is later re-registered, the overlay
+        entry is retired (see :meth:`dependencies_for`) rather than
+        applied to a callable it never described.
         """
         frozen = coerce_domains(domains)
         if not frozen:
             return
+        generation = self._registration_generation(endpoint)
         with self._lock:
-            current = self._dependency_overlay.get(endpoint, frozenset())
-            self._dependency_overlay[endpoint] = current | frozen
+            entry = self._dependency_overlay.get(endpoint)
+            current = (
+                entry[1]
+                if entry is not None and entry[0] == generation
+                else frozenset()
+            )
+            self._dependency_overlay[endpoint] = (generation, current | frozen)
 
     def dependencies_for(self, endpoint: str) -> frozenset[str] | None:
         """Effective domains for *endpoint*: registry ∪ overlay, or None.
 
         ``None`` means no declaration exists anywhere, and the endpoint's
         cached results are conservatively dropped on any catalog write.
+        Overlay entries declared against an earlier registration of the
+        endpoint are dropped here — a swapped-in callable with no
+        declaration of its own must fall back to conservative
+        invalidation, not inherit its predecessor's narrower set.
         """
         declared = self.registry.dependencies(endpoint) if hasattr(
             self.registry, "dependencies"
         ) else None
-        overlaid = self._dependency_overlay.get(endpoint)
+        with self._lock:
+            entry = self._dependency_overlay.get(endpoint)
+            if entry is not None and entry[0] != self._registration_generation(
+                endpoint
+            ):
+                del self._dependency_overlay[endpoint]
+                entry = None
+        overlaid = entry[1] if entry is not None else None
         if declared is None and overlaid is None:
             return None
         return (declared or frozenset()) | (overlaid or frozenset())
+
+    def _registration_generation(self, endpoint: str) -> int:
+        """The registry's stamp for *endpoint*'s current registration."""
+        getter = getattr(self.registry, "registration_generation", None)
+        return getter(endpoint) if callable(getter) else 0
 
     # -- lifecycle -----------------------------------------------------------
 

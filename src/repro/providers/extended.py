@@ -82,7 +82,14 @@ class ExtendedProviders:
 
     @depends_on(DOMAIN_USAGE, DOMAIN_ENTITIES)
     def stale(self, request: ProviderRequest) -> ProviderResult:
-        """Artifacts unviewed for STALE_AFTER_DAYS or badged deprecated."""
+        """Artifacts unviewed for STALE_AFTER_DAYS or badged deprecated.
+
+        Membership also depends on the catalog clock: the 90-day cutoff
+        moves as ``store.clock`` advances with no write bumping any
+        domain counter, so a cached result can lag the clock by up to
+        the engine's cache TTL (docs/execution.md, "clock-dependent
+        providers").  Domain declarations only track catalog writes.
+        """
         now = self.store.clock.now()
         cutoff = now - STALE_AFTER_DAYS * DAY
         items = []

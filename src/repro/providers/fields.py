@@ -55,6 +55,14 @@ class FieldResolver:
     def known_fields(self) -> list[str]:
         return sorted(self._resolvers)
 
+    def serves(self, field: str) -> bool:
+        """True when *field* is resolved live (built-in or registered).
+
+        Fields outside this set only resolve through the artifact's
+        ``extra`` mapping or a provider-attached snapshot.
+        """
+        return field in self._resolvers
+
     def value(self, artifact_id: str, field: str) -> float:
         """Numeric value of *field* for *artifact_id*.
 

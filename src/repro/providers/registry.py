@@ -46,6 +46,11 @@ class EndpointRegistry:
         # Bumped on every (un)registration; the execution layer keys
         # cache validity on it so swapping an endpoint drops its results.
         self._version = 0
+        # Per-uri stamp of the version at which the current callable was
+        # registered.  Lets the execution layer detect that *this* uri
+        # was swapped (not just that *something* changed) and retire any
+        # dependency declarations overlaid on the previous callable.
+        self._registered_at: dict[str, int] = {}
 
     @property
     def version(self) -> int:
@@ -92,15 +97,21 @@ class EndpointRegistry:
         else:
             self._dependencies[uri] = deps
         self._version += 1
+        self._registered_at[uri] = self._version
 
     def unregister(self, uri: str) -> None:
         if self._endpoints.pop(uri, None) is not None:
             self._dependencies.pop(uri, None)
+            self._registered_at.pop(uri, None)
             self._version += 1
 
     def dependencies(self, uri: str) -> frozenset[str] | None:
         """Declared domains for *uri*; ``None`` when undeclared."""
         return self._dependencies.get(uri)
+
+    def registration_generation(self, uri: str) -> int:
+        """Version stamp of *uri*'s current registration (0 = never)."""
+        return self._registered_at.get(uri, 0)
 
     def resolve(self, uri: str) -> Endpoint:
         try:

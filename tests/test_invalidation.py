@@ -27,11 +27,13 @@ from repro.catalog.domains import (
 from repro.catalog.model import Artifact, ArtifactType, Team, User
 from repro.providers.base import (
     ProviderRequest,
+    RequestContext,
     ScoredArtifact,
     declared_dependencies,
     depends_on,
     list_result,
 )
+from repro.providers.declarative import RuleEndpoint
 from repro.providers.execution import ExecutionEngine
 from repro.providers.registry import EndpointRegistry
 from repro.workbook.app import WorkbookApp
@@ -287,6 +289,130 @@ class TestConservativeFallback:
         for uri in ENDPOINT_DEPS:
             engine.fetch(uri, ProviderRequest())
         assert all(ep.calls == 2 for ep in endpoints.values())
+
+
+class TestMembershipSurvivesUsageWrites:
+    """Entities-only providers must not bake a usage-ranked top-N into
+    cache entries that no usage write will ever drop.  They return full
+    membership (views order advisory); the view layer truncates to the
+    display limit only after re-ranking on live resolver values.
+    """
+
+    def test_builtin_ranker_returns_full_membership(self, tiny_providers):
+        request = ProviderRequest(
+            inputs={"artifact_type": "table"},
+            context=RequestContext(limit=1),
+        )
+        result = tiny_providers.of_type(request)
+        assert sorted(i.artifact_id for i in result.items) == [
+            "t-customers", "t-orders", "t-web",
+        ]
+
+    def test_rule_endpoint_returns_full_membership(self, tiny_store):
+        endpoint = RuleEndpoint(
+            tiny_store, [{"field": "type", "op": "eq", "value": "table"}]
+        )
+        request = ProviderRequest(context=RequestContext(limit=1))
+        result = endpoint(request)
+        assert sorted(i.artifact_id for i in result.items) == [
+            "t-customers", "t-orders", "t-web",
+        ]
+
+    def test_rule_endpoint_cache_survives_usage_and_stays_complete(self):
+        store = build_tiny_store()
+        registry = EndpointRegistry()
+        registry.register(
+            "x://tables",
+            RuleEndpoint(store, [{"field": "type", "op": "eq",
+                                  "value": "table"}]),
+        )
+        engine = ExecutionEngine(registry, store=store)
+        request = ProviderRequest(context=RequestContext(limit=1))
+        engine.fetch("x://tables", request)
+        store.record("t-web", "u-cyd", "view")
+        second = engine.fetch("x://tables", request)
+        # entities-only declaration: the entry survived the usage write...
+        assert engine.stats.cache_hits == 1
+        # ...and can, because it holds every match, not a usage top-1.
+        assert sorted(i.artifact_id for i in second.items) == [
+            "t-customers", "t-orders", "t-web",
+        ]
+
+    def test_open_view_top_n_fresh_after_usage_flip(self):
+        """The end-to-end regression: a usage swing must move a newly-hot
+        artifact into a cached entities-only view's top-N."""
+        store = build_tiny_store()
+        with WorkbookApp(store) as app:
+            before = app.interface.open_view(
+                "of_type", {"artifact_type": "table"},
+                user_id="u-ann", limit=2,
+            )
+            assert "t-web" not in before.artifact_ids()  # cold at first
+            for _ in range(30):
+                store.record("t-web", "u-cyd", "view")
+            after = app.interface.open_view(
+                "of_type", {"artifact_type": "table"},
+                user_id="u-ann", limit=2,
+            )
+            # The provider's cache entry survived the usage writes, yet
+            # the displayed top-2 matches a cold-cache ground truth.
+            assert app.stats.cache_hits > 0
+            assert len(after.artifact_ids()) == 2
+            with WorkbookApp(store) as fresh:
+                expected = fresh.interface.open_view(
+                    "of_type", {"artifact_type": "table"},
+                    user_id="u-ann", limit=2,
+                ).artifact_ids()
+            assert after.artifact_ids() == expected
+            assert "t-web" in after.artifact_ids()
+
+
+class TestOverlayLifecycle:
+    """Spec-declared dependency overlays are bound to the registration
+    generation of the callable they described."""
+
+    @staticmethod
+    def build_engine(store):
+        registry = EndpointRegistry()
+        registry.register("x://e", CountingEndpoint())
+        engine = ExecutionEngine(registry, store=store)
+        engine.declare_dependencies("x://e", (DOMAIN_ENTITIES,))
+        return registry, engine
+
+    def test_reregistration_retires_spec_overlay(self, tiny_store):
+        registry, engine = self.build_engine(tiny_store)
+        assert engine.dependencies_for("x://e") == frozenset({DOMAIN_ENTITIES})
+        registry.register("x://e", CountingEndpoint(), replace=True)
+        # The swapped-in callable declared nothing; it must fall back to
+        # conservative invalidation, not inherit its predecessor's set.
+        assert engine.dependencies_for("x://e") is None
+
+    def test_swapped_endpoint_invalidates_conservatively(self, tiny_store):
+        registry, engine = self.build_engine(tiny_store)
+        swapped = CountingEndpoint(ids=("a-2",))
+        registry.register("x://e", swapped, replace=True)
+        engine.fetch("x://e", ProviderRequest())
+        tiny_store.record("t-orders", "u-ann", "view")
+        engine.fetch("x://e", ProviderRequest())
+        # A lingering entities-only overlay would have served the cache.
+        assert swapped.calls == 2
+
+    def test_redeclaration_after_swap_takes_effect(self, tiny_store):
+        registry, engine = self.build_engine(tiny_store)
+        registry.register("x://e", CountingEndpoint(), replace=True)
+        engine.declare_dependencies("x://e", (DOMAIN_USAGE,))
+        assert engine.dependencies_for("x://e") == frozenset({DOMAIN_USAGE})
+
+    def test_full_invalidate_clears_overlay(self, tiny_store):
+        _, engine = self.build_engine(tiny_store)
+        engine.invalidate()
+        # The spec-swap path: the next interface re-declares its own deps.
+        assert engine.dependencies_for("x://e") is None
+
+    def test_single_endpoint_invalidate_keeps_overlay(self, tiny_store):
+        _, engine = self.build_engine(tiny_store)
+        engine.invalidate("x://e")
+        assert engine.dependencies_for("x://e") == frozenset({DOMAIN_ENTITIES})
 
 
 #: Queries whose membership is independent of usage traffic; their cached

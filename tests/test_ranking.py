@@ -71,6 +71,27 @@ class TestRankItems:
         assert ranked[0].artifact_id == "t-orders"
 
 
+class TestLiveRanking:
+    """``rank_items(..., live=True)`` re-resolves resolver-served fields
+    so consumers of *cached* provider results rank on current usage."""
+
+    def test_live_mode_reresolves_served_fields(self, ranker):
+        # The snapshot says 2 views; the live resolver knows about 7.
+        items = [ScoredArtifact("t-orders", fields={"views": 2.0})]
+        snapshot = ranker.rank_items(items, [W_VIEWS])
+        live = ranker.rank_items(items, [W_VIEWS], live=True)
+        assert snapshot[0].score == pytest.approx(1.5 * 2)
+        assert live[0].score == pytest.approx(1.5 * 7)
+
+    def test_live_mode_keeps_provider_computed_fields(self, ranker):
+        # matched_columns exists only in the provider's snapshot; live
+        # mode must not discard fields the resolver cannot serve.
+        weight = RankingWeight("matched_columns", 2.0)
+        items = [ScoredArtifact("t-orders", fields={"matched_columns": 3.0})]
+        live = ranker.rank_items(items, [weight], live=True)
+        assert live[0].score == pytest.approx(6.0)
+
+
 class TestRerankingWithoutCode:
     def test_weight_change_reorders(self, ranker, tiny_store):
         # d-sales has fewer views than t-customers but an 'endorsed' badge.

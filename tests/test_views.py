@@ -52,6 +52,18 @@ class TestFactoryListing:
         assert view.artifact_ids()[0] == "t-orders"
         assert view.cards[0].score > view.cards[-1].score
 
+    def test_limit_truncates_after_live_ranking(
+        self, factory, tiny_providers, spec
+    ):
+        # The provider returns full membership even when asked for 2;
+        # the factory slices the display limit after live re-ranking.
+        result = fetch(tiny_providers, "of_type",
+                       {"artifact_type": "table"}, limit=2)
+        assert len(result.items) == 3
+        view = factory.build(spec.provider("of_type"), result,
+                             inputs={"artifact_type": "table"}, limit=2)
+        assert view.artifact_ids() == ["t-orders", "t-customers"]
+
     def test_tiles_view_rows(self, factory, tiny_providers, spec):
         result = fetch(tiny_providers, "most_viewed")
         view = factory.build(spec.provider("most_viewed"), result)
