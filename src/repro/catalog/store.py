@@ -65,6 +65,11 @@ class CatalogStore:
         # Per-artifact (name tokens, searchable-text tokens) memo for the
         # query evaluator's text scoring; dropped on reindex.
         self._token_cache: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
+        # Sorted artifact-id list memo, keyed on the entities version —
+        # Not-queries materialise the universe per search, and re-sorting
+        # a million-id catalog on every keystroke is pure waste.
+        self._sorted_ids: list[str] | None = None
+        self._sorted_ids_version = -1
 
     @property
     def version(self) -> int:
@@ -199,7 +204,13 @@ class CatalogStore:
             yield self._artifacts[artifact_id]
 
     def artifact_ids(self) -> list[str]:
-        return sorted(self._artifacts)
+        """All artifact ids, sorted; the sort is memoised per entities
+        version (callers receive a copy they may mutate freely)."""
+        version = self._versions[DOMAIN_ENTITIES]
+        if self._sorted_ids is None or self._sorted_ids_version != version:
+            self._sorted_ids = sorted(self._artifacts)
+            self._sorted_ids_version = version
+        return list(self._sorted_ids)
 
     def resolve(self, artifact_ids: Iterable[str]) -> list[Artifact]:
         """Map ids to artifacts, skipping ids that no longer exist."""
@@ -229,6 +240,34 @@ class CatalogStore:
     def by_token(self, token: str) -> list[str]:
         """Artifacts whose searchable text contains *token*."""
         return sorted(self._by_token.get(token.lower(), ()))
+
+    def index_size(self, kind: str, key: str) -> int:
+        """Bucket size of one secondary index, without materialising it.
+
+        The query planner's cardinality estimates live on this: a
+        ``by_*`` accessor sorts its bucket (O(k log k)) where planning
+        only needs ``len`` (O(1)).  *kind* is one of ``type``, ``owner``,
+        ``badge``, ``tag``, ``team``, ``token``; unknown kinds and
+        unindexed keys are size 0.
+        """
+        if kind == "type":
+            try:
+                coerced = ArtifactType.coerce(key)
+            except ValueError:
+                return 0
+            return len(self._by_type.get(coerced, ()))
+        index = {
+            "owner": self._by_owner,
+            "badge": self._by_badge,
+            "tag": self._by_tag,
+            "team": self._by_team,
+            "token": self._by_token,
+        }.get(kind)
+        if index is None:
+            return 0
+        if kind in ("tag", "token"):
+            key = key.lower()
+        return len(index.get(key, ()))
 
     def badges_in_use(self) -> list[str]:
         """Badge names that appear on at least one artifact."""

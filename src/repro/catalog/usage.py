@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import ItemsView
 
 from repro.catalog.model import UsageEvent
 
@@ -73,6 +74,15 @@ class UsageLog:
     def stats(self, artifact_id: str) -> UsageStats:
         """Aggregates for *artifact_id* (zeros if never used)."""
         return self._stats.get(artifact_id, UsageStats())
+
+    def all_stats(self) -> "ItemsView[str, UsageStats]":
+        """Every artifact's aggregates in one pass (live view, no copy).
+
+        The batch field resolver snapshots usage-derived ranking fields
+        from this instead of issuing one :meth:`stats` lookup per
+        (artifact, field) pair per search.
+        """
+        return self._stats.items()
 
     def events(self) -> tuple[UsageEvent, ...]:
         """All events in arrival order (a copy-free snapshot)."""

@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--user", default="",
                         help="user id for personalised providers")
     search.add_argument("--limit", type=int, default=10)
+    search.add_argument("--explain", action="store_true",
+                        help="print the cost-based query plan (estimated "
+                             "vs actual cardinality, per-node latency, "
+                             "skipped fetches)")
     add_catalog_options(search)
 
     study = sub.add_parser("study", help="run the simulated user study")
@@ -152,6 +156,9 @@ def cmd_search(args, out) -> int:
         if result.truncated:
             print("note: at least one provider filled the fetch limit; "
                   "totals may under-report", file=out)
+        if args.explain and result.plan is not None:
+            print("", file=out)
+            print(result.plan.render(), file=out)
         _maybe_print_stats(args, app, out)
     return 0 if result.total else 1
 

@@ -9,17 +9,34 @@ NOT subtracts from the universe (all artifacts for global search, the
 current view's artifacts when filtering a view).  Results are ranked with
 the spec's global ranking weights plus a text-match base score.
 
+Evaluation is **cost-based**: before any fetch, the
+:class:`~repro.core.query.planner.QueryPlanner` estimates every node's
+result cardinality, and ``And`` then evaluates its cheapest branch first,
+carrying the running intersection as a candidate filter into later
+branches — a planned-empty or emptied intersection skips the remaining
+branch fetches entirely.  The resulting :class:`~repro.core.query.
+planner.ExplainedPlan` (estimates, actuals, timings, skips) rides on the
+:class:`SearchResult` and backs the CLI's ``--explain`` flag.  Planning
+never changes *what* a query matches, only the order work happens in;
+``planning = False`` restores strict left-to-right evaluation.
+
 Provider fetches route through the :class:`~repro.providers.execution.
 ExecutionEngine`: one search opens a request-scoped memo (identical
-sub-fetches execute once), independent ``And``/``Or`` branches fan out on
-the engine's thread pool with deterministic result ordering, and fetches
+sub-fetches execute once), independent ``And``/``Or`` branches — and the
+provider leaves of their one-level-nested subtrees — fan out on the
+engine's thread pool with deterministic result ordering, and fetches
 that fill :attr:`QueryEvaluator.fetch_limit` are flagged as truncated on
 the :class:`SearchResult` instead of silently dropping matches.
+
+Ranking is **lazy**: the evaluator hands the full match list to
+:meth:`~repro.core.ranking.Ranker.top_k`, which scores with plain floats
+and materialises scored entries only for the returned head.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.catalog.store import CatalogStore
 from repro.core.query.ast import (
@@ -32,6 +49,7 @@ from repro.core.query.ast import (
     TextTerm,
 )
 from repro.core.query.language import CompiledQuery, QueryLanguage
+from repro.core.query.planner import ExplainedPlan, PlanNode, QueryPlanner
 from repro.core.ranking import RankedArtifact, Ranker
 from repro.errors import QueryCompileError
 from repro.providers.base import ProviderRequest, ProviderResult, RequestContext
@@ -55,6 +73,9 @@ class SearchResult:
     #: True when at least one provider fetch filled the evaluator's
     #: fetch limit — set algebra may then under-report matches.
     truncated: bool = False
+    #: The cost-based plan this search ran under (estimates vs. actuals,
+    #: per-node timings, skipped fetches); None with planning disabled.
+    plan: "ExplainedPlan | None" = None
 
     def artifact_ids(self) -> list[str]:
         return [entry.artifact_id for entry in self.entries]
@@ -68,6 +89,10 @@ class _EvalState:
     """Per-search bookkeeping threaded through the AST walk."""
 
     truncated: bool = False
+    fetches_skipped: int = 0
+    #: Leaf nodes whose provider fetch already ran (prefetch fan-out or
+    #: memo warming) — the skip accounting must not count these.
+    warmed: set[QueryNode] = field(default_factory=set)
 
 
 class QueryEvaluator:
@@ -88,6 +113,10 @@ class QueryEvaluator:
         self.engine = engine
         self.language = language
         self.ranker = ranker
+        self.planner = QueryPlanner(store, self.engine, self._leaf_call)
+        #: Cost-based planning toggle; False restores the naive strict
+        #: left-to-right evaluation order (and drops ``result.plan``).
+        self.planning = True
         #: Result-size cap passed to providers during evaluation; large so
         #: intersections don't lose matches to provider-side truncation.
         self.fetch_limit = 10_000
@@ -117,8 +146,17 @@ class QueryEvaluator:
         )
         context = context or RequestContext()
         state = _EvalState()
+        plan_root: PlanNode | None = None
+        planning_ms = 0.0
+        if self.planning:
+            started = time.perf_counter()
+            universe_size = (
+                len(universe) if universe is not None else self.store.artifact_count
+            )
+            plan_root = self.planner.plan(compiled.node, context, universe_size)
+            planning_ms = (time.perf_counter() - started) * 1000.0
         with self.engine.scope():
-            ids = self._eval(compiled.node, context, universe, state)
+            ids = self._eval(compiled.node, context, universe, state, plan_root)
         if universe is not None:
             allowed = set(universe)
             ids = [aid for aid in ids if aid in allowed]
@@ -126,16 +164,20 @@ class QueryEvaluator:
 
         base_scores = self._text_base_scores(compiled, ids)
         weights = self.language.spec.global_ranking
-        entries = [
-            self.ranker.score(aid, weights, base_score=base_scores.get(aid, 0.0))
-            for aid in ids
-        ]
-        entries.sort(key=lambda e: (-e.score, e.artifact_id))
+        entries = self.ranker.top_k(ids, weights, limit, base_scores=base_scores)
+        plan = None
+        if plan_root is not None:
+            plan = ExplainedPlan(
+                root=plan_root,
+                planning_ms=planning_ms,
+                fetches_skipped=state.fetches_skipped,
+            )
         return SearchResult(
             query=compiled,
-            entries=tuple(entries[:limit]),
-            total=len(entries),
+            entries=tuple(entries),
+            total=len(ids),
             truncated=state.truncated,
+            plan=plan,
         )
 
     # -- AST evaluation ----------------------------------------------------
@@ -146,49 +188,210 @@ class QueryEvaluator:
         context: RequestContext,
         universe: list[str] | None,
         state: _EvalState,
+        plan: PlanNode | None = None,
+        candidates: set[str] | None = None,
     ) -> list[str]:
-        if isinstance(node, TextTerm):
-            return self._eval_text(node)
-        if isinstance(node, (FieldTerm, ProviderCall)):
-            endpoint, request = self._leaf_call(node, context)
-            return self._ids_from(self.engine.fetch(endpoint, request), state)
+        """Evaluate *node*, recording actual cardinality/latency on *plan*.
+
+        *candidates* is the running intersection of an enclosing planned
+        ``And``: leaf results are filtered to it post-fetch (the fetch
+        itself still runs unfiltered so cache entries stay full-membership)
+        purely to keep intermediate lists small — the enclosing ``And``
+        re-intersects, so the filter can never change the final set.
+        """
+        started = time.perf_counter()
+        ids = self._eval_node(node, context, universe, state, plan, candidates)
+        if plan is not None:
+            plan.actual = len(ids)
+            plan.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        return ids
+
+    def _eval_node(
+        self,
+        node: QueryNode,
+        context: RequestContext,
+        universe: list[str] | None,
+        state: _EvalState,
+        plan: PlanNode | None,
+        candidates: set[str] | None,
+    ) -> list[str]:
         if isinstance(node, And):
-            prefetched = self._prefetch_branches(node.children, context, state)
-            result: list[str] | None = None
-            for index, child in enumerate(node.children):
-                child_ids = (
-                    prefetched[index]
-                    if index in prefetched
-                    else self._eval(child, context, universe, state)
-                )
-                if result is None:
-                    result = child_ids
-                else:
-                    keep = set(child_ids)
-                    result = [aid for aid in result if aid in keep]
-                if not result:
-                    return []
-            return result or []
+            return self._eval_and(node, context, universe, state, plan, candidates)
         if isinstance(node, Or):
-            prefetched = self._prefetch_branches(node.children, context, state)
-            seen: set[str] = set()
-            merged: list[str] = []
-            for index, child in enumerate(node.children):
-                child_ids = (
-                    prefetched[index]
-                    if index in prefetched
-                    else self._eval(child, context, universe, state)
-                )
-                for aid in child_ids:
-                    if aid not in seen:
-                        seen.add(aid)
-                        merged.append(aid)
-            return merged
-        if isinstance(node, Not):
-            excluded = set(self._eval(node.child, context, universe, state))
+            return self._eval_or(node, context, universe, state, plan, candidates)
+        if isinstance(node, TextTerm):
+            ids = self._eval_text(node)
+        elif isinstance(node, (FieldTerm, ProviderCall)):
+            endpoint, request = self._leaf_call(node, context)
+            ids = self._ids_from(self.engine.fetch(endpoint, request), state)
+        elif isinstance(node, Not):
+            child_plan = plan.children[0] if plan is not None else None
+            excluded = set(
+                self._eval(node.child, context, universe, state, child_plan)
+            )
             scope = universe if universe is not None else self.store.artifact_ids()
-            return [aid for aid in scope if aid not in excluded]
-        raise QueryCompileError(f"unsupported query node {type(node).__name__}")
+            ids = [aid for aid in scope if aid not in excluded]
+        else:
+            raise QueryCompileError(
+                f"unsupported query node {type(node).__name__}"
+            )
+        if candidates is not None:
+            ids = [aid for aid in ids if aid in candidates]
+        return ids
+
+    def _eval_and(
+        self,
+        node: And,
+        context: RequestContext,
+        universe: list[str] | None,
+        state: _EvalState,
+        plan: PlanNode | None,
+        candidates: set[str] | None,
+    ) -> list[str]:
+        if plan is not None:
+            return self._eval_and_planned(
+                node, context, universe, state, plan, candidates
+            )
+        prefetched = self._prefetch_branches(node.children, context, state)
+        result: list[str] | None = None
+        for index, child in enumerate(node.children):
+            if index in prefetched:
+                child_ids = prefetched[index]
+                if candidates is not None:
+                    child_ids = [aid for aid in child_ids if aid in candidates]
+            else:
+                child_ids = self._eval(
+                    child, context, universe, state, candidates=candidates
+                )
+            if result is None:
+                result = child_ids
+            else:
+                keep = set(child_ids)
+                result = [aid for aid in result if aid in keep]
+            if not result:
+                return []
+        return result or []
+
+    def _eval_and_planned(
+        self,
+        node: And,
+        context: RequestContext,
+        universe: list[str] | None,
+        state: _EvalState,
+        plan: PlanNode,
+        candidates: set[str] | None,
+    ) -> list[str]:
+        """Selectivity-ordered conjunction.
+
+        Children run cheapest-estimate first; the running intersection
+        becomes the candidate filter for later branches, and a ``Not``
+        that already has a running result is applied as a subtraction
+        filter instead of materialising its universe-sized complement.
+        A branch planned empty suppresses prefetching entirely — if it
+        is indeed empty, every other branch's provider fetch is skipped
+        and counted, which is the planner's headline saving.
+        """
+        order = QueryPlanner.execution_order(plan.children)
+        for rank, index in enumerate(order):
+            plan.children[index].order = rank
+        planned_empty = any(child.estimated == 0 for child in plan.children)
+        if planned_empty:
+            prefetched: dict[int, list[str]] = {}
+        else:
+            prefetched = self._prefetch_branches(node.children, context, state)
+        result: list[str] | None = None
+        for position, index in enumerate(order):
+            child = node.children[index]
+            child_plan = plan.children[index]
+            if result is not None and not result:
+                self._skip_branches(order[position:], node, plan, context, state)
+                break
+            if isinstance(child, Not) and result is not None:
+                started = time.perf_counter()
+                excluded = set(
+                    self._eval(
+                        child.child,
+                        context,
+                        universe,
+                        state,
+                        child_plan.children[0],
+                        candidates=set(result),
+                    )
+                )
+                result = [aid for aid in result if aid not in excluded]
+                child_plan.actual = len(result)
+                child_plan.elapsed_ms = (time.perf_counter() - started) * 1000.0
+                child_plan.note = "filter"
+                continue
+            if index in prefetched:
+                child_ids = prefetched[index]
+                child_plan.actual = len(child_ids)
+                child_plan.note = "prefetched"
+                if result is None and candidates is not None:
+                    child_ids = [aid for aid in child_ids if aid in candidates]
+            else:
+                narrowed = set(result) if result is not None else candidates
+                child_ids = self._eval(
+                    child, context, universe, state, child_plan, narrowed
+                )
+            if result is None:
+                result = list(child_ids)
+            else:
+                keep = set(child_ids)
+                result = [aid for aid in result if aid in keep]
+        return result or []
+
+    def _skip_branches(
+        self,
+        indices: "list[int]",
+        node: And,
+        plan: PlanNode,
+        context: RequestContext,
+        state: _EvalState,
+    ) -> None:
+        """Mark never-evaluated branches skipped and count avoided fetches."""
+        for index in indices:
+            for entry in plan.children[index].iter_nodes():
+                entry.skipped = True
+            for term in node.children[index].iter_terms():
+                if not isinstance(term, (FieldTerm, ProviderCall)):
+                    continue
+                if term in state.warmed:
+                    continue  # its fetch already ran during prefetch
+                endpoint, _ = self._leaf_call(term, context)
+                self.engine.stats.record_fetch_skipped(endpoint)
+                state.fetches_skipped += 1
+
+    def _eval_or(
+        self,
+        node: Or,
+        context: RequestContext,
+        universe: list[str] | None,
+        state: _EvalState,
+        plan: PlanNode | None,
+        candidates: set[str] | None,
+    ) -> list[str]:
+        prefetched = self._prefetch_branches(node.children, context, state)
+        seen: set[str] = set()
+        merged: list[str] = []
+        for index, child in enumerate(node.children):
+            child_plan = plan.children[index] if plan is not None else None
+            if index in prefetched:
+                child_ids = prefetched[index]
+                if child_plan is not None:
+                    child_plan.actual = len(child_ids)
+                    child_plan.note = "prefetched"
+                if candidates is not None:
+                    child_ids = [aid for aid in child_ids if aid in candidates]
+            else:
+                child_ids = self._eval(
+                    child, context, universe, state, child_plan, candidates
+                )
+            for aid in child_ids:
+                if aid not in seen:
+                    seen.add(aid)
+                    merged.append(aid)
+        return merged
 
     def _eval_text(self, node: TextTerm) -> list[str]:
         tokens = tokenize(node.text)
@@ -238,30 +441,46 @@ class QueryEvaluator:
     ) -> dict[int, list[str]]:
         """Fan independent provider leaves of an And/Or out in parallel.
 
-        Only direct FieldTerm/ProviderCall children qualify — they need
-        no universe and are side-effect free.  Returns child index ->
-        artifact ids, consumed by the caller's own combination loop.
+        Direct FieldTerm/ProviderCall children fill the returned index ->
+        artifact-ids map, consumed by the caller's own combination loop.
+        Provider leaves sitting one level down inside And/Or sub-branches
+        ride along in the same fan-out purely to warm the request-scoped
+        memo — their branch's serial evaluation then hits the memo instead
+        of fetching.  Every leaf whose fetch ran here is recorded in
+        ``state.warmed`` so the skip accounting never counts it.
         Keying on the branch position (not ``id(node)``, as this once
         did) means a short-circuiting ``And`` simply abandons the dict:
         there is no shared residue to mis-attribute to an unrelated node
         whose ``id()`` happens to collide later in the same search.
         """
         prefetched: dict[int, list[str]] = {}
+        warmed: set[QueryNode] = set()
         slots: list[int] = []
         calls: list[tuple[str, ProviderRequest]] = []
         for index, child in enumerate(children):
             if isinstance(child, (FieldTerm, ProviderCall)):
                 slots.append(index)
                 calls.append(self._leaf_call(child, context))
+                warmed.add(child)
+        direct = len(calls)
+        for child in children:
+            if not isinstance(child, (And, Or)):
+                continue
+            for sub in child.children:
+                if isinstance(sub, (FieldTerm, ProviderCall)) and sub not in warmed:
+                    warmed.add(sub)
+                    calls.append(self._leaf_call(sub, context))
         if len(calls) < 2:
-            return prefetched  # nothing to parallelise
+            return {}  # nothing to parallelise
         outcomes = self.engine.fetch_many(calls)
-        for index, outcome in zip(slots, outcomes):
+        for outcome in outcomes:
             if not outcome.ok:
                 # Same contract as the serial path: a query that needs a
                 # broken provider fails loudly, first failure in child
-                # order wins.
+                # order wins (direct leaves before nested ones).
                 raise outcome.error
+        state.warmed.update(warmed)
+        for index, outcome in zip(slots, outcomes[:direct]):
             prefetched[index] = self._ids_from(outcome.result, state)
         return prefetched
 

@@ -1,0 +1,228 @@
+"""Cost-based query planning.
+
+Humboldt's search (§5.3) is set algebra over provider results, and the
+paper's motivating catalogs hold "up to millions" of artifacts — so the
+*order* in which an ``And`` evaluates its branches decides whether a
+keystroke-triggered search touches a dozen artifacts or the whole
+catalog.  The planner estimates every node's result cardinality before
+evaluation:
+
+* **text terms** — from the catalog's token-index bucket sizes
+  (:meth:`~repro.catalog.store.CatalogStore.index_size`), the upper
+  bound of a conjunctive token match;
+* **provider leaves** — from :meth:`~repro.providers.execution.
+  ExecutionEngine.estimate`: a live cached result answers with its exact
+  size, otherwise the endpoint's declared estimator hook
+  (:func:`~repro.providers.base.estimates_with`) is consulted;
+* **composites** — ``And`` is bounded by its smallest known child,
+  ``Or`` sums known children, ``Not`` is universe-bounded.
+
+Estimates drive three things in the evaluator: selectivity ordering of
+``And`` children (cheapest first, running intersection as a candidate
+filter), planned-empty short-circuits that skip the remaining branch
+fetches entirely, and the :class:`ExplainedPlan` attached to every
+:class:`~repro.core.query.evaluator.SearchResult` (surfaced by the CLI's
+``--explain`` flag).  Estimates only *order* work — they never replace a
+fetch — so a wrong estimate costs speed, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.core.query.ast import (
+    And,
+    FieldTerm,
+    Not,
+    Or,
+    ProviderCall,
+    QueryNode,
+    TextTerm,
+)
+from repro.util.textutil import tokenize
+
+if TYPE_CHECKING:  # type hints only; no runtime cycle
+    from repro.catalog.store import CatalogStore
+    from repro.providers.base import ProviderRequest, RequestContext
+    from repro.providers.execution import ExecutionEngine
+
+#: Resolves a provider-backed leaf to its (endpoint, request) — supplied
+#: by the evaluator, which owns input binding.
+LeafCall = Callable[["QueryNode", "RequestContext"], "tuple[str, ProviderRequest]"]
+
+#: Longest node label kept in plan output.
+_LABEL_WIDTH = 48
+
+
+@dataclass
+class PlanNode:
+    """One query node's plan entry: estimate before, actuals after.
+
+    ``children`` mirror the AST in **source order**; ``order`` records
+    the position the planner chose for execution (meaningful under an
+    ``And``).  ``actual``/``elapsed_ms`` stay unset for nodes the
+    evaluator skipped.
+    """
+
+    label: str
+    kind: str  # text | field | call | and | or | not
+    estimated: int | None = None
+    actual: int | None = None
+    elapsed_ms: float = 0.0
+    order: int = 0
+    skipped: bool = False
+    note: str = ""
+    children: list["PlanNode"] = field(default_factory=list)
+
+    def iter_nodes(self) -> Iterator["PlanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+
+@dataclass
+class ExplainedPlan:
+    """The full plan of one search, attached to its ``SearchResult``."""
+
+    root: PlanNode
+    planning_ms: float = 0.0
+    #: Provider fetches the evaluator proved unnecessary (planned-empty
+    #: branches, intersections that emptied before a branch was reached).
+    fetches_skipped: int = 0
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.iter_nodes())
+
+    def render(self) -> str:
+        """Plain-text plan tree for the CLI's ``--explain`` flag."""
+        lines = [
+            f"plan: {self.node_count()} node(s), "
+            f"planning {self.planning_ms:.2f} ms, "
+            f"{self.fetches_skipped} fetch(es) skipped"
+        ]
+
+        def walk(node: PlanNode, depth: int) -> None:
+            estimated = "?" if node.estimated is None else str(node.estimated)
+            actual = "-" if node.actual is None else str(node.actual)
+            parts = [
+                f"{'  ' * depth}{node.kind:<5} {node.label}",
+                f"est={estimated}",
+                f"actual={actual}",
+            ]
+            if node.actual is not None:
+                parts.append(f"{node.elapsed_ms:.2f} ms")
+            if node.skipped:
+                parts.append("SKIPPED")
+            if node.note:
+                parts.append(f"[{node.note}]")
+            lines.append("  ".join(parts))
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 1)
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Estimates query-node cardinalities and picks evaluation order."""
+
+    def __init__(
+        self,
+        store: "CatalogStore",
+        engine: "ExecutionEngine",
+        leaf_call: LeafCall,
+    ):
+        self.store = store
+        self.engine = engine
+        self._leaf_call = leaf_call
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(
+        self,
+        node: QueryNode,
+        context: "RequestContext",
+        universe_size: int,
+    ) -> PlanNode:
+        """Build the plan tree for *node*, estimating every node."""
+        if isinstance(node, TextTerm):
+            return self._leaf_plan(node, "text", self._estimate_text(node))
+        if isinstance(node, FieldTerm):
+            return self._leaf_plan(node, "field", self._estimate_leaf(node, context))
+        if isinstance(node, ProviderCall):
+            return self._leaf_plan(node, "call", self._estimate_leaf(node, context))
+        if isinstance(node, (And, Or)):
+            children = [
+                self.plan(child, context, universe_size)
+                for child in node.children
+            ]
+            known = [c.estimated for c in children if c.estimated is not None]
+            if isinstance(node, And):
+                estimated = min(known) if known else None
+                kind = "and"
+            else:
+                # A sum is only an estimate of the union when every branch
+                # is known; a partially-known Or stays unknown.
+                estimated = (
+                    sum(known) if len(known) == len(children) else None
+                )
+                kind = "or"
+            plan = self._leaf_plan(node, kind, estimated)
+            plan.children = children
+            return plan
+        if isinstance(node, Not):
+            child = self.plan(node.child, context, universe_size)
+            # Universe-bounded: an unknown child still cannot exceed the
+            # universe, and that upper bound is exactly what pushes Not
+            # branches to the back of an And.
+            estimated = max(universe_size - (child.estimated or 0), 0)
+            plan = self._leaf_plan(node, "not", estimated)
+            plan.children = [child]
+            return plan
+        # Unknown node kinds plan as opaque; evaluation will reject them.
+        return self._leaf_plan(node, type(node).__name__.lower(), None)
+
+    @staticmethod
+    def execution_order(children: Sequence[PlanNode]) -> list[int]:
+        """Child indices in evaluation order: most selective first.
+
+        Known estimates ascend; unknown-cardinality branches follow (they
+        could be anything, but at least they produce candidate sets);
+        ``Not`` branches go last — they are universe-sized complements,
+        cheapest applied as a filter on an already-small intersection.
+        Ties keep source order, so equal-cost plans match the naive
+        evaluator's fetch order.
+        """
+
+        def key(pair: tuple[int, PlanNode]) -> tuple[int, int, int]:
+            index, plan = pair
+            if plan.kind == "not":
+                return (2, plan.estimated or 0, index)
+            if plan.estimated is None:
+                return (1, 0, index)
+            return (0, plan.estimated, index)
+
+        return [index for index, _ in sorted(enumerate(children), key=key)]
+
+    # -- leaf estimation ----------------------------------------------------
+
+    def _estimate_text(self, node: TextTerm) -> int:
+        """Upper bound of a conjunctive token match: the rarest token."""
+        tokens = tokenize(node.text)
+        if not tokens:
+            return 0
+        return min(self.store.index_size("token", token) for token in tokens)
+
+    def _estimate_leaf(
+        self, node: "FieldTerm | ProviderCall", context: "RequestContext"
+    ) -> int | None:
+        endpoint, request = self._leaf_call(node, context)
+        return self.engine.estimate(endpoint, request)
+
+    @staticmethod
+    def _leaf_plan(node: QueryNode, kind: str, estimated: int | None) -> PlanNode:
+        label = node.to_text()
+        if len(label) > _LABEL_WIDTH:
+            label = label[: _LABEL_WIDTH - 1] + "…"
+        return PlanNode(label=label, kind=kind, estimated=estimated)

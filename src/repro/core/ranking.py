@@ -9,6 +9,7 @@ spec, so retuning ranking never touches this module — the paper's point.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -61,6 +62,99 @@ class Ranker:
             base_score=base_score,
             contributions=tuple(contributions),
         )
+
+    def top_k(
+        self,
+        artifact_ids: Iterable[str],
+        weights: Sequence[RankingWeight],
+        limit: int,
+        base_scores: "dict[str, float] | None" = None,
+    ) -> list[RankedArtifact]:
+        """The top-*limit* artifacts by combined score, lazily built.
+
+        The full-sort path (:meth:`rank_ids`) constructs a
+        :class:`RankedArtifact` — rounded per-field contribution tuples
+        included — for *every* candidate, then throws all but the head
+        away.  This path scores with plain floats (one
+        :meth:`FieldResolver.values_batch` pass, no tuples), heap-selects
+        the head with :func:`heapq.nsmallest`, and builds contribution
+        breakdowns only for the ≤ *limit* entries actually returned.
+
+        Ordering is bit-identical to the sort path: scores are rounded
+        the same way and ties break on artifact id.  ``limit <= 0``
+        returns no entries (the cap semantics of search).
+        """
+        ids = list(artifact_ids)
+        if limit <= 0 or not ids:
+            return []
+        base_scores = base_scores or {}
+        columns = self.resolver.values_batch(ids, [w.field for w in weights])
+        weight_columns = [(w.weight, columns[w.field]) for w in weights]
+        keyed = []
+        for index, aid in enumerate(ids):
+            total = base_scores.get(aid, 0.0)
+            for weight, column in weight_columns:
+                total += column[index] * weight
+            keyed.append((-round(total, 6), aid))
+        head = heapq.nsmallest(limit, keyed)
+        return [
+            self.score(aid, weights, base_score=base_scores.get(aid, 0.0))
+            for _, aid in head
+        ]
+
+    def top_k_items(
+        self,
+        items: Iterable[ScoredArtifact],
+        weights: Sequence[RankingWeight],
+        limit: int,
+        live: bool = False,
+    ) -> list[RankedArtifact]:
+        """Lazy top-*limit* selection over provider items.
+
+        Same contract as :meth:`rank_items` truncated to *limit* (same
+        scores, same live-field semantics, same tie-breaks), but scoring
+        runs on plain floats over batch-resolved columns and only the
+        returned head pays for :class:`RankedArtifact` construction.
+        ``limit <= 0`` falls back to the full sort — an uncapped caller
+        needs every entry ranked anyway.
+        """
+        items = list(items)
+        if limit <= 0:
+            return self.rank_items(items, weights, live=live)
+        snapshots = [
+            {
+                k: v
+                for k, v in item.fields.items()
+                if isinstance(v, (int, float))
+                and not isinstance(v, bool)
+                and not (live and self.resolver.serves(k))
+            }
+            for item in items
+        ]
+        columns = self.resolver.values_batch(
+            [item.artifact_id for item in items], [w.field for w in weights]
+        )
+        keyed = []
+        for index, item in enumerate(items):
+            total = item.score
+            snapshot = snapshots[index]
+            for weight in weights:
+                if weight.field in snapshot:
+                    value = float(snapshot[weight.field])
+                else:
+                    value = columns[weight.field][index]
+                total += value * weight.weight
+            keyed.append((-round(total, 6), item.artifact_id, index))
+        head = heapq.nsmallest(limit, keyed)
+        return [
+            self.score(
+                items[index].artifact_id,
+                weights,
+                base_score=items[index].score,
+                fields=snapshots[index],
+            )
+            for _, _, index in head
+        ]
 
     def rank_items(
         self,

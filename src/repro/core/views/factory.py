@@ -111,7 +111,22 @@ class ViewFactory:
         limit: int = 0,
     ) -> View:
         weights = self.spec.effective_ranking(provider.name)
-        ranked = self.ranker.rank_items(result.items, weights, live=True)
+        # Lazy top-k: a capped view only pays score-breakdown construction
+        # for the head it displays.  Deleted artifacts may occupy head
+        # slots (the ranker scores whatever ids the provider returned),
+        # so over-fetch by the item count of dropped ids to keep the
+        # visible card count identical to rank-all-then-truncate.
+        if limit > 0:
+            missing = sum(
+                1
+                for item in result.items
+                if not self.store.has_artifact(item.artifact_id)
+            )
+            ranked = self.ranker.top_k_items(
+                result.items, weights, limit + missing, live=True
+            )
+        else:
+            ranked = self.ranker.rank_items(result.items, weights, live=True)
         cards = tuple(
             make_card(self.store, entry.artifact_id, score=entry.score)
             for entry in ranked

@@ -7,6 +7,7 @@ documents and large vocabularies, so dense matrices would waste memory.
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import Counter, defaultdict
 from typing import Hashable
@@ -41,6 +42,7 @@ class TfIdfIndex:
         self._term_counts: dict[Hashable, Counter[str]] = {}
         self._df: Counter[str] = Counter()
         self._vectors: dict[Hashable, SparseVector] | None = None
+        self._norms: dict[Hashable, float] | None = None
         self._postings: dict[str, set[Hashable]] = defaultdict(set)
 
     def __len__(self) -> int:
@@ -120,7 +122,13 @@ class TfIdfIndex:
         limit: int,
         min_score: float,
     ) -> list[tuple[Hashable, float]]:
-        assert self._vectors is not None
+        assert self._vectors is not None and self._norms is not None
+        # The query norm is a constant of this call; document norms were
+        # precomputed alongside the vectors, so scoring a candidate is one
+        # sparse dot product — not two norm recomputations per pair.
+        query_norm = math.sqrt(sum(w * w for w in query.values()))
+        if query_norm == 0.0:
+            return []
         # Candidate generation via postings: only documents sharing a term.
         candidates: set[Hashable] = set()
         for term in query:
@@ -128,18 +136,31 @@ class TfIdfIndex:
         candidates.discard(exclude)
         scored = []
         for key in candidates:
-            score = cosine(query, self._vectors[key])
+            vector = self._vectors[key]
+            dot = sum(
+                weight * vector.get(term, 0.0)
+                for term, weight in query.items()
+            )
+            if dot == 0.0:
+                continue
+            score = dot / (query_norm * self._norms[key])
             if score > min_score:
                 scored.append((key, score))
-        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
-        return scored[:limit]
+        # Heap-select the head instead of sorting every candidate: top-k
+        # out of c candidates is O(c log k), and similarity queries ask
+        # for ~10 of potentially thousands.
+        return heapq.nsmallest(
+            limit, scored, key=lambda pair: (-pair[1], str(pair[0]))
+        )
 
     def _ensure_vectors(self) -> None:
         if self._vectors is not None:
             return
         vectors: dict[Hashable, SparseVector] = {}
+        norms: dict[Hashable, float] = {}
         for key, counts in self._term_counts.items():
-            vectors[key] = {
-                term: tf * self.idf(term) for term, tf in counts.items()
-            }
+            vector = {term: tf * self.idf(term) for term, tf in counts.items()}
+            vectors[key] = vector
+            norms[key] = math.sqrt(sum(w * w for w in vector.values()))
         self._vectors = vectors
+        self._norms = norms

@@ -279,6 +279,43 @@ def depends_on(*domains: str) -> Callable[[Endpoint], Endpoint]:
     return decorate
 
 
+#: Attribute carrying an endpoint's declared cardinality estimator.
+ESTIMATOR_ATTR = "__result_estimator__"
+
+#: An estimator: given the request a fetch would receive, predict how many
+#: artifacts the fetch would return — or ``None`` when it cannot say.
+Estimator = Callable[["ProviderRequest"], "int | None"]
+
+
+def estimates_with(estimator: Estimator) -> Callable[[Endpoint], Endpoint]:
+    """Attach a cardinality estimator to an endpoint.
+
+    The query planner asks :meth:`~repro.providers.execution.
+    ExecutionEngine.estimate` how large a provider leaf's result would be
+    before fetching it, so ``And`` branches evaluate most-selective
+    first.  An estimator must be *cheap* (an index-size lookup, not a
+    fetch) and may be approximate — estimates order evaluation, they
+    never replace it, so a wrong estimate costs speed, not correctness.
+    """
+
+    def decorate(endpoint: Endpoint) -> Endpoint:
+        setattr(endpoint, ESTIMATOR_ATTR, estimator)
+        return endpoint
+
+    return decorate
+
+
+def declared_estimator(endpoint: Endpoint) -> Estimator | None:
+    """The estimator *endpoint* declared via :func:`estimates_with`.
+
+    ``None`` means the endpoint offers no estimate; the planner then
+    treats its cardinality as unknown.  Bound methods expose the
+    attribute through ``__func__``, same as :func:`declared_dependencies`.
+    """
+    estimator = getattr(endpoint, ESTIMATOR_ATTR, None)
+    return estimator if callable(estimator) else None
+
+
 def declared_dependencies(endpoint: Endpoint) -> frozenset[str] | None:
     """The domains *endpoint* declared via :func:`depends_on`, else None.
 

@@ -13,6 +13,7 @@ registry — the UI never imports this module.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Callable
 
 from repro.catalog.domains import (
     DOMAIN_ENTITIES,
@@ -60,6 +61,62 @@ class BuiltinProviders:
         self.embedding = EmbeddingIndex(store)
 
     # -- endpoint table ---------------------------------------------------
+
+    def estimators(self) -> "dict[str, Callable[[ProviderRequest], int | None]]":
+        """Endpoint name -> result-cardinality estimator for the planner.
+
+        Endpoints here are bound methods, so the :func:`~repro.providers.
+        base.estimates_with` decorator cannot close over ``self``; the
+        installer registers these at the registry level instead.  Each
+        estimator answers from index bucket sizes in O(1)-ish time and
+        must mirror its endpoint's *membership* semantics (an unresolvable
+        user/team yields an empty result, hence estimate 0).  Endpoints
+        without an entry simply plan as unknown cardinality.
+        """
+        return {
+            "owned_by": self._estimate_owned_by,
+            "created_by": self._estimate_owned_by,
+            "of_type": self._estimate_of_type,
+            "badged": self._estimate_badged,
+            "tagged": self._estimate_tagged,
+            "team_docs": self._estimate_team_docs,
+        }
+
+    def _estimate_owned_by(self, request: ProviderRequest) -> int | None:
+        raw = request.input("user")
+        if not raw:
+            return None  # the fetch itself will raise MissingInputError
+        user_id = self._resolve_user(raw)
+        if user_id is None:
+            return 0
+        return self.store.index_size("owner", user_id)
+
+    def _estimate_of_type(self, request: ProviderRequest) -> int | None:
+        raw = request.input("artifact_type")
+        if not raw:
+            return None
+        return self.store.index_size("type", raw)
+
+    def _estimate_badged(self, request: ProviderRequest) -> int | None:
+        badge = request.input("badge")
+        if not badge:
+            return None
+        return self.store.index_size("badge", badge.lower())
+
+    def _estimate_tagged(self, request: ProviderRequest) -> int | None:
+        tag = request.input("text")
+        if not tag:
+            return None
+        return self.store.index_size("tag", tag)
+
+    def _estimate_team_docs(self, request: ProviderRequest) -> int | None:
+        team_id = request.input("team") or request.context.team_id
+        if not team_id:
+            return None
+        team = self._resolve_team(team_id)
+        if team is None:
+            return 0
+        return self.store.index_size("team", team.id)
 
     def endpoints(self) -> dict[str, Endpoint]:
         """Endpoint name -> callable; the installer registers these."""
@@ -435,9 +492,12 @@ def install_builtin_endpoints(
     Returns the registered URIs (sorted) for logging/tests.
     """
     uris = []
+    estimators = providers.estimators()
     for name, endpoint in providers.endpoints().items():
         uri = f"catalog://{name}"
-        registry.register(uri, endpoint, replace=True)
+        registry.register(
+            uri, endpoint, replace=True, estimator=estimators.get(name)
+        )
         uris.append(uri)
     return sorted(uris)
 

@@ -50,7 +50,11 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.catalog.domains import coerce_domains
 from repro.errors import HumboldtError, ProviderError
-from repro.providers.base import ProviderRequest, ProviderResult
+from repro.providers.base import (
+    ProviderRequest,
+    ProviderResult,
+    declared_estimator,
+)
 from repro.providers.faults import is_transient
 from repro.providers.registry import EndpointRegistry
 
@@ -109,6 +113,12 @@ class EndpointStats:
     truncations: int = 0
     #: Cache entries dropped because a depended-on domain mutated.
     invalidations: int = 0
+    #: Cardinality estimates served (cache-sized or hook-computed) for
+    #: the query planner, without invoking the endpoint.
+    estimates: int = 0
+    #: Fetches the planner proved unnecessary (an ``And`` intersection
+    #: emptied before this endpoint's branch was reached).
+    fetches_skipped: int = 0
     latencies_ms: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
     def latency_summary(self) -> dict[str, float]:
@@ -132,6 +142,8 @@ class EndpointStatsSnapshot:
     dedups: int = 0
     truncations: int = 0
     invalidations: int = 0
+    estimates: int = 0
+    fetches_skipped: int = 0
     latencies_ms: tuple[float, ...] = ()
 
     def latency_summary(self) -> dict[str, float]:
@@ -204,6 +216,14 @@ class ExecutionStats:
         with self._lock:
             self._for(endpoint).invalidations += dropped
 
+    def record_estimate(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).estimates += 1
+
+    def record_fetch_skipped(self, endpoint: str, count: int = 1) -> None:
+        with self._lock:
+            self._for(endpoint).fetches_skipped += count
+
     # -- reading -----------------------------------------------------------
 
     def _total(self, attr: str) -> int:
@@ -243,6 +263,14 @@ class ExecutionStats:
         return self._total("invalidations")
 
     @property
+    def estimates(self) -> int:
+        return self._total("estimates")
+
+    @property
+    def fetches_skipped(self) -> int:
+        return self._total("fetches_skipped")
+
+    @property
     def cache_hit_rate(self) -> float:
         hits, misses = self.cache_hits, self.cache_misses
         return hits / (hits + misses) if hits + misses else 0.0
@@ -268,6 +296,8 @@ class ExecutionStats:
                 dedups=live.dedups,
                 truncations=live.truncations,
                 invalidations=live.invalidations,
+                estimates=live.estimates,
+                fetches_skipped=live.fetches_skipped,
                 latencies_ms=tuple(live.latencies_ms),
             )
 
@@ -284,6 +314,8 @@ class ExecutionStats:
                     "dedups": s.dedups,
                     "truncations": s.truncations,
                     "invalidations": s.invalidations,
+                    "estimates": s.estimates,
+                    "fetches_skipped": s.fetches_skipped,
                     "latency_ms": s.latency_summary(),
                 }
                 for uri, s in sorted(self._endpoints.items())
@@ -299,6 +331,10 @@ class ExecutionStats:
             "invalidations": sum(
                 e["invalidations"] for e in endpoints.values()
             ),
+            "estimates": sum(e["estimates"] for e in endpoints.values()),
+            "fetches_skipped": sum(
+                e["fetches_skipped"] for e in endpoints.values()
+            ),
         }
         return {"totals": totals, "endpoints": endpoints}
 
@@ -308,6 +344,7 @@ class ExecutionStats:
         lines = [
             f"{'endpoint':<32}{'calls':>6}{'hits':>6}{'miss':>6}{'dedup':>6}"
             f"{'err':>5}{'retry':>6}{'trunc':>6}{'inval':>6}"
+            f"{'est':>5}{'skip':>6}"
             f"{'p50 ms':>8}{'p95 ms':>8}"
         ]
         for uri, s in snap["endpoints"].items():
@@ -317,6 +354,7 @@ class ExecutionStats:
                 f"{s['cache_misses']:>6}{s['dedups']:>6}"
                 f"{s['errors']:>5}{s['retries']:>6}"
                 f"{s['truncations']:>6}{s['invalidations']:>6}"
+                f"{s['estimates']:>5}{s['fetches_skipped']:>6}"
                 f"{lat['p50']:>8.2f}{lat['p95']:>8.2f}"
             )
         t = snap["totals"]
@@ -325,6 +363,7 @@ class ExecutionStats:
             f"{t['cache_misses']:>6}{t['dedups']:>6}"
             f"{t['errors']:>5}{t['retries']:>6}"
             f"{t['truncations']:>6}{t['invalidations']:>6}"
+            f"{t['estimates']:>5}{t['fetches_skipped']:>6}"
         )
         return "\n".join(lines)
 
@@ -502,6 +541,49 @@ class ExecutionEngine:
             if outcome.ok:
                 self._remember(key, outcome.result)
         return [outcomes[key] for key in keys]
+
+    def estimate(self, endpoint: str, request: ProviderRequest) -> int | None:
+        """Predict the fetch's result cardinality without invoking it.
+
+        Sources, in order of trust:
+
+        1. **the cache** — a live cached result for this exact request
+           key answers with its true size (and the later fetch will be a
+           hit, so planning on it is free);
+        2. **the endpoint's estimator hook** — declared via
+           :func:`~repro.providers.base.estimates_with` or
+           ``registry.register(..., estimator=...)``; cheap index-size
+           arithmetic supplied by the provider author.
+
+        Returns ``None`` when neither source can say — the planner then
+        treats the branch's cardinality as unknown.  Estimates order
+        query evaluation; they never replace a fetch, so a wrong hook
+        costs speed, not correctness (and a hook that raises is treated
+        as "no estimate", same fault containment as fetches).
+        """
+        key = request_key(endpoint, request)
+        cached = self._lookup(key)
+        if cached is not None:
+            self.stats.record_estimate(endpoint)
+            return len(cached.artifact_ids())
+        getter = getattr(self.registry, "estimator", None)
+        estimator = getter(endpoint) if callable(getter) else None
+        if estimator is None:
+            try:
+                resolved = self.registry.resolve(endpoint)
+            except ProviderError:
+                return None
+            estimator = declared_estimator(resolved)
+        if estimator is None:
+            return None
+        try:
+            value = estimator(request)
+        except Exception:
+            return None
+        if value is None:
+            return None
+        self.stats.record_estimate(endpoint)
+        return max(0, int(value))
 
     @contextmanager
     def scope(self) -> Iterator[None]:

@@ -11,8 +11,9 @@ paper intends (weights change, code does not).
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
+from repro.catalog.domains import DOMAIN_USAGE
 from repro.catalog.store import CatalogStore
 
 #: Field name -> short description; this is also the vocabulary the spec
@@ -33,6 +34,20 @@ RANKABLE_FIELDS: dict[str, str] = {
 }
 
 
+#: Column index of each usage-derived field in a snapshot row; ``recency``
+#: is special-cased (it is computed from ``last_viewed_at`` at query time
+#: because it depends on the clock, not only on the log).
+_USAGE_ROW_COLUMNS = {
+    "views": 0,
+    "opens": 1,
+    "edits": 2,
+    "favorite": 3,
+    "unique_viewers": 4,
+}
+_LAST_VIEWED_COLUMN = 5
+_ZERO_ROW = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
 class FieldResolver:
     """Resolves rankable field values for artifacts in a catalog."""
 
@@ -51,6 +66,18 @@ class FieldResolver:
             "certified": lambda aid: self._has_badge(aid, "certified"),
             "deprecated": lambda aid: self._has_badge(aid, "deprecated"),
         }
+        # The built-in usage resolvers, frozen at construction: the batch
+        # path may only snapshot a field while its resolver is still the
+        # built-in one — a host that re-registers ``views`` must win.
+        self._builtin_usage: dict[str, Callable[[str], float]] = {
+            field: self._resolvers[field]
+            for field in (*_USAGE_ROW_COLUMNS, "recency")
+        }
+        # aid -> (views, opens, edits, favorite, unique_viewers,
+        # last_viewed_at), rebuilt in one pass over the usage aggregates
+        # whenever the usage domain version moves (PR 2's counters).
+        self._usage_rows: dict[str, tuple] | None = None
+        self._usage_rows_version = -1
 
     def known_fields(self) -> list[str]:
         return sorted(self._resolvers)
@@ -79,6 +106,71 @@ class FieldResolver:
     def register(self, field: str, resolver: Callable[[str], float]) -> None:
         """Install a custom field resolver (organisation-specific metadata)."""
         self._resolvers[field] = resolver
+
+    # -- batch resolution ------------------------------------------------------
+
+    def values_batch(
+        self, artifact_ids: Iterable[str], fields: Sequence[str]
+    ) -> dict[str, list[float]]:
+        """Resolve *fields* for every id in one pass; field -> column.
+
+        Each returned column aligns with ``artifact_ids`` order.  Usage-
+        derived fields (views, opens, …, recency) are read from a
+        snapshot built in **one pass** over the usage aggregates and
+        memoised against the store's ``usage`` domain version, so
+        repeated searches pay O(result) dict lookups instead of
+        re-walking per-(artifact, field) aggregate state.  Other fields
+        (freshness, badges, ``extra``/custom resolvers) fall back to the
+        per-artifact :meth:`value` path.  Per-id results are identical to
+        :meth:`value` — the lazy top-k ranker depends on that.
+        """
+        ids = list(artifact_ids)
+        columns: dict[str, list[float]] = {}
+        rows: dict[str, tuple] | None = None
+        for field in fields:
+            if field in columns:
+                continue
+            # Only snapshot fields still served by the built-in usage
+            # resolvers; a re-registered field must go through its
+            # custom resolver even in batch mode.
+            builtin = self._builtin_usage.get(field)
+            if builtin is None or self._resolvers.get(field) is not builtin:
+                columns[field] = [self.value(aid, field) for aid in ids]
+                continue
+            if rows is None:
+                rows = self._usage_snapshot()
+            if field == "recency":
+                days_since = self.store.clock.days_since
+                column = []
+                for aid in ids:
+                    last = rows.get(aid, _ZERO_ROW)[_LAST_VIEWED_COLUMN]
+                    if last <= 0:
+                        column.append(0.0)
+                    else:
+                        column.append(1.0 / (1.0 + max(days_since(last), 0.0)))
+            else:
+                index = _USAGE_ROW_COLUMNS[field]
+                column = [rows.get(aid, _ZERO_ROW)[index] for aid in ids]
+            columns[field] = column
+        return columns
+
+    def _usage_snapshot(self) -> dict[str, tuple]:
+        """The usage-field rows, rebuilt when the usage domain mutates."""
+        version = self.store.domain_version(DOMAIN_USAGE)
+        if self._usage_rows is None or self._usage_rows_version != version:
+            self._usage_rows = {
+                aid: (
+                    float(stats.view_count),
+                    float(stats.open_count),
+                    float(stats.edit_count),
+                    float(stats.favorite_count),
+                    float(len(stats.viewers)),
+                    stats.last_viewed_at,
+                )
+                for aid, stats in self.store.usage.all_stats()
+            }
+            self._usage_rows_version = version
+        return self._usage_rows
 
     # -- built-in fields ------------------------------------------------------
 

@@ -16,9 +16,11 @@ from repro.catalog.domains import coerce_domains
 from repro.errors import DuplicateEntityError, ProviderError
 from repro.providers.base import (
     Endpoint,
+    Estimator,
     ProviderRequest,
     ProviderResult,
     declared_dependencies,
+    declared_estimator,
 )
 
 _URI_RE = re.compile(r"^(?P<scheme>[a-z][a-z0-9+.-]*)://(?P<path>[A-Za-z0-9_./-]+)$")
@@ -43,6 +45,10 @@ class EndpointRegistry:
         # undeclared: the execution layer then conservatively invalidates
         # that endpoint's cached results on any catalog write.
         self._dependencies: dict[str, frozenset[str]] = {}
+        # Declared cardinality estimators per uri.  Absent uri means the
+        # endpoint offers no estimate; the query planner then treats its
+        # result size as unknown and orders it after estimated branches.
+        self._estimators: dict[str, Estimator] = {}
         # Bumped on every (un)registration; the execution layer keys
         # cache validity on it so swapping an endpoint drops its results.
         self._version = 0
@@ -72,6 +78,7 @@ class EndpointRegistry:
         endpoint: Endpoint,
         replace: bool = False,
         dependencies: Iterable[str] | None = None,
+        estimator: Estimator | None = None,
     ) -> None:
         """Register *endpoint* under *uri*.
 
@@ -83,6 +90,12 @@ class EndpointRegistry:
         auto-discovered from a :func:`~repro.providers.base.depends_on`
         decoration on the endpoint; with neither, the endpoint is treated
         as depending on everything (conservative invalidation).
+
+        *estimator* predicts the endpoint's result cardinality for a
+        request without fetching (see :func:`~repro.providers.base.
+        estimates_with`, the decorator equivalent).  When omitted, it is
+        auto-discovered from the endpoint's decoration; with neither, the
+        planner treats the endpoint's cardinality as unknown.
         """
         parse_endpoint_uri(uri)
         if uri in self._endpoints and not replace:
@@ -91,23 +104,34 @@ class EndpointRegistry:
             deps = declared_dependencies(endpoint)
         else:
             deps = coerce_domains(dependencies)
+        if estimator is None:
+            estimator = declared_estimator(endpoint)
         self._endpoints[uri] = endpoint
         if deps is None:
             self._dependencies.pop(uri, None)
         else:
             self._dependencies[uri] = deps
+        if estimator is None:
+            self._estimators.pop(uri, None)
+        else:
+            self._estimators[uri] = estimator
         self._version += 1
         self._registered_at[uri] = self._version
 
     def unregister(self, uri: str) -> None:
         if self._endpoints.pop(uri, None) is not None:
             self._dependencies.pop(uri, None)
+            self._estimators.pop(uri, None)
             self._registered_at.pop(uri, None)
             self._version += 1
 
     def dependencies(self, uri: str) -> frozenset[str] | None:
         """Declared domains for *uri*; ``None`` when undeclared."""
         return self._dependencies.get(uri)
+
+    def estimator(self, uri: str) -> Estimator | None:
+        """Declared cardinality estimator for *uri*; ``None`` when absent."""
+        return self._estimators.get(uri)
 
     def registration_generation(self, uri: str) -> int:
         """Version stamp of *uri*'s current registration (0 = never)."""
