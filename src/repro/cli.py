@@ -66,7 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the cost-based query plan (estimated "
                              "vs actual cardinality, per-node latency, "
                              "skipped fetches)")
+    search.add_argument("--budget-ms", type=float, default=None,
+                        help="deadline budget for provider fetches; once "
+                             "spent, remaining fetches are skipped or "
+                             "served stale and the result is flagged "
+                             "degraded")
     add_catalog_options(search)
+
+    health = sub.add_parser(
+        "health",
+        help="generate an overview, then print per-endpoint resilience "
+             "state (circuit breakers, stale serves, deadline skips)",
+    )
+    health.add_argument("--user", default="",
+                        help="user id for personalised providers")
+    add_catalog_options(health)
 
     study = sub.add_parser("study", help="run the simulated user study")
     study.add_argument("--seed", type=int, default=7)
@@ -146,7 +160,8 @@ def cmd_search(args, out) -> int:
             query = translation.query_text()
             print(f"translated: {query}", file=out)
         result, _ = app.interface.search(query, user_id=user_id,
-                                         limit=args.limit)
+                                         limit=args.limit,
+                                         budget_ms=args.budget_ms)
         print(f"{result.total} result(s); "
               f"{explain(result.query.node)}", file=out)
         for entry in result.entries:
@@ -156,11 +171,41 @@ def cmd_search(args, out) -> int:
         if result.truncated:
             print("note: at least one provider filled the fetch limit; "
                   "totals may under-report", file=out)
+        if result.degraded:
+            print("note: DEGRADED result — some providers were stale or "
+                  "skipped:", file=out)
+            for marker in result.health:
+                print(f"  {marker.provider}: {marker.status}"
+                      f"{' — ' + marker.detail if marker.detail else ''}",
+                      file=out)
         if args.explain and result.plan is not None:
             print("", file=out)
             print(result.plan.render(), file=out)
         _maybe_print_stats(args, app, out)
     return 0 if result.total else 1
+
+
+def cmd_health(args, out) -> int:
+    """Exercise the overview fan-out, then report resilience state.
+
+    Exit code 1 signals degradation (an open breaker, a failed provider,
+    stale serves) so scripts can alert on it; 0 means fully healthy.
+    """
+    store = _resolve_store(args)
+    with WorkbookApp(store) as app:
+        user_id = args.user or _default_user(store)
+        app.interface.overview_tabs(user_id=user_id)
+        print(app.engine.render_health(), file=out)
+        degraded = app.interface.degraded
+        if degraded:
+            print("\ndegraded providers:", file=out)
+            for marker in app.interface.last_health:
+                if marker.degraded:
+                    print(f"  {marker.provider}: {marker.status}"
+                          f"{' — ' + marker.detail if marker.detail else ''}",
+                          file=out)
+        _maybe_print_stats(args, app, out)
+    return 1 if degraded else 0
 
 
 def cmd_study(args, out) -> int:
@@ -226,6 +271,7 @@ def cmd_export(args, out) -> int:
 _COMMANDS = {
     "demo": cmd_demo,
     "search": cmd_search,
+    "health": cmd_health,
     "study": cmd_study,
     "spec": cmd_spec,
     "generate": cmd_generate,

@@ -24,7 +24,13 @@ from repro.core.views.factory import ViewFactory
 from repro.core.views.listing import ListView
 from repro.errors import MissingInputError, ProviderError, UnknownProviderError
 from repro.providers.base import ProviderRequest, RequestContext
-from repro.providers.execution import ExecutionEngine, ExecutionStats
+from repro.providers.execution import (
+    ExecutionEngine,
+    ExecutionPolicy,
+    ExecutionStats,
+    FetchStatus,
+    ProviderHealth,
+)
 from repro.providers.fields import FieldResolver
 from repro.providers.registry import EndpointRegistry
 
@@ -50,14 +56,19 @@ class DiscoveryInterface:
         customization: Customization | None = None,
         validate: bool = True,
         engine: ExecutionEngine | None = None,
+        policy: ExecutionPolicy | None = None,
     ):
         if validate:
             validate_spec(spec, registry=registry)
         self.store = store
         self.registry = registry
         #: The single execution layer every fetch of this interface (and
-        #: its evaluator/exploration consumers) routes through.
-        self.engine = engine or ExecutionEngine(registry, store=store)
+        #: its evaluator/exploration consumers) routes through.  *policy*
+        #: configures a newly-built engine; ignored when *engine* is
+        #: passed in (the caller already configured it).
+        self.engine = engine or ExecutionEngine(
+            registry, store=store, policy=policy
+        )
         self.spec = spec
         # Surface spec-declared metadata-domain dependencies to the
         # engine so dependency-aware cache invalidation covers endpoints
@@ -77,6 +88,10 @@ class DiscoveryInterface:
         #: (provider, message) pairs skipped during the last overview
         #: generation because their endpoint failed (fault containment).
         self.last_errors: list[tuple[str, str]] = []
+        #: Per-provider health markers from the last overview generation
+        #: (ok, stale, skipped and error alike) — the interface-level
+        #: degradation report backing the CLI's ``health`` subcommand.
+        self.last_health: list[ProviderHealth] = []
 
     # -- spec evolution -----------------------------------------------------
 
@@ -102,19 +117,30 @@ class DiscoveryInterface:
     # -- overviews (§5.1) ------------------------------------------------------
 
     def overview_tabs(
-        self, user_id: str = "", team_id: str = "", limit: int = 20
+        self,
+        user_id: str = "",
+        team_id: str = "",
+        limit: int = 20,
+        budget_ms: float | None = None,
     ) -> list[Tab]:
         """Generate the overview tabs for a user (Figure 7B).
 
         Providers visible on the overview surface (after customization
         layers) whose required inputs are satisfiable from ambient context
         (the user, their team) each become a tab.
+
+        *budget_ms* bounds the fan-out's provider work; once spent,
+        remaining providers are skipped (or served stale).  Degradation
+        is reported per provider in :attr:`last_health`: a failed or
+        skipped provider loses its tab (the §6.1 contract), a stale one
+        keeps its tab with the view flagged ``stale``.
         """
         providers = self.customization.effective_providers(
             self.spec, "overview", user_id=user_id, team_id=team_id
         )
         context = RequestContext(user_id=user_id, team_id=team_id, limit=limit)
         self.last_errors = []
+        self.last_health = []
         candidates = [
             (provider, inputs)
             for provider in providers
@@ -123,11 +149,12 @@ class DiscoveryInterface:
         ]
         # One parallel fan-out instead of a serial fetch per provider;
         # outcomes align with candidates, so tab order stays spec order.
-        outcomes = self.engine.fetch_many(
+        outcomes = self.engine.execute_many(
             [
                 (provider.endpoint, ProviderRequest(inputs=inputs, context=context))
                 for provider, inputs in candidates
-            ]
+            ],
+            deadline=self.engine.deadline(budget_ms),
         )
         tabs = []
         for (provider, inputs), outcome in zip(candidates, outcomes):
@@ -136,17 +163,35 @@ class DiscoveryInterface:
                 # supply (e.g. a team view for a team-less user): §6.1 says
                 # to simply not generate the view.
                 continue
+            if outcome.skipped:
+                self.last_health.append(outcome.health_marker(provider.name))
+                self.last_errors.append((provider.name, str(outcome.error)))
+                continue
             try:
                 if outcome.error is not None:
                     raise outcome.error
                 view = self.factory.build(
-                    provider, outcome.result, inputs=inputs, limit=limit
+                    provider,
+                    outcome.result,
+                    inputs=inputs,
+                    limit=limit,
+                    stale=outcome.stale,
+                    notice=outcome.reason,
                 )
             except ProviderError as exc:
                 # A broken endpoint must degrade only its own view, never
                 # the whole generated interface.
+                self.last_health.append(
+                    ProviderHealth(
+                        provider=provider.name,
+                        endpoint=provider.endpoint,
+                        status=FetchStatus.ERROR.value,
+                        detail=str(exc),
+                    )
+                )
                 self.last_errors.append((provider.name, str(exc)))
                 continue
+            self.last_health.append(outcome.health_marker(provider.name))
             tabs.append(
                 Tab(
                     provider_name=provider.name,
@@ -156,6 +201,14 @@ class DiscoveryInterface:
                 )
             )
         return tabs
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the last overview generation was anything but fully
+        fresh (any stale, skipped or failed provider)."""
+        return any(marker.degraded for marker in self.last_health) or bool(
+            self.last_errors
+        )
 
     def open_view(
         self,
@@ -169,8 +222,17 @@ class DiscoveryInterface:
         provider, merged, request = self.resolve_request(
             provider_name, inputs, user_id=user_id, team_id=team_id, limit=limit
         )
-        result = self.engine.fetch(provider.endpoint, request)
-        return self.factory.build(provider, result, inputs=merged, limit=limit)
+        outcome = self.engine.execute(provider.endpoint, request)
+        if outcome.result is None:
+            raise outcome.error
+        return self.factory.build(
+            provider,
+            outcome.result,
+            inputs=merged,
+            limit=limit,
+            stale=outcome.stale,
+            notice=outcome.reason,
+        )
 
     def resolve_request(
         self,
@@ -208,19 +270,30 @@ class DiscoveryInterface:
         team_id: str = "",
         universe: list[str] | None = None,
         limit: int = 50,
+        budget_ms: float | None = None,
     ) -> tuple[SearchResult, ListView]:
         """Run a query; returns the result and its list view.
 
         "Whenever a search query is entered, results are shown in a new
         search tab using the list view."
+
+        *budget_ms* bounds the search's provider work (see
+        :meth:`QueryEvaluator.search`); a degraded result flags the view.
         """
         context = RequestContext(user_id=user_id, team_id=team_id, limit=limit)
         result = self.evaluator.search(
-            query, context=context, universe=universe, limit=limit
+            query,
+            context=context,
+            universe=universe,
+            limit=limit,
+            budget_ms=budget_ms,
         )
         cards = tuple(
             make_card(self.store, entry.artifact_id, score=entry.score)
             for entry in result.entries
+        )
+        notice = "; ".join(
+            f"{marker.provider}: {marker.status}" for marker in result.health
         )
         view = ListView(
             view_id=f"search[{query}]",
@@ -230,6 +303,9 @@ class DiscoveryInterface:
             description=f"Results for: {result.query.text}",
             inputs={},
             cards=cards,
+            stale=any(m.status == FetchStatus.STALE.value for m in result.health),
+            degraded=result.degraded,
+            notice=notice,
         )
         return (result, view)
 

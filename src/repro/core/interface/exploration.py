@@ -19,6 +19,7 @@ from repro.core.interface.discovery import DiscoveryInterface
 from repro.core.spec.model import ProviderSpec
 from repro.core.views.base import View
 from repro.errors import ProviderError
+from repro.providers.execution import ProviderHealth
 
 #: Cap on how many values of one input type fan out into views (an
 #: artifact with ten badges should not spawn ten Badged views).
@@ -41,6 +42,9 @@ class ExplorationEngine:
 
     def __init__(self, interface: DiscoveryInterface):
         self.interface = interface
+        #: Per-provider health markers from the last :meth:`explore`
+        #: fan-out — degraded entries explain missing or stale panels.
+        self.last_health: list[ProviderHealth] = []
 
     def derive_input_values(self, artifact_id: str) -> dict[str, list[str]]:
         """Candidate input values per input type, from the selection."""
@@ -64,12 +68,17 @@ class ExplorationEngine:
         user_id: str = "",
         team_id: str = "",
         limit: int = 10,
+        budget_ms: float | None = None,
     ) -> list[SurfacedView]:
         """All views surfaced by selecting *artifact_id*, spec order.
 
         Views that come back empty are dropped — surfacing an empty
         "Similar" panel is noise, not discovery.  The selected artifact
         itself is excluded from list-like results.
+
+        *budget_ms* bounds the fan-out; skipped or failed providers lose
+        their panel (recorded in :attr:`last_health`), stale ones keep it
+        with the view flagged ``stale``.
         """
         values = self.derive_input_values(artifact_id)
         providers = self.interface.customization.effective_providers(
@@ -93,18 +102,27 @@ class ExplorationEngine:
                 except ProviderError:
                     continue
                 candidates.append((provider, inputs, merged, reason, request))
-        outcomes = self.interface.engine.fetch_many(
-            [(p.endpoint, request) for p, _, _, _, request in candidates]
+        outcomes = self.interface.engine.execute_many(
+            [(p.endpoint, request) for p, _, _, _, request in candidates],
+            deadline=self.interface.engine.deadline(budget_ms),
         )
+        self.last_health = []
         surfaced: list[SurfacedView] = []
         for (provider, inputs, merged, reason, _), outcome in zip(
             candidates, outcomes
         ):
+            if outcome.degraded:
+                self.last_health.append(outcome.health_marker(provider.name))
+            if outcome.result is None:
+                continue  # failed or skipped: this panel degrades away
             try:
-                if outcome.error is not None:
-                    raise outcome.error
                 view = self.interface.factory.build(
-                    provider, outcome.result, inputs=merged, limit=limit
+                    provider,
+                    outcome.result,
+                    inputs=merged,
+                    limit=limit,
+                    stale=outcome.stale,
+                    notice=outcome.reason,
                 )
             except ProviderError:
                 continue

@@ -53,7 +53,13 @@ from repro.core.query.planner import ExplainedPlan, PlanNode, QueryPlanner
 from repro.core.ranking import RankedArtifact, Ranker
 from repro.errors import QueryCompileError
 from repro.providers.base import ProviderRequest, ProviderResult, RequestContext
-from repro.providers.execution import ExecutionEngine
+from repro.providers.execution import (
+    Deadline,
+    ExecutionEngine,
+    FetchOutcome,
+    FetchStatus,
+    ProviderHealth,
+)
 from repro.providers.registry import EndpointRegistry
 from repro.util.textutil import tokenize
 
@@ -76,6 +82,11 @@ class SearchResult:
     #: The cost-based plan this search ran under (estimates vs. actuals,
     #: per-node timings, skipped fetches); None with planning disabled.
     plan: "ExplainedPlan | None" = None
+    #: True when any provider leaf was served stale or skipped (open
+    #: breaker / exhausted deadline) — the result set may under-report.
+    degraded: bool = False
+    #: One marker per degraded (endpoint, status) pair explaining why.
+    health: tuple[ProviderHealth, ...] = ()
 
     def artifact_ids(self) -> list[str]:
         return [entry.artifact_id for entry in self.entries]
@@ -93,6 +104,10 @@ class _EvalState:
     #: Leaf nodes whose provider fetch already ran (prefetch fan-out or
     #: memo warming) — the skip accounting must not count these.
     warmed: set[QueryNode] = field(default_factory=set)
+    #: The search's deadline budget; None means unbounded.
+    deadline: "Deadline | None" = None
+    degraded: bool = False
+    health: list[ProviderHealth] = field(default_factory=list)
 
 
 class QueryEvaluator:
@@ -131,6 +146,7 @@ class QueryEvaluator:
         context: RequestContext | None = None,
         universe: list[str] | None = None,
         limit: int = 50,
+        budget_ms: float | None = None,
     ) -> SearchResult:
         """Evaluate *query*; *universe* scopes it to a view's artifacts.
 
@@ -138,6 +154,12 @@ class QueryEvaluator:
         passes the view's artifact ids (§5.3: "the difference between
         search and filters is the set of data artifacts it is performed
         on").
+
+        *budget_ms* bounds the search's provider work: once spent,
+        remaining fetches are skipped (or served stale), not attempted,
+        and the result is flagged ``degraded`` with per-provider health
+        markers.  ``None`` falls back to the engine policy's default
+        budget (unbounded out of the box).
         """
         compiled = (
             query
@@ -145,7 +167,7 @@ class QueryEvaluator:
             else self.language.compile(query)
         )
         context = context or RequestContext()
-        state = _EvalState()
+        state = _EvalState(deadline=self.engine.deadline(budget_ms))
         plan_root: PlanNode | None = None
         planning_ms = 0.0
         if self.planning:
@@ -172,12 +194,17 @@ class QueryEvaluator:
                 planning_ms=planning_ms,
                 fetches_skipped=state.fetches_skipped,
             )
+        unique_markers: dict[tuple[str, str], ProviderHealth] = {}
+        for marker in state.health:
+            unique_markers.setdefault((marker.endpoint, marker.status), marker)
         return SearchResult(
             query=compiled,
             entries=tuple(entries),
             total=len(ids),
             truncated=state.truncated,
             plan=plan,
+            degraded=state.degraded,
+            health=tuple(unique_markers.values()),
         )
 
     # -- AST evaluation ----------------------------------------------------
@@ -222,8 +249,7 @@ class QueryEvaluator:
         if isinstance(node, TextTerm):
             ids = self._eval_text(node)
         elif isinstance(node, (FieldTerm, ProviderCall)):
-            endpoint, request = self._leaf_call(node, context)
-            ids = self._ids_from(self.engine.fetch(endpoint, request), state)
+            ids = self._leaf_ids(node, context, state)
         elif isinstance(node, Not):
             child_plan = plan.children[0] if plan is not None else None
             excluded = set(
@@ -433,6 +459,36 @@ class QueryEvaluator:
         )
         return (provider.endpoint, request)
 
+    def _leaf_ids(
+        self,
+        node: "FieldTerm | ProviderCall",
+        context: RequestContext,
+        state: _EvalState,
+    ) -> list[str]:
+        """Fetch a provider leaf under the search's deadline budget."""
+        endpoint, request = self._leaf_call(node, context)
+        outcome = self.engine.execute(endpoint, request, deadline=state.deadline)
+        return self._outcome_ids(outcome, state)
+
+    def _outcome_ids(
+        self, outcome: FetchOutcome, state: _EvalState
+    ) -> list[str]:
+        """Map a leaf's outcome to ids, recording degradation.
+
+        An invoked-and-failed endpoint still fails the query loudly (the
+        pre-resilience contract); stale and skipped arms degrade instead:
+        stale contributes its cached membership, skipped contributes
+        nothing, and both flag the result with a health marker.
+        """
+        if outcome.status is FetchStatus.ERROR:
+            raise outcome.error
+        if outcome.degraded:
+            state.degraded = True
+            state.health.append(outcome.health_marker())
+        if outcome.result is None:
+            return []
+        return self._ids_from(outcome.result, state)
+
     def _prefetch_branches(
         self,
         children: tuple[QueryNode, ...],
@@ -454,34 +510,47 @@ class QueryEvaluator:
         whose ``id()`` happens to collide later in the same search.
         """
         prefetched: dict[int, list[str]] = {}
-        warmed: set[QueryNode] = set()
+        queued: set[QueryNode] = set()
+        leaves: list[QueryNode] = []
         slots: list[int] = []
         calls: list[tuple[str, ProviderRequest]] = []
         for index, child in enumerate(children):
             if isinstance(child, (FieldTerm, ProviderCall)):
                 slots.append(index)
                 calls.append(self._leaf_call(child, context))
-                warmed.add(child)
+                queued.add(child)
+                leaves.append(child)
         direct = len(calls)
         for child in children:
             if not isinstance(child, (And, Or)):
                 continue
             for sub in child.children:
-                if isinstance(sub, (FieldTerm, ProviderCall)) and sub not in warmed:
-                    warmed.add(sub)
+                if isinstance(sub, (FieldTerm, ProviderCall)) and sub not in queued:
+                    queued.add(sub)
+                    leaves.append(sub)
                     calls.append(self._leaf_call(sub, context))
         if len(calls) < 2:
             return {}  # nothing to parallelise
-        outcomes = self.engine.fetch_many(calls)
-        for outcome in outcomes:
-            if not outcome.ok:
+        outcomes = self.engine.execute_many(calls, deadline=state.deadline)
+        for leaf, outcome in zip(leaves, outcomes):
+            if outcome.status is FetchStatus.ERROR:
                 # Same contract as the serial path: a query that needs a
                 # broken provider fails loudly, first failure in child
                 # order wins (direct leaves before nested ones).
                 raise outcome.error
-        state.warmed.update(warmed)
+            if outcome.degraded:
+                state.degraded = True
+                state.health.append(outcome.health_marker())
+            if outcome.result is not None:
+                # Only a fetch that produced a result warmed the memo; a
+                # skipped leaf may still be planner-skipped (and counted)
+                # later without double bookkeeping.
+                state.warmed.add(leaf)
         for index, outcome in zip(slots, outcomes[:direct]):
-            prefetched[index] = self._ids_from(outcome.result, state)
+            if outcome.result is None:
+                prefetched[index] = []  # skipped leaf contributes nothing
+            else:
+                prefetched[index] = self._ids_from(outcome.result, state)
         return prefetched
 
     def _ids_from(self, result: ProviderResult, state: _EvalState) -> list[str]:

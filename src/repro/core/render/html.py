@@ -34,6 +34,8 @@ table.list th, table.list td { border-bottom: 1px solid #eee;
 ul.tree { list-style: none; }
 .category { margin-bottom: .8rem; }
 .category .count { color: #666; }
+.stale { background: #fecaca; color: #7f1d1d; border-radius: .3rem;
+         padding: 0 .4rem; font-size: .75rem; margin-left: .4rem; }
 svg { border: 1px solid #eee; border-radius: .5rem; }
 """
 
@@ -53,8 +55,21 @@ def _card_html(card: ArtifactCard) -> str:
 
 
 def render_view_html(view: View, max_items: int = 24) -> str:
-    """Render one view as an HTML fragment."""
-    title = f"<h3>{_esc(view.title)} <small>({_esc(view.representation)})</small></h3>"
+    """Render one view as an HTML fragment.
+
+    Degraded views get a visible chip (plus the notice as a tooltip) so
+    stale or partial data is never presented as fresh.
+    """
+    badge = ""
+    if view.degraded:
+        label = "stale" if view.stale else "degraded"
+        badge = (
+            f'<span class="stale" title="{_esc(view.notice)}">{label}</span>'
+        )
+    title = (
+        f"<h3>{_esc(view.title)} "
+        f"<small>({_esc(view.representation)})</small>{badge}</h3>"
+    )
     if isinstance(view, TilesView):
         body = '<div class="tiles">' + "".join(
             _card_html(c) for c in view.cards[:max_items]

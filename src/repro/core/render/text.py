@@ -30,8 +30,18 @@ def _card_line(card: ArtifactCard) -> str:
 
 
 def render_view_text(view: View, max_items: int = 12) -> str:
-    """Render any view type to text."""
+    """Render any view type to text.
+
+    Degraded views (stale cache served under an open breaker, spent
+    deadline) carry an explicit marker in the header so a partial or old
+    view is never mistaken for the full, fresh picture.
+    """
     header = f"== {view.title} ({view.representation}) =="
+    if view.degraded:
+        marker = "STALE" if view.stale else "DEGRADED"
+        header += f" !! {marker}"
+        if view.notice:
+            header += f": {view.notice}"
     if isinstance(view, TilesView):
         body = _render_tiles(view, max_items)
     elif isinstance(view, ListView):

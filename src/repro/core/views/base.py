@@ -74,6 +74,16 @@ class View:
     representation: str
     description: str = ""
     inputs: dict[str, str] = field(default_factory=dict)
+    #: True when the view was built from an expired cache entry served
+    #: under an open breaker or exhausted deadline (stale-while-revalidate).
+    stale: bool = False
+    #: True when the view's data is incomplete or old for any resilience
+    #: reason; renderers surface this so users never mistake a partial
+    #: view for the full picture.
+    degraded: bool = False
+    #: Human-readable degradation note ("circuit open; serving cached
+    #: result 320s past TTL"); empty when healthy.
+    notice: str = ""
 
     def artifact_ids(self) -> list[str]:
         """Every artifact shown by the view, display order."""

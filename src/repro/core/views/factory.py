@@ -42,6 +42,8 @@ class ViewFactory:
         result: ProviderResult,
         inputs: dict[str, str] | None = None,
         limit: int = 0,
+        stale: bool = False,
+        notice: str = "",
     ) -> View:
         """Generate the view for *provider* from *result*.
 
@@ -53,6 +55,12 @@ class ViewFactory:
         membership precisely so this truncation happens on fresh values;
         truncating inside the provider would bake usage-ranked membership
         into cache entries that don't declare a usage dependency.
+
+        *stale* marks a view built from an expired cache entry served
+        under an open breaker or exhausted deadline (the execution
+        layer's stale-while-revalidate path); *notice* carries the
+        human-readable reason.  Stale views are also flagged ``degraded``
+        so renderers surface them.
         """
         if result.representation != provider.representation:
             raise RepresentationError(
@@ -69,6 +77,9 @@ class ViewFactory:
             "representation": provider.representation.value,
             "description": provider.description,
             "inputs": inputs,
+            "stale": stale,
+            "degraded": stale,
+            "notice": notice,
         }
         rep = provider.representation
         if rep in (Representation.LIST, Representation.TILES):

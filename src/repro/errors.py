@@ -81,6 +81,38 @@ class ProviderTimeoutError(ProviderError):
     """
 
 
+class CircuitOpenError(ProviderError):
+    """A fetch was rejected because the endpoint's circuit breaker is open.
+
+    The endpoint was *not* invoked — the breaker tripped on earlier
+    consecutive failures and is still within its reset timeout.  Carries
+    ``retry_after_s``, the seconds until the breaker will admit a
+    half-open probe.
+    """
+
+    def __init__(self, provider: str, retry_after_s: float = 0.0):
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            provider,
+            f"circuit breaker open (retry in {retry_after_s:.1f}s)",
+        )
+
+
+class DeadlineExceededError(ProviderError):
+    """A fetch was skipped because the request's deadline budget was spent.
+
+    The endpoint was *not* invoked; retrying within the same request
+    cannot succeed, so the execution layer treats this as non-transient.
+    """
+
+    def __init__(self, provider: str, budget_ms: float = 0.0):
+        self.budget_ms = budget_ms
+        super().__init__(
+            provider,
+            f"request deadline exceeded ({budget_ms:.0f}ms budget spent)",
+        )
+
+
 class MissingInputError(ProviderError):
     """A provider requiring an input value was queried without it."""
 

@@ -10,7 +10,8 @@ Humboldt framework:
 * :mod:`repro.providers.registry` — endpoint registry resolving the
   ``endpoint`` URIs named in a Humboldt specification to callables;
 * :mod:`repro.providers.execution` — the execution layer every consumer
-  fetches through (caching, parallel fan-out, retry middleware, stats);
+  fetches through (caching, parallel fan-out, retry middleware, circuit
+  breakers, deadline budgets, stale-while-revalidate, stats);
 * :mod:`repro.providers.fields` — the metadata-field resolver ranking
   weights refer to;
 * :mod:`repro.providers.builtin` — the full provider suite of Figure 2
@@ -31,25 +32,43 @@ from repro.providers.base import (
 )
 from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
 from repro.providers.execution import (
+    BreakerPolicy,
+    BreakerState,
+    CachePolicy,
+    Deadline,
+    DeadlinePolicy,
+    EndpointPolicy,
     ExecutionEngine,
     ExecutionPolicy,
     ExecutionStats,
     FetchOutcome,
+    FetchStatus,
+    ProviderHealth,
+    RetryPolicy,
     request_key,
 )
 from repro.providers.fields import FieldResolver, RANKABLE_FIELDS
 from repro.providers.registry import EndpointRegistry
 
 __all__ = [
+    "BreakerPolicy",
+    "BreakerState",
     "BuiltinProviders",
+    "CachePolicy",
     "Category",
+    "Deadline",
+    "DeadlinePolicy",
     "EmbeddingPoint",
+    "EndpointPolicy",
     "EndpointRegistry",
     "ExecutionEngine",
     "ExecutionPolicy",
     "ExecutionStats",
     "FetchOutcome",
+    "FetchStatus",
     "FieldResolver",
+    "ProviderHealth",
+    "RetryPolicy",
     "GraphEdge",
     "HierarchyNode",
     "InputSpec",

@@ -22,16 +22,33 @@ naive reproduction scatters per call site:
 * **request-scoped memoisation** — :meth:`ExecutionEngine.scope` opens a
   memo so one logical operation (a search, an overview generation) never
   re-invokes an endpoint for the same key, even with the cache disabled;
-* **parallel fan-out** — :meth:`ExecutionEngine.fetch_many` executes
+* **parallel fan-out** — :meth:`ExecutionEngine.execute_many` executes
   independent fetches on a thread pool with deterministic, input-ordered
   results and per-call fault containment;
-* **middleware** — a retry/backoff policy composing with
-  :mod:`repro.providers.faults` (transient outages and timeouts retry;
-  contract violations do not) and envelope validation at the boundary;
+* **resilience** — per-endpoint **circuit breakers** (closed → open →
+  half-open) stop hammering a persistently failing endpoint, request
+  **deadline budgets** skip fetches a caller can no longer afford, and
+  **stale-while-revalidate** lets an open breaker or exhausted deadline
+  serve an expired cache entry, explicitly marked stale (see
+  ``docs/resilience.md``);
+* **middleware** — a retry/backoff policy (jittered, deadline-capped)
+  composing with :mod:`repro.providers.faults` (transient outages and
+  timeouts retry; contract violations do not) and envelope validation at
+  the boundary;
 * **instrumentation** — :class:`ExecutionStats`: per-endpoint call
-  counts, latency percentiles, cache hits/misses, retries, errors and
-  truncation events, surfaced via ``DiscoveryInterface.stats`` and the
-  CLI's ``--stats`` flag.
+  counts, latency percentiles, cache hits/misses, retries, errors,
+  truncation events, breaker state and stale/skip counters, surfaced via
+  ``DiscoveryInterface.stats``, :meth:`ExecutionEngine.health` and the
+  CLI's ``--stats`` flag and ``health`` subcommand.
+
+Configuration is a layered, frozen :class:`ExecutionPolicy`: global
+defaults (:meth:`ExecutionPolicy.defaults`), per-deployment tweaks
+(:meth:`ExecutionPolicy.replace`) and per-endpoint overrides
+(:meth:`ExecutionPolicy.for_endpoint`), resolved to a flat
+:class:`EndpointPolicy` per endpoint at fetch time.  Fetches uniformly
+return a :class:`FetchOutcome` envelope (ok | error | stale | skipped);
+:meth:`ExecutionEngine.fetch` remains as a raise-through compatibility
+shim.
 
 The registry stays pure name→callable resolution; this module is the seam
 future scaling work (sharding, async backends, remote endpoints) plugs
@@ -42,14 +59,23 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
+import zlib
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from dataclasses import replace as _dataclass_replace
+from enum import Enum
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.catalog.domains import coerce_domains
-from repro.errors import HumboldtError, ProviderError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    HumboldtError,
+    ProviderError,
+)
 from repro.providers.base import (
     ProviderRequest,
     ProviderResult,
@@ -60,6 +86,7 @@ from repro.providers.registry import EndpointRegistry
 
 if TYPE_CHECKING:  # imported for type hints only; no runtime cycle
     from repro.catalog.store import CatalogStore
+    from repro.util.clock import SimulationClock
 
 #: A fully canonicalised fetch identity: endpoint URI, sorted inputs,
 #: and the context fields that can change a provider's answer.
@@ -107,7 +134,7 @@ class EndpointStats:
     retries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
-    #: In-batch duplicates of a pending miss in ``fetch_many`` — the work
+    #: In-batch duplicates of a pending miss in ``execute_many`` — the work
     #: was shared, but no cache entry answered it.
     dedups: int = 0
     truncations: int = 0
@@ -119,6 +146,17 @@ class EndpointStats:
     #: Fetches the planner proved unnecessary (an ``And`` intersection
     #: emptied before this endpoint's branch was reached).
     fetches_skipped: int = 0
+    #: Expired cache entries served because the endpoint could not be
+    #: invoked (open breaker / exhausted deadline).
+    stale_served: int = 0
+    #: Fetches not attempted because the caller's deadline was spent.
+    deadline_skips: int = 0
+    #: Fetches rejected by an open circuit breaker.
+    breaker_rejections: int = 0
+    #: closed → open transitions of this endpoint's breaker.
+    breaker_opens: int = 0
+    #: Last observed breaker state (``closed``/``open``/``half-open``).
+    breaker_state: str = "closed"
     latencies_ms: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
     def latency_summary(self) -> dict[str, float]:
@@ -144,6 +182,11 @@ class EndpointStatsSnapshot:
     invalidations: int = 0
     estimates: int = 0
     fetches_skipped: int = 0
+    stale_served: int = 0
+    deadline_skips: int = 0
+    breaker_rejections: int = 0
+    breaker_opens: int = 0
+    breaker_state: str = "closed"
     latencies_ms: tuple[float, ...] = ()
 
     def latency_summary(self) -> dict[str, float]:
@@ -224,6 +267,26 @@ class ExecutionStats:
         with self._lock:
             self._for(endpoint).fetches_skipped += count
 
+    def record_stale_served(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).stale_served += 1
+
+    def record_deadline_skip(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).deadline_skips += 1
+
+    def record_breaker_rejection(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).breaker_rejections += 1
+
+    def record_breaker_open(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).breaker_opens += 1
+
+    def record_breaker_state(self, endpoint: str, state: str) -> None:
+        with self._lock:
+            self._for(endpoint).breaker_state = state
+
     # -- reading -----------------------------------------------------------
 
     def _total(self, attr: str) -> int:
@@ -271,6 +334,22 @@ class ExecutionStats:
         return self._total("fetches_skipped")
 
     @property
+    def stale_served(self) -> int:
+        return self._total("stale_served")
+
+    @property
+    def deadline_skips(self) -> int:
+        return self._total("deadline_skips")
+
+    @property
+    def breaker_rejections(self) -> int:
+        return self._total("breaker_rejections")
+
+    @property
+    def breaker_opens(self) -> int:
+        return self._total("breaker_opens")
+
+    @property
     def cache_hit_rate(self) -> float:
         hits, misses = self.cache_hits, self.cache_misses
         return hits / (hits + misses) if hits + misses else 0.0
@@ -298,6 +377,11 @@ class ExecutionStats:
                 invalidations=live.invalidations,
                 estimates=live.estimates,
                 fetches_skipped=live.fetches_skipped,
+                stale_served=live.stale_served,
+                deadline_skips=live.deadline_skips,
+                breaker_rejections=live.breaker_rejections,
+                breaker_opens=live.breaker_opens,
+                breaker_state=live.breaker_state,
                 latencies_ms=tuple(live.latencies_ms),
             )
 
@@ -316,6 +400,11 @@ class ExecutionStats:
                     "invalidations": s.invalidations,
                     "estimates": s.estimates,
                     "fetches_skipped": s.fetches_skipped,
+                    "stale_served": s.stale_served,
+                    "deadline_skips": s.deadline_skips,
+                    "breaker_rejections": s.breaker_rejections,
+                    "breaker_opens": s.breaker_opens,
+                    "breaker_state": s.breaker_state,
                     "latency_ms": s.latency_summary(),
                 }
                 for uri, s in sorted(self._endpoints.items())
@@ -335,6 +424,16 @@ class ExecutionStats:
             "fetches_skipped": sum(
                 e["fetches_skipped"] for e in endpoints.values()
             ),
+            "stale_served": sum(e["stale_served"] for e in endpoints.values()),
+            "deadline_skips": sum(
+                e["deadline_skips"] for e in endpoints.values()
+            ),
+            "breaker_rejections": sum(
+                e["breaker_rejections"] for e in endpoints.values()
+            ),
+            "breaker_opens": sum(
+                e["breaker_opens"] for e in endpoints.values()
+            ),
         }
         return {"totals": totals, "endpoints": endpoints}
 
@@ -345,6 +444,7 @@ class ExecutionStats:
             f"{'endpoint':<32}{'calls':>6}{'hits':>6}{'miss':>6}{'dedup':>6}"
             f"{'err':>5}{'retry':>6}{'trunc':>6}{'inval':>6}"
             f"{'est':>5}{'skip':>6}"
+            f"{'stale':>6}{'dskip':>6}{'brej':>5}"
             f"{'p50 ms':>8}{'p95 ms':>8}"
         ]
         for uri, s in snap["endpoints"].items():
@@ -355,6 +455,8 @@ class ExecutionStats:
                 f"{s['errors']:>5}{s['retries']:>6}"
                 f"{s['truncations']:>6}{s['invalidations']:>6}"
                 f"{s['estimates']:>5}{s['fetches_skipped']:>6}"
+                f"{s['stale_served']:>6}{s['deadline_skips']:>6}"
+                f"{s['breaker_rejections']:>5}"
                 f"{lat['p50']:>8.2f}{lat['p95']:>8.2f}"
             )
         t = snap["totals"]
@@ -364,6 +466,8 @@ class ExecutionStats:
             f"{t['errors']:>5}{t['retries']:>6}"
             f"{t['truncations']:>6}{t['invalidations']:>6}"
             f"{t['estimates']:>5}{t['fetches_skipped']:>6}"
+            f"{t['stale_served']:>6}{t['deadline_skips']:>6}"
+            f"{t['breaker_rejections']:>5}"
         )
         return "\n".join(lines)
 
@@ -372,7 +476,7 @@ class ExecutionStats:
             self._endpoints.clear()
 
 
-# -- policy and middleware ---------------------------------------------------
+# -- policy ------------------------------------------------------------------
 
 #: The continuation a middleware wraps: the rest of the stack.
 CallNext = Callable[[str, ProviderRequest], ProviderResult]
@@ -381,45 +485,552 @@ Middleware = Callable[[str, ProviderRequest, CallNext], ProviderResult]
 
 
 @dataclass(frozen=True)
-class ExecutionPolicy:
-    """Tunable knobs of one engine.
-
-    The defaults preserve pre-engine behaviour exactly (no retries) while
-    adding caching; hosts opt into retries per deployment.
-    """
+class RetryPolicy:
+    """Retry/backoff knobs of the retry middleware."""
 
     #: Total invocation attempts per fetch (1 = no retries).
     attempts: int = 1
-    #: First retry delay; doubles per subsequent attempt.
+    #: First retry delay; multiplied per subsequent attempt.
     backoff_base_ms: float = 25.0
     backoff_multiplier: float = 2.0
-    #: Result-cache time-to-live in seconds; 0 disables caching.
+    #: Fractional jitter applied to each delay: a delay *d* becomes
+    #: ``d * (1 ± backoff_jitter)``, deterministically per (endpoint,
+    #: attempt) so tests stay reproducible.  0 disables jitter.
+    backoff_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Result-cache knobs, including stale-while-revalidate grace."""
+
+    #: Freshness time-to-live in seconds; 0 disables caching.
+    ttl_s: float = 300.0
+    max_entries: int = 2048
+    #: Whether an open breaker / exhausted deadline may serve an expired
+    #: entry (explicitly marked stale) instead of failing outright.
+    serve_stale: bool = True
+    #: How long past its TTL an entry stays servable as stale.
+    stale_grace_s: float = 900.0
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-endpoint circuit-breaker knobs."""
+
+    enabled: bool = True
+    #: Consecutive fetch failures (post-retry) that trip the breaker.
+    failure_threshold: int = 5
+    #: Seconds an open breaker waits before allowing half-open probes.
+    reset_timeout_s: float = 30.0
+    #: Concurrent probe fetches allowed while half-open.
+    half_open_max_calls: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.half_open_max_calls < 1:
+            raise ValueError("half_open_max_calls must be >= 1")
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Default request-deadline knobs (engine-wide, not per endpoint)."""
+
+    #: Budget handed to :meth:`ExecutionEngine.deadline` when the caller
+    #: names none; 0 means "no deadline".
+    default_budget_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class EndpointPolicy:
+    """The flat, fully-resolved policy one fetch runs under.
+
+    Produced by :meth:`ExecutionPolicy.effective`; engines memoise one
+    per endpoint.  Only per-endpoint-overridable knobs appear here —
+    engine-wide settings (``max_workers``, ``cache.max_entries``, the
+    default deadline budget) stay on :class:`ExecutionPolicy`.
+    """
+
+    attempts: int = 1
+    backoff_base_ms: float = 25.0
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.0
     cache_ttl_s: float = 300.0
-    cache_max_entries: int = 2048
-    #: Thread-pool width for :meth:`ExecutionEngine.fetch_many`;
+    serve_stale: bool = True
+    stale_grace_s: float = 900.0
+    breaker_enabled: bool = True
+    breaker_failure_threshold: int = 5
+    breaker_reset_timeout_s: float = 30.0
+    breaker_half_open_max_calls: int = 1
+
+
+#: Legacy flat knob -> (policy group, field) for the compatibility shim
+#: and for :meth:`ExecutionPolicy.replace`'s flat spelling.
+_FLAT_KNOBS: dict[str, tuple[str, str]] = {
+    "attempts": ("retry", "attempts"),
+    "backoff_base_ms": ("retry", "backoff_base_ms"),
+    "backoff_multiplier": ("retry", "backoff_multiplier"),
+    "backoff_jitter": ("retry", "backoff_jitter"),
+    "cache_ttl_s": ("cache", "ttl_s"),
+    "cache_max_entries": ("cache", "max_entries"),
+    "serve_stale": ("cache", "serve_stale"),
+    "stale_grace_s": ("cache", "stale_grace_s"),
+    "breaker_enabled": ("breaker", "enabled"),
+    "breaker_failure_threshold": ("breaker", "failure_threshold"),
+    "breaker_reset_timeout_s": ("breaker", "reset_timeout_s"),
+    "breaker_half_open_max_calls": ("breaker", "half_open_max_calls"),
+    "deadline_budget_ms": ("deadline", "default_budget_ms"),
+}
+
+#: Knobs that may differ per endpoint (the fields of EndpointPolicy).
+_ENDPOINT_KNOBS: frozenset[str] = frozenset(
+    {
+        "attempts",
+        "backoff_base_ms",
+        "backoff_multiplier",
+        "backoff_jitter",
+        "cache_ttl_s",
+        "serve_stale",
+        "stale_grace_s",
+        "breaker_enabled",
+        "breaker_failure_threshold",
+        "breaker_reset_timeout_s",
+        "breaker_half_open_max_calls",
+    }
+)
+
+#: Frozen per-endpoint overrides: (endpoint, ((knob, value), ...)) pairs,
+#: sorted for stable equality/hashing.
+OverrideMap = tuple[tuple[str, tuple[tuple[str, object], ...]], ...]
+
+
+def _freeze_overrides(
+    overrides: "OverrideMap | dict[str, dict[str, object]]",
+) -> OverrideMap:
+    if isinstance(overrides, dict):
+        items = ((name, tuple(sorted(ov.items()))) for name, ov in overrides.items())
+    else:
+        items = ((name, tuple(sorted(dict(ov).items()))) for name, ov in overrides)
+    return tuple(sorted((name, ov) for name, ov in items if ov))
+
+
+@dataclass(frozen=True, init=False)
+class ExecutionPolicy:
+    """Layered, immutable engine configuration.
+
+    The canonical shape is four frozen policy groups plus engine-wide
+    settings::
+
+        policy = ExecutionPolicy.defaults()
+        policy = policy.replace(attempts=3, cache_ttl_s=60.0)
+        policy = policy.for_endpoint("catalog://lineage",
+                                     breaker_failure_threshold=2)
+        flat = policy.effective("catalog://lineage")  # -> EndpointPolicy
+
+    ``replace`` accepts whole groups (``retry=RetryPolicy(...)``) or the
+    flat knob spellings of :data:`_FLAT_KNOBS`; ``for_endpoint`` layers
+    per-endpoint overrides on top of the globals.  Every method returns a
+    new policy — instances are frozen and safely shareable.
+
+    **Deprecated:** constructing with flat kwargs
+    (``ExecutionPolicy(attempts=3, cache_ttl_s=0)``) still works through
+    a shim that maps them onto the groups, with a ``DeprecationWarning``.
+    Use ``ExecutionPolicy.defaults().replace(...)`` instead.
+    """
+
+    retry: RetryPolicy
+    cache: CachePolicy
+    breaker: BreakerPolicy
+    deadline: DeadlinePolicy
+    #: Thread-pool width for :meth:`ExecutionEngine.execute_many`;
     #: 1 degrades to serial execution.
-    max_workers: int = 8
+    max_workers: int
+    overrides: OverrideMap
+
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        cache: CachePolicy | None = None,
+        breaker: BreakerPolicy | None = None,
+        deadline: DeadlinePolicy | None = None,
+        max_workers: int = 8,
+        overrides: "OverrideMap | dict[str, dict[str, object]]" = (),
+        **legacy: object,
+    ):
+        if legacy:
+            unknown = sorted(set(legacy) - set(_FLAT_KNOBS))
+            if unknown:
+                raise TypeError(
+                    "unknown ExecutionPolicy knob(s): " + ", ".join(unknown)
+                )
+            warnings.warn(
+                "flat ExecutionPolicy(...) kwargs are deprecated; use "
+                "ExecutionPolicy.defaults().replace("
+                + ", ".join(f"{k}=..." for k in sorted(legacy))
+                + ")",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        groups: dict[str, object] = {
+            "retry": retry if retry is not None else RetryPolicy(),
+            "cache": cache if cache is not None else CachePolicy(),
+            "breaker": breaker if breaker is not None else BreakerPolicy(),
+            "deadline": deadline if deadline is not None else DeadlinePolicy(),
+        }
+        by_group: dict[str, dict[str, object]] = {}
+        for knob, value in legacy.items():
+            group_name, field_name = _FLAT_KNOBS[knob]
+            by_group.setdefault(group_name, {})[field_name] = value
+        for group_name, kwargs in by_group.items():
+            groups[group_name] = _dataclass_replace(groups[group_name], **kwargs)
+        object.__setattr__(self, "retry", groups["retry"])
+        object.__setattr__(self, "cache", groups["cache"])
+        object.__setattr__(self, "breaker", groups["breaker"])
+        object.__setattr__(self, "deadline", groups["deadline"])
+        object.__setattr__(self, "max_workers", int(max_workers))
+        object.__setattr__(self, "overrides", _freeze_overrides(overrides))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def defaults(cls) -> "ExecutionPolicy":
+        """The frozen global defaults (one shared instance)."""
+        global _DEFAULT_POLICY
+        if _DEFAULT_POLICY is None:
+            _DEFAULT_POLICY = cls()
+        return _DEFAULT_POLICY
+
+    def replace(self, **changes: object) -> "ExecutionPolicy":
+        """A copy with *changes* applied.
+
+        Accepts whole groups (``retry=``, ``cache=``, ``breaker=``,
+        ``deadline=``), engine-wide settings (``max_workers=``,
+        ``overrides=``), or any flat knob from :data:`_FLAT_KNOBS`
+        (``attempts=3``, ``cache_ttl_s=0`` …) — the layered spelling of
+        the deprecated flat constructor.
+        """
+        groups: dict[str, object] = {
+            "retry": self.retry,
+            "cache": self.cache,
+            "breaker": self.breaker,
+            "deadline": self.deadline,
+        }
+        max_workers = changes.pop("max_workers", self.max_workers)
+        overrides = changes.pop("overrides", self.overrides)
+        for group_name in tuple(groups):
+            if group_name in changes:
+                groups[group_name] = changes.pop(group_name)
+        by_group: dict[str, dict[str, object]] = {}
+        for knob, value in changes.items():
+            if knob not in _FLAT_KNOBS:
+                raise TypeError(f"unknown policy knob {knob!r}")
+            group_name, field_name = _FLAT_KNOBS[knob]
+            by_group.setdefault(group_name, {})[field_name] = value
+        for group_name, kwargs in by_group.items():
+            groups[group_name] = _dataclass_replace(groups[group_name], **kwargs)
+        return ExecutionPolicy(
+            retry=groups["retry"],
+            cache=groups["cache"],
+            breaker=groups["breaker"],
+            deadline=groups["deadline"],
+            max_workers=max_workers,
+            overrides=overrides,
+        )
+
+    def for_endpoint(self, endpoint: str, **knobs: object) -> "ExecutionPolicy":
+        """A copy with per-endpoint *knobs* layered over the globals.
+
+        Repeated calls for the same endpoint merge (later wins per knob).
+        Only the flat knobs of :class:`EndpointPolicy` may vary per
+        endpoint; engine-wide settings raise ``TypeError``.
+        """
+        if not knobs:
+            return self
+        for knob in knobs:
+            if knob not in _ENDPOINT_KNOBS:
+                if knob in _FLAT_KNOBS or knob == "max_workers":
+                    raise TypeError(
+                        f"policy knob {knob!r} is engine-wide and cannot "
+                        "be overridden per endpoint"
+                    )
+                raise TypeError(f"unknown policy knob {knob!r}")
+        current = {name: dict(pairs) for name, pairs in self.overrides}
+        merged = current.get(endpoint, {})
+        merged.update(knobs)
+        current[endpoint] = merged
+        return ExecutionPolicy(
+            retry=self.retry,
+            cache=self.cache,
+            breaker=self.breaker,
+            deadline=self.deadline,
+            max_workers=self.max_workers,
+            overrides=current,
+        )
+
+    def endpoint_overrides(self, endpoint: str) -> dict[str, object]:
+        """The raw per-endpoint override mapping (empty if none)."""
+        for name, pairs in self.overrides:
+            if name == endpoint:
+                return dict(pairs)
+        return {}
+
+    def effective(self, endpoint: str) -> EndpointPolicy:
+        """The flat resolved policy *endpoint*'s fetches run under."""
+        knobs: dict[str, object] = {
+            "attempts": self.retry.attempts,
+            "backoff_base_ms": self.retry.backoff_base_ms,
+            "backoff_multiplier": self.retry.backoff_multiplier,
+            "backoff_jitter": self.retry.backoff_jitter,
+            "cache_ttl_s": self.cache.ttl_s,
+            "serve_stale": self.cache.serve_stale,
+            "stale_grace_s": self.cache.stale_grace_s,
+            "breaker_enabled": self.breaker.enabled,
+            "breaker_failure_threshold": self.breaker.failure_threshold,
+            "breaker_reset_timeout_s": self.breaker.reset_timeout_s,
+            "breaker_half_open_max_calls": self.breaker.half_open_max_calls,
+        }
+        knobs.update(self.endpoint_overrides(endpoint))
+        return EndpointPolicy(**knobs)
+
+    # -- legacy read-through properties ------------------------------------
+
+    @property
+    def attempts(self) -> int:
+        """Read-through to ``retry.attempts`` (pre-layering spelling)."""
+        return self.retry.attempts
+
+    @property
+    def backoff_base_ms(self) -> float:
+        """Read-through to ``retry.backoff_base_ms``."""
+        return self.retry.backoff_base_ms
+
+    @property
+    def backoff_multiplier(self) -> float:
+        """Read-through to ``retry.backoff_multiplier``."""
+        return self.retry.backoff_multiplier
+
+    @property
+    def cache_ttl_s(self) -> float:
+        """Read-through to ``cache.ttl_s``."""
+        return self.cache.ttl_s
+
+    @property
+    def cache_max_entries(self) -> int:
+        """Read-through to ``cache.max_entries``."""
+        return self.cache.max_entries
+
+
+_DEFAULT_POLICY: "ExecutionPolicy | None" = None
+
+
+def _jitter_fraction(endpoint: str, attempt: int) -> float:
+    """Deterministic pseudo-random fraction in [-1, 1).
+
+    Keyed on (endpoint, attempt) via CRC32 — Python's ``hash()`` of
+    strings is randomised per process and would make retry schedules
+    unreproducible across runs.
+    """
+    seed = zlib.crc32(f"{endpoint}#{attempt}".encode("utf-8"))
+    return (seed / 0xFFFFFFFF) * 2.0 - 1.0
+
+
+# -- outcomes, health, deadlines ---------------------------------------------
+
+
+class FetchStatus(Enum):
+    """How a fetch concluded — the four arms of a :class:`FetchOutcome`."""
+
+    #: A fresh result: live fetch or unexpired cache entry.
+    OK = "ok"
+    #: The endpoint was invoked and failed (post-retry).
+    ERROR = "error"
+    #: An expired cache entry served under an open breaker or exhausted
+    #: deadline; the result is usable but explicitly degraded.
+    STALE = "stale"
+    #: The fetch was never attempted (open breaker / spent deadline) and
+    #: no stale fallback existed.
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class ProviderHealth:
+    """One provider's condition within a degraded operation."""
+
+    provider: str
+    endpoint: str
+    status: str  # a FetchStatus value: "ok" | "error" | "stale" | "skipped"
+    detail: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        return self.status != FetchStatus.OK.value
 
 
 @dataclass(frozen=True)
 class FetchOutcome:
-    """One :meth:`ExecutionEngine.fetch_many` result slot.
+    """The uniform envelope every engine fetch returns.
 
-    Exactly one of ``result``/``error`` is set — fault containment means
-    a failed call occupies its slot instead of aborting the batch.
+    Exactly one of ``result``/``error`` carries the payload for ``ok``
+    and ``error`` outcomes; ``stale`` outcomes carry a result *and* a
+    reason, ``skipped`` outcomes carry the error that would have been
+    raised (:class:`~repro.errors.CircuitOpenError` or
+    :class:`~repro.errors.DeadlineExceededError`).  ``status`` is
+    inferred from ``result``/``error`` when not given, which keeps the
+    historical two-field construction working.
     """
 
     endpoint: str
     result: ProviderResult | None = None
     error: HumboldtError | None = None
+    status: FetchStatus | None = None
+    #: Human-readable degradation note ("circuit open; serving cached
+    #: result 320s past TTL"); empty for fresh outcomes.
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status is None:
+            inferred = (
+                FetchStatus.ERROR if self.error is not None else FetchStatus.OK
+            )
+            object.__setattr__(self, "status", inferred)
 
     @property
     def ok(self) -> bool:
+        """Whether a usable result is present (fresh **or** stale)."""
         return self.error is None
+
+    @property
+    def fresh(self) -> bool:
+        return self.status is FetchStatus.OK
+
+    @property
+    def stale(self) -> bool:
+        return self.status is FetchStatus.STALE
+
+    @property
+    def skipped(self) -> bool:
+        return self.status is FetchStatus.SKIPPED
+
+    @property
+    def degraded(self) -> bool:
+        """True when the outcome is anything but a fresh success."""
+        return self.status is not FetchStatus.OK
+
+    def health_marker(self, provider: str = "") -> ProviderHealth:
+        """This outcome as a :class:`ProviderHealth` marker."""
+        detail = self.reason or (str(self.error) if self.error else "")
+        return ProviderHealth(
+            provider=provider or self.endpoint,
+            endpoint=self.endpoint,
+            status=self.status.value,
+            detail=detail,
+        )
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A request-level budget in the engine's timer coordinates.
+
+    Created by :meth:`ExecutionEngine.deadline` and threaded through
+    evaluator/discovery/exploration fan-outs; once spent, remaining
+    fetches are skipped (or served stale), not attempted.
+    """
+
+    expires_at: float
+    budget_ms: float = 0.0
+
+    def remaining_ms(self, now: float) -> float:
+        return max(0.0, (self.expires_at - now) * 1000.0)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One endpoint's closed → open → half-open state machine.
+
+    Not self-locking: the engine mutates it under its own lock.  Time is
+    whatever the engine's timer says, so simulation-clock engines test
+    every transition without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int,
+        reset_timeout_s: float,
+        half_open_max_calls: int = 1,
+    ):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_max_calls = half_open_max_calls
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self._probes_inflight = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether a fetch may proceed; transitions open → half-open."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at < self.reset_timeout_s:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probes_inflight = 0
+        if self._probes_inflight >= self.half_open_max_calls:
+            return False
+        self._probes_inflight += 1
+        return True
+
+    def record_success(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._trip(now)
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self._trip(now)
+
+    def retry_after_s(self, now: float) -> float:
+        """Seconds until an open breaker admits a probe (0 if not open)."""
+        if self.state is not BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self.reset_timeout_s - (now - self.opened_at))
+
+    def _trip(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = now
+        self.consecutive_failures = max(
+            self.consecutive_failures, self.failure_threshold
+        )
+
+
+#: A cache slot: (fresh_until, stale_until, result).  Entries past
+#: ``fresh_until`` but within ``stale_until`` are only servable through
+#: the stale-while-revalidate path, explicitly marked.
+_CacheEntry = tuple[float, float, ProviderResult]
 
 
 class ExecutionEngine:
-    """Cached, parallel, instrumented execution of provider fetches."""
+    """Cached, parallel, instrumented, resilient execution of fetches."""
 
     def __init__(
         self,
@@ -429,17 +1040,23 @@ class ExecutionEngine:
         middlewares: Sequence[Middleware] = (),
         timer: Callable[[], float] = time.perf_counter,
         sleep: Callable[[float], None] = time.sleep,
+        clock: "SimulationClock | None" = None,
     ):
         self.registry = registry
         self.store = store
-        self.policy = policy or ExecutionPolicy()
+        if clock is not None:
+            # A simulation-clock engine: time only moves when something
+            # sleeps, so TTLs, breakers and deadlines are deterministic.
+            timer = clock.now
+            sleep = lambda seconds: clock.advance(seconds=seconds)  # noqa: E731
         self.stats = ExecutionStats()
         self._timer = timer
         self._sleep = sleep
         self._lock = threading.RLock()
-        self._cache: OrderedDict[RequestKey, tuple[float, ProviderResult]] = (
-            OrderedDict()
-        )
+        self._endpoint_policies: dict[str, EndpointPolicy] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._policy = policy if policy is not None else ExecutionPolicy.defaults()
+        self._cache: OrderedDict[RequestKey, _CacheEntry] = OrderedDict()
         self._seen_store_version = store.version if store is not None else -1
         self._seen_registry_version = registry.version
         # Per-domain counters seen at the last sweep; None when the store
@@ -456,6 +1073,7 @@ class ExecutionEngine:
         # overlay instead of silently narrowing invalidation.
         self._dependency_overlay: dict[str, tuple[int, frozenset[str]]] = {}
         self._memos = threading.local()
+        self._ambient = threading.local()
         self._pool: ThreadPoolExecutor | None = None
         # Innermost first: validation sits at the boundary, retries wrap
         # it (so a transient failure re-enters validation too), and
@@ -467,33 +1085,99 @@ class ExecutionEngine:
             chain = self._wrap(middleware, chain)
         self._chain = chain
 
+    # -- policy ------------------------------------------------------------
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: ExecutionPolicy) -> None:
+        """Swap the policy, dropping resolved-per-endpoint state.
+
+        Breakers reset too — their thresholds/timeouts were resolved from
+        the old policy, and carrying tripped state across a reconfigure
+        would surprise more than it protects.
+        """
+        with self._lock:
+            self._policy = policy
+            self._endpoint_policies.clear()
+            self._breakers.clear()
+
+    def _policy_for(self, endpoint: str) -> EndpointPolicy:
+        resolved = self._endpoint_policies.get(endpoint)
+        if resolved is None:
+            resolved = self._policy.effective(endpoint)
+            with self._lock:
+                self._endpoint_policies[endpoint] = resolved
+        return resolved
+
+    # -- deadlines ---------------------------------------------------------
+
+    def deadline(self, budget_ms: float | None = None) -> Deadline | None:
+        """A :class:`Deadline` starting now, or None for "no budget".
+
+        Falls back to the policy's ``deadline.default_budget_ms`` when
+        the caller names no budget; 0 or negative means unbounded.
+        """
+        if budget_ms is None:
+            budget_ms = self._policy.deadline.default_budget_ms
+        if budget_ms is None or budget_ms <= 0:
+            return None
+        return Deadline(
+            expires_at=self._timer() + budget_ms / 1000.0, budget_ms=budget_ms
+        )
+
+    def _deadline_stack(self) -> list:
+        stack = getattr(self._ambient, "deadlines", None)
+        if stack is None:
+            stack = self._ambient.deadlines = []
+        return stack
+
+    def _current_deadline(self) -> Deadline | None:
+        stack = getattr(self._ambient, "deadlines", None)
+        return stack[-1] if stack else None
+
     # -- the public fetch API ----------------------------------------------
 
-    def fetch(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
-        """Resolve-and-invoke one endpoint through cache and middleware.
+    def execute(
+        self,
+        endpoint: str,
+        request: ProviderRequest,
+        deadline: Deadline | None = None,
+    ) -> FetchOutcome:
+        """One fetch through cache, breaker, deadline and middleware.
 
-        Raises the underlying :class:`~repro.errors.ProviderError` on
-        failure — containment is the batch API's job, not this one's.
+        Never raises for provider failures — every arm of the resilience
+        layer maps to a :class:`FetchOutcome` status:
+
+        * fresh cache hit or successful invocation → ``ok``;
+        * invocation failed post-retry → ``error`` (breaker notified);
+        * breaker open / deadline spent, expired-but-in-grace cache entry
+          available → ``stale``;
+        * breaker open / deadline spent, no fallback → ``skipped``.
         """
         key = request_key(endpoint, request)
         cached = self._lookup(key)
         if cached is not None:
             self.stats.record_cache_hit(endpoint)
-            return cached
+            return FetchOutcome(endpoint, result=cached)
         self.stats.record_cache_miss(endpoint)
-        result = self._execute(endpoint, request)
-        self._remember(key, result)
-        return result
+        return self._run_guarded(endpoint, request, key, deadline)
 
-    def fetch_many(
-        self, calls: Sequence[tuple[str, ProviderRequest]]
+    def execute_many(
+        self,
+        calls: Sequence[tuple[str, ProviderRequest]],
+        deadline: Deadline | None = None,
     ) -> list[FetchOutcome]:
-        """Execute *calls* concurrently; results align with the input.
+        """Execute *calls* concurrently; outcomes align with the input.
 
         Duplicate request keys within the batch are fetched once.  Each
         failing call yields a :class:`FetchOutcome` carrying its error —
         one broken endpoint never poisons its neighbours (§6.1 fault
-        containment, now in one place instead of per call site).
+        containment, now in one place instead of per call site).  A
+        *deadline* applies per call: fetches starting after it expires
+        are skipped (or served stale), not attempted.
         """
         keys = [request_key(endpoint, request) for endpoint, request in calls]
         outcomes: dict[RequestKey, FetchOutcome] = {}
@@ -520,27 +1204,48 @@ class ExecutionEngine:
                 outcomes[key] = FetchOutcome(endpoint)  # placeholder
                 pending.append((key, endpoint, request))
 
-        def run_one(endpoint: str, request: ProviderRequest) -> FetchOutcome:
-            try:
-                return FetchOutcome(endpoint, result=self._execute(endpoint, request))
-            except HumboldtError as exc:
-                return FetchOutcome(endpoint, error=exc)
+        def run_one(
+            key: RequestKey, endpoint: str, request: ProviderRequest
+        ) -> FetchOutcome:
+            return self._run_guarded(endpoint, request, key, deadline)
 
-        if len(pending) > 1 and self.policy.max_workers > 1:
+        if len(pending) > 1 and self._policy.max_workers > 1:
             futures = [
-                self._executor().submit(run_one, endpoint, request)
-                for _, endpoint, request in pending
+                self._executor().submit(run_one, key, endpoint, request)
+                for key, endpoint, request in pending
             ]
             finished = [future.result() for future in futures]
         else:
             finished = [
-                run_one(endpoint, request) for _, endpoint, request in pending
+                run_one(key, endpoint, request)
+                for key, endpoint, request in pending
             ]
         for (key, _, _), outcome in zip(pending, finished):
             outcomes[key] = outcome
-            if outcome.ok:
-                self._remember(key, outcome.result)
         return [outcomes[key] for key in keys]
+
+    def fetch(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
+        """**Deprecated** raise-through shim over :meth:`execute`.
+
+        Pre-redesign call sites expect a bare :class:`ProviderResult` and
+        a raised :class:`~repro.errors.ProviderError` on failure; this
+        preserves that contract (a ``skipped`` outcome raises its
+        :class:`~repro.errors.CircuitOpenError` /
+        :class:`~repro.errors.DeadlineExceededError`).  The stale-vs-ok
+        distinction is lost — callers that care use :meth:`execute`.
+        """
+        outcome = self.execute(endpoint, request)
+        if outcome.result is not None:
+            return outcome.result
+        raise outcome.error
+
+    def fetch_many(
+        self,
+        calls: Sequence[tuple[str, ProviderRequest]],
+        deadline: Deadline | None = None,
+    ) -> list[FetchOutcome]:
+        """Alias of :meth:`execute_many` (the pre-redesign name)."""
+        return self.execute_many(calls, deadline=deadline)
 
     def estimate(self, endpoint: str, request: ProviderRequest) -> int | None:
         """Predict the fetch's result cardinality without invoking it.
@@ -605,11 +1310,14 @@ class ExecutionEngine:
         """Drop cached results — all of them, or one endpoint's.
 
         Called on spec swap; catalog mutation invalidates automatically
-        through the store's ``version`` counter.  A full invalidation
-        also clears the spec-declared dependency overlay: the swapped-in
-        spec re-declares its dependencies when its interface is built,
-        and keeping the old spec's declarations around would let them
-        linger past the spec they came from.
+        through the store's ``version`` counter.  Dropped entries are
+        gone for the stale-while-revalidate path too — an invalidated
+        result is *wrong*, not merely old, so serving it marked "stale"
+        would still be serving a lie.  A full invalidation also clears
+        the spec-declared dependency overlay: the swapped-in spec
+        re-declares its dependencies when its interface is built, and
+        keeping the old spec's declarations around would let them linger
+        past the spec they came from.
         """
         with self._lock:
             if endpoint is None:
@@ -623,6 +1331,64 @@ class ExecutionEngine:
     def cache_size(self) -> int:
         with self._lock:
             return len(self._cache)
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> dict[str, dict]:
+        """A JSON-friendly resilience report, per endpoint URI.
+
+        Merges breaker state (live, including time-to-probe) with the
+        degradation counters of :class:`ExecutionStats`.  Backs the CLI's
+        ``health`` subcommand.
+        """
+        snap = self.stats.snapshot()["endpoints"]
+        now = self._timer()
+        with self._lock:
+            breakers = {
+                uri: (
+                    breaker.state.value,
+                    breaker.consecutive_failures,
+                    breaker.retry_after_s(now),
+                )
+                for uri, breaker in self._breakers.items()
+            }
+        report: dict[str, dict] = {}
+        for uri in sorted(set(snap) | set(breakers)):
+            s = snap.get(uri, {})
+            state, failures, retry_after = breakers.get(
+                uri, (BreakerState.CLOSED.value, 0, 0.0)
+            )
+            report[uri] = {
+                "breaker": state,
+                "consecutive_failures": failures,
+                "retry_after_s": round(retry_after, 3),
+                "calls": s.get("calls", 0),
+                "errors": s.get("errors", 0),
+                "stale_served": s.get("stale_served", 0),
+                "deadline_skips": s.get("deadline_skips", 0),
+                "breaker_rejections": s.get("breaker_rejections", 0),
+            }
+        return report
+
+    def render_health(self) -> str:
+        """Plain-text health table (CLI ``health`` subcommand)."""
+        report = self.health()
+        lines = [
+            f"{'endpoint':<32}{'breaker':>10}{'fails':>7}{'retry s':>9}"
+            f"{'calls':>7}{'err':>5}{'stale':>7}{'dskip':>7}{'brej':>6}"
+        ]
+        for uri, row in report.items():
+            lines.append(
+                f"{uri:<32}{row['breaker']:>10}"
+                f"{row['consecutive_failures']:>7}"
+                f"{row['retry_after_s']:>9.1f}"
+                f"{row['calls']:>7}{row['errors']:>5}"
+                f"{row['stale_served']:>7}{row['deadline_skips']:>7}"
+                f"{row['breaker_rejections']:>6}"
+            )
+        if len(lines) == 1:
+            lines.append("(no fetches recorded)")
+        return "\n".join(lines)
 
     # -- dependency declarations ---------------------------------------------
 
@@ -690,9 +1456,10 @@ class ExecutionEngine:
     def close(self) -> None:
         """Shut down the lazily-created thread pool, joining its workers.
 
-        Idempotent; a later :meth:`fetch_many` lazily recreates the pool,
-        so closing is safe even on engines that keep serving.  Without
-        this, every engine leaked its workers for the process lifetime.
+        Idempotent; a later :meth:`execute_many` lazily recreates the
+        pool, so closing is safe even on engines that keep serving.
+        Without this, every engine leaked its workers for the process
+        lifetime.
         """
         with self._lock:
             pool, self._pool = self._pool, None
@@ -722,24 +1489,48 @@ class ExecutionEngine:
             entry = self._cache.get(key)
             if entry is None:
                 return None
-            expires_at, result = entry
-            if self._timer() >= expires_at:
+            fresh_until, stale_until, result = entry
+            now = self._timer()
+            if now >= stale_until:
                 del self._cache[key]
+                return None
+            if now >= fresh_until:
+                # Expired but within the stale grace window: a miss for
+                # the fresh path, retained for stale-while-revalidate.
                 return None
             self._cache.move_to_end(key)
             return result
+
+    def _lookup_stale(self, key: RequestKey) -> tuple[ProviderResult, float] | None:
+        """An expired-but-in-grace entry and its age past TTL, if any."""
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                return None
+            fresh_until, stale_until, result = entry
+            now = self._timer()
+            if now >= stale_until:
+                del self._cache[key]
+                return None
+            return (result, max(0.0, now - fresh_until))
 
     def _remember(self, key: RequestKey, result: ProviderResult) -> None:
         stack = self._memo_stack()
         if stack:
             stack[-1][key] = result
-        if self.policy.cache_ttl_s <= 0:
+        policy = self._policy_for(key[0])
+        if policy.cache_ttl_s <= 0:
             return
         with self._lock:
             self._check_store_version()
-            self._cache[key] = (self._timer() + self.policy.cache_ttl_s, result)
+            now = self._timer()
+            fresh_until = now + policy.cache_ttl_s
+            stale_until = fresh_until + (
+                policy.stale_grace_s if policy.serve_stale else 0.0
+            )
+            self._cache[key] = (fresh_until, stale_until, result)
             self._cache.move_to_end(key)
-            while len(self._cache) > self.policy.cache_max_entries:
+            while len(self._cache) > self._policy.cache.max_entries:
                 self._cache.popitem(last=False)
 
     def _check_store_version(self) -> None:
@@ -797,10 +1588,127 @@ class ExecutionEngine:
         with self._lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
-                    max_workers=self.policy.max_workers,
+                    max_workers=self._policy.max_workers,
                     thread_name_prefix="humboldt-exec",
                 )
             return self._pool
+
+    def _run_guarded(
+        self,
+        endpoint: str,
+        request: ProviderRequest,
+        key: RequestKey,
+        deadline: Deadline | None,
+    ) -> FetchOutcome:
+        """Post-cache-miss execution: deadline and breaker gates, then the
+        middleware chain, mapping every arm to a :class:`FetchOutcome`."""
+        policy = self._policy_for(endpoint)
+        now = self._timer()
+        if deadline is not None and deadline.expired(now):
+            self.stats.record_deadline_skip(endpoint)
+            stale = self._stale_outcome(endpoint, key, policy, "deadline exhausted")
+            if stale is not None:
+                return stale
+            return FetchOutcome(
+                endpoint,
+                error=DeadlineExceededError(endpoint, deadline.budget_ms),
+                status=FetchStatus.SKIPPED,
+                reason="deadline exhausted",
+            )
+        if policy.breaker_enabled:
+            allowed, retry_after = self._breaker_gate(endpoint, policy, now)
+            if not allowed:
+                self.stats.record_breaker_rejection(endpoint)
+                stale = self._stale_outcome(endpoint, key, policy, "circuit open")
+                if stale is not None:
+                    return stale
+                return FetchOutcome(
+                    endpoint,
+                    error=CircuitOpenError(endpoint, retry_after),
+                    status=FetchStatus.SKIPPED,
+                    reason="circuit open",
+                )
+        stack = self._deadline_stack()
+        stack.append(deadline)
+        try:
+            result = self._execute(endpoint, request)
+        except HumboldtError as exc:
+            self._breaker_record(endpoint, policy, ok=False)
+            return FetchOutcome(endpoint, error=exc)
+        finally:
+            stack.pop()
+        self._breaker_record(endpoint, policy, ok=True)
+        self._remember(key, result)
+        return FetchOutcome(endpoint, result=result)
+
+    def _stale_outcome(
+        self,
+        endpoint: str,
+        key: RequestKey,
+        policy: EndpointPolicy,
+        reason: str,
+    ) -> FetchOutcome | None:
+        """A stale-while-revalidate outcome, if policy and cache allow."""
+        if not policy.serve_stale:
+            return None
+        held = self._lookup_stale(key)
+        if held is None:
+            return None
+        result, age_s = held
+        self.stats.record_stale_served(endpoint)
+        return FetchOutcome(
+            endpoint,
+            result=result,
+            status=FetchStatus.STALE,
+            reason=f"{reason}; serving cached result {age_s:.0f}s past TTL",
+        )
+
+    def _breaker_for(self, endpoint: str, policy: EndpointPolicy) -> CircuitBreaker:
+        """The endpoint's breaker, lazily created (lock held)."""
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = self._breakers[endpoint] = CircuitBreaker(
+                failure_threshold=policy.breaker_failure_threshold,
+                reset_timeout_s=policy.breaker_reset_timeout_s,
+                half_open_max_calls=policy.breaker_half_open_max_calls,
+            )
+        return breaker
+
+    def _breaker_gate(
+        self, endpoint: str, policy: EndpointPolicy, now: float
+    ) -> tuple[bool, float]:
+        """(allowed, retry_after_s); transitions open → half-open."""
+        with self._lock:
+            breaker = self._breaker_for(endpoint, policy)
+            before = breaker.state
+            allowed = breaker.allow(now)
+            if breaker.state is not before:
+                self.stats.record_breaker_state(endpoint, breaker.state.value)
+            return allowed, breaker.retry_after_s(now)
+
+    def _breaker_record(
+        self, endpoint: str, policy: EndpointPolicy, ok: bool
+    ) -> None:
+        if not policy.breaker_enabled:
+            return
+        now = self._timer()
+        with self._lock:
+            breaker = self._breaker_for(endpoint, policy)
+            before = breaker.state
+            if ok:
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+            if breaker.state is not before:
+                self.stats.record_breaker_state(endpoint, breaker.state.value)
+                if breaker.state is BreakerState.OPEN:
+                    self.stats.record_breaker_open(endpoint)
+
+    def breaker_state(self, endpoint: str) -> BreakerState:
+        """The endpoint's current breaker state (CLOSED if untracked)."""
+        with self._lock:
+            breaker = self._breakers.get(endpoint)
+            return breaker.state if breaker is not None else BreakerState.CLOSED
 
     def _execute(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
         try:
@@ -831,17 +1739,35 @@ class ExecutionEngine:
     def _retry_middleware(
         self, endpoint: str, request: ProviderRequest, call_next: CallNext
     ) -> ProviderResult:
+        """Retry transient failures with jittered, deadline-capped backoff.
+
+        The active request deadline (pushed by :meth:`_run_guarded`, so
+        worker threads see their own) bounds the schedule two ways: an
+        expired deadline stops retrying immediately, and a backoff delay
+        never sleeps past the remaining budget.
+        """
+        policy = self._policy_for(endpoint)
+        deadline = self._current_deadline()
         attempt = 1
         while True:
             try:
                 return call_next(endpoint, request)
             except ProviderError as exc:
-                if attempt >= self.policy.attempts or not is_transient(exc):
+                if attempt >= policy.attempts or not is_transient(exc):
                     raise
-                self.stats.record_retry(endpoint)
-                delay_ms = self.policy.backoff_base_ms * (
-                    self.policy.backoff_multiplier ** (attempt - 1)
+                now = self._timer()
+                if deadline is not None and deadline.expired(now):
+                    raise
+                delay_ms = policy.backoff_base_ms * (
+                    policy.backoff_multiplier ** (attempt - 1)
                 )
+                if policy.backoff_jitter > 0:
+                    delay_ms *= 1.0 + policy.backoff_jitter * _jitter_fraction(
+                        endpoint, attempt
+                    )
+                if deadline is not None:
+                    delay_ms = min(delay_ms, deadline.remaining_ms(now))
+                self.stats.record_retry(endpoint)
                 if delay_ms > 0:
                     self._sleep(delay_ms / 1000.0)
                 attempt += 1

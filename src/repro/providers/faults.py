@@ -11,14 +11,21 @@ one broken provider degrades its own view and nothing else:
   declared representation (a contract-breaking provider);
 * :class:`SlowEndpoint` — counts simulated latency against a budget and
   fails once the budget is exhausted (a timeout stand-in that needs no
-  wall-clock sleeping).
+  wall-clock sleeping);
+* :class:`FailNTimesEndpoint` — fails its first N calls, then recovers
+  (the shape circuit-breaker half-open transitions need);
+* :class:`LatencySpikeEndpoint` — advances a simulation clock by a
+  per-call latency schedule before delegating, so slow-provider tail
+  latency is measurable without wall-clock sleeping.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     MissingInputError,
     ProviderError,
     ProviderTimeoutError,
@@ -32,10 +39,20 @@ from repro.providers.base import (
     ScoredArtifact,
 )
 
+if TYPE_CHECKING:  # type hints only
+    from repro.util.clock import SimulationClock
+
 
 #: Failure classes that retrying cannot fix: the request itself is wrong
-#: (missing input) or the provider is broken by contract (wrong shape).
-NON_TRANSIENT_ERRORS = (MissingInputError, RepresentationError)
+#: (missing input), the provider is broken by contract (wrong shape), or
+#: the execution layer itself refused the call (open breaker, spent
+#: deadline) — retrying within the same request changes nothing.
+NON_TRANSIENT_ERRORS = (
+    MissingInputError,
+    RepresentationError,
+    CircuitOpenError,
+    DeadlineExceededError,
+)
 
 
 def is_transient(exc: BaseException) -> bool:
@@ -76,6 +93,70 @@ class FlakyEndpoint:
             raise ProviderError(
                 self._name, f"simulated outage on call {self.calls}"
             )
+        return self._endpoint(request)
+
+
+class FailNTimesEndpoint:
+    """Fails its first ``fail_count`` calls, then recovers for good.
+
+    The canonical circuit-breaker test fixture: enough initial failures
+    trip the breaker, and the first half-open probe after recovery
+    succeeds and closes it again.
+    """
+
+    def __init__(
+        self, endpoint: Endpoint, fail_count: int, name: str = "fail-n"
+    ):
+        if fail_count < 0:
+            raise ValueError("fail_count must be non-negative")
+        self._endpoint = endpoint
+        self._name = name
+        self.fail_count = fail_count
+        self.calls = 0
+
+    def __call__(self, request: ProviderRequest) -> ProviderResult:
+        self.calls += 1
+        if self.calls <= self.fail_count:
+            raise ProviderError(
+                self._name,
+                f"simulated outage on call {self.calls}"
+                f" (recovers after {self.fail_count})",
+            )
+        return self._endpoint(request)
+
+
+class LatencySpikeEndpoint:
+    """Advances a simulation clock by a latency schedule, then delegates.
+
+    ``latencies_ms`` is cycled per call, so a schedule like
+    ``[5, 5, 250]`` models a provider with periodic tail spikes.  Because
+    the delay moves the *clock*, an engine timing its calls with the same
+    clock observes the spike in its latency stats and deadline budgets —
+    no wall-clock sleeping anywhere.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        clock: "SimulationClock",
+        latencies_ms: Sequence[float],
+        name: str = "spiky",
+    ):
+        schedule = tuple(float(v) for v in latencies_ms)
+        if not schedule:
+            raise ValueError("latencies_ms must not be empty")
+        if any(v < 0 for v in schedule):
+            raise ValueError("latencies must be non-negative")
+        self._endpoint = endpoint
+        self._clock = clock
+        self._schedule = schedule
+        self._name = name
+        self.calls = 0
+
+    def __call__(self, request: ProviderRequest) -> ProviderResult:
+        latency_ms = self._schedule[self.calls % len(self._schedule)]
+        self.calls += 1
+        self._clock.advance(seconds=latency_ms / 1000.0)
         return self._endpoint(request)
 
 

@@ -16,7 +16,11 @@ from repro.core.interface.homepage import HomePageManager
 from repro.core.spec.customization import Customization
 from repro.core.spec.model import HumboldtSpec
 from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
-from repro.providers.execution import ExecutionEngine, ExecutionStats
+from repro.providers.execution import (
+    ExecutionEngine,
+    ExecutionPolicy,
+    ExecutionStats,
+)
 from repro.providers.registry import EndpointRegistry
 from repro.providers.suite import default_spec
 from repro.workbook.session import Session
@@ -30,6 +34,7 @@ class WorkbookApp:
         store: CatalogStore,
         spec: HumboldtSpec | None = None,
         registry: EndpointRegistry | None = None,
+        policy: ExecutionPolicy | None = None,
     ):
         self.store = store
         self.registry = registry or EndpointRegistry()
@@ -42,6 +47,7 @@ class WorkbookApp:
             registry=self.registry,
             spec=spec or default_spec(),
             customization=self.customization,
+            policy=policy,
         )
         self.exploration = ExplorationEngine(self.interface)
         self.home_pages = HomePageManager(self.interface)

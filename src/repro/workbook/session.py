@@ -113,10 +113,20 @@ class Session:
 
     # -- search (Figure 7A) -----------------------------------------------------
 
-    def search(self, query: str, limit: int = 50) -> SearchResult:
-        """Global search; results open in a new search tab (list view)."""
+    def search(
+        self, query: str, limit: int = 50, budget_ms: float | None = None
+    ) -> SearchResult:
+        """Global search; results open in a new search tab (list view).
+
+        *budget_ms* bounds provider work; a budget-limited search may
+        return a ``degraded`` result (stale or skipped providers).
+        """
         result, view = self.app.interface.search(
-            query, user_id=self.user_id, team_id=self.team_id, limit=limit
+            query,
+            user_id=self.user_id,
+            team_id=self.team_id,
+            limit=limit,
+            budget_ms=budget_ms,
         )
         tab = Tab(
             provider_name="search",

@@ -140,3 +140,39 @@ class TestStudy:
         assert code == 0
         assert "E1 — Task outcomes" in output
         assert "E2 — Post-study questionnaire" in output
+
+
+class TestHealth:
+    def test_healthy_catalog_exits_zero(self):
+        code, output = run_cli("health")
+        assert code == 0
+        assert "breaker" in output
+        assert "closed" in output
+        assert "degraded" not in output
+
+    def test_stats_flag_appends_table(self):
+        code, output = run_cli("health", "--stats")
+        assert code == 0
+        assert "execution stats:" in output
+        assert "TOTAL" in output
+
+
+class TestSearchBudget:
+    def test_spent_budget_degrades_instead_of_failing(self):
+        # A budget this small expires before any provider runs: every
+        # fetch is skipped, the result is flagged, and the CLI reports
+        # which providers degraded rather than erroring out.
+        code, output = run_cli(
+            "search", "badged: endorsed", "--budget-ms", "0.000001"
+        )
+        assert code == 1  # no results, but a clean degraded exit
+        assert "DEGRADED" in output
+        assert "skipped" in output
+
+    def test_ample_budget_behaves_normally(self):
+        code, output = run_cli(
+            "search", "badged: endorsed AIRLINES", "--budget-ms", "60000"
+        )
+        assert code == 0
+        assert "AIRLINES" in output
+        assert "DEGRADED" not in output

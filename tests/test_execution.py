@@ -9,12 +9,16 @@ regenerations on an unchanged catalog perform zero duplicate endpoint
 invocations.
 """
 
+import dataclasses
 import threading
+from pathlib import Path
 
 import pytest
 
 from repro.catalog.model import Artifact, User
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     MissingInputError,
     ProviderError,
     ProviderTimeoutError,
@@ -29,12 +33,23 @@ from repro.providers.base import (
     list_result,
 )
 from repro.providers.execution import (
+    BreakerPolicy,
+    BreakerState,
+    CachePolicy,
     ExecutionEngine,
     ExecutionPolicy,
+    FetchStatus,
+    RetryPolicy,
     request_key,
 )
-from repro.providers.faults import FlakyEndpoint, SlowEndpoint, is_transient
+from repro.providers.faults import (
+    FailNTimesEndpoint,
+    FlakyEndpoint,
+    SlowEndpoint,
+    is_transient,
+)
 from repro.providers.registry import EndpointRegistry
+from repro.util.clock import SimulationClock
 from repro.workbook.app import WorkbookApp
 
 
@@ -106,7 +121,7 @@ class TestCache:
         fake_now = [0.0]
         engine = ExecutionEngine(
             registry,
-            policy=ExecutionPolicy(cache_ttl_s=10.0),
+            policy=ExecutionPolicy.defaults().replace(cache_ttl_s=10.0),
             timer=lambda: fake_now[0],
         )
         engine.fetch("x://count", ProviderRequest())
@@ -119,7 +134,9 @@ class TestCache:
 
     def test_ttl_zero_disables_caching(self, counting_registry):
         registry, endpoint = counting_registry
-        engine = ExecutionEngine(registry, policy=ExecutionPolicy(cache_ttl_s=0))
+        engine = ExecutionEngine(
+            registry, policy=ExecutionPolicy.defaults().replace(cache_ttl_s=0)
+        )
         engine.fetch("x://count", ProviderRequest())
         engine.fetch("x://count", ProviderRequest())
         assert endpoint.calls == 2
@@ -128,7 +145,8 @@ class TestCache:
     def test_lru_bound(self, counting_registry):
         registry, _ = counting_registry
         engine = ExecutionEngine(
-            registry, policy=ExecutionPolicy(cache_max_entries=3)
+            registry,
+            policy=ExecutionPolicy.defaults().replace(cache_max_entries=3),
         )
         for limit in range(1, 6):
             engine.fetch(
@@ -215,7 +233,9 @@ class TestInvalidationOnMutation:
 class TestScope:
     def test_scope_memoises_even_without_cache(self, counting_registry):
         registry, endpoint = counting_registry
-        engine = ExecutionEngine(registry, policy=ExecutionPolicy(cache_ttl_s=0))
+        engine = ExecutionEngine(
+            registry, policy=ExecutionPolicy.defaults().replace(cache_ttl_s=0)
+        )
         with engine.scope():
             engine.fetch("x://count", ProviderRequest())
             engine.fetch("x://count", ProviderRequest())
@@ -260,7 +280,9 @@ class TestFetchMany:
 
     def test_duplicates_fetch_once(self, counting_registry):
         registry, endpoint = counting_registry
-        engine = ExecutionEngine(registry, policy=ExecutionPolicy(cache_ttl_s=0))
+        engine = ExecutionEngine(
+            registry, policy=ExecutionPolicy.defaults().replace(cache_ttl_s=0)
+        )
         outcomes = engine.fetch_many(
             [("x://count", ProviderRequest())] * 4
         )
@@ -305,7 +327,9 @@ class TestFetchMany:
 
     def test_serial_when_one_worker(self, counting_registry):
         registry, endpoint = counting_registry
-        engine = ExecutionEngine(registry, policy=ExecutionPolicy(max_workers=1))
+        engine = ExecutionEngine(
+            registry, policy=ExecutionPolicy.defaults().replace(max_workers=1)
+        )
         outcomes = engine.fetch_many([
             ("x://count", ProviderRequest()),
             ("x://count", ProviderRequest(context=RequestContext(limit=3))),
@@ -322,7 +346,9 @@ class TestRetryMiddleware:
         sleeps = []
         engine = ExecutionEngine(
             registry,
-            policy=ExecutionPolicy(attempts=3, backoff_base_ms=10),
+            policy=ExecutionPolicy.defaults().replace(
+                attempts=3, backoff_base_ms=10
+            ),
             sleep=sleeps.append,
         )
         result = engine.fetch("x://flaky", ProviderRequest())
@@ -338,7 +364,9 @@ class TestRetryMiddleware:
         sleeps = []
         engine = ExecutionEngine(
             registry,
-            policy=ExecutionPolicy(attempts=3, backoff_base_ms=10),
+            policy=ExecutionPolicy.defaults().replace(
+                attempts=3, backoff_base_ms=10
+            ),
             sleep=sleeps.append,
         )
         engine.fetch("x://flaky", ProviderRequest())
@@ -351,7 +379,9 @@ class TestRetryMiddleware:
         registry.register("x://flaky", flaky)
         engine = ExecutionEngine(
             registry,
-            policy=ExecutionPolicy(attempts=3, backoff_base_ms=0),
+            policy=ExecutionPolicy.defaults().replace(
+                attempts=3, backoff_base_ms=0
+            ),
             sleep=lambda s: None,
         )
         with pytest.raises(ProviderError):
@@ -366,7 +396,9 @@ class TestRetryMiddleware:
         tiny_registry.register("catalog://newest", slow, replace=True)
         engine = ExecutionEngine(
             tiny_registry,
-            policy=ExecutionPolicy(attempts=2, backoff_base_ms=0),
+            policy=ExecutionPolicy.defaults().replace(
+                attempts=2, backoff_base_ms=0
+            ),
             sleep=lambda s: None,
         )
         engine.fetch("catalog://newest", ProviderRequest())  # 60ms spent
@@ -381,7 +413,8 @@ class TestRetryMiddleware:
 
     def test_missing_input_not_retried(self, tiny_registry):
         engine = ExecutionEngine(
-            tiny_registry, policy=ExecutionPolicy(attempts=5)
+            tiny_registry,
+            policy=ExecutionPolicy.defaults().replace(attempts=5),
         )
         with pytest.raises(MissingInputError):
             engine.fetch("catalog://owned_by", ProviderRequest())
@@ -399,7 +432,9 @@ class TestRetryMiddleware:
             )
 
         registry.register("x://wrong", wrong_shape)
-        engine = ExecutionEngine(registry, policy=ExecutionPolicy(attempts=5))
+        engine = ExecutionEngine(
+            registry, policy=ExecutionPolicy.defaults().replace(attempts=5)
+        )
         with pytest.raises(RepresentationError):
             engine.fetch("x://wrong", ProviderRequest())
         assert len(calls) == 1
@@ -485,7 +520,9 @@ class TestEndToEndDeduplication:
         identical tabs."""
         parallel_app = WorkbookApp(tiny_store)
         serial_app = WorkbookApp(tiny_store)
-        serial_app.interface.engine.policy = ExecutionPolicy(max_workers=1)
+        serial_app.interface.engine.policy = (
+            ExecutionPolicy.defaults().replace(max_workers=1)
+        )
         parallel = [
             (tab.provider_name, tab.view.artifact_ids())
             for tab in parallel_app.interface.overview_tabs(user_id="u-ann")
@@ -694,3 +731,478 @@ class TestEngineLifecycle:
         with WorkbookApp(tiny_store) as app:
             app.interface.overview_tabs(user_id="u-ann")
         assert all(not t.is_alive() for t in _exec_threads() - before)
+
+
+def _clock_engine(registry, policy=None):
+    """An engine whose time only moves when an endpoint/backoff says so."""
+    clock = SimulationClock()
+    engine = ExecutionEngine(registry, policy=policy, clock=clock)
+    return engine, clock
+
+
+class TestLegacyPolicyShim:
+    """Pre-redesign ExecutionPolicy(...) kwargs keep working, with a
+    deprecation warning, and map onto the layered groups."""
+
+    def test_flat_kwargs_warn_and_map_onto_groups(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = ExecutionPolicy(attempts=3, cache_ttl_s=60.0)
+        assert legacy.retry.attempts == 3
+        assert legacy.cache.ttl_s == 60.0
+        assert legacy == ExecutionPolicy.defaults().replace(
+            attempts=3, cache_ttl_s=60.0
+        )
+
+    def test_legacy_read_through_properties(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = ExecutionPolicy(attempts=4, backoff_base_ms=7.0,
+                                     cache_max_entries=11)
+        assert legacy.attempts == 4
+        assert legacy.backoff_base_ms == 7.0
+        assert legacy.cache_max_entries == 11
+        assert legacy.cache_ttl_s == CachePolicy().ttl_s
+
+    def test_unknown_flat_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unknown ExecutionPolicy knob"):
+            ExecutionPolicy(atempts=3)
+
+    def test_canonical_construction_does_not_warn(self, recwarn):
+        ExecutionPolicy.defaults().replace(
+            retry=RetryPolicy(attempts=2), cache_ttl_s=5.0
+        )
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_fetch_still_raises_through(self, counting_registry):
+        registry, _ = counting_registry
+        registry.register(
+            "x://down",
+            FlakyEndpoint(CountingEndpoint(), fail_on=lambda i: True,
+                          name="down"),
+        )
+        engine = ExecutionEngine(registry)
+        result = engine.fetch("x://count", ProviderRequest())
+        assert result.artifact_ids() == ["a-1", "a-2"]
+        with pytest.raises(ProviderError):
+            engine.fetch("x://down", ProviderRequest())
+
+    def test_no_legacy_construction_left_in_src(self):
+        """No module outside the execution layer builds the legacy form."""
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = [
+            str(path)
+            for path in src.rglob("*.py")
+            if path.name != "execution.py"
+            and "ExecutionPolicy(" in path.read_text(encoding="utf-8")
+        ]
+        assert offenders == []
+
+
+class TestLayeredPolicyApi:
+    def test_defaults_is_a_shared_singleton(self):
+        assert ExecutionPolicy.defaults() is ExecutionPolicy.defaults()
+
+    def test_replace_accepts_groups_and_flat_knobs(self):
+        by_group = ExecutionPolicy.defaults().replace(
+            retry=RetryPolicy(attempts=4)
+        )
+        by_knob = ExecutionPolicy.defaults().replace(attempts=4)
+        assert by_group == by_knob
+        assert by_knob.retry.backoff_base_ms == RetryPolicy().backoff_base_ms
+
+    def test_replace_returns_new_frozen_instance(self):
+        base = ExecutionPolicy.defaults()
+        changed = base.replace(cache_ttl_s=1.0)
+        assert changed is not base
+        assert base.cache.ttl_s == CachePolicy().ttl_s
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            changed.max_workers = 2
+
+    def test_for_endpoint_overrides_only_that_endpoint(self):
+        policy = ExecutionPolicy.defaults().for_endpoint(
+            "x://a", attempts=7, breaker_failure_threshold=2
+        )
+        assert policy.effective("x://a").attempts == 7
+        assert policy.effective("x://a").breaker_failure_threshold == 2
+        assert policy.effective("x://b") == ExecutionPolicy.defaults().effective(
+            "x://b"
+        )
+
+    def test_for_endpoint_merges_repeated_calls(self):
+        policy = (
+            ExecutionPolicy.defaults()
+            .for_endpoint("x://a", attempts=7)
+            .for_endpoint("x://a", attempts=9, cache_ttl_s=1.0)
+        )
+        effective = policy.effective("x://a")
+        assert effective.attempts == 9
+        assert effective.cache_ttl_s == 1.0
+
+    def test_for_endpoint_rejects_engine_wide_knobs(self):
+        with pytest.raises(TypeError, match="engine-wide"):
+            ExecutionPolicy.defaults().for_endpoint("x://a", max_workers=2)
+        with pytest.raises(TypeError, match="engine-wide"):
+            ExecutionPolicy.defaults().for_endpoint("x://a",
+                                                    cache_max_entries=9)
+        with pytest.raises(TypeError, match="unknown policy knob"):
+            ExecutionPolicy.defaults().for_endpoint("x://a", nope=1)
+
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_jitter=2.0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+
+
+class TestCircuitBreaker:
+    """The breaker state machine, driven by a simulation clock."""
+
+    def _registry(self, fail_count=100):
+        registry = EndpointRegistry()
+        inner = CountingEndpoint()
+        failing = FailNTimesEndpoint(inner, fail_count=fail_count,
+                                     name="fail-n")
+        registry.register("x://shaky", failing)
+        return registry, failing
+
+    def _policy(self, **knobs):
+        return ExecutionPolicy.defaults().replace(
+            cache_ttl_s=0
+        ).for_endpoint("x://shaky", breaker_failure_threshold=3, **knobs)
+
+    def test_opens_after_consecutive_failures(self):
+        registry, failing = self._registry()
+        engine, _ = _clock_engine(registry, self._policy())
+        for _ in range(3):
+            outcome = engine.execute("x://shaky", ProviderRequest())
+            assert outcome.status is FetchStatus.ERROR
+        assert engine.breaker_state("x://shaky") is BreakerState.OPEN
+        assert engine.stats.breaker_opens == 1
+
+    def test_open_breaker_skips_without_invoking(self):
+        registry, failing = self._registry()
+        engine, _ = _clock_engine(registry, self._policy())
+        for _ in range(3):
+            engine.execute("x://shaky", ProviderRequest())
+        outcome = engine.execute("x://shaky", ProviderRequest())
+        assert outcome.skipped and not outcome.ok
+        assert isinstance(outcome.error, CircuitOpenError)
+        assert failing.calls == 3  # the rejected fetch never ran
+        assert engine.stats.breaker_rejections == 1
+
+    def test_half_open_probe_success_closes(self):
+        registry, failing = self._registry(fail_count=3)
+        engine, clock = _clock_engine(registry, self._policy())
+        for _ in range(3):
+            engine.execute("x://shaky", ProviderRequest())
+        assert engine.breaker_state("x://shaky") is BreakerState.OPEN
+        clock.advance(seconds=BreakerPolicy().reset_timeout_s + 1)
+        outcome = engine.execute("x://shaky", ProviderRequest())
+        assert outcome.fresh  # the endpoint recovered on call 4
+        assert engine.breaker_state("x://shaky") is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        registry, failing = self._registry(fail_count=100)
+        engine, clock = _clock_engine(registry, self._policy())
+        for _ in range(3):
+            engine.execute("x://shaky", ProviderRequest())
+        clock.advance(seconds=BreakerPolicy().reset_timeout_s + 1)
+        probe = engine.execute("x://shaky", ProviderRequest())
+        assert probe.status is FetchStatus.ERROR  # probe ran and failed
+        assert engine.breaker_state("x://shaky") is BreakerState.OPEN
+        rejected = engine.execute("x://shaky", ProviderRequest())
+        assert rejected.skipped
+        assert failing.calls == 4
+        assert engine.stats.breaker_opens == 2
+
+    def test_success_resets_failure_streak(self):
+        registry = EndpointRegistry()
+        inner = CountingEndpoint()
+        # fail, fail, succeed, repeatedly: never 3 consecutive failures
+        flaky = FlakyEndpoint(inner, fail_on=lambda i: i % 3 != 0,
+                              name="flaky")
+        registry.register("x://shaky", flaky)
+        engine, _ = _clock_engine(registry, self._policy())
+        for _ in range(9):
+            engine.execute("x://shaky", ProviderRequest())
+        assert engine.breaker_state("x://shaky") is BreakerState.CLOSED
+        assert engine.stats.breaker_rejections == 0
+
+    def test_disabled_breaker_never_rejects(self):
+        registry, failing = self._registry()
+        engine, _ = _clock_engine(
+            registry, self._policy(breaker_enabled=False)
+        )
+        for _ in range(10):
+            outcome = engine.execute("x://shaky", ProviderRequest())
+            assert outcome.status is FetchStatus.ERROR
+        assert failing.calls == 10
+        assert engine.breaker_state("x://shaky") is BreakerState.CLOSED
+
+    def test_policy_swap_resets_breakers(self):
+        registry, failing = self._registry()
+        engine, _ = _clock_engine(registry, self._policy())
+        for _ in range(3):
+            engine.execute("x://shaky", ProviderRequest())
+        assert engine.breaker_state("x://shaky") is BreakerState.OPEN
+        engine.policy = engine.policy.replace(attempts=1)
+        assert engine.breaker_state("x://shaky") is BreakerState.CLOSED
+
+
+class TestStaleWhileRevalidate:
+    def _warmed_engine(self, policy=None):
+        """Engine + clock with x://wobbly warmed once, then failing."""
+        registry = EndpointRegistry()
+        wobbly = FlakyEndpoint(CountingEndpoint(), fail_on=lambda i: i > 1,
+                               name="wobbly")
+        registry.register("x://wobbly", wobbly)
+        policy = policy or ExecutionPolicy.defaults().for_endpoint(
+            "x://wobbly", breaker_failure_threshold=3
+        )
+        engine, clock = _clock_engine(registry, policy)
+        assert engine.execute("x://wobbly", ProviderRequest()).fresh
+        return engine, clock, wobbly
+
+    def test_open_breaker_serves_marked_stale(self):
+        engine, clock, wobbly = self._warmed_engine()
+        clock.advance(seconds=CachePolicy().ttl_s + 1)  # expire, in grace
+        for _ in range(3):
+            assert engine.execute(
+                "x://wobbly", ProviderRequest()
+            ).status is FetchStatus.ERROR
+        outcome = engine.execute("x://wobbly", ProviderRequest())
+        assert outcome.stale and outcome.ok and outcome.degraded
+        assert outcome.result.artifact_ids() == ["a-1", "a-2"]
+        assert "circuit open" in outcome.reason
+        assert "past TTL" in outcome.reason
+        assert engine.stats.stale_served == 1
+        assert wobbly.calls == 4  # stale serve did not invoke
+
+    def test_exhausted_deadline_serves_marked_stale(self):
+        engine, clock, wobbly = self._warmed_engine()
+        clock.advance(seconds=CachePolicy().ttl_s + 1)
+        deadline = engine.deadline(budget_ms=50.0)
+        clock.advance(seconds=1.0)  # spend the whole budget
+        outcome = engine.execute(
+            "x://wobbly", ProviderRequest(), deadline=deadline
+        )
+        assert outcome.stale
+        assert "deadline exhausted" in outcome.reason
+        assert engine.stats.deadline_skips == 1
+        assert wobbly.calls == 1
+
+    def test_no_fallback_past_grace_period(self):
+        engine, clock, wobbly = self._warmed_engine()
+        clock.advance(
+            seconds=CachePolicy().ttl_s + CachePolicy().stale_grace_s + 1
+        )
+        for _ in range(3):
+            engine.execute("x://wobbly", ProviderRequest())
+        outcome = engine.execute("x://wobbly", ProviderRequest())
+        assert outcome.skipped and outcome.result is None
+        assert isinstance(outcome.error, CircuitOpenError)
+
+    def test_serve_stale_can_be_disabled(self):
+        policy = ExecutionPolicy.defaults().replace(
+            serve_stale=False
+        ).for_endpoint("x://wobbly", breaker_failure_threshold=3)
+        engine, clock, _ = self._warmed_engine(policy)
+        clock.advance(seconds=CachePolicy().ttl_s + 1)
+        for _ in range(3):
+            engine.execute("x://wobbly", ProviderRequest())
+        outcome = engine.execute("x://wobbly", ProviderRequest())
+        assert outcome.skipped and outcome.result is None
+
+    def test_stale_result_is_not_rememoised_as_fresh(self):
+        engine, clock, wobbly = self._warmed_engine()
+        clock.advance(seconds=CachePolicy().ttl_s + 1)
+        for _ in range(3):
+            engine.execute("x://wobbly", ProviderRequest())
+        assert engine.execute("x://wobbly", ProviderRequest()).stale
+        # still stale on the next serve — the grace entry did not get a
+        # fresh TTL stamped by being served
+        assert engine.execute("x://wobbly", ProviderRequest()).stale
+        assert engine.stats.stale_served == 2
+
+    def test_fresh_hit_ignores_deadline(self):
+        engine, clock, wobbly = self._warmed_engine()
+        deadline = engine.deadline(budget_ms=10.0)
+        clock.advance(seconds=5.0)  # deadline spent, entry still fresh
+        outcome = engine.execute(
+            "x://wobbly", ProviderRequest(), deadline=deadline
+        )
+        assert outcome.fresh
+        assert wobbly.calls == 1
+
+
+class TestDeadlineBudget:
+    def test_no_budget_means_no_deadline(self, counting_registry):
+        registry, _ = counting_registry
+        engine, _ = _clock_engine(registry)
+        assert engine.deadline() is None
+        assert engine.deadline(0) is None
+        assert engine.deadline(-5) is None
+
+    def test_default_budget_comes_from_policy(self, counting_registry):
+        registry, _ = counting_registry
+        engine, _ = _clock_engine(
+            registry,
+            ExecutionPolicy.defaults().replace(deadline_budget_ms=80.0),
+        )
+        deadline = engine.deadline()
+        assert deadline is not None and deadline.budget_ms == 80.0
+
+    def test_expired_deadline_skips_without_invoking(self, counting_registry):
+        registry, endpoint = counting_registry
+        engine, clock = _clock_engine(registry)
+        deadline = engine.deadline(budget_ms=50.0)
+        clock.advance(seconds=0.1)
+        outcome = engine.execute(
+            "x://count", ProviderRequest(), deadline=deadline
+        )
+        assert outcome.skipped
+        assert isinstance(outcome.error, DeadlineExceededError)
+        assert endpoint.calls == 0
+        assert engine.stats.deadline_skips == 1
+
+    def test_batch_stops_attempting_once_budget_spent(self):
+        registry = EndpointRegistry()
+        clock = SimulationClock()
+        endpoints = []
+        for index in range(3):
+            endpoint = FlakyEndpoint(CountingEndpoint(ids=(f"id-{index}",)),
+                                     fail_on=set())
+            # each call costs 100ms of simulated time
+            from repro.providers.faults import LatencySpikeEndpoint
+
+            spiky = LatencySpikeEndpoint(endpoint, clock, [100.0])
+            registry.register(f"x://p{index}", spiky)
+            endpoints.append(spiky)
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy.defaults().replace(max_workers=1),
+            clock=clock,
+        )
+        deadline = engine.deadline(budget_ms=150.0)
+        outcomes = engine.execute_many(
+            [(f"x://p{index}", ProviderRequest()) for index in range(3)],
+            deadline=deadline,
+        )
+        assert [o.status for o in outcomes] == [
+            FetchStatus.OK, FetchStatus.OK, FetchStatus.SKIPPED,
+        ]
+        assert endpoints[2].calls == 0
+
+    def test_retry_stops_at_the_deadline(self):
+        registry = EndpointRegistry()
+        clock = SimulationClock()
+
+        class CostlyFailure:
+            calls = 0
+
+            def __call__(self, request):
+                self.calls += 1
+                clock.advance(seconds=0.08)  # each attempt costs 80ms
+                raise ProviderError("costly", "always down")
+
+        costly = CostlyFailure()
+        registry.register("x://costly", costly)
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy.defaults().replace(
+                attempts=5, backoff_base_ms=100.0
+            ),
+            clock=clock,
+        )
+        deadline = engine.deadline(budget_ms=150.0)
+        outcome = engine.execute(
+            "x://costly", ProviderRequest(), deadline=deadline
+        )
+        assert outcome.status is FetchStatus.ERROR
+        # attempt 1 at 80ms; backoff capped to the 70ms remaining; attempt
+        # 2 at 230ms is past the deadline, so attempts 3-5 never happen
+        assert costly.calls == 2
+
+    def test_backoff_sleep_capped_to_remaining_budget(self):
+        registry = EndpointRegistry()
+        flaky = FlakyEndpoint(CountingEndpoint(), fail_on={1}, name="flaky")
+        registry.register("x://flaky", flaky)
+        sleeps = []
+        clock = SimulationClock()
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy.defaults().replace(
+                attempts=3, backoff_base_ms=500.0
+            ),
+            timer=clock.now,
+            sleep=lambda s: (sleeps.append(s), clock.advance(seconds=s)),
+        )
+        deadline = engine.deadline(budget_ms=200.0)
+        outcome = engine.execute(
+            "x://flaky", ProviderRequest(), deadline=deadline
+        )
+        assert outcome.fresh
+        assert sleeps == [pytest.approx(0.2)]  # 500ms desire, 200ms budget
+
+
+class TestRetryJitter:
+    def _sleeps(self, jitter):
+        registry = EndpointRegistry()
+        flaky = FlakyEndpoint(CountingEndpoint(), fail_on={1, 2},
+                              name="flaky")
+        registry.register("x://flaky", flaky)
+        sleeps = []
+        engine = ExecutionEngine(
+            registry,
+            policy=ExecutionPolicy.defaults().replace(
+                attempts=3, backoff_base_ms=100.0, backoff_jitter=jitter
+            ),
+            sleep=sleeps.append,
+        )
+        engine.fetch("x://flaky", ProviderRequest())
+        return sleeps
+
+    def test_jitter_perturbs_the_schedule(self):
+        plain = self._sleeps(0.0)
+        jittered = self._sleeps(0.5)
+        assert plain == [0.1, 0.2]
+        assert jittered != plain
+        # bounded by d * (1 ± jitter)
+        assert 0.05 <= jittered[0] <= 0.15
+        assert 0.10 <= jittered[1] <= 0.30
+
+    def test_jitter_is_deterministic_across_runs(self):
+        assert self._sleeps(0.5) == self._sleeps(0.5)
+
+
+class TestHealthSurface:
+    def test_health_reports_breaker_and_counters(self):
+        registry = EndpointRegistry()
+        registry.register(
+            "x://down",
+            FlakyEndpoint(CountingEndpoint(), fail_on=lambda i: True,
+                          name="down"),
+        )
+        engine, _ = _clock_engine(
+            registry,
+            ExecutionPolicy.defaults().for_endpoint(
+                "x://down", breaker_failure_threshold=2
+            ),
+        )
+        for _ in range(3):
+            engine.execute("x://down", ProviderRequest())
+        health = engine.health()
+        entry = health["x://down"]
+        assert entry["breaker"] == "open"
+        assert entry["breaker_rejections"] == 1
+        text = engine.render_health()
+        assert "x://down" in text and "open" in text
+
+    def test_stats_render_includes_resilience_columns(self, counting_registry):
+        registry, _ = counting_registry
+        engine = ExecutionEngine(registry)
+        engine.fetch("x://count", ProviderRequest())
+        text = engine.stats.render()
+        assert "stale" in text and "dskip" in text and "brej" in text

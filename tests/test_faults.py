@@ -2,9 +2,22 @@
 
 import pytest
 
-from repro.errors import ProviderError, RepresentationError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ProviderError,
+    RepresentationError,
+)
 from repro.providers.base import ProviderRequest, Representation
-from repro.providers.faults import FlakyEndpoint, SlowEndpoint, WrongShapeEndpoint
+from repro.providers.faults import (
+    FailNTimesEndpoint,
+    FlakyEndpoint,
+    LatencySpikeEndpoint,
+    SlowEndpoint,
+    WrongShapeEndpoint,
+    is_transient,
+)
+from repro.util.clock import SimulationClock
 
 
 @pytest.fixture
@@ -131,3 +144,71 @@ class TestContractEnforcement:
         silent empty results would be worse than an error."""
         with pytest.raises(ProviderError):
             flaky_app.interface.search(":most_viewed()")
+
+
+class TestFailNTimesEndpoint:
+    def test_fails_then_recovers_for_good(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        failing = FailNTimesEndpoint(original, fail_count=2, name="newest")
+        request = ProviderRequest()
+        for _ in range(2):
+            with pytest.raises(ProviderError, match="simulated outage"):
+                failing(request)
+        failing(request)  # call 3 recovers
+        failing(request)  # and stays recovered
+        assert failing.calls == 4
+
+    def test_zero_failures_is_a_passthrough(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        failing = FailNTimesEndpoint(original, fail_count=0)
+        assert failing(ProviderRequest()) is not None
+        assert failing.calls == 1
+
+    def test_negative_count_rejected(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        with pytest.raises(ValueError):
+            FailNTimesEndpoint(original, fail_count=-1)
+
+    def test_outage_is_transient(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        failing = FailNTimesEndpoint(original, fail_count=1)
+        with pytest.raises(ProviderError) as excinfo:
+            failing(ProviderRequest())
+        assert is_transient(excinfo.value)
+
+
+class TestLatencySpikeEndpoint:
+    def test_schedule_advances_the_clock(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        clock = SimulationClock()
+        spiky = LatencySpikeEndpoint(original, clock, [5.0, 250.0])
+        # abs tolerance: the epoch is ~1.7e9 s, so float addition of a
+        # 5ms delta carries micro-second rounding
+        start = clock.now()
+        spiky(ProviderRequest())
+        assert clock.now() - start == pytest.approx(0.005, abs=1e-5)
+        spiky(ProviderRequest())
+        assert clock.now() - start == pytest.approx(0.255, abs=1e-5)
+        spiky(ProviderRequest())  # schedule cycles back to 5ms
+        assert clock.now() - start == pytest.approx(0.260, abs=1e-5)
+
+    def test_empty_or_negative_schedule_rejected(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            LatencySpikeEndpoint(original, clock, [])
+        with pytest.raises(ValueError):
+            LatencySpikeEndpoint(original, clock, [5.0, -1.0])
+
+    def test_result_passes_through_unchanged(self, tiny_registry):
+        original = tiny_registry.resolve("catalog://newest")
+        clock = SimulationClock()
+        spiky = LatencySpikeEndpoint(original, clock, [10.0])
+        request = ProviderRequest()
+        assert spiky(request).artifact_ids() == original(request).artifact_ids()
+
+
+class TestResilienceErrorClassification:
+    def test_breaker_and_deadline_errors_are_not_transient(self):
+        assert not is_transient(CircuitOpenError("x://p", 5.0))
+        assert not is_transient(DeadlineExceededError("x://p", 100.0))
