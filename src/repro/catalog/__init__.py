@@ -7,6 +7,7 @@ users, teams, badges, a usage-event log and a lineage graph — everything the
 paper's metadata providers draw from.
 """
 
+from repro.catalog.ingest import Ingestor, IngestorRegistry
 from repro.catalog.lineage import LineageEdge, LineageGraph
 from repro.catalog.model import (
     Artifact,
@@ -18,6 +19,7 @@ from repro.catalog.model import (
     User,
 )
 from repro.catalog.persistence import load_catalog, save_catalog
+from repro.catalog.segments import export_segments, import_segments
 from repro.catalog.store import CatalogStore
 from repro.catalog.usage import UsageLog, UsageStats
 
@@ -27,6 +29,8 @@ __all__ = [
     "BadgeAssignment",
     "CatalogStore",
     "Column",
+    "Ingestor",
+    "IngestorRegistry",
     "LineageEdge",
     "LineageGraph",
     "Team",
@@ -34,6 +38,8 @@ __all__ = [
     "UsageLog",
     "UsageStats",
     "User",
+    "export_segments",
+    "import_segments",
     "load_catalog",
     "save_catalog",
 ]

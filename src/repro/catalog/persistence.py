@@ -3,6 +3,19 @@
 Catalogs serialise to a single JSON document so synthetic corpora can be
 snapshotted, diffed and shipped alongside experiments.  The format is
 versioned; loading an unknown version fails loudly rather than guessing.
+
+Version history:
+
+``1``
+    Entities, usage events and lineage edges; no version counters.
+``2``
+    Adds the per-domain mutation counters (``domain_versions`` plus the
+    ``total_version`` sum).  Without them, a saved-then-reloaded catalog
+    restarts its counters near zero, and dependency-aware engine caches
+    keyed on ``(domain, version)`` could collide with keys minted against
+    the pre-save catalog.  Loading a v1 document still works and applies
+    the conservative fallback: one full bump across every domain, which
+    can only over-invalidate, never serve stale results.
 """
 
 from __future__ import annotations
@@ -11,12 +24,24 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.catalog.model import Artifact, BadgeAssignment, Column, Team, UsageEvent, User
+from repro.catalog.codecs import (
+    artifact_from_dict,
+    artifact_to_dict,
+    event_from_dict,
+    event_to_dict,
+    team_from_dict,
+    team_to_dict,
+    user_from_dict,
+    user_to_dict,
+)
 from repro.catalog.store import CatalogStore
 from repro.errors import CatalogError
 from repro.util.clock import SimulationClock
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Every format version this build can read.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def catalog_to_dict(store: CatalogStore) -> dict[str, Any]:
@@ -25,34 +50,12 @@ def catalog_to_dict(store: CatalogStore) -> dict[str, Any]:
         "version": FORMAT_VERSION,
         "epoch": store.clock.epoch,
         "now": store.clock.now(),
-        "users": [
-            {
-                "id": u.id,
-                "name": u.name,
-                "role": u.role,
-                "team_ids": list(u.team_ids),
-            }
-            for u in store.users()
-        ],
-        "teams": [
-            {
-                "id": t.id,
-                "name": t.name,
-                "admin_ids": list(t.admin_ids),
-                "member_ids": list(t.member_ids),
-            }
-            for t in store.teams()
-        ],
-        "artifacts": [_artifact_to_dict(a) for a in store.artifacts()],
-        "events": [
-            {
-                "artifact_id": e.artifact_id,
-                "user_id": e.user_id,
-                "action": e.action,
-                "timestamp": e.timestamp,
-            }
-            for e in store.usage.events()
-        ],
+        "domain_versions": store.domain_versions,
+        "total_version": store.version,
+        "users": [user_to_dict(u) for u in store.users()],
+        "teams": [team_to_dict(t) for t in store.teams()],
+        "artifacts": [artifact_to_dict(a) for a in store.artifacts()],
+        "events": [event_to_dict(e) for e in store.usage.events()],
         "lineage": [
             {"src": e.src, "dst": e.dst, "kind": e.kind} for e in store.lineage.edges()
         ],
@@ -62,47 +65,37 @@ def catalog_to_dict(store: CatalogStore) -> dict[str, Any]:
 def catalog_from_dict(payload: dict[str, Any]) -> CatalogStore:
     """Rebuild a :class:`CatalogStore` from :func:`catalog_to_dict` output."""
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise CatalogError(
             f"unsupported catalog format version {version!r}; "
-            f"expected {FORMAT_VERSION}"
+            f"this build reads versions {SUPPORTED_VERSIONS} "
+            f"(writes {FORMAT_VERSION}) — refusing to guess at the layout"
         )
     clock = SimulationClock(epoch=payload.get("epoch", SimulationClock().epoch))
     store = CatalogStore(clock=clock)
     for u in payload.get("users", []):
-        store.add_user(
-            User(
-                id=u["id"],
-                name=u["name"],
-                role=u.get("role", "analyst"),
-                team_ids=tuple(u.get("team_ids", ())),
-            )
-        )
+        store.add_user(user_from_dict(u))
     for t in payload.get("teams", []):
-        store.add_team(
-            Team(
-                id=t["id"],
-                name=t["name"],
-                admin_ids=tuple(t.get("admin_ids", ())),
-                member_ids=tuple(t.get("member_ids", ())),
-            )
-        )
+        store.add_team(team_from_dict(t))
     for a in payload.get("artifacts", []):
-        store.add_artifact(_artifact_from_dict(a))
+        store.add_artifact(artifact_from_dict(a))
     for e in payload.get("events", []):
-        store.record_event(
-            UsageEvent(
-                artifact_id=e["artifact_id"],
-                user_id=e["user_id"],
-                action=e["action"],
-                timestamp=e["timestamp"],
-            )
-        )
+        store.record_event(event_from_dict(e))
     for edge in payload.get("lineage", []):
         store.lineage.add_edge(edge["src"], edge["dst"], edge.get("kind", "derives"))
     target_now = payload.get("now")
     if target_now is not None and target_now > clock.now():
         clock.advance(seconds=target_now - clock.now())
+    if version >= 2:
+        store.restore_domain_versions(
+            payload.get("domain_versions", {}),
+            payload.get("total_version"),
+        )
+    else:
+        # v1 snapshots carry no counters: bump every domain once so the
+        # reloaded catalog's versions are strictly past the rebuild's —
+        # over-invalidation is safe, stale cache hits are not.
+        store._mutated()
     return store
 
 
@@ -119,61 +112,3 @@ def load_catalog(path: str | Path) -> CatalogStore:
     """Read a catalog previously written by :func:`save_catalog`."""
     with Path(path).open("r", encoding="utf-8") as handle:
         return catalog_from_dict(json.load(handle))
-
-
-def _artifact_to_dict(artifact: Artifact) -> dict[str, Any]:
-    return {
-        "id": artifact.id,
-        "name": artifact.name,
-        "type": artifact.artifact_type.value,
-        "description": artifact.description,
-        "owner_id": artifact.owner_id,
-        "team_ids": list(artifact.team_ids),
-        "created_at": artifact.created_at,
-        "modified_at": artifact.modified_at,
-        "tags": list(artifact.tags),
-        "badges": [
-            {"badge": b.badge, "granted_by": b.granted_by, "granted_at": b.granted_at}
-            for b in artifact.badges
-        ],
-        "columns": [
-            {
-                "name": c.name,
-                "dtype": c.dtype,
-                "sample_values": list(c.sample_values),
-            }
-            for c in artifact.columns
-        ],
-        "extra": dict(artifact.extra),
-    }
-
-
-def _artifact_from_dict(data: dict[str, Any]) -> Artifact:
-    return Artifact(
-        id=data["id"],
-        name=data["name"],
-        artifact_type=data["type"],
-        description=data.get("description", ""),
-        owner_id=data.get("owner_id", ""),
-        team_ids=tuple(data.get("team_ids", ())),
-        created_at=data.get("created_at", 0.0),
-        modified_at=data.get("modified_at", 0.0),
-        tags=tuple(data.get("tags", ())),
-        badges=tuple(
-            BadgeAssignment(
-                badge=b["badge"],
-                granted_by=b["granted_by"],
-                granted_at=b.get("granted_at", 0.0),
-            )
-            for b in data.get("badges", ())
-        ),
-        columns=tuple(
-            Column(
-                name=c["name"],
-                dtype=c.get("dtype", "string"),
-                sample_values=tuple(c.get("sample_values", ())),
-            )
-            for c in data.get("columns", ())
-        ),
-        extra=dict(data.get("extra", {})),
-    )

@@ -1,0 +1,228 @@
+"""Segmented JSON-stream snapshot/export for catalogs.
+
+The single-document snapshot (:mod:`.persistence`) is convenient for
+small corpora but loads and saves as one blob: exporting a 200k-artifact
+catalog re-serialises everything, every time.  This module writes the
+same records as **segments** — gzip-compressed JSON-stream files (one
+record per line) of bounded size, one stream per metadata domain, tied
+together by a ``manifest.json``:
+
+``membership-*.jsonl.gz``   user and team records (tagged by ``kind``)
+``entities-*.jsonl.gz``     artifact records, in id order
+``usage-*.jsonl.gz``        usage events, in arrival order
+``lineage-*.jsonl.gz``      lineage edges
+
+Segment files are append-only: records are written line-by-line and a
+file, once complete, is never edited in place.  The ``usage`` stream is
+a stable prefix of the event log, so re-exporting a grown catalog
+re-uses every previously completed usage segment untouched and only
+writes the new tail — the other streams are sorted snapshots and are
+rewritten when their content changes (cheap, because unchanged complete
+segments are detected by record count + first/last id and skipped).
+
+The manifest also carries the domain-version counters and the clock, so
+a catalog rebuilt from segments is cache-coherent with the original
+(same guarantee as persistence format v2).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.catalog.codecs import (
+    artifact_from_dict,
+    artifact_to_dict,
+    event_from_dict,
+    event_to_dict,
+    team_from_dict,
+    team_to_dict,
+    user_from_dict,
+    user_to_dict,
+)
+from repro.catalog.store import CatalogStore
+from repro.errors import CatalogError
+from repro.util.clock import SimulationClock
+
+#: Manifest format; unknown versions fail loudly on import.
+SEGMENT_FORMAT_VERSION = 1
+
+#: Default records per segment file.
+DEFAULT_SEGMENT_RECORDS = 10_000
+
+MANIFEST_NAME = "manifest.json"
+
+_STREAMS = ("membership", "entities", "usage", "lineage")
+
+
+def _segment_name(stream: str, index: int) -> str:
+    return f"{stream}-{index:05d}.jsonl.gz"
+
+
+def _stream_records(store: CatalogStore, stream: str) -> Iterator[dict[str, Any]]:
+    if stream == "membership":
+        for user in store.users():
+            yield {"kind": "user", **user_to_dict(user)}
+        for team in store.teams():
+            yield {"kind": "team", **team_to_dict(team)}
+    elif stream == "entities":
+        for artifact in store.artifacts():
+            yield artifact_to_dict(artifact)
+    elif stream == "usage":
+        for event in store.usage.events():
+            yield event_to_dict(event)
+    elif stream == "lineage":
+        for edge in store.lineage.edges():
+            yield {"src": edge.src, "dst": edge.dst, "kind": edge.kind}
+    else:  # pragma: no cover - internal misuse
+        raise CatalogError(f"unknown segment stream {stream!r}")
+
+
+def _chunked(records: Iterable[dict[str, Any]],
+             size: int) -> Iterator[list[dict[str, Any]]]:
+    chunk: list[dict[str, Any]] = []
+    for record in records:
+        chunk.append(record)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _segment_meta(name: str, chunk: list[dict[str, Any]]) -> dict[str, Any]:
+    first = chunk[0]
+    last = chunk[-1]
+    return {
+        "file": name,
+        "records": len(chunk),
+        "first_id": first.get("id", ""),
+        "last_id": last.get("id", ""),
+    }
+
+
+def export_segments(store: CatalogStore, directory: str | Path,
+                    segment_records: int = DEFAULT_SEGMENT_RECORDS) -> Path:
+    """Export *store* to *directory*; returns the manifest path.
+
+    Re-exporting into the same directory is incremental: a segment whose
+    manifest entry (record count and id range) already matches is left
+    untouched, so for append-mostly growth only new or changed segments
+    are re-serialised.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / MANIFEST_NAME
+    previous: dict[str, Any] = {}
+    if manifest_path.exists():
+        try:
+            previous = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            previous = {}
+
+    streams: dict[str, Any] = {}
+    for stream in _STREAMS:
+        known = {
+            meta["file"]: meta
+            for meta in previous.get("streams", {}).get(stream, {}).get(
+                "segments", []
+            )
+        }
+        segments: list[dict[str, Any]] = []
+        total = 0
+        for index, chunk in enumerate(
+            _chunked(_stream_records(store, stream), segment_records)
+        ):
+            name = _segment_name(stream, index)
+            meta = _segment_meta(name, chunk)
+            path = directory / name
+            if known.get(name) != meta or not path.exists():
+                with gzip.open(path, "wt", encoding="utf-8") as handle:
+                    for record in chunk:
+                        handle.write(json.dumps(record, sort_keys=True))
+                        handle.write("\n")
+            segments.append(meta)
+            total += len(chunk)
+        # Drop stale trailing segments from a previously larger export.
+        for name in known:
+            if name not in {meta["file"] for meta in segments}:
+                (directory / name).unlink(missing_ok=True)
+        streams[stream] = {"segments": segments, "records": total}
+
+    manifest = {
+        "format": SEGMENT_FORMAT_VERSION,
+        "epoch": store.clock.epoch,
+        "now": store.clock.now(),
+        "domain_versions": store.domain_versions,
+        "total_version": store.version,
+        "segment_records": segment_records,
+        "streams": streams,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+    return manifest_path
+
+
+def read_segments(directory: str | Path) -> Iterator[tuple[str, dict[str, Any]]]:
+    """Yield ``(stream, record)`` pairs from an exported directory."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CatalogError(f"no segment manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    fmt = manifest.get("format")
+    if fmt != SEGMENT_FORMAT_VERSION:
+        raise CatalogError(
+            f"unsupported segment format {fmt!r}; "
+            f"expected {SEGMENT_FORMAT_VERSION}"
+        )
+    for stream in _STREAMS:
+        for meta in manifest.get("streams", {}).get(stream, {}).get(
+            "segments", []
+        ):
+            with gzip.open(directory / meta["file"], "rt",
+                           encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        yield stream, json.loads(line)
+
+
+def import_segments(directory: str | Path,
+                    store: CatalogStore | None = None) -> CatalogStore:
+    """Rebuild a catalog from :func:`export_segments` output.
+
+    With *store* given (e.g. a freshly opened persistent store), records
+    are loaded into it; otherwise a new in-memory store is built.  Either
+    way the manifest's clock and domain-version counters are restored.
+    """
+    directory = Path(directory)
+    manifest = json.loads(
+        (directory / MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    if store is None:
+        clock = SimulationClock(
+            epoch=manifest.get("epoch", SimulationClock().epoch)
+        )
+        store = CatalogStore(clock=clock)
+    for stream, record in read_segments(directory):
+        if stream == "membership":
+            if record.get("kind") == "team":
+                store.add_team(team_from_dict(record))
+            else:
+                store.add_user(user_from_dict(record))
+        elif stream == "entities":
+            store.add_artifact(artifact_from_dict(record))
+        elif stream == "usage":
+            store.record_event(event_from_dict(record))
+        elif stream == "lineage":
+            store.lineage.add_edge(
+                record["src"], record["dst"], record.get("kind", "derives")
+            )
+    target_now = manifest.get("now")
+    if target_now is not None and target_now > store.clock.now():
+        store.clock.advance(seconds=target_now - store.clock.now())
+    store.restore_domain_versions(
+        manifest.get("domain_versions", {}), manifest.get("total_version")
+    )
+    return store

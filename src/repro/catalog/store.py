@@ -5,21 +5,27 @@ All lookups providers need in their hot paths (by type, owner, badge, tag,
 team, name token) are maintained as secondary indexes on write, because the
 paper's motivating scale is catalogs of "up to millions" of tables where
 linear scans per query are not viable.
+
+The store owns *semantics* — validation, duplicate detection, which
+domains a write touches, memoisation — and delegates *state* to a
+:class:`~repro.catalog.backend.CatalogBackend`.  ``CatalogStore()`` is the
+historical fully-resident store; :meth:`CatalogStore.open` returns one
+backed by a persistent SQLite file with per-domain lazy loading, behind
+the exact same API and domain-versioning contract.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Iterable, Iterator
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping
 
+from repro.catalog.backend import CatalogBackend, InMemoryBackend, grantor_key
 from repro.catalog.domains import (
-    ALL_DOMAINS,
     DOMAIN_ENTITIES,
-    DOMAIN_LINEAGE,
     DOMAIN_MEMBERSHIP,
     DOMAIN_TEXT,
     DOMAIN_USAGE,
-    DOMAINS,
 )
 from repro.catalog.lineage import LineageGraph
 from repro.catalog.model import Artifact, ArtifactType, BadgeAssignment, Team, UsageEvent, User
@@ -28,40 +34,20 @@ from repro.errors import DuplicateEntityError, UnknownEntityError
 from repro.util.clock import SimulationClock
 from repro.util.textutil import tokenize
 
+#: Backend state key holding the ``[epoch, now]`` clock snapshot.
+_CLOCK_STATE = "clock"
+_FINGERPRINT_PREFIX = "fingerprint:"
+
 
 class CatalogStore:
-    """In-memory enterprise catalog with secondary indexes."""
+    """Enterprise catalog with secondary indexes over a pluggable backend."""
 
-    def __init__(self, clock: SimulationClock | None = None):
-        self.clock = clock or SimulationClock()
-        # Monotonic mutation counters.  ``_version`` counts every write;
-        # ``_versions`` splits the count by metadata domain so the
-        # provider execution layer can invalidate only the results whose
-        # providers depend on what actually changed.
-        self._version = 0
-        self._versions: dict[str, int] = {domain: 0 for domain in DOMAINS}
-        self.usage = UsageLog()
-        # Lineage edges are added through ``store.lineage`` directly
-        # (bulk loaders, persistence), so the graph reports its writes
-        # back — without the hook, lineage mutations would be invisible
-        # to cache invalidation.
-        self.lineage = LineageGraph(
-            on_mutate=lambda: self._mutated(DOMAIN_LINEAGE)
-        )
-        self._artifacts: dict[str, Artifact] = {}
-        self._users: dict[str, User] = {}
-        self._teams: dict[str, Team] = {}
-        # Secondary indexes (artifact ids, kept sorted on read not write).
-        self._by_type: dict[ArtifactType, set[str]] = defaultdict(set)
-        self._by_owner: dict[str, set[str]] = defaultdict(set)
-        self._by_badge: dict[str, set[str]] = defaultdict(set)
-        self._by_badge_grantor: dict[tuple[str, str], set[str]] = defaultdict(set)
-        self._by_tag: dict[str, set[str]] = defaultdict(set)
-        self._by_team: dict[str, set[str]] = defaultdict(set)
-        self._by_token: dict[str, set[str]] = defaultdict(set)
-        # Display name -> ids; a multimap because display names are not
-        # unique, and "resolve if unique" must detect collisions.
-        self._users_by_name: dict[str, set[str]] = defaultdict(set)
+    def __init__(self, clock: SimulationClock | None = None,
+                 backend: CatalogBackend | None = None):
+        self._backend = backend or InMemoryBackend()
+        if clock is None:
+            clock = self._restore_clock() or SimulationClock()
+        self.clock = clock
         # Per-artifact (name tokens, searchable-text tokens) memo for the
         # query evaluator's text scoring; dropped on reindex.
         self._token_cache: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
@@ -71,86 +57,162 @@ class CatalogStore:
         self._sorted_ids: list[str] | None = None
         self._sorted_ids_version = -1
 
+    @classmethod
+    def open(cls, path: str | Path,
+             clock: SimulationClock | None = None) -> "CatalogStore":
+        """Open (or create) a persistent catalog stored at *path*.
+
+        The returned store hydrates lazily per metadata domain: opening a
+        200k-artifact catalog reads a few metadata rows, and each domain
+        (entities, usage, lineage, token index) loads on first touch.
+        Call :meth:`flush` (or :meth:`close`, or use the store as a
+        context manager) to persist writes.
+        """
+        from repro.catalog.sqlite_backend import SqliteBackend
+
+        return cls(clock=clock, backend=SqliteBackend(path))
+
+    def _restore_clock(self) -> SimulationClock | None:
+        state = self._backend.get_state(_CLOCK_STATE)
+        if state is None:
+            return None
+        epoch, now = json.loads(state)
+        clock = SimulationClock(epoch=epoch)
+        if now > epoch:
+            clock.advance(seconds=now - epoch)
+        return clock
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist pending writes (no-op for the in-memory backend)."""
+        self._backend.set_state(
+            _CLOCK_STATE, json.dumps([self.clock.epoch, self.clock.now()])
+        )
+        self._backend.flush()
+
+    def compact(self) -> None:
+        """Flush, then reclaim backend storage space."""
+        self.flush()
+        self._backend.compact()
+
+    def close(self) -> None:
+        """Flush and release backend resources."""
+        self.flush()
+        self._backend.close()
+
+    def __enter__(self) -> "CatalogStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def storage_info(self) -> dict:
+        """Backend diagnostics (kind, residency/hydration, on-disk size)."""
+        return self._backend.info()
+
+    # -- version counters --------------------------------------------------
+
     @property
     def version(self) -> int:
         """Count of catalog mutations; bumped on every write."""
-        return self._version
+        return self._backend.version()
 
     @property
     def domain_versions(self) -> dict[str, int]:
         """Per-domain mutation counters (a copy; see :mod:`.domains`)."""
-        return dict(self._versions)
+        return self._backend.domain_versions()
 
     def domain_version(self, domain: str) -> int:
         """Mutation count of one domain; unknown domains raise KeyError."""
-        return self._versions[domain]
+        return self._backend.domain_version(domain)
 
     def _mutated(self, *domains: str) -> None:
         """Record a write to *domains* (all of them when unspecified —
         the conservative choice for callers that cannot say)."""
-        self._version += 1
-        for domain in domains or ALL_DOMAINS:
-            self._versions[domain] += 1
+        self._backend.bump(domains)
+
+    def restore_domain_versions(self, versions: Mapping[str, int],
+                                total: int | None = None) -> None:
+        """Merge persisted version counters in, never moving backwards.
+
+        Persistence layers call this after a rebuild so engine caches
+        keyed on ``domain_version(...)`` can never collide with keys
+        minted against the catalog before it was saved.
+        """
+        self._backend.restore_versions(versions, total)
 
     # -- sizes ------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._artifacts)
+        return self._backend.artifact_count()
 
     @property
     def artifact_count(self) -> int:
-        return len(self._artifacts)
+        return self._backend.artifact_count()
 
     @property
     def user_count(self) -> int:
-        return len(self._users)
+        return self._backend.user_count()
 
     @property
     def team_count(self) -> int:
-        return len(self._teams)
+        return self._backend.team_count()
+
+    # -- usage and lineage -------------------------------------------------
+
+    @property
+    def usage(self) -> UsageLog:
+        """The usage-event log (lazy backends hydrate it on first touch)."""
+        return self._backend.usage
+
+    @property
+    def lineage(self) -> LineageGraph:
+        """The lineage graph; direct ``lineage.add_edge`` calls version
+        correctly because the backend wires the graph's mutation hook."""
+        return self._backend.lineage
 
     # -- users and teams ---------------------------------------------------
 
     def add_user(self, user: User) -> User:
-        if user.id in self._users:
+        if self._backend.get_user(user.id) is not None:
             raise DuplicateEntityError("user", user.id)
-        self._users[user.id] = user
-        self._users_by_name[user.name.lower()].add(user.id)
+        self._backend.put_user(user)
         self._mutated(DOMAIN_MEMBERSHIP)
         return user
 
     def add_team(self, team: Team) -> Team:
-        if team.id in self._teams:
+        if self._backend.get_team(team.id) is not None:
             raise DuplicateEntityError("team", team.id)
-        self._teams[team.id] = team
+        self._backend.put_team(team)
         self._mutated(DOMAIN_MEMBERSHIP)
         return team
 
     def set_team(self, team: Team) -> Team:
         """Replace an existing team (e.g. to update its roster/admins)."""
-        if team.id not in self._teams:
+        if self._backend.get_team(team.id) is None:
             raise UnknownEntityError("team", team.id)
-        self._teams[team.id] = team
+        self._backend.put_team(team)
         self._mutated(DOMAIN_MEMBERSHIP)
         return team
 
     def user(self, user_id: str) -> User:
-        try:
-            return self._users[user_id]
-        except KeyError:
-            raise UnknownEntityError("user", user_id) from None
+        user = self._backend.get_user(user_id)
+        if user is None:
+            raise UnknownEntityError("user", user_id)
+        return user
 
     def team(self, team_id: str) -> Team:
-        try:
-            return self._teams[team_id]
-        except KeyError:
-            raise UnknownEntityError("team", team_id) from None
+        team = self._backend.get_team(team_id)
+        if team is None:
+            raise UnknownEntityError("team", team_id)
+        return team
 
     def users(self) -> list[User]:
-        return [self._users[uid] for uid in sorted(self._users)]
+        return [self.user(uid) for uid in self._backend.user_ids()]
 
     def teams(self) -> list[Team]:
-        return [self._teams[tid] for tid in sorted(self._teams)]
+        return [self.team(tid) for tid in self._backend.team_ids()]
 
     def find_user_by_name(self, name: str) -> User | None:
         """Resolve a display name (case-insensitive) to a user, if unique.
@@ -159,11 +221,11 @@ class CatalogStore:
         name the lookup is ambiguous and returns ``None`` rather than an
         arbitrary (historically: last-added) user.
         """
-        user_ids = self._users_by_name.get(name.lower())
-        if not user_ids or len(user_ids) > 1:
+        user_ids = self._backend.user_ids_by_name(name.lower())
+        if len(user_ids) != 1:
             return None
         (user_id,) = user_ids
-        return self._users.get(user_id)
+        return self._backend.get_user(user_id)
 
     def teams_of(self, user_id: str) -> list[Team]:
         """Teams the user belongs to.
@@ -182,99 +244,100 @@ class CatalogStore:
     # -- artifacts ----------------------------------------------------------
 
     def add_artifact(self, artifact: Artifact) -> Artifact:
-        if artifact.id in self._artifacts:
+        if self._backend.has_artifact(artifact.id):
             raise DuplicateEntityError("artifact", artifact.id)
-        self._artifacts[artifact.id] = artifact
-        self._index(artifact)
+        self._token_cache.pop(artifact.id, None)
+        self._backend.put_artifact(artifact)
         self._mutated(DOMAIN_ENTITIES, DOMAIN_TEXT)
         return artifact
 
     def artifact(self, artifact_id: str) -> Artifact:
-        try:
-            return self._artifacts[artifact_id]
-        except KeyError:
-            raise UnknownEntityError("artifact", artifact_id) from None
+        artifact = self._backend.get_artifact(artifact_id)
+        if artifact is None:
+            raise UnknownEntityError("artifact", artifact_id)
+        return artifact
 
     def has_artifact(self, artifact_id: str) -> bool:
-        return artifact_id in self._artifacts
+        return self._backend.has_artifact(artifact_id)
 
     def artifacts(self) -> Iterator[Artifact]:
-        """All artifacts in id order (deterministic)."""
-        for artifact_id in sorted(self._artifacts):
-            yield self._artifacts[artifact_id]
+        """All artifacts in id order (deterministic).
+
+        A full scan by definition, so lazy backends bulk-hydrate the
+        entities domain instead of paying one point read per artifact.
+        """
+        self._backend.hydrate((DOMAIN_ENTITIES,))
+        for artifact_id in self.artifact_ids():
+            yield self.artifact(artifact_id)
 
     def artifact_ids(self) -> list[str]:
         """All artifact ids, sorted; the sort is memoised per entities
         version (callers receive a copy they may mutate freely)."""
-        version = self._versions[DOMAIN_ENTITIES]
+        version = self._backend.domain_version(DOMAIN_ENTITIES)
         if self._sorted_ids is None or self._sorted_ids_version != version:
-            self._sorted_ids = sorted(self._artifacts)
+            self._sorted_ids = self._backend.artifact_ids()
             self._sorted_ids_version = version
         return list(self._sorted_ids)
 
     def resolve(self, artifact_ids: Iterable[str]) -> list[Artifact]:
         """Map ids to artifacts, skipping ids that no longer exist."""
-        return [
-            self._artifacts[aid] for aid in artifact_ids if aid in self._artifacts
-        ]
+        resolved = (self._backend.get_artifact(aid) for aid in artifact_ids)
+        return [artifact for artifact in resolved if artifact is not None]
 
     # -- index lookups -------------------------------------------------------
 
     def by_type(self, artifact_type: ArtifactType | str) -> list[str]:
-        return sorted(self._by_type.get(ArtifactType.coerce(artifact_type), ()))
+        coerced = ArtifactType.coerce(artifact_type)
+        return sorted(self._backend.index_ids("type", coerced.value))
 
     def by_owner(self, user_id: str) -> list[str]:
-        return sorted(self._by_owner.get(user_id, ()))
+        return sorted(self._backend.index_ids("owner", user_id))
 
     def by_badge(self, badge: str, granted_by: str | None = None) -> list[str]:
         if granted_by is None:
-            return sorted(self._by_badge.get(badge, ()))
-        return sorted(self._by_badge_grantor.get((badge, granted_by), ()))
+            return sorted(self._backend.index_ids("badge", badge))
+        return sorted(
+            self._backend.index_ids("badge_grantor",
+                                    grantor_key(badge, granted_by))
+        )
 
     def by_tag(self, tag: str) -> list[str]:
-        return sorted(self._by_tag.get(tag.lower(), ()))
+        return sorted(self._backend.index_ids("tag", tag.lower()))
 
     def by_team(self, team_id: str) -> list[str]:
-        return sorted(self._by_team.get(team_id, ()))
+        return sorted(self._backend.index_ids("team", team_id))
 
     def by_token(self, token: str) -> list[str]:
         """Artifacts whose searchable text contains *token*."""
-        return sorted(self._by_token.get(token.lower(), ()))
+        return sorted(self._backend.index_ids("token", token.lower()))
 
     def index_size(self, kind: str, key: str) -> int:
         """Bucket size of one secondary index, without materialising it.
 
         The query planner's cardinality estimates live on this: a
         ``by_*`` accessor sorts its bucket (O(k log k)) where planning
-        only needs ``len`` (O(1)).  *kind* is one of ``type``, ``owner``,
-        ``badge``, ``tag``, ``team``, ``token``; unknown kinds and
-        unindexed keys are size 0.
+        only needs ``len`` — O(1) resident, one indexed COUNT on lazy
+        backends (no hydration either way).  *kind* is one of ``type``,
+        ``owner``, ``badge``, ``tag``, ``team``, ``token``; unknown kinds
+        and unindexed keys are size 0.
         """
         if kind == "type":
             try:
-                coerced = ArtifactType.coerce(key)
+                key = ArtifactType.coerce(key).value
             except ValueError:
                 return 0
-            return len(self._by_type.get(coerced, ()))
-        index = {
-            "owner": self._by_owner,
-            "badge": self._by_badge,
-            "tag": self._by_tag,
-            "team": self._by_team,
-            "token": self._by_token,
-        }.get(kind)
-        if index is None:
-            return 0
-        if kind in ("tag", "token"):
+        elif kind in ("tag", "token"):
             key = key.lower()
-        return len(index.get(key, ()))
+        elif kind not in ("owner", "badge", "team"):
+            return 0
+        return self._backend.index_size(kind, key)
 
     def badges_in_use(self) -> list[str]:
         """Badge names that appear on at least one artifact."""
-        return sorted(badge for badge, ids in self._by_badge.items() if ids)
+        return self._backend.index_keys("badge")
 
     def tags_in_use(self) -> list[str]:
-        return sorted(tag for tag, ids in self._by_tag.items() if ids)
+        return self._backend.index_keys("tag")
 
     def artifact_tokens(self, artifact_id: str) -> tuple[frozenset[str], frozenset[str]]:
         """``(name tokens, searchable-text tokens)`` for one artifact.
@@ -294,18 +357,21 @@ class CatalogStore:
         return cached
 
     def clear_token_cache(self) -> None:
-        """Drop all memoised token sets (benchmarking hook)."""
+        """Drop all memoised token sets.
+
+        Counts as a ``text``-domain write: cached results that embedded
+        the memoised token sets must not survive the clear, so the
+        version bump tells dependency-aware engine caches to drop them.
+        """
         self._token_cache.clear()
+        self._mutated(DOMAIN_TEXT)
 
     def search_tokens(self, tokens: Iterable[str]) -> list[str]:
         """Artifact ids matching *all* tokens (conjunctive keyword search)."""
-        result: set[str] | None = None
-        for token in tokens:
-            ids = self._by_token.get(token.lower(), set())
-            result = set(ids) if result is None else result & ids
-            if not result:
-                return []
-        return sorted(result) if result else []
+        normalized = [token.lower() for token in tokens]
+        if not normalized:
+            return []
+        return self._backend.intersect_tokens(normalized)
 
     # -- mutation of artifact metadata ----------------------------------------
 
@@ -321,9 +387,8 @@ class CatalogStore:
             granted_at=self.clock.now() if at is None else at,
         )
         updated = artifact.with_badge(assignment)
-        self._deindex(artifact)
-        self._artifacts[artifact_id] = updated
-        self._index(updated)
+        self._token_cache.pop(artifact_id, None)
+        self._backend.put_artifact(updated)
         self._mutated(DOMAIN_ENTITIES, DOMAIN_TEXT)
         return updated
 
@@ -344,42 +409,26 @@ class CatalogStore:
     def usage_stats(self, artifact_id: str) -> UsageStats:
         return self.usage.stats(artifact_id)
 
+    # -- ingestion fingerprints -------------------------------------------
+
+    def ingest_fingerprint(self, source: str) -> str | None:
+        """Content fingerprint recorded for *source* (None if never run)."""
+        return self._backend.get_state(_FINGERPRINT_PREFIX + source)
+
+    def set_ingest_fingerprint(self, source: str, fingerprint: str) -> None:
+        """Record that *source* was ingested at *fingerprint*."""
+        self._backend.set_state(_FINGERPRINT_PREFIX + source, fingerprint)
+
+    def ingest_fingerprints(self) -> dict[str, str]:
+        """All recorded ``source -> fingerprint`` pairs."""
+        prefix = _FINGERPRINT_PREFIX
+        return {
+            key[len(prefix):]: self._backend.get_state(key) or ""
+            for key in self._backend.state_keys(prefix)
+        }
+
     # -- bulk helpers ----------------------------------------------------------
 
     def filter_artifacts(self, predicate: Callable[[Artifact], bool]) -> list[Artifact]:
         """Linear filter; prefer index lookups in hot paths."""
         return [a for a in self.artifacts() if predicate(a)]
-
-    # -- internal indexing -------------------------------------------------------
-
-    def _index(self, artifact: Artifact) -> None:
-        self._token_cache.pop(artifact.id, None)
-        self._by_type[artifact.artifact_type].add(artifact.id)
-        if artifact.owner_id:
-            self._by_owner[artifact.owner_id].add(artifact.id)
-        for team_id in artifact.team_ids:
-            self._by_team[team_id].add(artifact.id)
-        for assignment in artifact.badges:
-            self._by_badge[assignment.badge].add(artifact.id)
-            key = (assignment.badge, assignment.granted_by)
-            self._by_badge_grantor[key].add(artifact.id)
-        for tag in artifact.tags:
-            self._by_tag[tag.lower()].add(artifact.id)
-        for token in set(tokenize(artifact.searchable_text())):
-            self._by_token[token].add(artifact.id)
-
-    def _deindex(self, artifact: Artifact) -> None:
-        self._token_cache.pop(artifact.id, None)
-        self._by_type[artifact.artifact_type].discard(artifact.id)
-        if artifact.owner_id:
-            self._by_owner[artifact.owner_id].discard(artifact.id)
-        for team_id in artifact.team_ids:
-            self._by_team[team_id].discard(artifact.id)
-        for assignment in artifact.badges:
-            self._by_badge[assignment.badge].discard(artifact.id)
-            key = (assignment.badge, assignment.granted_by)
-            self._by_badge_grantor[key].discard(artifact.id)
-        for tag in artifact.tags:
-            self._by_tag[tag.lower()].discard(artifact.id)
-        for token in set(tokenize(artifact.searchable_text())):
-            self._by_token[token].discard(artifact.id)

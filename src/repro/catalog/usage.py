@@ -48,6 +48,11 @@ class UsageLog:
     def record(self, event: UsageEvent) -> None:
         """Append *event* and fold it into the aggregates."""
         self._events.append(event)
+        self._fold(event)
+
+    def _fold(self, event: UsageEvent) -> None:
+        """Fold one event into the aggregates (shared with lazy backends,
+        which journal the raw event separately from the resident log)."""
         stats = self._stats[event.artifact_id]
         if event.action == "view":
             stats.view_count += 1

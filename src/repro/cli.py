@@ -10,15 +10,19 @@ Usage (also via ``python -m repro``):
     repro spec --validate my_spec.json  # validate a spec file
     repro generate --tables 200 --out catalog.json
     repro export --out out/             # HTML views (Figure 6/7)
+    repro catalog init --db cat.db --tables 200   # persistent catalog
+    repro catalog info --db cat.db
 
-Every command accepts ``--catalog FILE`` to work on a saved catalog, or
-``--tables N --seed S`` to generate one on the fly; the default is the
-study catalog with the paper's example entities.
+Every command accepts ``--catalog FILE`` to work on a saved catalog JSON,
+``--store FILE`` to open a persistent catalog database (see ``repro
+catalog``), or ``--tables N --seed S`` to generate one on the fly; the
+default is the study catalog with the paper's example entities.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -44,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_catalog_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--catalog", type=Path, default=None,
                        help="load a saved catalog JSON instead of generating")
+        p.add_argument("--store", type=Path, default=None,
+                       help="open a persistent catalog database "
+                            "(created with 'repro catalog init')")
         p.add_argument("--tables", type=int, default=None,
                        help="generate a catalog with this many tables")
         p.add_argument("--seed", type=int, default=7,
@@ -100,10 +107,56 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", type=Path, default=Path("out"))
     add_catalog_options(export)
 
+    catalog = sub.add_parser(
+        "catalog",
+        help="manage persistent catalog databases (init/ingest/compact/info)",
+    )
+    catsub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    def add_db_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", type=Path, required=True,
+                       help="path of the catalog database file")
+
+    def add_synth_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tables", type=int, default=120,
+                       help="synthetic tables to generate (default 120)")
+        p.add_argument("--seed", type=int, default=7,
+                       help="generation seed (default 7)")
+        p.add_argument("--events", type=int, default=4000,
+                       help="usage events to generate (default 4000)")
+
+    cat_init = catsub.add_parser(
+        "init", help="create a catalog database and ingest a synthetic corpus"
+    )
+    add_db_option(cat_init)
+    add_synth_options(cat_init)
+    cat_init.add_argument("--force", action="store_true",
+                          help="replace an existing database file")
+
+    cat_ingest = catsub.add_parser(
+        "ingest",
+        help="re-run the synth ingestion pipeline against an existing "
+             "database; up-to-date ingestors are skipped by fingerprint",
+    )
+    add_db_option(cat_ingest)
+    add_synth_options(cat_ingest)
+
+    cat_compact = catsub.add_parser(
+        "compact", help="flush pending writes and reclaim file space"
+    )
+    add_db_option(cat_compact)
+
+    cat_info = catsub.add_parser(
+        "info", help="print storage diagnostics and ingestion fingerprints"
+    )
+    add_db_option(cat_info)
+
     return parser
 
 
 def _resolve_store(args) -> CatalogStore:
+    if getattr(args, "store", None):
+        return CatalogStore.open(args.store)
     if getattr(args, "catalog", None):
         return load_catalog(args.catalog)
     if getattr(args, "tables", None):
@@ -127,8 +180,8 @@ def _default_user(store: CatalogStore) -> str:
 
 
 def cmd_demo(args, out) -> int:
-    store = _resolve_store(args)
-    with WorkbookApp(store) as app:
+    with contextlib.closing(_resolve_store(args)) as store, \
+            WorkbookApp(store) as app:
         user_id = _default_user(store)
         session = app.session(user_id)
         tabs = session.open_home()
@@ -149,8 +202,8 @@ def cmd_demo(args, out) -> int:
 
 
 def cmd_search(args, out) -> int:
-    store = _resolve_store(args)
-    with WorkbookApp(store) as app:
+    with contextlib.closing(_resolve_store(args)) as store, \
+            WorkbookApp(store) as app:
         user_id = args.user or _default_user(store)
         query = args.query
         if args.nl:
@@ -191,8 +244,8 @@ def cmd_health(args, out) -> int:
     Exit code 1 signals degradation (an open breaker, a failed provider,
     stale serves) so scripts can alert on it; 0 means fully healthy.
     """
-    store = _resolve_store(args)
-    with WorkbookApp(store) as app:
+    with contextlib.closing(_resolve_store(args)) as store, \
+            WorkbookApp(store) as app:
         user_id = args.user or _default_user(store)
         app.interface.overview_tabs(user_id=user_id)
         print(app.engine.render_health(), file=out)
@@ -247,8 +300,8 @@ def cmd_generate(args, out) -> int:
 def cmd_export(args, out) -> int:
     from repro.core.render import render_interface_html, render_view_html
 
-    store = _resolve_store(args)
-    with WorkbookApp(store) as app:
+    with contextlib.closing(_resolve_store(args)) as store, \
+            WorkbookApp(store) as app:
         session = app.session(_default_user(store))
         tabs = session.open_home()
         args.out.mkdir(parents=True, exist_ok=True)
@@ -268,6 +321,74 @@ def cmd_export(args, out) -> int:
     return 0
 
 
+def _synth_config(args) -> SynthConfig:
+    return SynthConfig(seed=args.seed, n_tables=args.tables,
+                       usage_events=args.events)
+
+
+def cmd_catalog(args, out) -> int:
+    from repro.errors import CatalogError
+    from repro.synth import synth_ingestors
+
+    if args.catalog_command == "init":
+        if args.db.exists():
+            if not args.force:
+                raise CatalogError(
+                    f"{args.db} already exists; pass --force to replace it "
+                    f"or use 'repro catalog ingest' to extend it"
+                )
+            for suffix in ("", "-wal", "-shm"):
+                Path(str(args.db) + suffix).unlink(missing_ok=True)
+        with CatalogStore.open(args.db) as store:
+            outcomes = synth_ingestors(_synth_config(args)).ingest_into(store)
+            for name, outcome in outcomes.items():
+                print(f"  {name}: {outcome}", file=out)
+            print(f"initialised {args.db}: {store.artifact_count} artifacts, "
+                  f"{store.user_count} users, {len(store.usage)} events",
+                  file=out)
+        return 0
+
+    if args.catalog_command == "ingest":
+        with CatalogStore.open(args.db) as store:
+            outcomes = synth_ingestors(_synth_config(args)).ingest_into(store)
+            for name, outcome in outcomes.items():
+                print(f"  {name}: {outcome}", file=out)
+        return 0
+
+    if args.catalog_command == "compact":
+        with CatalogStore.open(args.db) as store:
+            before = store.storage_info().get("size_bytes", 0)
+            store.compact()
+            after = store.storage_info().get("size_bytes", 0)
+            print(f"compacted {args.db}: {before} -> {after} bytes", file=out)
+        return 0
+
+    # info
+    with CatalogStore.open(args.db) as store:
+        info = store.storage_info()
+        print(f"backend:  {info['backend']} (schema v{info['schema_version']})",
+              file=out)
+        print(f"path:     {info['path']} ({info['size_bytes']} bytes)",
+              file=out)
+        print("stored:   "
+              + ", ".join(f"{k}={v}" for k, v in info["stored"].items()),
+              file=out)
+        print("hydrated: "
+              + ", ".join(f"{k}={v}" for k, v in info["hydrated"].items()),
+              file=out)
+        versions = store.domain_versions
+        print("versions: total={} {}".format(
+            store.version,
+            " ".join(f"{d}={v}" for d, v in sorted(versions.items()))),
+            file=out)
+        fingerprints = store.ingest_fingerprints()
+        if fingerprints:
+            print("ingested:", file=out)
+            for name, fingerprint in sorted(fingerprints.items()):
+                print(f"  {name}: {fingerprint}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "search": cmd_search,
@@ -276,6 +397,7 @@ _COMMANDS = {
     "spec": cmd_spec,
     "generate": cmd_generate,
     "export": cmd_export,
+    "catalog": cmd_catalog,
 }
 
 

@@ -24,6 +24,11 @@ fetches entirely, and the :class:`ExplainedPlan` attached to every
 :class:`~repro.core.query.evaluator.SearchResult` (surfaced by the CLI's
 ``--explain`` flag).  Estimates only *order* work — they never replace a
 fetch — so a wrong estimate costs speed, never correctness.
+
+Estimation is also deliberately hydration-free: ``index_size`` is O(1)
+against the resident backend and a single indexed COUNT against the
+lazy on-disk backend, so planning a query over a cold-started 200k
+catalog never forces entity or index buckets into memory.
 """
 
 from __future__ import annotations

@@ -7,7 +7,13 @@ joinability has signal), derived datasets/visualizations/dashboards with
 lineage, users, teams, badges and Zipf-distributed usage logs.
 """
 
-from repro.synth.generator import SynthConfig, generate_catalog, study_catalog
+from repro.synth.generator import (
+    SynthConfig,
+    generate_catalog,
+    study_catalog,
+    synth_fingerprint,
+    synth_ingestors,
+)
 from repro.synth.workload import WorkloadConfig, generate_usage
 
 __all__ = [
@@ -16,4 +22,6 @@ __all__ = [
     "generate_catalog",
     "generate_usage",
     "study_catalog",
+    "synth_fingerprint",
+    "synth_ingestors",
 ]

@@ -12,15 +12,22 @@ executed verbatim.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from repro.catalog import IngestorRegistry
 from repro.catalog.model import Artifact, ArtifactType, Column, Team, User
 from repro.catalog.store import CatalogStore
 from repro.synth import names
 from repro.synth.workload import WorkloadConfig, generate_usage
 from repro.util.clock import DAY, SimulationClock
 from repro.util.ids import IdFactory
+
+#: Bumped when generation logic changes output for an unchanged config,
+#: so ingestion fingerprints notice code drift as well as config drift.
+GENERATOR_REVISION = 1
 
 
 @dataclass(frozen=True)
@@ -63,24 +70,83 @@ class _Build:
     visualizations: list[Artifact] = field(default_factory=list)
 
 
-def generate_catalog(config: SynthConfig | None = None) -> CatalogStore:
-    """Generate a full synthetic catalog from *config*."""
-    config = config or SynthConfig()
-    rng = random.Random(config.seed)
-    clock = SimulationClock()
-    store = CatalogStore(clock=clock)
-    now = clock.epoch + config.horizon_days * DAY
-    build = _Build(config=config, rng=rng, store=store, ids=IdFactory(), now=now)
+def synth_fingerprint(config: SynthConfig,
+                      fields: tuple[str, ...] | None = None) -> str:
+    """Content fingerprint of *config* (optionally a subset of fields).
 
+    Two configs produce the same catalog iff they fingerprint the same:
+    the digest covers every config field that feeds generation plus
+    :data:`GENERATOR_REVISION` for the code itself.
+    """
+    payload = asdict(config)
+    if fields is not None:
+        payload = {name: payload[name] for name in fields}
+    payload["__generator__"] = GENERATOR_REVISION
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+def synth_ingestors(config: SynthConfig) -> IngestorRegistry:
+    """The generator as an ingestion pipeline (see :mod:`repro.catalog.ingest`).
+
+    Two ingestors with independent fingerprints: ``synth:entities``
+    (people, artifacts, lineage, badges) and ``synth:usage`` (the Zipf
+    event workload, which only depends on the seed and event count).
+    Applying the registry to an already-populated persistent store skips
+    whatever already ran and refuses changed configurations.
+    """
+    registry = IngestorRegistry()
+    entity_fields = tuple(
+        name for name in asdict(config) if name != "usage_events"
+    )
+    registry.register(
+        "synth:entities",
+        synth_fingerprint(config, entity_fields),
+        lambda store: _ingest_entities(config, store),
+    )
+    registry.register(
+        "synth:usage",
+        synth_fingerprint(config, ("seed", "usage_events", "horizon_days")),
+        lambda store: _ingest_usage(config, store),
+    )
+    return registry
+
+
+def _ingest_entities(config: SynthConfig, store: CatalogStore) -> None:
+    rng = random.Random(config.seed)
+    now = store.clock.epoch + config.horizon_days * DAY
+    build = _Build(config=config, rng=rng, store=store, ids=IdFactory(), now=now)
     _make_people(build)
     _make_tables(build)
     _make_derived(build)
     _grant_badges(build)
-    clock.advance(seconds=now - clock.now())
+
+
+def _ingest_usage(config: SynthConfig, store: CatalogStore) -> None:
+    now = store.clock.epoch + config.horizon_days * DAY
+    if now > store.clock.now():
+        store.clock.advance(seconds=now - store.clock.now())
     generate_usage(
         store,
         WorkloadConfig(seed=config.seed + 1, n_events=config.usage_events),
     )
+
+
+def generate_catalog(config: SynthConfig | None = None,
+                     store: CatalogStore | None = None) -> CatalogStore:
+    """Generate a full synthetic catalog from *config*.
+
+    With *store* given (e.g. ``CatalogStore.open(path)``), generation runs
+    as incremental ingestion into it: already-ingested passes are skipped
+    by fingerprint, and a store populated from a different config is
+    rejected rather than silently mixed.
+    """
+    config = config or SynthConfig()
+    if store is None:
+        store = CatalogStore(clock=SimulationClock())
+    synth_ingestors(config).ingest_into(store)
     return store
 
 

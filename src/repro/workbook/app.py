@@ -73,8 +73,11 @@ class WorkbookApp:
         self.home_pages = HomePageManager(self.interface)
 
     def close(self) -> None:
-        """Release execution resources (joins the engine's worker pool)."""
+        """Release execution resources (joins the engine's worker pool)
+        and flush the store, so sessions against a persistent catalog
+        never leave usage events or badge grants unpersisted."""
         self.engine.close()
+        self.store.flush()
 
     def __enter__(self) -> "WorkbookApp":
         return self

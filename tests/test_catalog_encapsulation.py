@@ -1,0 +1,52 @@
+"""Static scans: storage backends stay internal to ``repro.catalog``.
+
+The backend split only holds its "observably interchangeable" promise if
+nothing outside the catalog package reaches around :class:`CatalogStore`:
+a module importing ``SqliteBackend`` directly, or poking ``store._...``
+internals, would couple itself to one backend's layout and silently break
+against the other.  Same enforcement style as the execution layer's
+policy-shim scan (``test_no_legacy_construction_left_in_src``).
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Names/modules that are private to repro.catalog.
+_BACKEND_REFERENCES = re.compile(
+    r"repro\.catalog\.backend"
+    r"|repro\.catalog\.sqlite_backend"
+    r"|\bInMemoryBackend\b"
+    r"|\bSqliteBackend\b"
+)
+
+#: ``<something>store._attr`` — reaching into CatalogStore internals.
+_PRIVATE_STORE_ACCESS = re.compile(r"\bstore\._[A-Za-z]")
+
+
+def _non_catalog_sources():
+    for path in sorted(SRC.rglob("*.py")):
+        if "catalog" in path.parts:
+            continue
+        yield path, path.read_text(encoding="utf-8")
+
+
+class TestBackendEncapsulation:
+    def test_no_backend_imports_outside_catalog_package(self):
+        offenders = [
+            str(path)
+            for path, text in _non_catalog_sources()
+            if _BACKEND_REFERENCES.search(text)
+        ]
+        assert offenders == []
+
+    def test_no_private_store_attribute_access_outside_catalog(self):
+        offenders = [
+            f"{path}:{i + 1}: {line.strip()}"
+            for path, text in _non_catalog_sources()
+            if "repro.catalog" in text  # only files that handle a CatalogStore
+            for i, line in enumerate(text.splitlines())
+            if _PRIVATE_STORE_ACCESS.search(line)
+        ]
+        assert offenders == []

@@ -176,3 +176,77 @@ class TestSearchBudget:
         assert code == 0
         assert "AIRLINES" in output
         assert "DEGRADED" not in output
+
+
+class TestCatalogCommands:
+    def _init(self, tmp_path, tables=30, events=200):
+        db = tmp_path / "catalog.db"
+        code, output = run_cli(
+            "catalog", "init", "--db", str(db),
+            "--tables", str(tables), "--events", str(events),
+        )
+        assert code == 0, output
+        return db, output
+
+    def test_init_creates_and_populates(self, tmp_path):
+        db, output = self._init(tmp_path)
+        assert db.exists()
+        assert "synth:entities: applied" in output
+        assert "synth:usage: applied" in output
+        assert "initialised" in output
+
+    def test_init_refuses_to_clobber_without_force(self, tmp_path):
+        db, _ = self._init(tmp_path)
+        code, _ = run_cli("catalog", "init", "--db", str(db), "--tables", "30")
+        assert code == 2  # HumboldtError exit
+        code, output = run_cli(
+            "catalog", "init", "--db", str(db),
+            "--tables", "30", "--events", "200", "--force",
+        )
+        assert code == 0, output
+
+    def test_reingest_same_config_skips(self, tmp_path):
+        db, _ = self._init(tmp_path)
+        code, output = run_cli(
+            "catalog", "ingest", "--db", str(db),
+            "--tables", "30", "--events", "200",
+        )
+        assert code == 0
+        assert "synth:entities: skipped" in output
+        assert "synth:usage: skipped" in output
+
+    def test_reingest_changed_config_fails_loudly(self, tmp_path):
+        db, _ = self._init(tmp_path)
+        code, _ = run_cli(
+            "catalog", "ingest", "--db", str(db),
+            "--tables", "31", "--events", "200",
+        )
+        assert code == 2
+
+    def test_info_reports_storage_and_fingerprints(self, tmp_path):
+        db, _ = self._init(tmp_path)
+        code, output = run_cli("catalog", "info", "--db", str(db))
+        assert code == 0
+        assert "backend:  sqlite" in output
+        assert "synth:entities" in output
+        assert "versions:" in output
+
+    def test_compact_runs(self, tmp_path):
+        db, _ = self._init(tmp_path)
+        code, output = run_cli("catalog", "compact", "--db", str(db))
+        assert code == 0
+        assert "compacted" in output
+
+    def test_search_against_persistent_store(self, tmp_path):
+        db, _ = self._init(tmp_path)
+        code, output = run_cli(
+            "search", "badged: endorsed", "--store", str(db)
+        )
+        assert code in (0, 1)  # result count depends on the badge draw
+        assert "result(s)" in output
+
+    def test_demo_against_persistent_store(self, tmp_path):
+        db, _ = self._init(tmp_path)
+        code, output = run_cli("demo", "--store", str(db))
+        assert code == 0
+        assert "catalog:" in output

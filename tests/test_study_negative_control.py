@@ -42,12 +42,13 @@ class TestNegativeControls:
         # Rebuild AIRLINES without badges (the store has no un-badge op;
         # swap the artifact wholesale).
         airlines = store.artifact("table-airlines")
-        store._deindex(airlines)  # test-only surgical edit
         import dataclasses
 
         stripped = dataclasses.replace(airlines, badges=())
-        store._artifacts["table-airlines"] = stripped
-        store._index(stripped)
+        # Test-only surgical edit: backend replace handles deindex+reindex.
+        store._token_cache.pop("table-airlines", None)
+        store._backend.put_artifact(stripped)
+        store._mutated("entities", "text")
 
         executor = TaskExecutor(app, PERSONAS[0], team_id)
         outcome = executor.task1()

@@ -163,3 +163,92 @@ class TestWorkload:
         stats = tiny_store.usage_stats("t-web")
         assert stats.view_count == before + 6
         assert tiny_store.clock.days_since(stats.last_viewed_at) <= 7.0
+
+
+class TestIngestionRegistry:
+    """generate_catalog as a fingerprinted, incremental ingestion pipeline."""
+
+    def test_fingerprint_is_config_sensitive(self):
+        from repro.synth.generator import synth_fingerprint
+
+        base = SynthConfig(seed=7, n_tables=40)
+        assert synth_fingerprint(base) == synth_fingerprint(
+            SynthConfig(seed=7, n_tables=40)
+        )
+        assert synth_fingerprint(base) != synth_fingerprint(
+            SynthConfig(seed=8, n_tables=40)
+        )
+
+    def test_usage_fingerprint_ignores_entity_knobs(self):
+        from repro.synth.generator import synth_ingestors
+
+        def usage_fp(config):
+            registry = synth_ingestors(config)
+            return {i.name: i.fingerprint
+                    for i in registry._ingestors}["synth:usage"]
+
+        base = SynthConfig(seed=7, n_tables=40)
+        assert usage_fp(base) == usage_fp(
+            SynthConfig(seed=7, n_tables=99, n_dashboards=1)
+        )
+        assert usage_fp(base) != usage_fp(
+            SynthConfig(seed=7, n_tables=40, usage_events=5)
+        )
+
+    def test_registry_matches_direct_generation(self):
+        config = SynthConfig(seed=11, n_tables=30)
+        direct = generate_catalog(config)
+        again = generate_catalog(config)
+        assert direct.artifact_ids() == again.artifact_ids()
+        assert len(direct.usage) == len(again.usage)
+
+    def test_second_ingest_is_a_noop(self, tmp_path):
+        from repro.catalog.store import CatalogStore
+        from repro.synth.generator import synth_ingestors
+
+        config = SynthConfig(seed=7, n_tables=25, usage_events=100)
+        with CatalogStore.open(tmp_path / "c.db") as store:
+            first = synth_ingestors(config).ingest_into(store)
+            count = store.artifact_count
+        with CatalogStore.open(tmp_path / "c.db") as store:
+            second = synth_ingestors(config).ingest_into(store)
+            assert store.artifact_count == count
+        assert set(first.values()) == {"applied"}
+        assert set(second.values()) == {"skipped"}
+
+    def test_changed_config_is_refused(self, tmp_path):
+        from repro.catalog.store import CatalogStore
+        from repro.errors import CatalogError
+        from repro.synth.generator import synth_ingestors
+
+        with CatalogStore.open(tmp_path / "c.db") as store:
+            synth_ingestors(
+                SynthConfig(seed=7, n_tables=25, usage_events=100)
+            ).ingest_into(store)
+        with CatalogStore.open(tmp_path / "c.db") as store:
+            with pytest.raises(CatalogError, match="different"):
+                synth_ingestors(
+                    SynthConfig(seed=9, n_tables=25, usage_events=100)
+                ).ingest_into(store)
+
+    def test_new_ingestor_applies_incrementally(self, tmp_path):
+        """Extending a pipeline applies only the new member — the
+        incremental contract of the registry."""
+        from repro.catalog.model import Artifact
+        from repro.catalog.store import CatalogStore
+        from repro.synth.generator import synth_ingestors
+
+        config = SynthConfig(seed=7, n_tables=25, usage_events=100)
+        with CatalogStore.open(tmp_path / "c.db") as store:
+            synth_ingestors(config).ingest_into(store)
+        with CatalogStore.open(tmp_path / "c.db") as store:
+            registry = synth_ingestors(config)
+            registry.register(
+                "extra:marker", "fp-1",
+                lambda s: s.add_artifact(Artifact(
+                    id="extra-1", name="EXTRA", artifact_type="table")),
+            )
+            outcomes = registry.ingest_into(store)
+            assert outcomes["synth:entities"] == "skipped"
+            assert outcomes["extra:marker"] == "applied"
+            assert store.has_artifact("extra-1")
