@@ -301,12 +301,18 @@ class SqliteBackend(CatalogBackend):
         self._lock = threading.RLock()
         if isinstance(self._path, Path):
             self._path.parent.mkdir(parents=True, exist_ok=True)
-        # The provider execution layer fans fetches out over a thread
-        # pool; sqlite3 serialises access internally and the RLock covers
-        # hydration, so sharing one connection across threads is safe.
+        # One *write* connection, guarded by the RLock.  Reads get a
+        # connection per thread (see :meth:`_read_connection`): WAL lets
+        # any number of readers run concurrently with one writer, so
+        # parallel pool workers no longer serialise on a single shared
+        # connection + lock.  ``:memory:`` databases keep the historical
+        # single-connection behaviour — a second connection to
+        # ``:memory:`` would open a different, empty database.
         self._conn = sqlite3.connect(str(self._path),
                                      check_same_thread=False)
         self._closed = False
+        self._read_local = threading.local()
+        self._read_conns: list[sqlite3.Connection] = []
         self._init_schema()
         # A catalog created this session cannot have unseen buckets on
         # disk, so misses are provably empty and skip the SELECT.
@@ -371,13 +377,41 @@ class SqliteBackend(CatalogBackend):
             if schema_version == 0:
                 self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
 
+    def _read_connection(self) -> "sqlite3.Connection | None":
+        """This thread's read-only connection (None for ``:memory:``).
+
+        Lazily opened per thread and registered with the backend so
+        :meth:`close` can release every connection.  ``query_only`` makes
+        accidental writes through a read connection fail loudly — all
+        writes belong to the write connection under the backend lock.
+        """
+        if not isinstance(self._path, Path):
+            return None
+        conn = getattr(self._read_local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(str(self._path), check_same_thread=False)
+            conn.execute("PRAGMA query_only=ON")
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    raise CatalogError("catalog database is closed")
+                self._read_conns.append(conn)
+            self._read_local.conn = conn
+        return conn
+
     def _execute(self, sql: str, params: tuple = ()) -> list[tuple]:
-        with self._lock:
-            return self._conn.execute(sql, params).fetchall()
+        read = self._read_connection()
+        if read is None:
+            with self._lock:
+                return self._conn.execute(sql, params).fetchall()
+        return read.execute(sql, params).fetchall()
 
     def _execute_one(self, sql: str, params: tuple = ()) -> tuple:
-        with self._lock:
-            return self._conn.execute(sql, params).fetchone()
+        read = self._read_connection()
+        if read is None:
+            with self._lock:
+                return self._conn.execute(sql, params).fetchone()
+        return read.execute(sql, params).fetchone()
 
     # -- version counters --------------------------------------------------
 
@@ -563,21 +597,21 @@ class SqliteBackend(CatalogBackend):
         bucket = self._bucket_memo.get((kind, key))
         if bucket is not None:
             return bucket
+        # Hydrate outside the lock so concurrent readers pulling different
+        # buckets overlap their SELECTs; setdefault under the lock keeps
+        # exactly one winner (and never clobbers a bucket a writer already
+        # hydrated and mutated while our SELECT was running).
+        if self._fresh:
+            loaded: set[str] = set()
+        else:
+            loaded = {
+                row[0] for row in self._execute(
+                    "SELECT id FROM postings WHERE kind=? AND key=?",
+                    (kind, key),
+                )
+            }
         with self._lock:
-            bucket = self._bucket_memo.get((kind, key))
-            if bucket is not None:
-                return bucket
-            if self._fresh:
-                bucket = set()
-            else:
-                bucket = {
-                    row[0] for row in self._execute(
-                        "SELECT id FROM postings WHERE kind=? AND key=?",
-                        (kind, key),
-                    )
-                }
-            self._bucket_memo[(kind, key)] = bucket
-            return bucket
+            return self._bucket_memo.setdefault((kind, key), loaded)
 
     def _mutate_bucket(self, kind: str, key: str, artifact_id: str,
                        add: bool) -> None:
@@ -763,6 +797,10 @@ class SqliteBackend(CatalogBackend):
             return
         self.flush()
         with self._lock:
+            for conn in self._read_conns:
+                conn.close()
+            self._read_conns.clear()
+            self._read_local = threading.local()
             self._conn.close()
             self._closed = True
 

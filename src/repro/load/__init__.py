@@ -1,0 +1,32 @@
+"""Deterministic concurrent load generation over the workbook.
+
+See :mod:`repro.load.workload` for the seeded session-script generator
+and :mod:`repro.load.harness` for the multi-threaded driver, isolation
+checks and :class:`LoadReport`.
+"""
+
+from repro.load.harness import (
+    LoadHarness,
+    LoadReport,
+    latency_middleware,
+    run_load,
+)
+from repro.load.workload import (
+    LoadConfig,
+    Op,
+    SessionScript,
+    build_workload,
+    query_pool,
+)
+
+__all__ = [
+    "LoadConfig",
+    "LoadHarness",
+    "LoadReport",
+    "Op",
+    "SessionScript",
+    "build_workload",
+    "latency_middleware",
+    "query_pool",
+    "run_load",
+]

@@ -1,0 +1,322 @@
+"""The concurrent multi-tenant load harness.
+
+Drives a deterministic workload (see :mod:`repro.load.workload`) over a
+shared :class:`~repro.workbook.app.WorkbookApp` from a thread pool —
+many simulated sessions in flight at once, the serving shape every
+single-request bench so far has ignored.  Each tenant (team) gets its
+own customization (a hidden overview provider) and, for alternating
+teams, a per-tenant policy overlay, so the run continuously exercises
+the engine's isolation guarantees while hammering its cache, breaker
+and single-flight paths.
+
+The harness verifies isolation *inline*: every overview op checks that
+the tenant's own hidden provider is absent and that no *other* tenant's
+hide leaked into this tenant's tabs.  Violations are counted in the
+report — the acceptance gate is zero.
+
+Usage::
+
+    report = run_load(store, LoadConfig(sessions=1000, concurrency=32))
+    print(report.render())
+    json.dumps(report.to_dict())
+
+``single_flight=False`` runs the same workload against a naive engine
+(no cross-request coalescing) for A/B comparison.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.catalog.store import CatalogStore
+from repro.load.workload import LoadConfig, SessionScript, build_workload
+from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
+from repro.providers.execution import (
+    CallNext,
+    ExecutionEngine,
+    ExecutionPolicy,
+    ProviderRequest,
+    ProviderResult,
+)
+from repro.providers.registry import EndpointRegistry
+from repro.workbook.app import WorkbookApp
+
+
+def latency_middleware(latency_ms: float):
+    """An engine middleware adding fixed latency per provider invocation,
+    simulating the round-trip to a remote metadata service.  This is what
+    makes batching measurable: with free providers, coalescing N identical
+    fetches into one saves nothing."""
+    delay_s = latency_ms / 1000.0
+
+    def middleware(
+        endpoint: str, request: ProviderRequest, call_next: CallNext
+    ) -> ProviderResult:
+        if delay_s > 0:
+            time.sleep(delay_s)
+        return call_next(endpoint, request)
+
+    return middleware
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class LoadReport:
+    """Everything one harness run measured, JSON-friendly via
+    :meth:`to_dict`."""
+
+    config: LoadConfig
+    single_flight: bool
+    ops: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+    latencies_ms: dict[str, list[float]] = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+    isolation_checks: int = 0
+    isolation_violations: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per second of wall clock."""
+        return self.ops / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        totals = self.stats.get("totals", {})
+        hits = totals.get("cache_hits", 0)
+        misses = totals.get("cache_misses", 0)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def _all_latencies(self) -> list[float]:
+        merged: list[float] = []
+        for samples in self.latencies_ms.values():
+            merged.extend(samples)
+        return merged
+
+    def percentiles(self, kind: str = "") -> dict[str, float]:
+        """p50/p95/p99/max over one op kind, or over everything."""
+        samples = (
+            self.latencies_ms.get(kind, []) if kind else self._all_latencies()
+        )
+        return {
+            "p50": _percentile(samples, 0.50),
+            "p95": _percentile(samples, 0.95),
+            "p99": _percentile(samples, 0.99),
+            "max": max(samples) if samples else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        totals = self.stats.get("totals", {})
+        return {
+            "mode": "batched" if self.single_flight else "naive",
+            "sessions": self.config.sessions,
+            "concurrency": self.config.concurrency,
+            "seed": self.config.seed,
+            "provider_latency_ms": self.config.provider_latency_ms,
+            "ops": self.ops,
+            "errors": self.errors,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_ops_s": round(self.throughput, 2),
+            "hit_rate": round(self.hit_rate, 4),
+            "latency_ms": {
+                "overall": self.percentiles(),
+                **{
+                    kind: self.percentiles(kind)
+                    for kind in sorted(self.latencies_ms)
+                },
+            },
+            "single_flights": totals.get("single_flights", 0),
+            "provider_calls": totals.get("calls", 0),
+            "degradation": {
+                "stale_served": totals.get("stale_served", 0),
+                "deadline_skips": totals.get("deadline_skips", 0),
+                "breaker_rejections": totals.get("breaker_rejections", 0),
+                "errors": totals.get("errors", 0),
+            },
+            "isolation": {
+                "checks": self.isolation_checks,
+                "violations": self.isolation_violations,
+            },
+        }
+
+    def render(self) -> str:
+        d = self.to_dict()
+        overall = d["latency_ms"]["overall"]
+        return (
+            f"{d['mode']}: {d['ops']} ops / {d['wall_s']}s "
+            f"= {d['throughput_ops_s']} ops/s, "
+            f"p50 {overall['p50']:.2f} ms, p99 {overall['p99']:.2f} ms, "
+            f"hit rate {d['hit_rate']:.3f}, "
+            f"{d['single_flights']} single-flights, "
+            f"{d['provider_calls']} provider calls, "
+            f"{d['isolation']['violations']} isolation violations"
+        )
+
+
+class LoadHarness:
+    """Runs one workload over one engine configuration.
+
+    Owns the app/engine it builds; a harness is single-use — build,
+    :meth:`run`, read the report.
+    """
+
+    def __init__(
+        self,
+        store: CatalogStore,
+        config: LoadConfig,
+        single_flight: bool = True,
+        policy: ExecutionPolicy | None = None,
+    ):
+        self.config = config
+        self.single_flight = single_flight
+        registry = EndpointRegistry()
+        install_builtin_endpoints(registry, BuiltinProviders(store))
+        middlewares = (
+            (latency_middleware(config.provider_latency_ms),)
+            if config.provider_latency_ms > 0
+            else ()
+        )
+        if policy is None:
+            policy = ExecutionPolicy.defaults().replace(
+                max_workers=max(2, min(8, config.concurrency))
+            )
+        self.engine = ExecutionEngine(
+            registry,
+            store=store,
+            policy=policy,
+            middlewares=middlewares,
+            single_flight=single_flight,
+        )
+        self.app = WorkbookApp(store, registry=registry, engine=self.engine)
+        self._lock = threading.Lock()
+        self._latencies: dict[str, list[float]] = {}
+        self._errors = 0
+        self._isolation_checks = 0
+        self._isolation_violations = 0
+        # Tenant setup: each team hides a different overview provider
+        # (rotating), and alternating teams get their own policy overlay
+        # — both must stay invisible to every other tenant.
+        self._hidden_by_team: dict[str, str] = {}
+        overview = [p.name for p in self.app.spec.visible_in("overview")]
+        teams = sorted(t.id for t in store.teams())
+        for index, team_id in enumerate(teams):
+            if not overview:
+                break
+            hidden = overview[index % len(overview)]
+            self.app.customization.team_layer(team_id).hide(hidden)
+            self._hidden_by_team[team_id] = hidden
+            if index % 2 == 1:
+                self.engine.set_tenant_policy(
+                    team_id, policy.replace(attempts=2)
+                )
+
+    # -- session driving ---------------------------------------------------
+
+    def _check_overview_isolation(self, team_id: str, tabs) -> None:
+        """Count tenant-customization leaks in an overview tab strip."""
+        names = {tab.provider_name for tab in tabs}
+        own_hidden = self._hidden_by_team.get(team_id)
+        with self._lock:
+            self._isolation_checks += 1
+            if own_hidden is not None and own_hidden in names:
+                self._isolation_violations += 1
+        # A provider hidden only by *other* tenants must still be served
+        # to this one — a disappearance means state bled across tenants.
+        foreign_hidden = {
+            hidden
+            for team, hidden in self._hidden_by_team.items()
+            if team != team_id and hidden != own_hidden
+        }
+        leaked = foreign_hidden - names
+        if leaked:
+            with self._lock:
+                self._isolation_violations += len(leaked)
+
+    def _run_op(self, session, op) -> None:
+        if op.kind == "search":
+            session.search(op.arg, limit=20)
+        elif op.kind == "overview":
+            tabs = session.open_browse()
+            self._check_overview_isolation(session.team_id, tabs)
+        elif op.kind == "explore":
+            session.select_artifact(op.arg)
+            session.explore_selection(limit=5)
+        elif op.kind == "suggest":
+            session.suggest(op.arg, limit=8)
+        elif op.kind == "touch":
+            self.app.store.record(op.arg, session.user_id, "view")
+        else:  # pragma: no cover - workload only emits known kinds
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def _run_session(self, script: SessionScript) -> tuple[int, int]:
+        """Run one script; returns (ops completed, errors)."""
+        session = self.app.session(script.user_id, script.team_id)
+        completed = errors = 0
+        local: dict[str, list[float]] = {}
+        for op in script.ops:
+            started = time.perf_counter()
+            try:
+                self._run_op(session, op)
+            except Exception:
+                errors += 1
+            else:
+                completed += 1
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            local.setdefault(op.kind, []).append(elapsed_ms)
+        with self._lock:
+            self._errors += errors
+            for kind, samples in local.items():
+                self._latencies.setdefault(kind, []).extend(samples)
+        return completed, errors
+
+    def run(self, scripts: list[SessionScript] | None = None) -> LoadReport:
+        """Execute the workload with ``config.concurrency`` worker threads."""
+        if scripts is None:
+            scripts = build_workload(self.app.store, self.config)
+        started = time.perf_counter()
+        completed = 0
+        with ThreadPoolExecutor(
+            max_workers=self.config.concurrency,
+            thread_name_prefix="load-session",
+        ) as pool:
+            for done, _ in pool.map(self._run_session, scripts):
+                completed += done
+        wall_s = time.perf_counter() - started
+        self.app.close()
+        return LoadReport(
+            config=self.config,
+            single_flight=self.single_flight,
+            ops=completed,
+            errors=self._errors,
+            wall_s=wall_s,
+            latencies_ms=self._latencies,
+            stats=self.engine.stats.snapshot(),
+            isolation_checks=self._isolation_checks,
+            isolation_violations=self._isolation_violations,
+        )
+
+
+def run_load(
+    store: CatalogStore,
+    config: LoadConfig | None = None,
+    single_flight: bool = True,
+    policy: ExecutionPolicy | None = None,
+) -> LoadReport:
+    """Build a harness, run the seeded workload, return the report."""
+    harness = LoadHarness(
+        store,
+        config or LoadConfig(),
+        single_flight=single_flight,
+        policy=policy,
+    )
+    return harness.run()

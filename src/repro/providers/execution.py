@@ -137,6 +137,10 @@ class EndpointStats:
     #: In-batch duplicates of a pending miss in ``execute_many`` — the work
     #: was shared, but no cache entry answered it.
     dedups: int = 0
+    #: Cross-request single-flight joins: fetches that waited on an
+    #: identical in-flight fetch started by another thread and shared its
+    #: one provider invocation.
+    single_flights: int = 0
     truncations: int = 0
     #: Cache entries dropped because a depended-on domain mutated.
     invalidations: int = 0
@@ -178,6 +182,7 @@ class EndpointStatsSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     dedups: int = 0
+    single_flights: int = 0
     truncations: int = 0
     invalidations: int = 0
     estimates: int = 0
@@ -251,6 +256,10 @@ class ExecutionStats:
         with self._lock:
             self._for(endpoint).dedups += 1
 
+    def record_single_flight(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).single_flights += 1
+
     def record_truncation(self, endpoint: str) -> None:
         with self._lock:
             self._for(endpoint).truncations += 1
@@ -318,6 +327,10 @@ class ExecutionStats:
         return self._total("dedups")
 
     @property
+    def single_flights(self) -> int:
+        return self._total("single_flights")
+
+    @property
     def truncations(self) -> int:
         return self._total("truncations")
 
@@ -373,6 +386,7 @@ class ExecutionStats:
                 cache_hits=live.cache_hits,
                 cache_misses=live.cache_misses,
                 dedups=live.dedups,
+                single_flights=live.single_flights,
                 truncations=live.truncations,
                 invalidations=live.invalidations,
                 estimates=live.estimates,
@@ -396,6 +410,7 @@ class ExecutionStats:
                     "cache_hits": s.cache_hits,
                     "cache_misses": s.cache_misses,
                     "dedups": s.dedups,
+                    "single_flights": s.single_flights,
                     "truncations": s.truncations,
                     "invalidations": s.invalidations,
                     "estimates": s.estimates,
@@ -416,6 +431,9 @@ class ExecutionStats:
             "cache_hits": sum(e["cache_hits"] for e in endpoints.values()),
             "cache_misses": sum(e["cache_misses"] for e in endpoints.values()),
             "dedups": sum(e["dedups"] for e in endpoints.values()),
+            "single_flights": sum(
+                e["single_flights"] for e in endpoints.values()
+            ),
             "truncations": sum(e["truncations"] for e in endpoints.values()),
             "invalidations": sum(
                 e["invalidations"] for e in endpoints.values()
@@ -442,6 +460,7 @@ class ExecutionStats:
         snap = self.snapshot()
         lines = [
             f"{'endpoint':<32}{'calls':>6}{'hits':>6}{'miss':>6}{'dedup':>6}"
+            f"{'sflt':>6}"
             f"{'err':>5}{'retry':>6}{'trunc':>6}{'inval':>6}"
             f"{'est':>5}{'skip':>6}"
             f"{'stale':>6}{'dskip':>6}{'brej':>5}"
@@ -452,6 +471,7 @@ class ExecutionStats:
             lines.append(
                 f"{uri:<32}{s['calls']:>6}{s['cache_hits']:>6}"
                 f"{s['cache_misses']:>6}{s['dedups']:>6}"
+                f"{s['single_flights']:>6}"
                 f"{s['errors']:>5}{s['retries']:>6}"
                 f"{s['truncations']:>6}{s['invalidations']:>6}"
                 f"{s['estimates']:>5}{s['fetches_skipped']:>6}"
@@ -463,6 +483,7 @@ class ExecutionStats:
         lines.append(
             f"{'TOTAL':<32}{t['calls']:>6}{t['cache_hits']:>6}"
             f"{t['cache_misses']:>6}{t['dedups']:>6}"
+            f"{t['single_flights']:>6}"
             f"{t['errors']:>5}{t['retries']:>6}"
             f"{t['truncations']:>6}{t['invalidations']:>6}"
             f"{t['estimates']:>5}{t['fetches_skipped']:>6}"
@@ -1029,8 +1050,32 @@ class CircuitBreaker:
 _CacheEntry = tuple[float, float, ProviderResult]
 
 
+class _InflightFetch:
+    """One in-progress fetch other threads may join (single-flight).
+
+    The first thread to miss on a request key becomes the *leader* and
+    runs the fetch; concurrent threads missing on the same key become
+    *waiters*, blocking on :attr:`done` and sharing the leader's outcome
+    instead of re-invoking the provider.
+    """
+
+    __slots__ = ("done", "outcome")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.outcome: FetchOutcome | None = None
+
+
 class ExecutionEngine:
-    """Cached, parallel, instrumented, resilient execution of fetches."""
+    """Cached, parallel, instrumented, resilient execution of fetches.
+
+    Thread-safety contract: one engine is safe to share across request
+    threads and tenants.  The cache, breakers, stats, in-flight table and
+    resolved-policy memos are guarded by the engine lock; request-scoped
+    state (:meth:`scope` memos, active deadlines) is per-thread and
+    explicitly handed to pool workers by :meth:`execute_many`.  See
+    ``docs/load_testing.md`` for the full contract.
+    """
 
     def __init__(
         self,
@@ -1041,6 +1086,7 @@ class ExecutionEngine:
         timer: Callable[[], float] = time.perf_counter,
         sleep: Callable[[float], None] = time.sleep,
         clock: "SimulationClock | None" = None,
+        single_flight: bool = True,
     ):
         self.registry = registry
         self.store = store
@@ -1053,9 +1099,17 @@ class ExecutionEngine:
         self._timer = timer
         self._sleep = sleep
         self._lock = threading.RLock()
-        self._endpoint_policies: dict[str, EndpointPolicy] = {}
+        self._endpoint_policies: dict[tuple[str, str], EndpointPolicy] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
         self._policy = policy if policy is not None else ExecutionPolicy.defaults()
+        #: Per-tenant policy overlays (tenant id -> ExecutionPolicy); a
+        #: tenant's fetches resolve retry/cache knobs from its own policy
+        #: without touching the shared engine policy or other tenants.
+        self._tenant_policies: dict[str, ExecutionPolicy] = {}
+        #: Identical-fetch coalescing across requests/threads: request
+        #: key -> the in-flight fetch concurrent callers join.
+        self._single_flight = bool(single_flight)
+        self._inflight: dict[RequestKey, _InflightFetch] = {}
         self._cache: OrderedDict[RequestKey, _CacheEntry] = OrderedDict()
         self._seen_store_version = store.version if store is not None else -1
         self._seen_registry_version = registry.version
@@ -1075,6 +1129,10 @@ class ExecutionEngine:
         self._memos = threading.local()
         self._ambient = threading.local()
         self._pool: ThreadPoolExecutor | None = None
+        #: max_workers the live pool was built with; a policy swap that
+        #: changes the width retires the stale-sized pool (see the
+        #: ``policy`` setter).
+        self._pool_workers = 0
         # Innermost first: validation sits at the boundary, retries wrap
         # it (so a transient failure re-enters validation too), and
         # caller-supplied middlewares observe the whole stack.
@@ -1097,19 +1155,78 @@ class ExecutionEngine:
 
         Breakers reset too — their thresholds/timeouts were resolved from
         the old policy, and carrying tripped state across a reconfigure
-        would surprise more than it protects.
+        would surprise more than it protects.  In-flight fetches finish
+        under the old policy and their breaker records are discarded (the
+        breaker they gated through no longer exists; see
+        :meth:`_breaker_record`).  A swap that changes ``max_workers``
+        retires the lazily-built thread pool so the next fan-out builds
+        one at the new width instead of silently keeping the stale size.
         """
         with self._lock:
+            stale_pool = None
+            if (
+                self._pool is not None
+                and policy.max_workers != self._pool_workers
+            ):
+                stale_pool, self._pool = self._pool, None
             self._policy = policy
             self._endpoint_policies.clear()
             self._breakers.clear()
+        if stale_pool is not None:
+            # Outside the lock: running fan-outs keep their submitted
+            # futures; only new submissions move to the resized pool.
+            stale_pool.shutdown(wait=False)
 
-    def _policy_for(self, endpoint: str) -> EndpointPolicy:
-        resolved = self._endpoint_policies.get(endpoint)
+    # -- per-tenant policies -------------------------------------------------
+
+    def set_tenant_policy(self, tenant_id: str, policy: ExecutionPolicy) -> None:
+        """Give *tenant_id*'s fetches their own policy overlay.
+
+        A fetch belongs to a tenant via its request context's ``team_id``
+        (which also participates in the request key, so tenants never
+        share cache entries whose answers could differ).  The overlay
+        governs retry/backoff and cache knobs; **circuit breakers stay
+        engine-wide** — endpoint health is a property of the provider,
+        not of who asked — so breaker knobs in a tenant policy are
+        ignored.  Setting an overlay never perturbs other tenants or the
+        shared engine policy.
+        """
+        if not tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        with self._lock:
+            self._tenant_policies[tenant_id] = policy
+            self._drop_tenant_resolutions(tenant_id)
+
+    def clear_tenant_policy(self, tenant_id: str) -> None:
+        """Remove *tenant_id*'s overlay; its fetches rejoin the shared policy."""
+        with self._lock:
+            self._tenant_policies.pop(tenant_id, None)
+            self._drop_tenant_resolutions(tenant_id)
+
+    def tenant_policy(self, tenant_id: str) -> ExecutionPolicy:
+        """The policy *tenant_id*'s fetches run under (shared if no overlay)."""
+        with self._lock:
+            return self._tenant_policies.get(tenant_id, self._policy)
+
+    def _drop_tenant_resolutions(self, tenant_id: str) -> None:
+        """Forget resolved EndpointPolicy memos for one tenant (lock held)."""
+        for memo_key in [
+            k for k in self._endpoint_policies if k[0] == tenant_id
+        ]:
+            del self._endpoint_policies[memo_key]
+
+    def _policy_for(self, endpoint: str, tenant: str = "") -> EndpointPolicy:
+        if tenant and tenant not in self._tenant_policies:
+            tenant = ""  # no overlay: share the engine-wide resolution
+        memo_key = (tenant, endpoint)
+        resolved = self._endpoint_policies.get(memo_key)
         if resolved is None:
-            resolved = self._policy.effective(endpoint)
             with self._lock:
-                self._endpoint_policies[endpoint] = resolved
+                resolved = self._endpoint_policies.get(memo_key)
+                if resolved is None:
+                    policy = self._tenant_policies.get(tenant, self._policy)
+                    resolved = policy.effective(endpoint)
+                    self._endpoint_policies[memo_key] = resolved
         return resolved
 
     # -- deadlines ---------------------------------------------------------
@@ -1204,23 +1321,64 @@ class ExecutionEngine:
                 outcomes[key] = FetchOutcome(endpoint)  # placeholder
                 pending.append((key, endpoint, request))
 
+        # The caller's request-scoped memo (if a scope is open) travels
+        # with the submitted work: pool workers push it onto their own
+        # thread-local stack so parallel And/Or branches see — and feed —
+        # the same memo the serial path would.
+        caller_stack = self._memo_stack()
+        scope_memo = caller_stack[-1] if caller_stack else None
+
         def run_one(
             key: RequestKey, endpoint: str, request: ProviderRequest
         ) -> FetchOutcome:
-            return self._run_guarded(endpoint, request, key, deadline)
+            if scope_memo is None:
+                return self._run_guarded(endpoint, request, key, deadline)
+            stack = self._memo_stack()
+            stack.append(scope_memo)
+            try:
+                return self._run_guarded(endpoint, request, key, deadline)
+            finally:
+                stack.pop()
 
-        if len(pending) > 1 and self._policy.max_workers > 1:
+        # Misses whose key is already in flight on another thread are not
+        # submitted to the pool: a submitted waiter would occupy a scarce
+        # pool slot doing nothing but waiting on the leader's event, so
+        # under a saturated pool a thundering herd of identical fan-outs
+        # used to queue *behind itself*.  Joining from this thread leaves
+        # every slot for fetches that actually invoke a provider.
+        to_join: list[tuple[RequestKey, str, ProviderRequest, _InflightFetch]] = []
+        to_run = pending
+        if self._single_flight and pending:
+            leading = self._leading_keys()
+            to_run = []
+            with self._lock:
+                for key, endpoint, request in pending:
+                    flight = self._inflight.get(key)
+                    if flight is not None and key not in leading:
+                        to_join.append((key, endpoint, request, flight))
+                    else:
+                        to_run.append((key, endpoint, request))
+
+        if len(to_run) > 1 and self._policy.max_workers > 1:
             futures = [
                 self._executor().submit(run_one, key, endpoint, request)
-                for key, endpoint, request in pending
+                for key, endpoint, request in to_run
             ]
+            for key, endpoint, request, flight in to_join:
+                outcomes[key] = self._await_flight(
+                    endpoint, request, key, flight, deadline
+                )
             finished = [future.result() for future in futures]
         else:
+            for key, endpoint, request, flight in to_join:
+                outcomes[key] = self._await_flight(
+                    endpoint, request, key, flight, deadline
+                )
             finished = [
                 run_one(key, endpoint, request)
-                for key, endpoint, request in pending
+                for key, endpoint, request in to_run
             ]
-        for (key, _, _), outcome in zip(pending, finished):
+        for (key, _, _), outcome in zip(to_run, finished):
             outcomes[key] = outcome
         return [outcomes[key] for key in keys]
 
@@ -1463,6 +1621,7 @@ class ExecutionEngine:
         """
         with self._lock:
             pool, self._pool = self._pool, None
+            self._pool_workers = 0
         if pool is not None:
             pool.shutdown(wait=True)
 
@@ -1514,15 +1673,27 @@ class ExecutionEngine:
                 return None
             return (result, max(0.0, now - fresh_until))
 
-    def _remember(self, key: RequestKey, result: ProviderResult) -> None:
+    def _remember(
+        self,
+        key: RequestKey,
+        result: ProviderResult,
+        stamp: "tuple[int, int] | None" = None,
+    ) -> None:
         stack = self._memo_stack()
         if stack:
             stack[-1][key] = result
-        policy = self._policy_for(key[0])
+        policy = self._policy_for(key[0], tenant=key[3])
         if policy.cache_ttl_s <= 0:
             return
         with self._lock:
             self._check_store_version()
+            if stamp is not None and stamp != self._version_stamp():
+                # The catalog or registry mutated while this fetch was in
+                # flight: the result may predate the mutation, and caching
+                # it would resurrect data the sweep just invalidated.  The
+                # caller still gets it (and the request-scoped memo holds
+                # it by design); it just never enters the shared cache.
+                return
             now = self._timer()
             fresh_until = now + policy.cache_ttl_s
             stale_until = fresh_until + (
@@ -1585,10 +1756,15 @@ class ExecutionEngine:
     # -- execution internals -------------------------------------------------
 
     def _executor(self) -> ThreadPoolExecutor:
+        """The fan-out pool, built lazily **under the engine lock** so two
+        first-callers racing can never each build (and one leak) a pool.
+        The width it was built with is recorded; a policy swap that
+        changes ``max_workers`` retires it (see the ``policy`` setter)."""
         with self._lock:
             if self._pool is None:
+                self._pool_workers = self._policy.max_workers
                 self._pool = ThreadPoolExecutor(
-                    max_workers=self._policy.max_workers,
+                    max_workers=self._pool_workers,
                     thread_name_prefix="humboldt-exec",
                 )
             return self._pool
@@ -1600,9 +1776,105 @@ class ExecutionEngine:
         key: RequestKey,
         deadline: Deadline | None,
     ) -> FetchOutcome:
-        """Post-cache-miss execution: deadline and breaker gates, then the
-        middleware chain, mapping every arm to a :class:`FetchOutcome`."""
-        policy = self._policy_for(endpoint)
+        """Post-cache-miss execution, coalesced across requests.
+
+        With single-flight enabled (the default), the first thread to
+        miss on *key* becomes the leader and runs the gated fetch; any
+        thread missing on the same key while that fetch is in flight
+        waits for the leader's outcome instead of invoking the provider
+        again — one provider call, N waiters.
+        """
+        if not self._single_flight:
+            return self._run_gated(endpoint, request, key, deadline)
+        leading = self._leading_keys()
+        if key in leading:
+            # Re-entrant fetch of a key this thread is already leading
+            # (a provider calling back into the engine): joining our own
+            # flight would deadlock, so run directly.
+            return self._run_gated(endpoint, request, key, deadline)
+        with self._lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _InflightFetch()
+        if not leader:
+            return self._await_flight(endpoint, request, key, flight, deadline)
+        leading.add(key)
+        outcome: FetchOutcome | None = None
+        try:
+            outcome = self._run_gated(endpoint, request, key, deadline)
+            return outcome
+        finally:
+            leading.discard(key)
+            with self._lock:
+                if self._inflight.get(key) is flight:
+                    del self._inflight[key]
+            flight.outcome = outcome
+            flight.done.set()
+
+    def _await_flight(
+        self,
+        endpoint: str,
+        request: ProviderRequest,
+        key: RequestKey,
+        flight: _InflightFetch,
+        deadline: Deadline | None,
+    ) -> FetchOutcome:
+        """Wait on an identical in-flight fetch and share its outcome."""
+        if deadline is None:
+            flight.done.wait()
+        else:
+            remaining_s = deadline.remaining_ms(self._timer()) / 1000.0
+            if not flight.done.wait(timeout=remaining_s):
+                # The shared fetch is still running and this caller's
+                # budget is spent: degrade exactly like a direct miss.
+                tenant = request.context.team_id
+                policy = self._policy_for(endpoint, tenant)
+                self.stats.record_deadline_skip(endpoint)
+                stale = self._stale_outcome(
+                    endpoint, key, policy, "deadline exhausted"
+                )
+                if stale is not None:
+                    return stale
+                return FetchOutcome(
+                    endpoint,
+                    error=DeadlineExceededError(endpoint, deadline.budget_ms),
+                    status=FetchStatus.SKIPPED,
+                    reason="deadline exhausted",
+                )
+        outcome = flight.outcome
+        if outcome is None:
+            # The leader died without publishing (a non-HumboldtError
+            # escaped); fall back to fetching directly.
+            return self._run_gated(endpoint, request, key, deadline)
+        self.stats.record_single_flight(endpoint)
+        if outcome.fresh and outcome.result is not None:
+            stack = self._memo_stack()
+            if stack:
+                stack[-1][key] = outcome.result
+        return outcome
+
+    def _leading_keys(self) -> set:
+        keys = getattr(self._ambient, "leading", None)
+        if keys is None:
+            keys = self._ambient.leading = set()
+        return keys
+
+    def _run_gated(
+        self,
+        endpoint: str,
+        request: ProviderRequest,
+        key: RequestKey,
+        deadline: Deadline | None,
+    ) -> FetchOutcome:
+        """Deadline and breaker gates, then the middleware chain, mapping
+        every arm to a :class:`FetchOutcome`."""
+        tenant = request.context.team_id
+        policy = self._policy_for(endpoint, tenant)
+        # Breakers are engine-wide: their knobs resolve from the shared
+        # policy so a tenant overlay can never weaken another tenant's
+        # protection against a failing provider.
+        base = policy if not tenant else self._policy_for(endpoint)
         now = self._timer()
         if deadline is not None and deadline.expired(now):
             self.stats.record_deadline_skip(endpoint)
@@ -1615,8 +1887,11 @@ class ExecutionEngine:
                 status=FetchStatus.SKIPPED,
                 reason="deadline exhausted",
             )
-        if policy.breaker_enabled:
-            allowed, retry_after = self._breaker_gate(endpoint, policy, now)
+        breaker: CircuitBreaker | None = None
+        if base.breaker_enabled:
+            allowed, retry_after, breaker = self._breaker_gate(
+                endpoint, base, now
+            )
             if not allowed:
                 self.stats.record_breaker_rejection(endpoint)
                 stale = self._stale_outcome(endpoint, key, policy, "circuit open")
@@ -1628,18 +1903,29 @@ class ExecutionEngine:
                     status=FetchStatus.SKIPPED,
                     reason="circuit open",
                 )
+        stamp = self._version_stamp()
         stack = self._deadline_stack()
         stack.append(deadline)
         try:
             result = self._execute(endpoint, request)
         except HumboldtError as exc:
-            self._breaker_record(endpoint, policy, ok=False)
+            self._breaker_record(endpoint, ok=False, breaker=breaker)
             return FetchOutcome(endpoint, error=exc)
         finally:
             stack.pop()
-        self._breaker_record(endpoint, policy, ok=True)
-        self._remember(key, result)
+        self._breaker_record(endpoint, ok=True, breaker=breaker)
+        self._remember(key, result, stamp=stamp)
         return FetchOutcome(endpoint, result=result)
+
+    def _version_stamp(self) -> tuple[int, int]:
+        """(registry, store) versions as of now — taken *before* invoking
+        an endpoint, so a result computed against pre-mutation state is
+        never cached as fresh after the mutation's sweep (see
+        :meth:`_remember`)."""
+        return (
+            self.registry.version,
+            self.store.version if self.store is not None else -1,
+        )
 
     def _stale_outcome(
         self,
@@ -1676,24 +1962,45 @@ class ExecutionEngine:
 
     def _breaker_gate(
         self, endpoint: str, policy: EndpointPolicy, now: float
-    ) -> tuple[bool, float]:
-        """(allowed, retry_after_s); transitions open → half-open."""
+    ) -> tuple[bool, float, CircuitBreaker]:
+        """(allowed, retry_after_s, breaker); transitions open → half-open.
+
+        The breaker instance is returned so the post-fetch
+        :meth:`_breaker_record` can verify it is recording against the
+        *same* state machine it gated through — a policy swap mid-flight
+        replaces the breaker table, and recording a result against a
+        freshly-minted breaker would corrupt probe accounting and lose
+        trip state.
+        """
         with self._lock:
             breaker = self._breaker_for(endpoint, policy)
             before = breaker.state
             allowed = breaker.allow(now)
             if breaker.state is not before:
                 self.stats.record_breaker_state(endpoint, breaker.state.value)
-            return allowed, breaker.retry_after_s(now)
+            return allowed, breaker.retry_after_s(now), breaker
 
     def _breaker_record(
-        self, endpoint: str, policy: EndpointPolicy, ok: bool
+        self,
+        endpoint: str,
+        ok: bool,
+        breaker: CircuitBreaker | None,
     ) -> None:
-        if not policy.breaker_enabled:
+        """Record a fetch result against the breaker it gated through.
+
+        *breaker* is the instance :meth:`_breaker_gate` admitted this
+        fetch through (None when breaking was disabled at gate time).  If
+        a policy swap retired it while the fetch was in flight, the
+        record is dropped: the swap deliberately reset breaker state, and
+        minting a replacement here would both resurrect stale accounting
+        and race other threads into duplicate breakers for one endpoint.
+        """
+        if breaker is None:
             return
         now = self._timer()
         with self._lock:
-            breaker = self._breaker_for(endpoint, policy)
+            if self._breakers.get(endpoint) is not breaker:
+                return
             before = breaker.state
             if ok:
                 breaker.record_success(now)
@@ -1746,7 +2053,7 @@ class ExecutionEngine:
         expired deadline stops retrying immediately, and a backoff delay
         never sleeps past the remaining budget.
         """
-        policy = self._policy_for(endpoint)
+        policy = self._policy_for(endpoint, request.context.team_id)
         deadline = self._current_deadline()
         attempt = 1
         while True:
