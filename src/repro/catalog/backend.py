@@ -218,6 +218,12 @@ class CatalogBackend(ABC):
         point read per record.  No-op for resident backends.
         """
 
+    def journal_event(self, record: object) -> None:
+        """Mirror one write-ahead event record (see
+        :mod:`repro.catalog.events`) into durable storage.  No-op for
+        in-memory backends; the sqlite backend appends it to the
+        ``catalog_events`` table inside the WAL."""
+
     def flush(self) -> None:
         """Persist pending writes (no-op for fully resident backends)."""
 

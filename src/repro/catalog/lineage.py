@@ -43,6 +43,10 @@ class LineageGraph:
         # lets the store keep its version counters truthful anyway.
         self._graph = nx.DiGraph()
         self._on_mutate = on_mutate
+        # Fires once per accepted edge, *before* on_mutate, with
+        # (src, dst, kind) — the owning store appends the write-ahead
+        # event record here so it lands ahead of the version bump.
+        self.on_edge: Callable[[str, str, str], None] | None = None
 
     def __contains__(self, artifact_id: str) -> bool:
         return artifact_id in self._graph
@@ -71,6 +75,8 @@ class LineageGraph:
                 f"lineage edge {src!r} -> {dst!r} would create a cycle"
             )
         self._graph.add_edge(src, dst, kind=edge.kind)
+        if self.on_edge is not None:
+            self.on_edge(src, dst, edge.kind)
         if self._on_mutate is not None:
             self._on_mutate()
 

@@ -34,6 +34,7 @@ construct stores via ``CatalogStore.open(path)``.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sqlite3
 import threading
@@ -81,6 +82,9 @@ CREATE TABLE IF NOT EXISTS user_recents(
 CREATE TABLE IF NOT EXISTS lineage_edges(
     src TEXT NOT NULL, dst TEXT NOT NULL, kind TEXT NOT NULL,
     PRIMARY KEY(src, dst)) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS catalog_events(
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    domain TEXT NOT NULL, kind TEXT NOT NULL, data TEXT NOT NULL);
 """
 
 
@@ -353,6 +357,9 @@ class SqliteBackend(CatalogBackend):
         self._bucket_memo: dict[tuple[str, str], set[str]] = {}
         self._dirty_buckets: set[tuple[str, str]] = set()
         self._size_memo: dict[tuple[str, str], int] = {}
+
+        # write-ahead event mirror (streaming write path)
+        self._pending_journal: list[tuple[str, str, str]] = []
 
         self._usage = _SqliteUsage(self)
         self._lineage = _SqliteLineage(self)
@@ -723,6 +730,17 @@ class SqliteBackend(CatalogBackend):
                     # Memoised buckets already reflect unflushed writes.
                     self._bucket_memo.setdefault(bucket_key, ids)
 
+    def journal_event(self, record: object) -> None:
+        """Buffer one write-ahead record for the ``catalog_events``
+        mirror; persisted with the next :meth:`flush` (same WAL
+        transaction as the state it describes)."""
+        domain = getattr(record, "domain", "")
+        data = json.dumps(dataclasses.asdict(record), sort_keys=True)
+        with self._lock:
+            self._pending_journal.append(
+                (domain, type(record).__name__, data)
+            )
+
     def flush(self) -> None:
         with self._lock, self._conn:
             if self._dirty_artifacts:
@@ -773,6 +791,13 @@ class SqliteBackend(CatalogBackend):
                 self._dirty_teams.clear()
             self._usage._flush(self._conn)
             self._lineage._flush(self._conn)
+            if self._pending_journal:
+                self._conn.executemany(
+                    "INSERT INTO catalog_events(domain, kind, data) "
+                    "VALUES (?, ?, ?)",
+                    self._pending_journal,
+                )
+                self._pending_journal.clear()
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta(key, value) "
                 "VALUES ('versions', ?)",
@@ -789,6 +814,11 @@ class SqliteBackend(CatalogBackend):
     def compact(self) -> None:
         self.flush()
         with self._lock:
+            # The event mirror is a durability journal, not the source of
+            # truth (aggregates and edges are persisted separately), so
+            # compaction may prune it freely.
+            with self._conn:
+                self._conn.execute("DELETE FROM catalog_events")
             self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
             self._conn.execute("VACUUM")
 
@@ -808,7 +838,7 @@ class SqliteBackend(CatalogBackend):
         counts = {
             table: int(self._execute_one(f"SELECT COUNT(*) FROM {table}")[0])
             for table in ("artifacts", "users", "teams", "postings",
-                          "usage_events", "lineage_edges")
+                          "usage_events", "lineage_edges", "catalog_events")
         }
         size_bytes = (
             self._path.stat().st_size

@@ -17,8 +17,10 @@ the exact same API and domain-versioning contract.
 from __future__ import annotations
 
 import json
+import threading
+from bisect import bisect_left
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.catalog.backend import CatalogBackend, InMemoryBackend, grantor_key
 from repro.catalog.domains import (
@@ -26,6 +28,17 @@ from repro.catalog.domains import (
     DOMAIN_MEMBERSHIP,
     DOMAIN_TEXT,
     DOMAIN_USAGE,
+    DOMAINS,
+)
+from repro.catalog.events import (
+    EntitiesEventRecord,
+    EventLog,
+    EventRecord,
+    EventStream,
+    LineageEventRecord,
+    MembershipEventRecord,
+    OpaqueEventRecord,
+    UsageEventRecord,
 )
 from repro.catalog.lineage import LineageGraph
 from repro.catalog.model import Artifact, ArtifactType, BadgeAssignment, Team, UsageEvent, User
@@ -53,9 +66,26 @@ class CatalogStore:
         self._token_cache: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
         # Sorted artifact-id list memo, keyed on the entities version —
         # Not-queries materialise the universe per search, and re-sorting
-        # a million-id catalog on every keystroke is pure waste.
+        # a million-id catalog on every keystroke is pure waste.  Between
+        # versions the memo is *patched* by replaying entity additions
+        # from the write-ahead event log (offset below) instead of
+        # refetching every id from the backend.
         self._sorted_ids: list[str] | None = None
         self._sorted_ids_version = -1
+        self._sorted_ids_offset = 0
+        # The write-ahead event stream: every mutation appends a typed
+        # record here *before* bumping its domain version, so engine
+        # caches and ranking snapshots can apply per-event deltas (see
+        # repro.catalog.events and docs/write_path.md).
+        self.events = EventLog()
+        #: Version bumps saved by batched event application — a batch of
+        #: N usage events bumps once, crediting N-1 here.
+        self.coalesced_bumps = 0
+        self._coalesce_lock = threading.Lock()
+        # Edges added straight through ``store.lineage`` must hit the
+        # event log too; the graph exposes a per-edge hook for exactly
+        # this (fires after the edge lands, before the version bump).
+        self._backend.lineage.on_edge = self._on_lineage_edge
 
     @classmethod
     def open(cls, path: str | Path,
@@ -132,6 +162,17 @@ class CatalogStore:
         the conservative choice for callers that cannot say)."""
         self._backend.bump(domains)
 
+    def _log_event(self, record: EventRecord) -> None:
+        """Append one write-ahead record (in-process log + durable
+        backend mirror).  Always called after the state change and
+        before the version bump — consumers woken by a bump must find
+        its explanation already in the log."""
+        self.events.append(record)
+        self._backend.journal_event(record)
+
+    def _on_lineage_edge(self, src: str, dst: str, kind: str) -> None:
+        self._log_event(LineageEventRecord(src=src, dst=dst, kind=kind))
+
     def restore_domain_versions(self, versions: Mapping[str, int],
                                 total: int | None = None) -> None:
         """Merge persisted version counters in, never moving backwards.
@@ -140,6 +181,11 @@ class CatalogStore:
         keyed on ``domain_version(...)`` can never collide with keys
         minted against the catalog before it was saved.
         """
+        # A restore moves counters without per-event deltas; opaque
+        # records force log consumers onto their coarse fallback paths.
+        for domain in DOMAINS:
+            if domain in versions:
+                self._log_event(OpaqueEventRecord(domain, reason="restore"))
         self._backend.restore_versions(versions, total)
 
     # -- sizes ------------------------------------------------------------
@@ -178,6 +224,7 @@ class CatalogStore:
         if self._backend.get_user(user.id) is not None:
             raise DuplicateEntityError("user", user.id)
         self._backend.put_user(user)
+        self._log_event(MembershipEventRecord("user", user.id, added=True))
         self._mutated(DOMAIN_MEMBERSHIP)
         return user
 
@@ -185,6 +232,7 @@ class CatalogStore:
         if self._backend.get_team(team.id) is not None:
             raise DuplicateEntityError("team", team.id)
         self._backend.put_team(team)
+        self._log_event(MembershipEventRecord("team", team.id, added=True))
         self._mutated(DOMAIN_MEMBERSHIP)
         return team
 
@@ -193,6 +241,8 @@ class CatalogStore:
         if self._backend.get_team(team.id) is None:
             raise UnknownEntityError("team", team.id)
         self._backend.put_team(team)
+        # Replacement may *remove* members — flagged non-monotonic.
+        self._log_event(MembershipEventRecord("team", team.id, added=False))
         self._mutated(DOMAIN_MEMBERSHIP)
         return team
 
@@ -248,6 +298,7 @@ class CatalogStore:
             raise DuplicateEntityError("artifact", artifact.id)
         self._token_cache.pop(artifact.id, None)
         self._backend.put_artifact(artifact)
+        self._log_event(EntitiesEventRecord(artifact.id, added=True))
         self._mutated(DOMAIN_ENTITIES, DOMAIN_TEXT)
         return artifact
 
@@ -272,12 +323,59 @@ class CatalogStore:
 
     def artifact_ids(self) -> list[str]:
         """All artifact ids, sorted; the sort is memoised per entities
-        version (callers receive a copy they may mutate freely)."""
+        version (callers receive a copy they may mutate freely).
+
+        Between versions the memo is maintained *incrementally*: entity
+        additions replay from the write-ahead event log at the memoised
+        offset as O(log n) sorted inserts, so a streaming catalog never
+        pays a full backend refetch per write.  Opaque records and log
+        truncation fall back to the refetch.
+        """
         version = self._backend.domain_version(DOMAIN_ENTITIES)
+        if self._sorted_ids is not None and self._sorted_ids_version != version:
+            patched = self._patch_sorted_ids()
+            if patched is not None:
+                self._sorted_ids = patched
+                self._sorted_ids_version = version
         if self._sorted_ids is None or self._sorted_ids_version != version:
+            # Offset first: events landing mid-fetch simply replay later,
+            # and replaying an addition already in the list is a no-op.
+            offset = self.events.offset
             self._sorted_ids = self._backend.artifact_ids()
             self._sorted_ids_version = version
+            self._sorted_ids_offset = offset
         return list(self._sorted_ids)
+
+    def _patch_sorted_ids(self) -> list[str] | None:
+        """Replay entity additions since the memoised offset into a new
+        sorted list; ``None`` means the log cannot explain the version
+        change (truncated, or an opaque entities write) and the caller
+        must refetch."""
+        base = self._sorted_ids
+        records, next_offset, truncated = self.events.since(
+            self._sorted_ids_offset
+        )
+        if truncated or base is None:
+            return None
+        patched: list[str] | None = None
+        for record in records:
+            if isinstance(record, EntitiesEventRecord):
+                if not record.added:
+                    continue  # in-place edit: the id set is unchanged
+                ids = patched if patched is not None else base
+                pos = bisect_left(ids, record.artifact_id)
+                if pos < len(ids) and ids[pos] == record.artifact_id:
+                    continue  # replayed twice; insert is idempotent
+                if patched is None:
+                    patched = list(base)
+                patched.insert(pos, record.artifact_id)
+            elif (
+                isinstance(record, OpaqueEventRecord)
+                and record.domain == DOMAIN_ENTITIES
+            ):
+                return None
+        self._sorted_ids_offset = next_offset
+        return patched if patched is not None else base
 
     def resolve(self, artifact_ids: Iterable[str]) -> list[Artifact]:
         """Map ids to artifacts, skipping ids that no longer exist."""
@@ -364,6 +462,7 @@ class CatalogStore:
         version bump tells dependency-aware engine caches to drop them.
         """
         self._token_cache.clear()
+        self._log_event(OpaqueEventRecord(DOMAIN_TEXT, reason="reindex"))
         self._mutated(DOMAIN_TEXT)
 
     def search_tokens(self, tokens: Iterable[str]) -> list[str]:
@@ -389,6 +488,9 @@ class CatalogStore:
         updated = artifact.with_badge(assignment)
         self._token_cache.pop(artifact_id, None)
         self._backend.put_artifact(updated)
+        # A badge edits an existing artifact in place: non-monotonic
+        # for anything caching artifact payloads, hence added=False.
+        self._log_event(EntitiesEventRecord(artifact_id, added=False))
         self._mutated(DOMAIN_ENTITIES, DOMAIN_TEXT)
         return updated
 
@@ -397,6 +499,29 @@ class CatalogStore:
         self.artifact(event.artifact_id)
         self.user(event.user_id)
         self.usage.record(event)
+        self._log_event(UsageEventRecord(event=event))
+        self._mutated(DOMAIN_USAGE)
+
+    def record_events(self, events: Sequence[UsageEvent]) -> None:
+        """Apply a batch of usage events with **one** usage version bump.
+
+        This is the coalescing primitive under :class:`EventStream`:
+        every event is validated, folded and logged individually, but
+        the domain version moves once for the whole batch — dependent
+        caches sweep once instead of N times.  The bumps saved are
+        credited to :attr:`coalesced_bumps`.
+        """
+        batch = list(events)
+        if not batch:
+            return
+        for event in batch:
+            self.artifact(event.artifact_id)
+            self.user(event.user_id)
+        self.usage.record_many(batch)
+        for event in batch:
+            self._log_event(UsageEventRecord(event=event))
+        with self._coalesce_lock:
+            self.coalesced_bumps += len(batch) - 1
         self._mutated(DOMAIN_USAGE)
 
     def record(
@@ -405,6 +530,13 @@ class CatalogStore:
         """Convenience wrapper building a :class:`UsageEvent` at clock time."""
         timestamp = self.clock.now() if at is None else at
         self.record_event(UsageEvent(artifact_id, user_id, action, timestamp))
+
+    def stream(
+        self, window_s: float = 0.05, max_batch: int = 256
+    ) -> EventStream:
+        """A coalescing usage-event writer bound to this store (see
+        :class:`repro.catalog.events.EventStream`)."""
+        return EventStream(self, window_s=window_s, max_batch=max_batch)
 
     def usage_stats(self, artifact_id: str) -> UsageStats:
         return self.usage.stats(artifact_id)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import ItemsView
+from typing import ItemsView, Sequence
 
 from repro.catalog.model import UsageEvent
 
@@ -49,6 +49,16 @@ class UsageLog:
         """Append *event* and fold it into the aggregates."""
         self._events.append(event)
         self._fold(event)
+
+    def record_many(self, events: "Sequence[UsageEvent]") -> None:
+        """Fold a whole batch in one call.
+
+        The store's streaming write path applies coalesced batches
+        through this so the usage domain version bumps once per batch,
+        not once per event.
+        """
+        for event in events:
+            self.record(event)
 
     def _fold(self, event: UsageEvent) -> None:
         """Fold one event into the aggregates (shared with lazy backends,

@@ -26,6 +26,7 @@ Usage::
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -147,6 +148,12 @@ class LoadReport:
                 "checks": self.isolation_checks,
                 "violations": self.isolation_violations,
             },
+            "write_path": {
+                "delta_patches": totals.get("delta_patches", 0),
+                "delta_fallbacks": totals.get("delta_fallbacks", 0),
+                "coalesced_bumps": totals.get("coalesced_bumps", 0),
+                "invalidations": totals.get("invalidations", 0),
+            },
         }
 
     def render(self) -> str:
@@ -159,6 +166,8 @@ class LoadReport:
             f"hit rate {d['hit_rate']:.3f}, "
             f"{d['single_flights']} single-flights, "
             f"{d['provider_calls']} provider calls, "
+            f"{d['write_path']['delta_patches']} delta patches, "
+            f"{d['write_path']['coalesced_bumps']} coalesced bumps, "
             f"{d['isolation']['violations']} isolation violations"
         )
 
@@ -198,6 +207,13 @@ class LoadHarness:
             single_flight=single_flight,
         )
         self.app = WorkbookApp(store, registry=registry, engine=self.engine)
+        # One coalescing event stream shared by every session thread:
+        # "stream" ops buffer usage events here, so sustained write
+        # pressure arrives at the store as batched single-bump commits.
+        self.stream = store.stream(window_s=config.coalesce_window_s)
+        # Monotonic suffix for synthetic lineage sinks; unique ids keep
+        # concurrent edge appends cycle-free by construction.
+        self._lineage_seq = itertools.count()
         self._lock = threading.Lock()
         self._latencies: dict[str, list[float]] = {}
         self._errors = 0
@@ -255,6 +271,16 @@ class LoadHarness:
             session.suggest(op.arg, limit=8)
         elif op.kind == "touch":
             self.app.store.record(op.arg, session.user_id, "view")
+        elif op.kind == "stream":
+            # A burst of usage events through the shared coalescing
+            # stream — the streaming write path under test.
+            for index in range(self.config.stream_burst):
+                action = "view" if index % 2 == 0 else "open"
+                self.stream.record(op.arg, session.user_id, action)
+        elif op.kind == "lineage":
+            self.app.store.lineage.add_edge(
+                op.arg, f"load-derived-{next(self._lineage_seq)}", "derives"
+            )
         else:  # pragma: no cover - workload only emits known kinds
             raise ValueError(f"unknown op kind {op.kind!r}")
 
@@ -291,6 +317,9 @@ class LoadHarness:
         ) as pool:
             for done, _ in pool.map(self._run_session, scripts):
                 completed += done
+        # Drain any usage events still buffered in the coalescing window
+        # before the stats snapshot, so the report reflects every write.
+        self.stream.flush()
         wall_s = time.perf_counter() - started
         self.app.close()
         return LoadReport(

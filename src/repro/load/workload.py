@@ -23,8 +23,19 @@ from dataclasses import dataclass, field
 
 from repro.catalog.store import CatalogStore
 
-#: Operation kinds a script may contain.
-OP_KINDS = ("search", "overview", "explore", "suggest", "touch")
+#: Operation kinds a script may contain.  ``stream`` and ``lineage`` are
+#: the write-heavy additions: a burst of usage events pushed through the
+#: store's coalescing :class:`~repro.catalog.events.EventStream`, and a
+#: lineage-edge append from inside a session thread.
+OP_KINDS = (
+    "search",
+    "overview",
+    "explore",
+    "suggest",
+    "touch",
+    "stream",
+    "lineage",
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +81,15 @@ class LoadConfig:
     explore_weight: float = 0.15
     suggest_weight: float = 0.10
     touch_weight: float = 0.10
+    #: Write-heavy mix: weight of usage-event bursts pushed through the
+    #: store's coalescing event stream, and of lineage-edge appends.
+    #: Both default to 0 so existing configs keep their exact op mix.
+    stream_weight: float = 0.0
+    lineage_weight: float = 0.0
+    #: Usage events per ``stream`` op (one burst -> one coalesced batch).
+    stream_burst: int = 8
+    #: Coalescing window of the shared event stream (seconds).
+    coalesce_window_s: float = 0.05
     #: Fixed latency injected per provider invocation, simulating a
     #: remote metadata service; 0 disables injection.
     provider_latency_ms: float = 0.0
@@ -81,6 +101,10 @@ class LoadConfig:
             raise ValueError("concurrency must be >= 1")
         if self.zipf_s <= 0:
             raise ValueError("zipf_s must be > 0")
+        if self.stream_burst < 1:
+            raise ValueError("stream_burst must be >= 1")
+        if self.coalesce_window_s < 0:
+            raise ValueError("coalesce_window_s must be >= 0")
         weights = self._weights()
         if any(w < 0 for w in weights) or sum(weights) <= 0:
             raise ValueError("mix weights must be >= 0 and not all zero")
@@ -92,6 +116,8 @@ class LoadConfig:
             self.explore_weight,
             self.suggest_weight,
             self.touch_weight,
+            self.stream_weight,
+            self.lineage_weight,
         )
 
 
@@ -189,11 +215,15 @@ def build_workload(store: CatalogStore, config: LoadConfig) -> list[SessionScrip
                 ops.append(Op("explore", artifact))
             elif kind == "suggest":
                 ops.append(Op("suggest", rng.choice(pools.prefixes)))
-            else:  # touch: a catalog write that invalidates usage caches
+            else:
+                # The remaining kinds are all catalog writes keyed on a
+                # Zipf-hot artifact: "touch" records one usage event
+                # synchronously, "stream" pushes a burst through the
+                # coalescing event stream, "lineage" appends an edge.
                 artifact = pools.artifacts[
                     _zipf_choice(rng, len(pools.artifacts), config.zipf_s)
                 ]
-                ops.append(Op("touch", artifact))
+                ops.append(Op(kind, artifact))
         scripts.append(
             SessionScript(
                 user_id=user, team_id=pools.teams[user], ops=tuple(ops)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.catalog.domains import coerce_domains
 from repro.errors import RepresentationError
@@ -314,6 +314,49 @@ def declared_estimator(endpoint: Endpoint) -> Estimator | None:
     """
     estimator = getattr(endpoint, ESTIMATOR_ATTR, None)
     return estimator if callable(estimator) else None
+
+
+#: Attribute carrying an endpoint's declared delta patcher.
+PATCHER_ATTR = "__result_patcher__"
+
+#: A delta patcher: given the request a cached result answered, the cached
+#: result itself, and the write-ahead event records appended since the
+#: engine's last invalidation sweep (see :mod:`repro.catalog.events`),
+#: return the result the endpoint would produce *now* — the cached object
+#: itself when the events provably cannot affect it — or ``None`` to
+#: decline, which makes the engine fall back to drop-and-refetch.
+ResultPatcher = Callable[
+    ["ProviderRequest", ProviderResult, "Sequence[object]"],
+    "ProviderResult | None",
+]
+
+
+def patches_with(patcher: ResultPatcher) -> Callable[[Endpoint], Endpoint]:
+    """Attach a cache delta patcher to an endpoint.
+
+    Under a streaming write load, dropping every dependent cache entry
+    per write collapses the hit rate; a patcher lets the engine *update*
+    a cached result in place instead.  A patcher must be exactly as
+    correct as refetching — when in doubt it returns ``None`` and the
+    engine drops the entry (never less correct than PR 2's behaviour,
+    just faster in the monotonic common cases).
+    """
+
+    def decorate(endpoint: Endpoint) -> Endpoint:
+        setattr(endpoint, PATCHER_ATTR, patcher)
+        return endpoint
+
+    return decorate
+
+
+def declared_patcher(endpoint: Endpoint) -> ResultPatcher | None:
+    """The patcher *endpoint* declared via :func:`patches_with`.
+
+    ``None`` means the endpoint cannot patch — its cached results drop
+    on every dependent-domain write, the pre-streaming behaviour.
+    """
+    patcher = getattr(endpoint, PATCHER_ATTR, None)
+    return patcher if callable(patcher) else None
 
 
 def declared_dependencies(endpoint: Endpoint) -> frozenset[str] | None:

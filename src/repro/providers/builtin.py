@@ -22,6 +22,11 @@ from repro.catalog.domains import (
     DOMAIN_TEXT,
     DOMAIN_USAGE,
 )
+from repro.catalog.events import (
+    LineageEventRecord,
+    MembershipEventRecord,
+    UsageEventRecord,
+)
 from repro.catalog.model import Artifact, ArtifactType
 from repro.catalog.store import CatalogStore
 from repro.errors import MissingInputError
@@ -117,6 +122,168 @@ class BuiltinProviders:
         if team is None:
             return 0
         return self.store.index_size("team", team.id)
+
+    # -- cache delta patchers ----------------------------------------------
+    #
+    # A patcher answers: given this endpoint's cached result for this
+    # request and the write-ahead event records since the engine's last
+    # sweep, what would the endpoint return *now*?  Three answers:
+    # the cached object itself (the events provably cannot affect it),
+    # a rebuilt result (computed through the endpoint's own body, so it
+    # is identical-by-construction to a drop-and-refetch at this
+    # instant), or None (decline — a non-monotonic mutation like a team
+    # roster replacement; the engine falls back to dropping the entry).
+    # The guards are deliberately conservative: any doubt rebuilds.
+
+    def patchers(self) -> "dict[str, Callable]":
+        """Endpoint name -> cache delta patcher (streaming write path).
+
+        Bound methods again, so the :func:`~repro.providers.base.
+        patches_with` decorator cannot close over ``self``; the installer
+        passes these at the registry level, mirroring :meth:`estimators`.
+        Only endpoints whose dependencies include a patchable domain
+        (usage / lineage / membership) appear — the rest drop on write
+        as before.
+        """
+        return {
+            "recents": self._patch_user_usage(self.recents),
+            "recent_documents": self._patch_user_usage(
+                self.recent_documents
+            ),
+            "favorites": self._patch_user_usage(self.favorites),
+            "most_viewed": self._patch_most_viewed,
+            "team_popular": self._patch_team_popular,
+            "owned_by": self._patch_membership(self.owned_by),
+            "created_by": self._patch_membership(self.owned_by),
+            "badged_by": self._patch_membership(self.badged_by),
+            "team_docs": self._patch_membership(self.team_docs),
+            "lineage": self._patch_lineage(self.lineage, around=False),
+            "lineage_graph": self._patch_lineage(
+                self.lineage_graph, around=True
+            ),
+        }
+
+    @staticmethod
+    def _usage_events(records) -> list:
+        return [r.event for r in records if isinstance(r, UsageEventRecord)]
+
+    @staticmethod
+    def _roster_replaced(records) -> bool:
+        """Any non-monotonic membership record (e.g. ``set_team``)?"""
+        return any(
+            isinstance(r, MembershipEventRecord) and not r.added
+            for r in records
+        )
+
+    def _patch_user_usage(self, endpoint: Endpoint) -> Callable:
+        """Patcher for per-user interaction endpoints (recents/favorites).
+
+        A usage event can only affect the result if it was produced by
+        the requested user (membership may change) or touches a listed
+        artifact (its advisory fields may change); anything else leaves
+        the cached result exactly what a refetch would produce.
+        """
+
+        def patch(request, cached, records):
+            events = self._usage_events(records)
+            if not events:
+                return cached
+            user_id = request.input("user") or request.context.user_id
+            listed = set(cached.artifact_ids())
+            if any(
+                e.user_id == user_id or e.artifact_id in listed
+                for e in events
+            ):
+                return endpoint(request)
+            return cached
+
+        return patch
+
+    def _patch_most_viewed(self, request, cached, records):
+        events = self._usage_events(records)
+        if not events:
+            return cached
+        listed = set(cached.artifact_ids())
+        if any(
+            e.action == "view" or e.artifact_id in listed for e in events
+        ):
+            return self.most_viewed(request)
+        return cached
+
+    def _patch_team_popular(self, request, cached, records):
+        if self._roster_replaced(records):
+            return None  # roster shrank, maybe: conservative drop
+        team_id = request.input("team") or request.context.team_id
+        team = self._resolve_team(team_id) if team_id else None
+        if any(isinstance(r, MembershipEventRecord) for r in records):
+            # A new user/team can change reference resolution; the
+            # rebuild reads live membership, same as a refetch.
+            return self.team_popular(request)
+        events = self._usage_events(records)
+        if not events:
+            return cached
+        if team is None:
+            return cached  # unresolvable either way: result stays empty
+        members = set(team.member_ids) | set(team.admin_ids)
+        listed = set(cached.artifact_ids())
+        if any(
+            e.user_id in members or e.artifact_id in listed for e in events
+        ):
+            return self.team_popular(request)
+        return cached
+
+    def _patch_membership(self, endpoint: Endpoint) -> Callable:
+        """Patcher for entities+membership endpoints (owned_by et al.).
+
+        Only membership records reach these (usage events never sweep
+        them); additions may change user/team reference resolution, so
+        they rebuild, while roster replacements decline.
+        """
+
+        def patch(request, cached, records):
+            if self._roster_replaced(records):
+                return None
+            if any(isinstance(r, MembershipEventRecord) for r in records):
+                return endpoint(request)
+            return cached
+
+        return patch
+
+    def _patch_lineage(self, endpoint: Endpoint, around: bool) -> Callable:
+        """Patcher for lineage endpoints.
+
+        The graph is append-only (restores surface as opaque records,
+        which hard-drop before patchers run), so the *current* bounded
+        neighbourhood of the requested root contains the old one.  An
+        edge with both ends outside it therefore cannot have altered the
+        result; anything touching it rebuilds.  The live graph — not the
+        cached ids — defines involvement, because traversal passes
+        through nodes the endpoint filters out (deleted-artifact ids).
+        """
+
+        def patch(request, cached, records):
+            edges = [r for r in records if isinstance(r, LineageEventRecord)]
+            if not edges:
+                return cached
+            artifact_id = request.input("artifact")
+            if not artifact_id:
+                return cached  # endpoint would raise; nothing to go stale
+            # Depths mirror the endpoint bodies exactly.
+            if around:
+                nodes, _ = self.store.lineage.subgraph_around(
+                    artifact_id, depth=2
+                )
+                involved = set(nodes)
+            else:
+                involved = set(
+                    self.store.lineage.downstream(artifact_id, depth=4)
+                )
+            involved.add(artifact_id)
+            if any(e.src in involved or e.dst in involved for e in edges):
+                return endpoint(request)
+            return cached
+
+        return patch
 
     def endpoints(self) -> dict[str, Endpoint]:
         """Endpoint name -> callable; the installer registers these."""
@@ -485,18 +652,29 @@ class BuiltinProviders:
 
 
 def install_builtin_endpoints(
-    registry: EndpointRegistry, providers: BuiltinProviders
+    registry: EndpointRegistry,
+    providers: BuiltinProviders,
+    patchers: bool = True,
 ) -> list[str]:
     """Register every built-in endpoint as ``catalog://<name>``.
+
+    *patchers=False* installs without cache delta patchers, restoring the
+    pure drop-and-refetch write path — the baseline the write-path
+    benchmark compares the streaming path against.
 
     Returns the registered URIs (sorted) for logging/tests.
     """
     uris = []
     estimators = providers.estimators()
+    patch_table = providers.patchers() if patchers else {}
     for name, endpoint in providers.endpoints().items():
         uri = f"catalog://{name}"
         registry.register(
-            uri, endpoint, replace=True, estimator=estimators.get(name)
+            uri,
+            endpoint,
+            replace=True,
+            estimator=estimators.get(name),
+            patcher=patch_table.get(name),
         )
         uris.append(uri)
     return sorted(uris)

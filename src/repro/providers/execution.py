@@ -69,7 +69,14 @@ from dataclasses import replace as _dataclass_replace
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
-from repro.catalog.domains import coerce_domains
+from repro.catalog.domains import (
+    DOMAIN_LINEAGE,
+    DOMAIN_MEMBERSHIP,
+    DOMAIN_USAGE,
+    DOMAINS,
+    coerce_domains,
+)
+from repro.catalog.events import EventLog, OpaqueEventRecord
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -79,6 +86,8 @@ from repro.errors import (
 from repro.providers.base import (
     ProviderRequest,
     ProviderResult,
+    RequestContext,
+    ResultPatcher,
     declared_estimator,
 )
 from repro.providers.faults import is_transient
@@ -107,6 +116,26 @@ def request_key(endpoint: str, request: ProviderRequest) -> RequestKey:
         request.context.team_id,
         request.context.limit,
     )
+
+
+def _request_from_key(key: RequestKey) -> ProviderRequest:
+    """Rebuild the request a cache key canonicalises (inverse of
+    :func:`request_key`; exact because the key captures every field a
+    provider can read)."""
+    return ProviderRequest(
+        inputs=dict(key[1]),
+        context=RequestContext(
+            user_id=key[2], team_id=key[3], limit=key[4]
+        ),
+    )
+
+
+#: Domains whose common mutations are monotonic (usage counters grow,
+#: lineage edges and members append) and therefore delta-patchable.
+#: Entities/text mutations edit payloads in place — always drop.
+PATCHABLE_DOMAINS = frozenset(
+    {DOMAIN_USAGE, DOMAIN_LINEAGE, DOMAIN_MEMBERSHIP}
+)
 
 
 # -- instrumentation --------------------------------------------------------
@@ -144,6 +173,12 @@ class EndpointStats:
     truncations: int = 0
     #: Cache entries dropped because a depended-on domain mutated.
     invalidations: int = 0
+    #: Cache entries *patched in place* from write-ahead event records
+    #: instead of being dropped (streaming write path).
+    delta_patches: int = 0
+    #: Patch attempts that fell back to drop-and-refetch — the patcher
+    #: declined (non-monotonic mutation) or raised.
+    delta_fallbacks: int = 0
     #: Cardinality estimates served (cache-sized or hook-computed) for
     #: the query planner, without invoking the endpoint.
     estimates: int = 0
@@ -185,6 +220,8 @@ class EndpointStatsSnapshot:
     single_flights: int = 0
     truncations: int = 0
     invalidations: int = 0
+    delta_patches: int = 0
+    delta_fallbacks: int = 0
     estimates: int = 0
     fetches_skipped: int = 0
     stale_served: int = 0
@@ -221,6 +258,10 @@ class ExecutionStats:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._endpoints: dict[str, EndpointStats] = {}
+        # Version bumps the store saved by coalescing event batches —
+        # a store-global number (no endpoint attribution), mirrored in
+        # by the engine's invalidation sweep.
+        self._coalesced_bumps = 0
 
     def _for(self, endpoint: str) -> EndpointStats:
         stats = self._endpoints.get(endpoint)
@@ -267,6 +308,18 @@ class ExecutionStats:
     def record_invalidation(self, endpoint: str, dropped: int = 1) -> None:
         with self._lock:
             self._for(endpoint).invalidations += dropped
+
+    def record_delta_patch(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).delta_patches += 1
+
+    def record_delta_fallback(self, endpoint: str) -> None:
+        with self._lock:
+            self._for(endpoint).delta_fallbacks += 1
+
+    def record_coalesced_bumps(self, saved: int) -> None:
+        with self._lock:
+            self._coalesced_bumps += saved
 
     def record_estimate(self, endpoint: str) -> None:
         with self._lock:
@@ -339,6 +392,19 @@ class ExecutionStats:
         return self._total("invalidations")
 
     @property
+    def delta_patches(self) -> int:
+        return self._total("delta_patches")
+
+    @property
+    def delta_fallbacks(self) -> int:
+        return self._total("delta_fallbacks")
+
+    @property
+    def coalesced_bumps(self) -> int:
+        with self._lock:
+            return self._coalesced_bumps
+
+    @property
     def estimates(self) -> int:
         return self._total("estimates")
 
@@ -389,6 +455,8 @@ class ExecutionStats:
                 single_flights=live.single_flights,
                 truncations=live.truncations,
                 invalidations=live.invalidations,
+                delta_patches=live.delta_patches,
+                delta_fallbacks=live.delta_fallbacks,
                 estimates=live.estimates,
                 fetches_skipped=live.fetches_skipped,
                 stale_served=live.stale_served,
@@ -413,6 +481,8 @@ class ExecutionStats:
                     "single_flights": s.single_flights,
                     "truncations": s.truncations,
                     "invalidations": s.invalidations,
+                    "delta_patches": s.delta_patches,
+                    "delta_fallbacks": s.delta_fallbacks,
                     "estimates": s.estimates,
                     "fetches_skipped": s.fetches_skipped,
                     "stale_served": s.stale_served,
@@ -424,6 +494,7 @@ class ExecutionStats:
                 }
                 for uri, s in sorted(self._endpoints.items())
             }
+            coalesced_bumps = self._coalesced_bumps
         totals = {
             "calls": sum(e["calls"] for e in endpoints.values()),
             "errors": sum(e["errors"] for e in endpoints.values()),
@@ -438,6 +509,13 @@ class ExecutionStats:
             "invalidations": sum(
                 e["invalidations"] for e in endpoints.values()
             ),
+            "delta_patches": sum(
+                e["delta_patches"] for e in endpoints.values()
+            ),
+            "delta_fallbacks": sum(
+                e["delta_fallbacks"] for e in endpoints.values()
+            ),
+            "coalesced_bumps": coalesced_bumps,
             "estimates": sum(e["estimates"] for e in endpoints.values()),
             "fetches_skipped": sum(
                 e["fetches_skipped"] for e in endpoints.values()
@@ -462,6 +540,7 @@ class ExecutionStats:
             f"{'endpoint':<32}{'calls':>6}{'hits':>6}{'miss':>6}{'dedup':>6}"
             f"{'sflt':>6}"
             f"{'err':>5}{'retry':>6}{'trunc':>6}{'inval':>6}"
+            f"{'patch':>6}{'dfall':>6}"
             f"{'est':>5}{'skip':>6}"
             f"{'stale':>6}{'dskip':>6}{'brej':>5}"
             f"{'p50 ms':>8}{'p95 ms':>8}"
@@ -474,6 +553,7 @@ class ExecutionStats:
                 f"{s['single_flights']:>6}"
                 f"{s['errors']:>5}{s['retries']:>6}"
                 f"{s['truncations']:>6}{s['invalidations']:>6}"
+                f"{s['delta_patches']:>6}{s['delta_fallbacks']:>6}"
                 f"{s['estimates']:>5}{s['fetches_skipped']:>6}"
                 f"{s['stale_served']:>6}{s['deadline_skips']:>6}"
                 f"{s['breaker_rejections']:>5}"
@@ -486,15 +566,18 @@ class ExecutionStats:
             f"{t['single_flights']:>6}"
             f"{t['errors']:>5}{t['retries']:>6}"
             f"{t['truncations']:>6}{t['invalidations']:>6}"
+            f"{t['delta_patches']:>6}{t['delta_fallbacks']:>6}"
             f"{t['estimates']:>5}{t['fetches_skipped']:>6}"
             f"{t['stale_served']:>6}{t['deadline_skips']:>6}"
             f"{t['breaker_rejections']:>5}"
         )
+        lines.append(f"coalesced version bumps: {t['coalesced_bumps']}")
         return "\n".join(lines)
 
     def reset(self) -> None:
         with self._lock:
             self._endpoints.clear()
+            self._coalesced_bumps = 0
 
 
 # -- policy ------------------------------------------------------------------
@@ -1119,6 +1202,17 @@ class ExecutionEngine:
         self._seen_domain_versions: dict[str, int] | None = (
             dict(versions) if isinstance(versions, dict) else None
         )
+        # Write-ahead log cursor: each invalidation sweep drains the
+        # store's event records from here so patchable mutations *update*
+        # cached results instead of dropping them (docs/write_path.md).
+        events = getattr(store, "events", None)
+        self._seen_event_offset = (
+            events.offset if isinstance(events, EventLog) else 0
+        )
+        coalesced = getattr(store, "coalesced_bumps", 0)
+        self._seen_coalesced_bumps = (
+            coalesced if isinstance(coalesced, int) else 0
+        )
         # Spec-declared dependencies overlaid per endpoint URI; unioned
         # with registry-declared dependencies by :meth:`dependencies_for`.
         # Each entry is stamped with the endpoint's registration
@@ -1525,6 +1619,8 @@ class ExecutionEngine:
                 "stale_served": s.get("stale_served", 0),
                 "deadline_skips": s.get("deadline_skips", 0),
                 "breaker_rejections": s.get("breaker_rejections", 0),
+                "delta_patches": s.get("delta_patches", 0),
+                "delta_fallbacks": s.get("delta_fallbacks", 0),
             }
         return report
 
@@ -1534,6 +1630,7 @@ class ExecutionEngine:
         lines = [
             f"{'endpoint':<32}{'breaker':>10}{'fails':>7}{'retry s':>9}"
             f"{'calls':>7}{'err':>5}{'stale':>7}{'dskip':>7}{'brej':>6}"
+            f"{'patch':>7}{'dfall':>7}"
         ]
         for uri, row in report.items():
             lines.append(
@@ -1543,9 +1640,13 @@ class ExecutionEngine:
                 f"{row['calls']:>7}{row['errors']:>5}"
                 f"{row['stale_served']:>7}{row['deadline_skips']:>7}"
                 f"{row['breaker_rejections']:>6}"
+                f"{row['delta_patches']:>7}{row['delta_fallbacks']:>7}"
             )
         if len(lines) == 1:
             lines.append("(no fetches recorded)")
+        lines.append(
+            f"coalesced version bumps: {self.stats.coalesced_bumps}"
+        )
         return "\n".join(lines)
 
     # -- dependency declarations ---------------------------------------------
@@ -1677,7 +1778,7 @@ class ExecutionEngine:
         self,
         key: RequestKey,
         result: ProviderResult,
-        stamp: "tuple[int, int] | None" = None,
+        stamp: "tuple | None" = None,
     ) -> None:
         stack = self._memo_stack()
         if stack:
@@ -1687,12 +1788,17 @@ class ExecutionEngine:
             return
         with self._lock:
             self._check_store_version()
-            if stamp is not None and stamp != self._version_stamp():
+            if (
+                stamp is not None
+                and stamp != self._version_stamp()
+                and not self._cacheable_despite_mutation(key[0], stamp)
+            ):
                 # The catalog or registry mutated while this fetch was in
-                # flight: the result may predate the mutation, and caching
-                # it would resurrect data the sweep just invalidated.  The
-                # caller still gets it (and the request-scoped memo holds
-                # it by design); it just never enters the shared cache.
+                # flight in a way that may affect this endpoint: the
+                # result may predate the mutation, and caching it would
+                # resurrect data the sweep just invalidated.  The caller
+                # still gets it (and the request-scoped memo holds it by
+                # design); it just never enters the shared cache.
                 return
             now = self._timer()
             fresh_until = now + policy.cache_ttl_s
@@ -1723,6 +1829,7 @@ class ExecutionEngine:
         if version == self._seen_store_version:
             return
         self._seen_store_version = version
+        self._mirror_coalesced_bumps()
         current = getattr(self.store, "domain_versions", None)
         if not isinstance(current, dict) or self._seen_domain_versions is None:
             # Store without domain versioning: monolithic behaviour.
@@ -1736,22 +1843,97 @@ class ExecutionEngine:
         self._seen_domain_versions = dict(current)
         if not changed:
             return
-        self._invalidate_domains(changed)
+        self._apply_domain_changes(changed)
 
-    def _invalidate_domains(self, changed: set[str]) -> None:
-        """Drop cache entries depending on any of *changed* (lock held)."""
+    def _mirror_coalesced_bumps(self) -> None:
+        """Fold the store's saved-bump counter into the stats (lock held)."""
+        total = getattr(self.store, "coalesced_bumps", 0)
+        if isinstance(total, int) and total > self._seen_coalesced_bumps:
+            self.stats.record_coalesced_bumps(
+                total - self._seen_coalesced_bumps
+            )
+            self._seen_coalesced_bumps = total
+
+    def _apply_domain_changes(self, changed: set[str]) -> None:
+        """Patch or drop cache entries after catalog mutations (lock held).
+
+        The store's write-ahead event log (:mod:`repro.catalog.events`)
+        is drained from the last sweep's offset.  Entries whose endpoint
+        depends only on *patchable* changed domains — the monotonic
+        common cases: usage counters, lineage edges, membership — are
+        handed to the endpoint's registered patcher together with those
+        records, and stay cached (updated in place, original expiry).
+        Everything else, and every patcher decline or failure, takes the
+        PR 2 drop-and-refetch path, so this is never less correct than
+        dropping — only cheaper.
+
+        Domains seen in drained records are treated as changed even when
+        their counter has not moved yet: a mutator appends its record
+        *before* bumping, so a sweep triggered by a concurrent write may
+        observe records slightly ahead of the counters.  Patching from
+        them early is sound because patchers rebuild from live
+        aggregates (re-applying an event is a no-op).
+        """
+        log = getattr(self.store, "events", None)
+        records: tuple = ()
+        patchable: set[str] = set()
+        if isinstance(log, EventLog):
+            drained, next_offset, truncated = log.since(
+                self._seen_event_offset
+            )
+            self._seen_event_offset = next_offset
+            if truncated:
+                # Events fell off the bounded log before this sweep saw
+                # them — no domain's deltas are trustworthy any more.
+                changed = set(DOMAINS)
+            else:
+                records = drained
+                changed = changed | {r.domain for r in drained}
+                opaque = {
+                    r.domain
+                    for r in drained
+                    if isinstance(r, OpaqueEventRecord)
+                }
+                patchable = (changed & PATCHABLE_DOMAINS) - opaque
+        hard = changed - patchable
         dependencies: dict[str, frozenset[str] | None] = {}
-        doomed: list[RequestKey] = []
-        for key in self._cache:
+        patchers: dict[str, ResultPatcher | None] = {}
+        for key, entry in list(self._cache.items()):
             endpoint = key[0]
             if endpoint not in dependencies:
                 dependencies[endpoint] = self.dependencies_for(endpoint)
             deps = dependencies[endpoint]
-            if deps is None or deps & changed:
-                doomed.append(key)
-        for key in doomed:
-            del self._cache[key]
-            self.stats.record_invalidation(key[0])
+            if deps is None or deps & hard:
+                del self._cache[key]
+                self.stats.record_invalidation(endpoint)
+                continue
+            if not (deps & patchable):
+                continue  # unaffected by this sweep
+            if endpoint not in patchers:
+                patchers[endpoint] = self._patcher_for(endpoint)
+            patcher = patchers[endpoint]
+            if patcher is None:
+                del self._cache[key]
+                self.stats.record_invalidation(endpoint)
+                continue
+            fresh_until, stale_until, result = entry
+            try:
+                patched = patcher(_request_from_key(key), result, records)
+            except Exception:
+                patched = None
+            if patched is None:
+                del self._cache[key]
+                self.stats.record_invalidation(endpoint)
+                self.stats.record_delta_fallback(endpoint)
+                continue
+            if patched is not result:
+                self._cache[key] = (fresh_until, stale_until, patched)
+            self.stats.record_delta_patch(endpoint)
+
+    def _patcher_for(self, endpoint: str) -> ResultPatcher | None:
+        getter = getattr(self.registry, "patcher", None)
+        patcher = getter(endpoint) if callable(getter) else None
+        return patcher if callable(patcher) else None
 
     # -- execution internals -------------------------------------------------
 
@@ -1917,15 +2099,48 @@ class ExecutionEngine:
         self._remember(key, result, stamp=stamp)
         return FetchOutcome(endpoint, result=result)
 
-    def _version_stamp(self) -> tuple[int, int]:
-        """(registry, store) versions as of now — taken *before* invoking
-        an endpoint, so a result computed against pre-mutation state is
-        never cached as fresh after the mutation's sweep (see
-        :meth:`_remember`)."""
-        return (
-            self.registry.version,
-            self.store.version if self.store is not None else -1,
+    def _version_stamp(self) -> tuple:
+        """(registry version, store version, domain counters) as of now —
+        taken *before* invoking an endpoint, so a result computed against
+        pre-mutation state is never cached as fresh after the mutation's
+        sweep (see :meth:`_remember`).  The per-domain counters let
+        :meth:`_cacheable_despite_mutation` admit results whose endpoint
+        provably doesn't read any mutated domain — without them, a
+        sustained write stream to *any* domain would void every insert.
+        """
+        if self.store is None:
+            return (self.registry.version, -1, None)
+        versions = getattr(self.store, "domain_versions", None)
+        domains = (
+            tuple(sorted(versions.items()))
+            if isinstance(versions, dict)
+            else None
         )
+        return (self.registry.version, self.store.version, domains)
+
+    def _cacheable_despite_mutation(
+        self, endpoint: str, stamp: tuple
+    ) -> bool:
+        """True when a mid-flight mutation provably cannot have affected
+        *endpoint*: the registry is unchanged and every domain counter
+        that moved since *stamp* lies outside the endpoint's declared
+        dependency set (lock held)."""
+        current = self._version_stamp()
+        if stamp[0] != current[0]:
+            return False  # endpoint may have been swapped mid-flight
+        old_domains, new_domains = stamp[2], current[2]
+        if old_domains is None or new_domains is None:
+            return False
+        deps = self.dependencies_for(endpoint)
+        if deps is None:
+            return False  # undeclared: conservative, as everywhere else
+        old = dict(old_domains)
+        changed = {
+            domain
+            for domain, counter in new_domains
+            if old.get(domain) != counter
+        }
+        return not (deps & changed)
 
     def _stale_outcome(
         self,

@@ -14,6 +14,7 @@ import math
 from typing import Callable, Iterable, Sequence
 
 from repro.catalog.domains import DOMAIN_USAGE
+from repro.catalog.events import EventLog, OpaqueEventRecord, UsageEventRecord
 from repro.catalog.store import CatalogStore
 
 #: Field name -> short description; this is also the vocabulary the spec
@@ -78,6 +79,9 @@ class FieldResolver:
         # whenever the usage domain version moves (PR 2's counters).
         self._usage_rows: dict[str, tuple] | None = None
         self._usage_rows_version = -1
+        # Event-log offset the snapshot is current through; lets a usage
+        # bump re-derive only the touched rows instead of all of them.
+        self._usage_rows_offset = 0
 
     def known_fields(self) -> list[str]:
         return sorted(self._resolvers)
@@ -155,22 +159,70 @@ class FieldResolver:
         return columns
 
     def _usage_snapshot(self) -> dict[str, tuple]:
-        """The usage-field rows, rebuilt when the usage domain mutates."""
+        """The usage-field rows, maintained incrementally when possible.
+
+        When the usage domain version moves, the write-ahead event log
+        names exactly which artifacts' aggregates changed; re-deriving
+        only those rows turns an O(catalog) rebuild into O(writes).  The
+        full one-pass rebuild remains the fallback — log truncation,
+        opaque usage records (restores) and the first call all land
+        there.  The version is read *before* draining the log so a bump
+        racing this call at worst re-derives a row twice (idempotent:
+        rows come from the live aggregates, not from the records).
+        """
         version = self.store.domain_version(DOMAIN_USAGE)
+        if self._usage_rows is not None and self._usage_rows_version != version:
+            patched = self._patch_usage_rows()
+            if patched is not None:
+                self._usage_rows = patched
+                self._usage_rows_version = version
+                return self._usage_rows
         if self._usage_rows is None or self._usage_rows_version != version:
+            log = getattr(self.store, "events", None)
+            offset = log.offset if isinstance(log, EventLog) else 0
             self._usage_rows = {
-                aid: (
-                    float(stats.view_count),
-                    float(stats.open_count),
-                    float(stats.edit_count),
-                    float(stats.favorite_count),
-                    float(len(stats.viewers)),
-                    stats.last_viewed_at,
-                )
+                aid: self._usage_row(stats)
                 for aid, stats in self.store.usage.all_stats()
             }
             self._usage_rows_version = version
+            self._usage_rows_offset = offset
         return self._usage_rows
+
+    def _patch_usage_rows(self) -> dict[str, tuple] | None:
+        """Snapshot with only event-touched rows re-derived; None = rebuild."""
+        log = getattr(self.store, "events", None)
+        if not isinstance(log, EventLog) or self._usage_rows is None:
+            return None
+        records, next_offset, truncated = log.since(self._usage_rows_offset)
+        if truncated:
+            return None
+        touched: set[str] = set()
+        for record in records:
+            if isinstance(record, UsageEventRecord):
+                touched.add(record.event.artifact_id)
+            elif (
+                isinstance(record, OpaqueEventRecord)
+                and record.domain == DOMAIN_USAGE
+            ):
+                return None  # e.g. a version restore: rows unexplained
+        # Copy-and-swap so concurrent readers of the old snapshot never
+        # observe a half-patched dict.
+        rows = dict(self._usage_rows)
+        for aid in touched:
+            rows[aid] = self._usage_row(self.store.usage.stats(aid))
+        self._usage_rows_offset = next_offset
+        return rows
+
+    @staticmethod
+    def _usage_row(stats) -> tuple:
+        return (
+            float(stats.view_count),
+            float(stats.open_count),
+            float(stats.edit_count),
+            float(stats.favorite_count),
+            float(len(stats.viewers)),
+            stats.last_viewed_at,
+        )
 
     # -- built-in fields ------------------------------------------------------
 

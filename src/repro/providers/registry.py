@@ -19,8 +19,10 @@ from repro.providers.base import (
     Estimator,
     ProviderRequest,
     ProviderResult,
+    ResultPatcher,
     declared_dependencies,
     declared_estimator,
+    declared_patcher,
 )
 
 _URI_RE = re.compile(r"^(?P<scheme>[a-z][a-z0-9+.-]*)://(?P<path>[A-Za-z0-9_./-]+)$")
@@ -49,6 +51,10 @@ class EndpointRegistry:
         # endpoint offers no estimate; the query planner then treats its
         # result size as unknown and orders it after estimated branches.
         self._estimators: dict[str, Estimator] = {}
+        # Declared cache delta patchers per uri.  Absent uri means the
+        # endpoint cannot patch cached results in place; the execution
+        # layer then drops them on dependent writes (drop-and-refetch).
+        self._patchers: dict[str, ResultPatcher] = {}
         # Bumped on every (un)registration; the execution layer keys
         # cache validity on it so swapping an endpoint drops its results.
         self._version = 0
@@ -79,6 +85,7 @@ class EndpointRegistry:
         replace: bool = False,
         dependencies: Iterable[str] | None = None,
         estimator: Estimator | None = None,
+        patcher: ResultPatcher | None = None,
     ) -> None:
         """Register *endpoint* under *uri*.
 
@@ -96,6 +103,12 @@ class EndpointRegistry:
         estimates_with`, the decorator equivalent).  When omitted, it is
         auto-discovered from the endpoint's decoration; with neither, the
         planner treats the endpoint's cardinality as unknown.
+
+        *patcher* updates the endpoint's cached results in place from
+        write-ahead event records (see :func:`~repro.providers.base.
+        patches_with`).  When omitted, it is auto-discovered from the
+        endpoint's decoration; with neither, dependent writes drop the
+        endpoint's cached results instead of patching them.
         """
         parse_endpoint_uri(uri)
         if uri in self._endpoints and not replace:
@@ -106,6 +119,8 @@ class EndpointRegistry:
             deps = coerce_domains(dependencies)
         if estimator is None:
             estimator = declared_estimator(endpoint)
+        if patcher is None:
+            patcher = declared_patcher(endpoint)
         self._endpoints[uri] = endpoint
         if deps is None:
             self._dependencies.pop(uri, None)
@@ -115,6 +130,10 @@ class EndpointRegistry:
             self._estimators.pop(uri, None)
         else:
             self._estimators[uri] = estimator
+        if patcher is None:
+            self._patchers.pop(uri, None)
+        else:
+            self._patchers[uri] = patcher
         self._version += 1
         self._registered_at[uri] = self._version
 
@@ -122,6 +141,7 @@ class EndpointRegistry:
         if self._endpoints.pop(uri, None) is not None:
             self._dependencies.pop(uri, None)
             self._estimators.pop(uri, None)
+            self._patchers.pop(uri, None)
             self._registered_at.pop(uri, None)
             self._version += 1
 
@@ -132,6 +152,10 @@ class EndpointRegistry:
     def estimator(self, uri: str) -> Estimator | None:
         """Declared cardinality estimator for *uri*; ``None`` when absent."""
         return self._estimators.get(uri)
+
+    def patcher(self, uri: str) -> ResultPatcher | None:
+        """Declared cache delta patcher for *uri*; ``None`` when absent."""
+        return self._patchers.get(uri)
 
     def registration_generation(self, uri: str) -> int:
         """Version stamp of *uri*'s current registration (0 = never)."""

@@ -595,3 +595,80 @@ class TestSqliteInterleavingProperty:
             assert (sqlite_store.usage_stats(aid).view_count
                     == model.usage_stats(aid).view_count)
         sqlite_store.close()
+
+
+class TestStreamingWritersUnderLoad:
+    def test_readers_stay_fresh_with_competing_write_streams(self):
+        """Writer threads push usage bursts through one shared coalescing
+        EventStream and append lineage edges while reader threads fetch
+        usage-dependent endpoints through a patch-enabled engine.  No
+        thread errors, the books balance, and after quiescing (final
+        flush) every engine answer matches a fresh provider fetch."""
+        from repro.providers.builtin import (
+            BuiltinProviders,
+            install_builtin_endpoints,
+        )
+
+        store = _seeded_store(n=10)
+        for uid in ("u-2", "u-3"):
+            store.add_user(User(id=uid, name=f"Writer {uid}"))
+        registry = EndpointRegistry()
+        install_builtin_endpoints(registry, BuiltinProviders(store))
+        engine = ExecutionEngine(
+            registry,
+            store=store,
+            policy=ExecutionPolicy.defaults().replace(cache_ttl_s=3600.0),
+        )
+        stream = store.stream(window_s=0.0, max_batch=8)
+        requests = [
+            ProviderRequest(
+                inputs={"user": uid}, context=RequestContext(user_id=uid)
+            )
+            for uid in ("u-1", "u-2", "u-3")
+        ]
+        edge_seq = [0]
+        edge_lock = threading.Lock()
+
+        def worker(index: int) -> int:
+            fetched = 0
+            uid = f"u-{index % 3 + 1}"
+            for round_ in range(60):
+                if index % 2 == 0:
+                    # Writer: usage burst + the occasional lineage edge.
+                    stream.record(f"a-{round_ % 10}", uid, "view")
+                    if round_ % 10 == 9:
+                        with edge_lock:
+                            n = edge_seq[0]
+                            edge_seq[0] += 1
+                        store.lineage.add_edge(
+                            f"a-{n % 10}", f"sink-{n}", "derives"
+                        )
+                else:
+                    outcome = engine.execute(
+                        "catalog://recents" if round_ % 2 == 0
+                        else "catalog://most_viewed",
+                        requests[index % 3],
+                    )
+                    assert outcome.status in (
+                        FetchStatus.OK, FetchStatus.STALE
+                    )
+                    fetched += 1
+            return fetched
+
+        fetch_counts = _hammer(8, worker)
+        stream.flush()
+        totals = engine.stats.snapshot()["totals"]
+        assert totals["errors"] == 0
+        assert (
+            totals["cache_hits"]
+            + totals["cache_misses"]
+            + totals["single_flights"]
+            == sum(fetch_counts)
+        )
+        # Quiescent reads equal the live provider truth.
+        for request in requests:
+            for uri in ("catalog://recents", "catalog://most_viewed"):
+                served = engine.execute(uri, request).result
+                fresh = registry.resolve(uri)(request)
+                assert served.artifact_ids() == fresh.artifact_ids(), uri
+        engine.close()
