@@ -11,6 +11,22 @@ specification of metadata providers.  The quickest way in:
     session.open_home()
     result = session.search('type: table owned_by: "Alex" badged: endorsed')
 
+Or, through the stable :class:`Discovery` facade (the single supported
+entry point for single-catalog *and* federated deployments):
+
+    with repro.Discovery.open(study_catalog()) as discovery:
+        result = discovery.search("badged: endorsed")
+
+**Public API.**  The names in ``__all__`` below are the supported
+surface: entry points (``Discovery``, ``WorkbookApp``), the catalog
+substrate (``CatalogStore``), federation (``FederatedCatalog``,
+``CatalogRef``), the execution layer (``ExecutionEngine``,
+``ExecutionPolicy``), query parsing/explaining (``parse_query``,
+``explain``) and the spec/provider vocabulary.  Anything imported from
+a deeper module is internal and may change without notice — internal
+modules carry a "Stability: internal" note in their docstrings, and
+``tests/test_public_api.py`` snapshots this surface.
+
 Package layout:
 
 * :mod:`repro.catalog` — the enterprise-catalog substrate;
@@ -22,12 +38,22 @@ Package layout:
 * :mod:`repro.core` — the paper's contribution: spec, ranking, query
   language, view generation, interface construction;
 * :mod:`repro.workbook` — the headless host application;
+* :mod:`repro.federation` — multi-catalog federation and the
+  :class:`Discovery` facade;
 * :mod:`repro.baselines` — hardcoded-UI and keyword-search baselines;
 * :mod:`repro.study` — the simulated Section 7 user study.
 """
 
 from repro.catalog import Artifact, ArtifactType, CatalogStore
 from repro.core.interface import DiscoveryInterface
+from repro.core.query import parse_query
+from repro.core.query.nlq import explain
+from repro.federation import (
+    CatalogRef,
+    Discovery,
+    FederatedCatalog,
+    FederatedSearchResult,
+)
 from repro.core.spec import (
     HumboldtSpec,
     ProviderSpec,
@@ -47,6 +73,7 @@ from repro.providers import (
     RequestContext,
     install_builtin_endpoints,
 )
+from repro.providers.execution import ExecutionEngine, ExecutionPolicy
 from repro.providers.suite import default_spec
 from repro.synth import SynthConfig, generate_catalog, study_catalog
 from repro.workbook import Session, WorkbookApp
@@ -57,9 +84,15 @@ __all__ = [
     "Artifact",
     "ArtifactType",
     "BuiltinProviders",
+    "CatalogRef",
     "CatalogStore",
+    "Discovery",
     "DiscoveryInterface",
     "EndpointRegistry",
+    "ExecutionEngine",
+    "ExecutionPolicy",
+    "FederatedCatalog",
+    "FederatedSearchResult",
     "HumboldtSpec",
     "ProviderRequest",
     "ProviderResult",
@@ -74,8 +107,10 @@ __all__ = [
     "WorkbookApp",
     "__version__",
     "default_spec",
+    "explain",
     "generate_catalog",
     "install_builtin_endpoints",
+    "parse_query",
     "spec_from_json",
     "spec_to_json",
     "study_catalog",

@@ -19,6 +19,9 @@ lazy hydration so cold-start is O(touched), not O(catalog).
 Backends are an implementation detail of :mod:`repro.catalog`: nothing
 outside the package may import them directly (enforced by a static-scan
 test) — callers go through ``CatalogStore`` / ``CatalogStore.open``.
+
+**Stability: internal.**  Import through :mod:`repro` / the package
+facades; this module's names may change without notice.
 """
 
 from __future__ import annotations

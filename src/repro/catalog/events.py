@@ -125,6 +125,11 @@ class EventLog:
         self.capacity = capacity
         self._records: deque[EventRecord] = deque(maxlen=capacity)
         self._next_offset = 0
+        # Offset of the oldest retained record; equals _next_offset when
+        # the log is empty.  Tracked explicitly (not derived as
+        # ``next - len``) so an explicitly truncated-empty log is
+        # distinguishable from a brand-new one.
+        self._first_offset = 0
         self._lock = threading.Lock()
 
     @property
@@ -141,9 +146,24 @@ class EventLog:
         """Append one record; returns its offset."""
         with self._lock:
             offset = self._next_offset
-            self._records.append(record)
+            self._records.append(record)  # bounded: may evict the oldest
             self._next_offset = offset + 1
+            self._first_offset = self._next_offset - len(self._records)
             return offset
+
+    def truncate(self) -> int:
+        """Drop every retained record; returns how many were dropped.
+
+        Offsets keep their meaning: the horizon moves to the current
+        frontier, so a consumer holding any pre-truncation offset sees
+        ``truncated=True`` from :meth:`since` and falls back to its full
+        rebuild, exactly as after a capacity eviction.
+        """
+        with self._lock:
+            dropped = len(self._records)
+            self._records.clear()
+            self._first_offset = self._next_offset
+            return dropped
 
     def since(
         self, offset: int
@@ -153,16 +173,23 @@ class EventLog:
         Returns ``(records, next_offset, truncated)``: pass
         ``next_offset`` back on the next call.  ``truncated`` is True
         when ``offset`` predates the retained window — some records were
-        lost and the consumer must fall back to a full rebuild.
+        lost and the consumer must fall back to a full rebuild.  This
+        holds even when the log is *empty* (capacity evictions or
+        :meth:`truncate` dropped everything): ``offset`` strictly below
+        the horizon reports ``truncated=True`` with ``next`` pinned to
+        the well-defined current frontier.  An ``offset`` beyond the
+        frontier cannot have come from this log and is also reported as
+        ``truncated`` rather than silently treated as caught-up.
         """
         with self._lock:
             next_offset = self._next_offset
-            first_retained = next_offset - len(self._records)
-            if offset >= next_offset:
-                return (), next_offset, False
-            if offset < first_retained:
+            if offset < self._first_offset:
                 return (), next_offset, True
-            skip = offset - first_retained
+            if offset > next_offset:
+                return (), next_offset, True
+            if offset == next_offset:
+                return (), next_offset, False
+            skip = offset - self._first_offset
             records = tuple(self._records)[skip:]
             return records, next_offset, False
 

@@ -30,6 +30,9 @@ keyword query reads a handful of rows, not the catalog.
 
 Like every backend this module is internal to :mod:`repro.catalog` —
 construct stores via ``CatalogStore.open(path)``.
+
+**Stability: internal.**  Import through :mod:`repro` / the package
+facades; this module's names may change without notice.
 """
 
 from __future__ import annotations

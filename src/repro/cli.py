@@ -5,6 +5,8 @@ Usage (also via ``python -m repro``):
     repro demo                          # guided walkthrough
     repro search "badged: endorsed"     # run a query on a catalog
     repro search --nl "tables owned by Alex endorsed by Mike"
+    repro search "type: table" --federate 4       # partitioned federation
+    repro search "orders" --member sales=s.db --member ml=ml.db
     repro study                         # run the simulated study (E1/E2)
     repro spec                          # print the default spec JSON
     repro spec --validate my_spec.json  # validate a spec file
@@ -32,6 +34,7 @@ from repro.core.query.nlq import NaturalLanguageTranslator, explain
 from repro.core.render import render_preview_text, render_tabs_text
 from repro.core.spec import spec_from_json, spec_to_json, validate_spec
 from repro.errors import HumboldtError
+from repro.federation import Discovery, FederationError, federate
 from repro.providers.suite import default_spec
 from repro.synth import SynthConfig, generate_catalog, study_catalog
 from repro.workbook.app import WorkbookApp
@@ -78,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "spent, remaining fetches are skipped or "
                              "served stale and the result is flagged "
                              "degraded")
+    search.add_argument("--federate", type=int, default=None, metavar="N",
+                        help="partition the resolved catalog into N member "
+                             "catalogs and search them through the "
+                             "federation layer (qualified ids in output)")
+    search.add_argument("--member", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="add a persistent catalog database as a "
+                             "federation member (repeatable); the first "
+                             "member is the default for bare ids")
     add_catalog_options(search)
 
     health = sub.add_parser(
@@ -201,7 +213,70 @@ def cmd_demo(args, out) -> int:
     return 0
 
 
+def _open_discovery(args) -> Discovery:
+    """Build the federated surface a ``repro search`` invocation asked for."""
+    if args.federate is not None and args.member:
+        raise FederationError(
+            "--federate partitions one catalog; --member joins existing "
+            "ones — pass one or the other, not both"
+        )
+    if args.federate is not None:
+        if args.federate < 2:
+            raise FederationError("--federate needs at least 2 members")
+        with contextlib.closing(_resolve_store(args)) as store:
+            federation, _ = federate(store, args.federate)
+        return Discovery(federation)
+    members: dict[str, Path] = {}
+    for item in args.member:
+        name, sep, path = item.partition("=")
+        if not sep or not name or not path:
+            raise FederationError(
+                f"--member expects NAME=PATH, got {item!r}"
+            )
+        if name in members:
+            raise FederationError(f"duplicate federation member {name!r}")
+        members[name] = Path(path)
+    return Discovery.open(members=members)
+
+
+def _federated_search(args, out) -> int:
+    if args.nl:
+        raise FederationError(
+            "--nl is not supported with federated search; translate "
+            "against a single catalog first"
+        )
+    with _open_discovery(args) as discovery:
+        users = discovery.federation.users()
+        user_id = args.user or (users[0].id if users else "")
+        print(f"federation: {len(discovery.members())} members "
+              f"({', '.join(discovery.members())})", file=out)
+        result = discovery.search(args.query, user_id=user_id,
+                                  limit=args.limit,
+                                  budget_ms=args.budget_ms)
+        print(f"{result.total} result(s) for {result.query!r}", file=out)
+        for entry in result.entries:
+            artifact = discovery.artifact(entry.ref)
+            print(f"  {entry.id:<44} {artifact.name:<40}"
+                  f" score={entry.score:.2f}", file=out)
+        if result.truncated:
+            print("note: at least one member filled the fetch limit; "
+                  "totals may under-report", file=out)
+        if result.degraded:
+            print("note: DEGRADED result — member catalogs failed or "
+                  "answered stale:", file=out)
+            for marker in result.health:
+                print(f"  {marker.provider}: {marker.status}"
+                      f"{' — ' + marker.detail if marker.detail else ''}",
+                      file=out)
+        if getattr(args, "stats", False):
+            print("\nexecution stats:", file=out)
+            print(discovery.engine.stats.render(), file=out)
+    return 0 if result.total else 1
+
+
 def cmd_search(args, out) -> int:
+    if args.federate is not None or args.member:
+        return _federated_search(args, out)
     with contextlib.closing(_resolve_store(args)) as store, \
             WorkbookApp(store) as app:
         user_id = args.user or _default_user(store)

@@ -5,6 +5,9 @@ application: hand it a catalog, an endpoint registry and a specification
 and it generates overview tabs (Figure 7B/C), spec-driven search with
 autocomplete (Figure 7A), view filtering, and exploration from selections.
 Swapping the spec swaps the UI — no code here knows any provider.
+
+**Stability: internal.**  Import through :mod:`repro` / the package
+facades; this module's names may change without notice.
 """
 
 from __future__ import annotations

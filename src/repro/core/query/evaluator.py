@@ -31,6 +31,9 @@ the :class:`SearchResult` instead of silently dropping matches.
 Ranking is **lazy**: the evaluator hands the full match list to
 :meth:`~repro.core.ranking.Ranker.top_k`, which scores with plain floats
 and materialises scored entries only for the returned head.
+
+**Stability: internal.**  Import through :mod:`repro` / the package
+facades; this module's names may change without notice.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ results in an overall ranking score that can be combined between metadata
 providers."  The engine is deliberately dumb: a weighted sum over resolved
 field values plus the provider's own base score.  All tuning lives in the
 spec, so retuning ranking never touches this module — the paper's point.
+
+**Stability: internal.**  Import through :mod:`repro` / the package
+facades; this module's names may change without notice.
 """
 
 from __future__ import annotations

@@ -1,0 +1,116 @@
+"""Catalog-qualified addressing for federated discovery.
+
+A federation serves artifacts from many member catalogs, so ids gain a
+catalog qualifier: ``catalog_id:artifact_id``.  Bare ids (no qualifier)
+resolve against the federation's *default* member, which is what keeps
+single-catalog callers working unchanged when their deployment grows a
+second catalog.
+
+Parsing is prefix-aware rather than blindly splitting on ``:``: a ref is
+qualified only when the text before the first separator names a
+registered member, so artifact ids themselves may contain the separator
+without ambiguity (the deterministic synth ids never do, but external
+catalogs make no such promise).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import HumboldtError
+
+#: Separator between the catalog qualifier and the artifact id.
+SEPARATOR = ":"
+
+#: Legal member names: non-empty, no separator, shell/URL-safe.
+_CATALOG_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+class FederationError(HumboldtError):
+    """Base class for federation errors (bad refs, unknown members)."""
+
+
+class UnknownCatalogError(FederationError, KeyError):
+    """A ref named a catalog the federation has not registered."""
+
+    def __init__(self, catalog_id: str, known: Iterable[str] = ()):
+        self.catalog_id = catalog_id
+        known_text = ", ".join(sorted(known)) or "<none>"
+        super().__init__(
+            f"unknown catalog {catalog_id!r} (registered: {known_text})"
+        )
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+def validate_catalog_id(catalog_id: str) -> str:
+    """Check a member name is usable as a ref qualifier; returns it."""
+    if not _CATALOG_ID_RE.match(catalog_id):
+        raise FederationError(
+            f"invalid catalog id {catalog_id!r}: must match "
+            f"{_CATALOG_ID_RE.pattern} (no {SEPARATOR!r})"
+        )
+    return catalog_id
+
+
+@dataclass(frozen=True, order=True)
+class CatalogRef:
+    """A fully-qualified reference to one artifact in one member catalog."""
+
+    catalog_id: str
+    artifact_id: str
+
+    @property
+    def qualified(self) -> str:
+        """The canonical ``catalog_id:artifact_id`` spelling."""
+        return f"{self.catalog_id}{SEPARATOR}{self.artifact_id}"
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+def parse_ref(
+    ref: "str | CatalogRef",
+    known: Iterable[str],
+    default: str | None = None,
+) -> CatalogRef:
+    """Resolve *ref* to a :class:`CatalogRef`.
+
+    *known* is the set of registered member ids; *default* is the member
+    bare ids resolve against.  A qualifier that names no known member
+    raises :class:`UnknownCatalogError` **only** when the text before the
+    separator could not be a plain artifact id falling back to the
+    default — concretely: ``head:rest`` with an unknown ``head`` is an
+    error, because silently treating a mistyped qualifier as a bare id
+    would look up the wrong catalog.
+    """
+    if isinstance(ref, CatalogRef):
+        return ref
+    known = set(known)
+    head, sep, rest = ref.partition(SEPARATOR)
+    if sep and head in known:
+        return CatalogRef(catalog_id=head, artifact_id=rest)
+    if sep and rest and _CATALOG_ID_RE.match(head):
+        # Looks like a qualified ref but the qualifier is unknown.
+        raise UnknownCatalogError(head, known)
+    if default is None:
+        raise FederationError(
+            f"bare artifact ref {ref!r} but the federation has no default "
+            "member; qualify the ref or set a default"
+        )
+    if default not in known:
+        raise UnknownCatalogError(default, known)
+    return CatalogRef(catalog_id=default, artifact_id=ref)
+
+
+__all__ = [
+    "SEPARATOR",
+    "CatalogRef",
+    "FederationError",
+    "UnknownCatalogError",
+    "parse_ref",
+    "validate_catalog_id",
+]

@@ -1,0 +1,288 @@
+"""Concurrent load over a federated deployment.
+
+The single-catalog harness (:mod:`repro.load.harness`) answers "does the
+engine hold up when many tenants hammer one workbook".  This scenario
+answers the federation-era version: partition one corpus into N member
+catalogs, put the :class:`~repro.federation.facade.Discovery` facade in
+front, and drive seeded multi-user sessions — cross-catalog searches,
+qualified-ref artifact resolution and lineage walks — from a thread
+pool.  Every search is leak-checked inline: each returned entry must be
+attributed to the member that actually owns its artifact (per the
+partition's assignment), so a zero-violation run is evidence the
+fan-out/merge path never mixes catalogs up under concurrency.
+
+Usage::
+
+    report = run_federated_load(store, FederatedLoadConfig(parts=4))
+    assert report.leakage_violations == 0
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.catalog.store import CatalogStore
+from repro.federation.facade import Discovery
+from repro.federation.partition import CatalogPartition, federate
+from repro.load.workload import _zipf_choice, query_pool
+
+#: Operation kinds a federated session may contain.
+FED_OP_KINDS = ("search", "artifact", "lineage")
+
+
+@dataclass(frozen=True)
+class FederatedOp:
+    """One scripted action: a query (search) or a qualified ref."""
+
+    kind: str
+    arg: str
+
+
+@dataclass(frozen=True)
+class FederatedSessionScript:
+    """One simulated user session against the federation."""
+
+    user_id: str
+    team_id: str
+    ops: tuple[FederatedOp, ...]
+
+
+@dataclass(frozen=True)
+class FederatedLoadConfig:
+    """Knobs for the federated load scenario."""
+
+    seed: int = 7
+    sessions: int = 48
+    ops_per_session: int = 6
+    concurrency: int = 8
+    #: Member catalogs the corpus is partitioned into.
+    parts: int = 4
+    zipf_s: float = 1.1
+    search_weight: float = 0.60
+    artifact_weight: float = 0.25
+    lineage_weight: float = 0.15
+    #: Deadline handed to every federated search; None = no deadline.
+    budget_ms: float | None = None
+    search_limit: int = 25
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1 or self.ops_per_session < 1:
+            raise ValueError("sessions and ops_per_session must be >= 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.parts < 2:
+            raise ValueError("a federated scenario needs parts >= 2")
+        weights = self._weights()
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("mix weights must be >= 0 and not all zero")
+
+    def _weights(self) -> tuple[float, ...]:
+        return (self.search_weight, self.artifact_weight, self.lineage_weight)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class FederatedLoadReport:
+    """Everything one federated run measured, JSON-friendly via
+    :meth:`to_dict`.  The acceptance gates are ``errors == 0`` and
+    ``leakage_violations == 0``."""
+
+    config: FederatedLoadConfig
+    members: tuple[str, ...] = ()
+    ops: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+    latencies_ms: dict[str, list[float]] = field(default_factory=dict)
+    #: Entries checked for member attribution, and how many were wrong.
+    leakage_checks: int = 0
+    leakage_violations: int = 0
+    #: Searches that came back flagged degraded (partial results).
+    degraded_searches: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else 0.0
+
+    def percentiles(self, kind: str = "") -> dict[str, float]:
+        samples = (
+            self.latencies_ms.get(kind, [])
+            if kind
+            else [s for kind_samples in self.latencies_ms.values()
+                  for s in kind_samples]
+        )
+        return {
+            "p50": _percentile(samples, 0.50),
+            "p95": _percentile(samples, 0.95),
+            "p99": _percentile(samples, 0.99),
+            "max": max(samples) if samples else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "members": list(self.members),
+            "sessions": self.config.sessions,
+            "parts": self.config.parts,
+            "concurrency": self.config.concurrency,
+            "ops": self.ops,
+            "errors": self.errors,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_ops_s": round(self.throughput, 2),
+            "degraded_searches": self.degraded_searches,
+            "leakage": {
+                "checks": self.leakage_checks,
+                "violations": self.leakage_violations,
+            },
+            "latency_ms": {
+                kind: {k: round(v, 3) for k, v in self.percentiles(kind).items()}
+                for kind in sorted(self.latencies_ms)
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"federated load: {self.ops} ops over "
+            f"{len(self.members)} members "
+            f"({self.config.concurrency} threads) in {self.wall_s:.2f}s "
+            f"-> {self.throughput:.0f} ops/s",
+            f"errors={self.errors} degraded_searches={self.degraded_searches} "
+            f"leakage={self.leakage_violations}/{self.leakage_checks}",
+        ]
+        for kind in sorted(self.latencies_ms):
+            p = self.percentiles(kind)
+            lines.append(
+                f"  {kind:<9} p50={p['p50']:.2f}ms p95={p['p95']:.2f}ms "
+                f"p99={p['p99']:.2f}ms max={p['max']:.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+def build_federated_workload(
+    store: CatalogStore,
+    partition: CatalogPartition,
+    config: FederatedLoadConfig,
+) -> list[FederatedSessionScript]:
+    """Seeded session scripts over the partitioned corpus.
+
+    Queries come from the monolith's study-mix :func:`query_pool`;
+    artifact and lineage ops target Zipf-hot *qualified* refs derived
+    from the partition's own assignment, so every script is valid for
+    exactly the federation it was generated against.
+    """
+    rng = random.Random(config.seed)
+    queries = query_pool(store)
+    users = store.users()
+    if not users:
+        raise ValueError("catalog has no users to simulate")
+    refs = [
+        f"{partition.assignment[aid]}:{aid}" for aid in store.artifact_ids()
+    ]
+    if not refs:
+        raise ValueError("catalog has no artifacts to resolve")
+    weights = config._weights()
+    scripts: list[FederatedSessionScript] = []
+    for _ in range(config.sessions):
+        user = users[_zipf_choice(rng, len(users), config.zipf_s)]
+        teams = store.teams_of(user.id)
+        ops: list[FederatedOp] = []
+        for _ in range(config.ops_per_session):
+            kind = rng.choices(FED_OP_KINDS, weights=weights, k=1)[0]
+            if kind == "search":
+                arg = queries[_zipf_choice(rng, len(queries), config.zipf_s)]
+            else:
+                arg = refs[_zipf_choice(rng, len(refs), config.zipf_s)]
+            ops.append(FederatedOp(kind, arg))
+        scripts.append(
+            FederatedSessionScript(
+                user_id=user.id,
+                team_id=teams[0].id if teams else "",
+                ops=tuple(ops),
+            )
+        )
+    return scripts
+
+
+def run_federated_load(
+    store: CatalogStore,
+    config: FederatedLoadConfig = FederatedLoadConfig(),
+) -> FederatedLoadReport:
+    """Partition *store*, federate the members, drive the workload.
+
+    The source store is left untouched (it remains the monolith the
+    conformance tests compare against); the federation and its member
+    stores are closed before returning.
+    """
+    federation, partition = federate(store, config.parts)
+    scripts = build_federated_workload(store, partition, config)
+    report = FederatedLoadReport(
+        config=config, members=federation.member_ids()
+    )
+    lock = threading.Lock()
+
+    def run_session(script: FederatedSessionScript) -> None:
+        for op in script.ops:
+            started = time.perf_counter()
+            degraded = False
+            checks = violations = 0
+            try:
+                if op.kind == "search":
+                    result = discovery.search(
+                        op.arg,
+                        user_id=script.user_id,
+                        team_id=script.team_id,
+                        limit=config.search_limit,
+                        budget_ms=config.budget_ms,
+                    )
+                    degraded = result.degraded
+                    for entry in result.entries:
+                        checks += 1
+                        owner = partition.assignment.get(
+                            entry.ref.artifact_id
+                        )
+                        if owner != entry.ref.catalog_id:
+                            violations += 1
+                elif op.kind == "artifact":
+                    discovery.artifact(op.arg)
+                else:
+                    discovery.lineage(op.arg, depth=2)
+                failed = False
+            except Exception:
+                failed = True
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            with lock:
+                report.ops += 1
+                report.errors += int(failed)
+                report.degraded_searches += int(degraded)
+                report.leakage_checks += checks
+                report.leakage_violations += violations
+                report.latencies_ms.setdefault(op.kind, []).append(elapsed_ms)
+
+    with Discovery(federation) as discovery:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+            for future in [pool.submit(run_session, s) for s in scripts]:
+                future.result()
+        report.wall_s = time.perf_counter() - started
+    return report
+
+
+__all__ = [
+    "FED_OP_KINDS",
+    "FederatedLoadConfig",
+    "FederatedLoadReport",
+    "FederatedOp",
+    "FederatedSessionScript",
+    "build_federated_workload",
+    "run_federated_load",
+]

@@ -59,7 +59,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 import zlib
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
@@ -742,10 +741,11 @@ class ExecutionPolicy:
     per-endpoint overrides on top of the globals.  Every method returns a
     new policy — instances are frozen and safely shareable.
 
-    **Deprecated:** constructing with flat kwargs
-    (``ExecutionPolicy(attempts=3, cache_ttl_s=0)``) still works through
-    a shim that maps them onto the groups, with a ``DeprecationWarning``.
-    Use ``ExecutionPolicy.defaults().replace(...)`` instead.
+    **Removed:** the pre-redesign flat constructor
+    (``ExecutionPolicy(attempts=3, cache_ttl_s=0)``) — deprecated with a
+    warning through the redesign window — now raises ``TypeError`` with
+    a migration hint.  Spell it
+    ``ExecutionPolicy.defaults().replace(attempts=3, cache_ttl_s=0)``.
     """
 
     retry: RetryPolicy
@@ -765,21 +765,21 @@ class ExecutionPolicy:
         deadline: DeadlinePolicy | None = None,
         max_workers: int = 8,
         overrides: "OverrideMap | dict[str, dict[str, object]]" = (),
-        **legacy: object,
+        **flat: object,
     ):
-        if legacy:
-            unknown = sorted(set(legacy) - set(_FLAT_KNOBS))
+        if flat:
+            unknown = sorted(set(flat) - set(_FLAT_KNOBS))
             if unknown:
                 raise TypeError(
                     "unknown ExecutionPolicy knob(s): " + ", ".join(unknown)
                 )
-            warnings.warn(
-                "flat ExecutionPolicy(...) kwargs are deprecated; use "
+            # The legacy flat-constructor shim (deprecated through the
+            # policy-redesign window) is gone; fail with the migration.
+            raise TypeError(
+                "flat ExecutionPolicy(...) kwargs were removed; use "
                 "ExecutionPolicy.defaults().replace("
-                + ", ".join(f"{k}=..." for k in sorted(legacy))
-                + ")",
-                DeprecationWarning,
-                stacklevel=2,
+                + ", ".join(f"{k}=..." for k in sorted(flat))
+                + ")"
             )
         groups: dict[str, object] = {
             "retry": retry if retry is not None else RetryPolicy(),
@@ -787,12 +787,6 @@ class ExecutionPolicy:
             "breaker": breaker if breaker is not None else BreakerPolicy(),
             "deadline": deadline if deadline is not None else DeadlinePolicy(),
         }
-        by_group: dict[str, dict[str, object]] = {}
-        for knob, value in legacy.items():
-            group_name, field_name = _FLAT_KNOBS[knob]
-            by_group.setdefault(group_name, {})[field_name] = value
-        for group_name, kwargs in by_group.items():
-            groups[group_name] = _dataclass_replace(groups[group_name], **kwargs)
         object.__setattr__(self, "retry", groups["retry"])
         object.__setattr__(self, "cache", groups["cache"])
         object.__setattr__(self, "breaker", groups["breaker"])

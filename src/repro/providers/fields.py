@@ -6,6 +6,9 @@ The resolver is the single place that knows how to turn a field name into
 a number for an artifact, drawing on annotations, usage aggregates and
 recency; the ranking engine stays a dumb weighted sum, exactly as the
 paper intends (weights change, code does not).
+
+**Stability: internal.**  Import through :mod:`repro` / the package
+facades; this module's names may change without notice.
 """
 
 from __future__ import annotations

@@ -178,6 +178,60 @@ class TestSearchBudget:
         assert "DEGRADED" not in output
 
 
+class TestFederatedSearch:
+    def test_federate_partitions_and_qualifies_ids(self):
+        code, output = run_cli(
+            "search", "badged: endorsed", "--federate", "3", "--limit", "5"
+        )
+        assert code == 0
+        assert "federation: 3 members (cat0, cat1, cat2)" in output
+        # Every printed entry is catalog-qualified.
+        entry_lines = [
+            line for line in output.splitlines()
+            if line.startswith("  cat")
+        ]
+        assert entry_lines
+        assert all(":" in line.split()[0] for line in entry_lines)
+
+    def test_federate_needs_two_members(self):
+        code, _ = run_cli("search", "orders", "--federate", "1")
+        assert code == 2  # HumboldtError exit
+
+    def test_federate_and_member_are_mutually_exclusive(self):
+        code, _ = run_cli(
+            "search", "orders", "--federate", "2", "--member", "a=b.db"
+        )
+        assert code == 2
+
+    def test_nl_rejected_under_federation(self):
+        code, _ = run_cli(
+            "search", "--nl", "tables owned by Alex", "--federate", "2"
+        )
+        assert code == 2
+
+    def test_member_spec_must_be_name_equals_path(self):
+        code, _ = run_cli("search", "orders", "--member", "nonsense")
+        assert code == 2
+
+    def test_members_join_persistent_catalogs(self, tmp_path):
+        for name in ("a", "b"):
+            code, _ = run_cli(
+                "catalog", "init", "--db", str(tmp_path / f"{name}.db"),
+                "--tables", "12", "--events", "50", "--seed",
+                "3" if name == "a" else "4",
+            )
+            assert code == 0
+        code, output = run_cli(
+            "search", "type: table",
+            "--member", f"sales={tmp_path / 'a.db'}",
+            "--member", f"ml={tmp_path / 'b.db'}",
+            "--limit", "6",
+        )
+        assert code == 0
+        assert "federation: 2 members (sales, ml)" in output
+        assert "sales:" in output and "ml:" in output
+
+
 class TestCatalogCommands:
     def _init(self, tmp_path, tables=30, events=200):
         db = tmp_path / "catalog.db"

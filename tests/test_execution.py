@@ -740,31 +740,39 @@ def _clock_engine(registry, policy=None):
     return engine, clock
 
 
-class TestLegacyPolicyShim:
-    """Pre-redesign ExecutionPolicy(...) kwargs keep working, with a
-    deprecation warning, and map onto the layered groups."""
+class TestRemovedFlatPolicyConstructor:
+    """The legacy flat ExecutionPolicy(...) constructor shim is gone:
+    flat kwargs raise TypeError with the replace(...) migration hint."""
 
-    def test_flat_kwargs_warn_and_map_onto_groups(self):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = ExecutionPolicy(attempts=3, cache_ttl_s=60.0)
-        assert legacy.retry.attempts == 3
-        assert legacy.cache.ttl_s == 60.0
-        assert legacy == ExecutionPolicy.defaults().replace(
-            attempts=3, cache_ttl_s=60.0
-        )
+    def test_flat_kwargs_raise_with_migration_hint(self):
+        with pytest.raises(TypeError, match=r"removed.*replace\("):
+            ExecutionPolicy(attempts=3, cache_ttl_s=60.0)
 
-    def test_legacy_read_through_properties(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = ExecutionPolicy(attempts=4, backoff_base_ms=7.0,
-                                     cache_max_entries=11)
-        assert legacy.attempts == 4
-        assert legacy.backoff_base_ms == 7.0
-        assert legacy.cache_max_entries == 11
-        assert legacy.cache_ttl_s == CachePolicy().ttl_s
+    def test_migration_hint_names_the_offending_knobs(self):
+        with pytest.raises(
+            TypeError, match=r"attempts=\.\.\., cache_ttl_s=\.\.\."
+        ):
+            ExecutionPolicy(attempts=3, cache_ttl_s=60.0)
 
-    def test_unknown_flat_kwarg_raises(self):
+    def test_unknown_flat_kwarg_still_named_unknown(self):
         with pytest.raises(TypeError, match="unknown ExecutionPolicy knob"):
             ExecutionPolicy(atempts=3)
+
+    def test_layered_spelling_replaces_the_shim(self):
+        policy = ExecutionPolicy.defaults().replace(
+            attempts=3, cache_ttl_s=60.0
+        )
+        assert policy.retry.attempts == 3
+        assert policy.cache.ttl_s == 60.0
+
+    def test_read_through_properties_survive_the_removal(self):
+        policy = ExecutionPolicy.defaults().replace(
+            attempts=4, backoff_base_ms=7.0, cache_max_entries=11
+        )
+        assert policy.attempts == 4
+        assert policy.backoff_base_ms == 7.0
+        assert policy.cache_max_entries == 11
+        assert policy.cache_ttl_s == CachePolicy().ttl_s
 
     def test_canonical_construction_does_not_warn(self, recwarn):
         ExecutionPolicy.defaults().replace(
@@ -786,8 +794,9 @@ class TestLegacyPolicyShim:
         with pytest.raises(ProviderError):
             engine.fetch("x://down", ProviderRequest())
 
-    def test_no_legacy_construction_left_in_src(self):
-        """No module outside the execution layer builds the legacy form."""
+    def test_no_flat_construction_left_anywhere(self):
+        """No module under src/ (execution.py aside) spells the removed
+        positional/flat form; everything goes through defaults().replace."""
         src = Path(__file__).resolve().parent.parent / "src" / "repro"
         offenders = [
             str(path)
@@ -796,6 +805,14 @@ class TestLegacyPolicyShim:
             and "ExecutionPolicy(" in path.read_text(encoding="utf-8")
         ]
         assert offenders == []
+
+    def test_no_deprecation_shim_left_in_execution_module(self):
+        """The shim's DeprecationWarning machinery is fully removed."""
+        import repro.providers.execution as execution
+
+        source = Path(execution.__file__).read_text(encoding="utf-8")
+        assert "DeprecationWarning" not in source
+        assert "import warnings" not in source
 
 
 class TestLayeredPolicyApi:

@@ -1,0 +1,456 @@
+"""Federated multi-catalog discovery: refs, conformance, degradation,
+backend mix, lineage stitching and the ``Discovery`` facade.
+
+The conformance class is the PR's acceptance gate: a federation over k
+disjoint members must return, for the study-task query mix, exactly the
+result set — ids *and* ordering — that one merged monolith returns, with
+zero cross-catalog leakage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.model import Artifact, ArtifactType, Team, User
+from repro.catalog.store import CatalogStore
+from repro.core.query.evaluator import QueryEvaluator
+from repro.core.query.language import QueryLanguage
+from repro.core.ranking import Ranker
+from repro.federation import (
+    CatalogRef,
+    Discovery,
+    FederatedCatalog,
+    FederationError,
+    UnknownCatalogError,
+    federate,
+    member_search_endpoint_uri,
+    parse_ref,
+    partition_catalog,
+    validate_catalog_id,
+)
+from repro.load.workload import query_pool
+from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
+from repro.providers.execution import ExecutionEngine, RequestContext
+from repro.providers.faults import FlakyEndpoint
+from repro.providers.fields import FieldResolver
+from repro.providers.registry import EndpointRegistry
+from repro.providers.suite import default_spec
+from repro.synth import SynthConfig, generate_catalog
+from repro.util.clock import DAY, SimulationClock
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def monolith_evaluator(store: CatalogStore) -> QueryEvaluator:
+    """The single-catalog evaluator a federation must reproduce."""
+    engine = ExecutionEngine(EndpointRegistry(), store=store)
+    install_builtin_endpoints(engine.registry, BuiltinProviders(store))
+    return QueryEvaluator(
+        store, engine, QueryLanguage(default_spec()),
+        Ranker(FieldResolver(store)),
+    )
+
+
+def two_member_stores() -> tuple[CatalogStore, CatalogStore]:
+    """Two hand-built disjoint member catalogs sharing a clock."""
+    clock = SimulationClock()
+    clock.advance(days=100)
+    stores = (CatalogStore(clock=clock), CatalogStore(clock=clock))
+    for store in stores:
+        store.add_user(User(id="u-ann", name="Ann Lee", role="analyst",
+                            team_ids=("t-1",)))
+        store.add_team(Team(id="t-1", name="Alpha", admin_ids=("u-ann",),
+                            member_ids=("u-ann",)))
+    epoch = clock.epoch
+    left, right = stores
+    left.add_artifact(Artifact(
+        id="t-orders", name="ORDERS", artifact_type=ArtifactType.TABLE,
+        description="Order facts.", owner_id="u-ann", team_ids=("t-1",),
+        created_at=epoch + 10 * DAY, tags=("sales",),
+    ))
+    left.add_artifact(Artifact(
+        id="v-orders", name="Orders Chart",
+        artifact_type=ArtifactType.VISUALIZATION,
+        description="Chart over ORDERS.", owner_id="u-ann",
+        team_ids=("t-1",), created_at=epoch + 11 * DAY, tags=("sales",),
+    ))
+    left.lineage.add_edge("t-orders", "v-orders", "derives")
+    right.add_artifact(Artifact(
+        id="d-sales", name="Sales Dashboard",
+        artifact_type=ArtifactType.DASHBOARD,
+        description="Embeds the orders chart.", owner_id="u-ann",
+        team_ids=("t-1",), created_at=epoch + 12 * DAY, tags=("sales",),
+    ))
+    right.add_artifact(Artifact(
+        id="t-returns", name="RETURNS", artifact_type=ArtifactType.TABLE,
+        description="Return facts.", owner_id="u-ann", team_ids=("t-1",),
+        created_at=epoch + 13 * DAY, tags=("sales",),
+    ))
+    return left, right
+
+
+def two_member_federation() -> FederatedCatalog:
+    left, right = two_member_stores()
+    federation = FederatedCatalog()
+    federation.add_member("left", left)
+    federation.add_member("right", right)
+    return federation
+
+
+@pytest.fixture(scope="module")
+def corpus() -> CatalogStore:
+    return generate_catalog(
+        SynthConfig(seed=11, n_tables=60, usage_events=1500)
+    )
+
+
+# ---------------------------------------------------------------------------
+# refs
+
+
+class TestRefs:
+    def test_validate_catalog_id(self):
+        assert validate_catalog_id("sales-eu.v2") == "sales-eu.v2"
+        for bad in ("", "with:colon", "with space", "-leading", ":"):
+            with pytest.raises(FederationError):
+                validate_catalog_id(bad)
+
+    def test_qualified_ref_parses_against_known_member(self):
+        ref = parse_ref("sales:table-1", {"sales", "ml"}, default="ml")
+        assert ref == CatalogRef("sales", "table-1")
+        assert ref.qualified == "sales:table-1"
+        assert str(ref) == "sales:table-1"
+
+    def test_bare_ref_resolves_to_default(self):
+        ref = parse_ref("table-1", {"sales"}, default="sales")
+        assert ref == CatalogRef("sales", "table-1")
+
+    def test_bare_ref_without_default_is_an_error(self):
+        with pytest.raises(FederationError, match="no default"):
+            parse_ref("table-1", {"sales"}, default=None)
+
+    def test_unknown_qualifier_is_loud_not_silent(self):
+        with pytest.raises(UnknownCatalogError, match="unknown catalog 'slaes'"):
+            parse_ref("slaes:table-1", {"sales"}, default="sales")
+
+    def test_unqualifiable_head_falls_back_to_default(self):
+        # "weird id" cannot be a catalog id (space), so the whole string
+        # is a bare artifact id for the default member.
+        ref = parse_ref("weird id:x", {"sales"}, default="sales")
+        assert ref == CatalogRef("sales", "weird id:x")
+
+    def test_catalog_ref_passthrough(self):
+        ref = CatalogRef("ml", "t-1")
+        assert parse_ref(ref, {"sales"}, default=None) is ref
+
+    def test_unknown_catalog_error_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            parse_ref("nope:x", {"sales"}, default="sales")
+
+
+# ---------------------------------------------------------------------------
+# conformance: the acceptance gate
+
+
+class TestConformance:
+    @pytest.fixture(scope="class")
+    def setup(self, corpus):
+        federation, partition = federate(corpus, 3)
+        mono = monolith_evaluator(corpus)
+        yield corpus, federation, partition, mono
+        mono.engine.close()
+        federation.close()
+
+    def _context(self, store):
+        user = store.users()[0]
+        teams = store.teams_of(user.id)
+        return user.id, teams[0].id if teams else ""
+
+    def test_partition_is_disjoint_and_total(self, setup):
+        store, federation, partition, _ = setup
+        all_ids = set(store.artifact_ids())
+        assert set(partition.assignment) == all_ids
+        member_ids: list[str] = []
+        for member in partition.members.values():
+            member_ids.extend(member.artifact_ids())
+        assert len(member_ids) == len(all_ids)
+        assert set(member_ids) == all_ids
+
+    def test_query_mix_matches_monolith_ids_and_ordering(self, setup):
+        store, federation, partition, mono = setup
+        user_id, team_id = self._context(store)
+        queries = query_pool(store) + [
+            "type: table & badged: endorsed",
+            "not type: table",
+            "orders | sales",
+        ]
+        for query in queries:
+            expected = mono.search(
+                query,
+                context=RequestContext(user_id=user_id, team_id=team_id),
+                limit=50,
+            )
+            got = federation.search(
+                query, user_id=user_id, team_id=team_id, limit=50
+            )
+            expected_ids = [e.artifact_id for e in expected.entries]
+            assert got.bare_ids() == expected_ids, query
+            assert got.total == expected.total, query
+            assert not got.degraded, query
+
+    def test_zero_cross_catalog_leakage(self, setup):
+        store, federation, partition, _ = setup
+        user_id, team_id = self._context(store)
+        for query in query_pool(store):
+            result = federation.search(
+                query, user_id=user_id, team_id=team_id, limit=50
+            )
+            for entry in result.entries:
+                assert (
+                    partition.assignment[entry.ref.artifact_id]
+                    == entry.ref.catalog_id
+                ), f"{entry.id} leaked across catalogs for {query!r}"
+
+    def test_scores_match_monolith(self, setup):
+        store, federation, partition, mono = setup
+        user_id, team_id = self._context(store)
+        expected = mono.search(
+            "badged: endorsed",
+            context=RequestContext(user_id=user_id, team_id=team_id),
+            limit=50,
+        )
+        got = federation.search(
+            "badged: endorsed", user_id=user_id, team_id=team_id, limit=50
+        )
+        assert [e.score for e in got.entries] == [
+            e.score for e in expected.entries
+        ]
+
+
+# ---------------------------------------------------------------------------
+# degradation: one bad member cannot sink the query
+
+
+class TestDegradation:
+    def test_failing_member_degrades_instead_of_failing(self):
+        with two_member_federation() as federation:
+            uri = member_search_endpoint_uri("right")
+            original = federation.registry.resolve(uri)
+            federation.registry.register(
+                uri,
+                FlakyEndpoint(original, fail_on=lambda i: True, name="right"),
+                replace=True,
+            )
+            result = federation.search("type: table", user_id="u-ann")
+            assert result.degraded
+            assert result.failed == ("right",)
+            assert result.responded == ("left",)
+            # Partial answer: only the healthy member's artifacts.
+            assert result.artifact_ids() == ["left:t-orders"]
+            assert any(m.provider == "right" for m in result.health)
+
+    def test_member_scoping(self):
+        with two_member_federation() as federation:
+            result = federation.search(
+                "type: table", user_id="u-ann", members=["right"]
+            )
+            assert result.artifact_ids() == ["right:t-returns"]
+            assert not result.degraded
+
+    def test_unknown_member_scope_is_an_error(self):
+        with two_member_federation() as federation:
+            with pytest.raises(UnknownCatalogError):
+                federation.search("orders", members=["nope"])
+
+    def test_empty_federation_cannot_search(self):
+        federation = FederatedCatalog()
+        with pytest.raises(FederationError, match="no member"):
+            federation.search("orders")
+
+
+# ---------------------------------------------------------------------------
+# membership, read API, backend mix
+
+
+class TestMembership:
+    def test_duplicate_member_rejected(self):
+        left, right = two_member_stores()
+        federation = FederatedCatalog()
+        federation.add_member("left", left)
+        with pytest.raises(FederationError, match="already registered"):
+            federation.add_member("left", right)
+
+    def test_first_member_is_default_until_overridden(self):
+        with two_member_federation() as federation:
+            assert federation.default_id == "left"
+            assert federation.artifact("t-orders").name == "ORDERS"
+            federation.set_default("right")
+            assert federation.artifact("t-returns").name == "RETURNS"
+
+    def test_qualified_reads(self):
+        with two_member_federation() as federation:
+            assert federation.artifact("right:d-sales").name == "Sales Dashboard"
+            assert federation.has_artifact("right:d-sales")
+            assert not federation.has_artifact("right:t-orders")
+            assert federation.artifact_count == 4
+            assert federation.by_type("table") == [
+                "left:t-orders", "right:t-returns"
+            ]
+            assert federation.qualify("left", "t-orders") == "left:t-orders"
+
+    def test_users_are_deduped_across_members(self):
+        with two_member_federation() as federation:
+            assert [u.id for u in federation.users()] == ["u-ann"]
+            assert [t.id for t in federation.teams()] == ["t-1"]
+
+    def test_sqlite_and_memory_members_mix(self, tmp_path):
+        left, right = two_member_stores()
+        db_path = tmp_path / "right.db"
+        with CatalogStore.open(db_path) as disk:
+            for user in right.users():
+                disk.add_user(user)
+            for team in right.teams():
+                disk.add_team(team)
+            for artifact_id in right.artifact_ids():
+                disk.add_artifact(right.artifact(artifact_id))
+        federation = FederatedCatalog()
+        federation.add_member("mem", left)
+        federation.add_member("disk", db_path)
+        result = federation.search("type: table", user_id="u-ann")
+        assert result.artifact_ids() == ["mem:t-orders", "disk:t-returns"]
+        assert federation.artifact("disk:d-sales").name == "Sales Dashboard"
+        # Path members are owned: close() must release the sqlite store.
+        federation.close()
+
+    def test_member_write_invalidates_federated_search_cache(self):
+        with two_member_federation() as federation:
+            before = federation.search("type: table", user_id="u-ann")
+            assert before.total == 2
+            store = federation.member_store("right")
+            store.add_artifact(Artifact(
+                id="t-new", name="NEW_ORDERS_TABLE",
+                artifact_type=ArtifactType.TABLE,
+                description="Fresh table.", owner_id="u-ann",
+                team_ids=("t-1",),
+                created_at=store.clock.now(),
+            ))
+            after = federation.search("type: table", user_id="u-ann")
+            assert after.total == 3
+            assert "right:t-new" in after.artifact_ids()
+
+
+# ---------------------------------------------------------------------------
+# cross-catalog lineage stitching
+
+
+class TestLineageStitching:
+    def test_lineage_spans_members_through_cross_edges(self):
+        with two_member_federation() as federation:
+            federation.add_cross_edge("left:v-orders", "right:d-sales",
+                                      kind="embeds")
+            lineage = federation.lineage("left:t-orders", depth=2)
+            assert lineage.nodes == (
+                "left:t-orders", "left:v-orders", "right:d-sales"
+            )
+            kinds = {(e.src, e.dst): (e.kind, e.cross) for e in lineage.edges}
+            assert kinds[("left:t-orders", "left:v-orders")] == (
+                "derives", False
+            )
+            assert kinds[("left:v-orders", "right:d-sales")] == (
+                "embeds", True
+            )
+
+    def test_depth_bounds_the_cross_walk(self):
+        with two_member_federation() as federation:
+            federation.add_cross_edge("left:v-orders", "right:d-sales")
+            lineage = federation.lineage("left:t-orders", depth=1)
+            assert "right:d-sales" not in lineage.nodes
+
+    def test_upstream_walk_crosses_backwards(self):
+        with two_member_federation() as federation:
+            federation.add_cross_edge("left:v-orders", "right:d-sales")
+            lineage = federation.lineage("right:d-sales", depth=2)
+            assert "left:t-orders" in lineage.nodes
+            assert "left:v-orders" in lineage.nodes
+
+    def test_same_member_cross_edge_rejected(self):
+        with two_member_federation() as federation:
+            with pytest.raises(FederationError, match="stays inside"):
+                federation.add_cross_edge("left:t-orders", "left:v-orders")
+
+    def test_missing_endpoint_rejected(self):
+        with two_member_federation() as federation:
+            with pytest.raises(FederationError, match="does not exist"):
+                federation.add_cross_edge("left:t-orders", "right:ghost")
+
+    def test_cross_edges_dedup(self):
+        with two_member_federation() as federation:
+            federation.add_cross_edge("left:v-orders", "right:d-sales")
+            federation.add_cross_edge("left:v-orders", "right:d-sales")
+            assert len(federation.cross_edges()) == 1
+
+
+# ---------------------------------------------------------------------------
+# the Discovery facade
+
+
+class TestDiscoveryFacade:
+    def test_single_catalog_open_names_the_member_main(self):
+        left, _ = two_member_stores()
+        with Discovery.open(left) as discovery:
+            assert discovery.members() == ("main",)
+            assert discovery.default_member == "main"
+            result = discovery.search("type: table", user_id="u-ann")
+            assert result.artifact_ids() == ["main:t-orders"]
+            assert discovery.artifact("t-orders").name == "ORDERS"
+
+    def test_federated_open_with_default(self):
+        left, right = two_member_stores()
+        with Discovery.open(
+            members={"left": left, "right": right}, default="right"
+        ) as discovery:
+            assert discovery.members() == ("left", "right")
+            assert discovery.default_member == "right"
+            assert discovery.artifact("t-returns").name == "RETURNS"
+            assert discovery.has_artifact("left:t-orders")
+
+    def test_open_requires_exactly_one_source(self):
+        left, _ = two_member_stores()
+        with pytest.raises(FederationError, match="exactly one"):
+            Discovery.open()
+        with pytest.raises(FederationError, match="exactly one"):
+            Discovery.open(left, members={"left": left})
+
+    def test_open_rejects_knobs_with_prebuilt_federation(self):
+        federation = two_member_federation()
+        with pytest.raises(FederationError, match="fixed by"):
+            Discovery.open(federation, spec=default_spec())
+        Discovery.open(federation).close()
+
+    def test_concurrent_federated_load_has_no_leaks_or_errors(self, corpus):
+        from repro.load import FederatedLoadConfig, run_federated_load
+
+        report = run_federated_load(
+            corpus,
+            FederatedLoadConfig(sessions=16, ops_per_session=4,
+                                concurrency=4, parts=3),
+        )
+        assert report.errors == 0
+        assert report.leakage_violations == 0
+        assert report.leakage_checks > 0
+        assert report.ops == 16 * 4
+        rendered = report.render()
+        assert "leakage=0" in rendered
+        assert report.to_dict()["parts"] == 3
+
+    def test_lineage_and_health_surface(self):
+        left, right = two_member_stores()
+        with Discovery.open(members={"left": left, "right": right}) as d:
+            d.federation.add_cross_edge("left:v-orders", "right:d-sales")
+            lineage = d.lineage("t-orders")
+            assert "right:d-sales" in lineage.nodes
+            d.search("orders", user_id="u-ann")
+            assert isinstance(d.render_health(), str)
+            assert d.engine is d.federation.engine

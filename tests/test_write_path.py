@@ -133,6 +133,45 @@ class TestEventLog:
         with pytest.raises(ValueError):
             EventLog(capacity=0)
 
+    def test_pre_horizon_offset_on_empty_log_reports_truncated(self):
+        # Regression: with the log drained empty, a stale consumer
+        # offset used to read as caught-up instead of truncated.
+        log = EventLog(capacity=4)
+        for i in range(6):
+            log.append(EntitiesEventRecord(f"a{i}"))
+        assert log.truncate() == 4
+        assert len(log) == 0
+        got, next_offset, truncated = log.since(3)
+        assert truncated and got == () and next_offset == 6
+        # The well-defined `next` is immediately usable.
+        got, _, truncated = log.since(next_offset)
+        assert not truncated and got == ()
+
+    def test_truncate_on_empty_log_is_a_no_op(self):
+        log = EventLog(capacity=4)
+        assert log.truncate() == 0
+        got, next_offset, truncated = log.since(0)
+        assert not truncated and got == () and next_offset == 0
+
+    def test_append_after_truncate_keeps_offsets_monotonic(self):
+        log = EventLog(capacity=4)
+        for i in range(3):
+            log.append(EntitiesEventRecord(f"a{i}"))
+        log.truncate()
+        assert log.append(EntitiesEventRecord("b0")) == 3
+        got, next_offset, truncated = log.since(3)
+        assert [r.artifact_id for r in got] == ["b0"]
+        assert next_offset == 4 and not truncated
+        # Pre-truncation offsets still read as lost, not as "b0".
+        got, _, truncated = log.since(1)
+        assert truncated and got == ()
+
+    def test_foreign_offset_beyond_frontier_reports_truncated(self):
+        log = EventLog(capacity=4)
+        log.append(EntitiesEventRecord("a0"))
+        got, next_offset, truncated = log.since(7)
+        assert truncated and got == () and next_offset == 1
+
 
 # -- the coalescing stream --------------------------------------------------
 
