@@ -52,6 +52,7 @@ def _config() -> LoadConfig:
             explore_weight=0.10,
             suggest_weight=0.10,
             touch_weight=0.15,
+            trace_slowest=5,
         )
     return LoadConfig(
         sessions=1000,
@@ -64,6 +65,7 @@ def _config() -> LoadConfig:
         explore_weight=0.10,
         suggest_weight=0.10,
         touch_weight=0.15,
+        trace_slowest=5,
     )
 
 
@@ -99,6 +101,13 @@ def test_bench_load_batched_beats_naive():
     assert naive["single_flights"] == 0
     assert batched["single_flights"] > 0
     assert batched["provider_calls"] < naive["provider_calls"]
+
+    for row in (naive, batched):
+        # trace_slowest=5: the report must carry reconstructed op traces.
+        assert 0 < len(row["slowest"]) <= 5
+        for entry in row["slowest"]:
+            assert entry["op"].startswith("op.")
+            assert entry["spans"] and entry["tree"]
 
     if not SMOKE:
         # The headline: at 1k concurrent sessions over a scarce provider

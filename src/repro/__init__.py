@@ -40,6 +40,9 @@ Package layout:
 * :mod:`repro.workbook` — the headless host application;
 * :mod:`repro.federation` — multi-catalog federation and the
   :class:`Discovery` facade;
+* :mod:`repro.obs` — observability: request tracing (``Tracer``,
+  span-tree rendering, exporters) and the label-aware metrics registry
+  every serving layer reports into;
 * :mod:`repro.baselines` — hardcoded-UI and keyword-search baselines;
 * :mod:`repro.study` — the simulated Section 7 user study.
 """
@@ -63,6 +66,14 @@ from repro.core.spec import (
     spec_from_json,
     spec_to_json,
     validate_spec,
+)
+from repro.obs import (
+    JsonlExporter,
+    MetricsRegistry,
+    RingBufferExporter,
+    Tracer,
+    default_registry,
+    render_span_tree,
 )
 from repro.providers import (
     BuiltinProviders,
@@ -94,23 +105,29 @@ __all__ = [
     "FederatedCatalog",
     "FederatedSearchResult",
     "HumboldtSpec",
+    "JsonlExporter",
+    "MetricsRegistry",
     "ProviderRequest",
     "ProviderResult",
     "ProviderSpec",
     "RankingWeight",
     "Representation",
     "RequestContext",
+    "RingBufferExporter",
     "Session",
     "SpecBuilder",
     "SynthConfig",
+    "Tracer",
     "Visibility",
     "WorkbookApp",
     "__version__",
+    "default_registry",
     "default_spec",
     "explain",
     "generate_catalog",
     "install_builtin_endpoints",
     "parse_query",
+    "render_span_tree",
     "spec_from_json",
     "spec_to_json",
     "study_catalog",

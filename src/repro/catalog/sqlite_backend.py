@@ -41,6 +41,7 @@ import dataclasses
 import json
 import sqlite3
 import threading
+import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
@@ -58,6 +59,22 @@ from repro.catalog.lineage import LineageGraph
 from repro.catalog.model import Artifact, Team, UsageEvent, User
 from repro.catalog.usage import UsageLog, UsageStats
 from repro.errors import CatalogError
+from repro.obs.metrics import default_registry
+
+#: Per-statement query timing, labelled by SQL verb, on the process-wide
+#: observability registry (``repro metrics`` exposes it).  Always on: one
+#: histogram observe per statement is noise next to the statement itself.
+_QUERY_TIMING = default_registry().histogram(
+    "sqlite_query_ms",
+    ("op",),
+    "SqliteBackend statement latency by SQL verb.",
+)
+
+
+def _observe_query(sql: str, elapsed_ms: float) -> None:
+    verb = sql.split(None, 1)[0].upper() if sql else "?"
+    _QUERY_TIMING.labels(verb).observe(elapsed_ms)
+
 
 #: Bump when the table layout changes; unknown versions fail loudly.
 SCHEMA_VERSION = 1
@@ -410,18 +427,26 @@ class SqliteBackend(CatalogBackend):
         return conn
 
     def _execute(self, sql: str, params: tuple = ()) -> list[tuple]:
-        read = self._read_connection()
-        if read is None:
-            with self._lock:
-                return self._conn.execute(sql, params).fetchall()
-        return read.execute(sql, params).fetchall()
+        started = time.perf_counter()
+        try:
+            read = self._read_connection()
+            if read is None:
+                with self._lock:
+                    return self._conn.execute(sql, params).fetchall()
+            return read.execute(sql, params).fetchall()
+        finally:
+            _observe_query(sql, (time.perf_counter() - started) * 1000.0)
 
     def _execute_one(self, sql: str, params: tuple = ()) -> tuple:
-        read = self._read_connection()
-        if read is None:
-            with self._lock:
-                return self._conn.execute(sql, params).fetchone()
-        return read.execute(sql, params).fetchone()
+        started = time.perf_counter()
+        try:
+            read = self._read_connection()
+            if read is None:
+                with self._lock:
+                    return self._conn.execute(sql, params).fetchone()
+            return read.execute(sql, params).fetchone()
+        finally:
+            _observe_query(sql, (time.perf_counter() - started) * 1000.0)
 
     # -- version counters --------------------------------------------------
 

@@ -7,6 +7,8 @@ Usage (also via ``python -m repro``):
     repro search --nl "tables owned by Alex endorsed by Mike"
     repro search "type: table" --federate 4       # partitioned federation
     repro search "orders" --member sales=s.db --member ml=ml.db
+    repro search "orders" --trace       # print the request's span tree
+    repro metrics                       # Prometheus-format metrics dump
     repro study                         # run the simulated study (E1/E2)
     repro spec                          # print the default spec JSON
     repro spec --validate my_spec.json  # validate a spec file
@@ -35,6 +37,12 @@ from repro.core.render import render_preview_text, render_tabs_text
 from repro.core.spec import spec_from_json, spec_to_json, validate_spec
 from repro.errors import HumboldtError
 from repro.federation import Discovery, FederationError, federate
+from repro.obs import (
+    RingBufferExporter,
+    Tracer,
+    default_registry,
+    render_span_tree,
+)
 from repro.providers.suite import default_spec
 from repro.synth import SynthConfig, generate_catalog, study_catalog
 from repro.workbook.app import WorkbookApp
@@ -76,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the cost-based query plan (estimated "
                              "vs actual cardinality, per-node latency, "
                              "skipped fetches)")
+    search.add_argument("--trace", action="store_true",
+                        help="trace the request and print the span tree "
+                             "(planner, engine, provider fetches — and "
+                             "per-member fan-out when federated) with "
+                             "timings and cache/skip annotations")
     search.add_argument("--budget-ms", type=float, default=None,
                         help="deadline budget for provider fetches; once "
                              "spent, remaining fetches are skipped or "
@@ -91,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "federation member (repeatable); the first "
                              "member is the default for bare ids")
     add_catalog_options(search)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="exercise the overview fan-out, then print every metrics "
+             "registry in Prometheus text exposition format",
+    )
+    metrics.add_argument("--user", default="",
+                         help="user id for personalised providers")
+    add_catalog_options(metrics)
 
     health = sub.add_parser(
         "health",
@@ -239,6 +261,12 @@ def _open_discovery(args) -> Discovery:
     return Discovery.open(members=members)
 
 
+def _print_trace(ring: RingBufferExporter, out) -> None:
+    print("\ntrace:", file=out)
+    tree = render_span_tree(ring.spans())
+    print(tree if tree else "(no spans recorded)", file=out)
+
+
 def _federated_search(args, out) -> int:
     if args.nl:
         raise FederationError(
@@ -246,6 +274,12 @@ def _federated_search(args, out) -> int:
             "against a single catalog first"
         )
     with _open_discovery(args) as discovery:
+        ring = None
+        if args.trace:
+            # One tracer shared by the federation engine and every
+            # member engine, so the whole fan-out lands in one trace.
+            ring = RingBufferExporter()
+            discovery.federation.set_tracer(Tracer(exporters=(ring,)))
         users = discovery.federation.users()
         user_id = args.user or (users[0].id if users else "")
         print(f"federation: {len(discovery.members())} members "
@@ -268,6 +302,8 @@ def _federated_search(args, out) -> int:
                 print(f"  {marker.provider}: {marker.status}"
                       f"{' — ' + marker.detail if marker.detail else ''}",
                       file=out)
+        if ring is not None:
+            _print_trace(ring, out)
         if getattr(args, "stats", False):
             print("\nexecution stats:", file=out)
             print(discovery.engine.stats.render(), file=out)
@@ -279,6 +315,10 @@ def cmd_search(args, out) -> int:
         return _federated_search(args, out)
     with contextlib.closing(_resolve_store(args)) as store, \
             WorkbookApp(store) as app:
+        ring = None
+        if args.trace:
+            ring = RingBufferExporter()
+            app.engine.enable_tracing(ring)
         user_id = args.user or _default_user(store)
         query = args.query
         if args.nl:
@@ -309,8 +349,29 @@ def cmd_search(args, out) -> int:
         if args.explain and result.plan is not None:
             print("", file=out)
             print(result.plan.render(), file=out)
+        if ring is not None:
+            _print_trace(ring, out)
         _maybe_print_stats(args, app, out)
     return 0 if result.total else 1
+
+
+def cmd_metrics(args, out) -> int:
+    """Exercise the overview fan-out, then dump every metrics registry.
+
+    Two registries exist: the engine's own (execution counters, invoke
+    latency histogram, breaker state) and the process-wide default
+    registry (always-on instrumentation such as sqlite statement
+    timings).  Both are printed in Prometheus text exposition format.
+    """
+    with contextlib.closing(_resolve_store(args)) as store, \
+            WorkbookApp(store) as app:
+        user_id = args.user or _default_user(store)
+        app.interface.overview_tabs(user_id=user_id)
+        print("# engine registry", file=out)
+        print(app.engine.stats.metrics.render_prometheus(), file=out)
+        print("# process default registry", file=out)
+        print(default_registry().render_prometheus(), file=out)
+    return 0
 
 
 def cmd_health(args, out) -> int:
@@ -467,6 +528,7 @@ def cmd_catalog(args, out) -> int:
 _COMMANDS = {
     "demo": cmd_demo,
     "search": cmd_search,
+    "metrics": cmd_metrics,
     "health": cmd_health,
     "study": cmd_study,
     "spec": cmd_spec,

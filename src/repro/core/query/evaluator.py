@@ -164,51 +164,76 @@ class QueryEvaluator:
         markers.  ``None`` falls back to the engine policy's default
         budget (unbounded out of the box).
         """
-        compiled = (
-            query
-            if isinstance(query, CompiledQuery)
-            else self.language.compile(query)
-        )
-        context = context or RequestContext()
-        state = _EvalState(deadline=self.engine.deadline(budget_ms))
-        plan_root: PlanNode | None = None
-        planning_ms = 0.0
-        if self.planning:
-            started = time.perf_counter()
-            universe_size = (
-                len(universe) if universe is not None else self.store.artifact_count
+        tracer = self.engine.tracer
+        with tracer.span("query.search") as sp:
+            compiled = (
+                query
+                if isinstance(query, CompiledQuery)
+                else self.language.compile(query)
             )
-            plan_root = self.planner.plan(compiled.node, context, universe_size)
-            planning_ms = (time.perf_counter() - started) * 1000.0
-        with self.engine.scope():
-            ids = self._eval(compiled.node, context, universe, state, plan_root)
-        if universe is not None:
-            allowed = set(universe)
-            ids = [aid for aid in ids if aid in allowed]
-        ids = [aid for aid in ids if self.store.has_artifact(aid)]
+            if sp:
+                sp.set("query", compiled.text)
+            context = context or RequestContext()
+            state = _EvalState(deadline=self.engine.deadline(budget_ms))
+            plan_root: PlanNode | None = None
+            planning_ms = 0.0
+            if self.planning:
+                with tracer.span("query.plan") as plan_sp:
+                    started = time.perf_counter()
+                    universe_size = (
+                        len(universe)
+                        if universe is not None
+                        else self.store.artifact_count
+                    )
+                    plan_root = self.planner.plan(
+                        compiled.node, context, universe_size
+                    )
+                    planning_ms = (time.perf_counter() - started) * 1000.0
+                    if plan_sp:
+                        plan_sp.set("universe", universe_size)
+                        plan_sp.set("estimated", plan_root.estimated)
+            with self.engine.scope():
+                ids = self._eval(compiled.node, context, universe, state, plan_root)
+            if universe is not None:
+                allowed = set(universe)
+                ids = [aid for aid in ids if aid in allowed]
+            ids = [aid for aid in ids if self.store.has_artifact(aid)]
 
-        base_scores = self._text_base_scores(compiled, ids)
-        weights = self.language.spec.global_ranking
-        entries = self.ranker.top_k(ids, weights, limit, base_scores=base_scores)
-        plan = None
-        if plan_root is not None:
-            plan = ExplainedPlan(
-                root=plan_root,
-                planning_ms=planning_ms,
-                fetches_skipped=state.fetches_skipped,
+            base_scores = self._text_base_scores(compiled, ids)
+            weights = self.language.spec.global_ranking
+            entries = self.ranker.top_k(
+                ids, weights, limit, base_scores=base_scores
             )
-        unique_markers: dict[tuple[str, str], ProviderHealth] = {}
-        for marker in state.health:
-            unique_markers.setdefault((marker.endpoint, marker.status), marker)
-        return SearchResult(
-            query=compiled,
-            entries=tuple(entries),
-            total=len(ids),
-            truncated=state.truncated,
-            plan=plan,
-            degraded=state.degraded,
-            health=tuple(unique_markers.values()),
-        )
+            plan = None
+            if plan_root is not None:
+                plan = ExplainedPlan(
+                    root=plan_root,
+                    planning_ms=planning_ms,
+                    fetches_skipped=state.fetches_skipped,
+                )
+            unique_markers: dict[tuple[str, str], ProviderHealth] = {}
+            for marker in state.health:
+                unique_markers.setdefault(
+                    (marker.endpoint, marker.status), marker
+                )
+            if sp:
+                sp.set("total", len(ids))
+                sp.set("returned", len(entries))
+                if state.fetches_skipped:
+                    sp.set("skipped", state.fetches_skipped)
+                if state.truncated:
+                    sp.set("truncated", True)
+                if state.degraded:
+                    sp.set("degraded", True)
+            return SearchResult(
+                query=compiled,
+                entries=tuple(entries),
+                total=len(ids),
+                truncated=state.truncated,
+                plan=plan,
+                degraded=state.degraded,
+                health=tuple(unique_markers.values()),
+            )
 
     # -- AST evaluation ----------------------------------------------------
 

@@ -52,6 +52,7 @@ from repro.federation.refs import (
     parse_ref,
     validate_catalog_id,
 )
+from repro.obs.trace import Tracer
 from repro.providers.base import ProviderRequest, RequestContext
 from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
 from repro.providers.execution import (
@@ -273,6 +274,30 @@ class FederatedCatalog:
             clock=self._clock,
         )
         self._cross_edges: list[CrossCatalogEdge] = []
+        #: Shared tracer, when tracing is enabled via :meth:`set_tracer`.
+        self._tracer: "Tracer | None" = None
+
+    # -- observability -----------------------------------------------------
+
+    def set_tracer(self, tracer: "Tracer") -> None:
+        """Share one tracer across the federation and member engines.
+
+        A federated search fans out through the federation engine into
+        member evaluators running on their *own* engines; giving every
+        engine the same tracer instance keeps the whole fan-out in one
+        trace (member-side spans parent under the federation's fetch
+        spans via the engine's cross-thread context propagation).
+        Members added later inherit the tracer automatically.
+        """
+        self._tracer = tracer
+        self._engine.tracer = tracer
+        for member in self._members.values():
+            member.evaluator.engine.tracer = tracer
+
+    @property
+    def tracer(self) -> "Tracer":
+        """The active tracer (the engine's no-op tracer by default)."""
+        return self._engine.tracer
 
     # -- membership --------------------------------------------------------
 
@@ -303,6 +328,8 @@ class FederatedCatalog:
             policy=self._policy,
             clock=self._clock,
         )
+        if self._tracer is not None:
+            engine.tracer = self._tracer
         install_builtin_endpoints(engine.registry, BuiltinProviders(store))
         evaluator = QueryEvaluator(
             store, engine, self._language, Ranker(FieldResolver(store))
@@ -482,6 +509,38 @@ class FederatedCatalog:
         targets = list(members) if members is not None else list(self._members)
         for catalog_id in targets:
             self._member(catalog_id)
+        with self._engine.tracer.span("federation.search") as span:
+            if span:
+                span.set("query", query)
+                span.set("members", ",".join(targets))
+            result = self._search_fanout(
+                query,
+                targets,
+                user_id=user_id,
+                team_id=team_id,
+                limit=limit,
+                budget_ms=budget_ms,
+            )
+            if span:
+                span.set("responded", len(result.responded))
+                span.set("failed", len(result.failed))
+                span.set("total", result.total)
+                if result.degraded:
+                    span.set("degraded", True)
+                if result.truncated:
+                    span.set("truncated", True)
+            return result
+
+    def _search_fanout(
+        self,
+        query: str,
+        targets: list[str],
+        *,
+        user_id: str,
+        team_id: str,
+        limit: int,
+        budget_ms: float | None,
+    ) -> FederatedSearchResult:
         calls = [
             (
                 member_search_endpoint_uri(catalog_id),

@@ -30,6 +30,7 @@ from repro.catalog.store import CatalogStore
 from repro.federation.facade import Discovery
 from repro.federation.partition import CatalogPartition, federate
 from repro.load.workload import _zipf_choice, query_pool
+from repro.obs.metrics import percentile
 
 #: Operation kinds a federated session may contain.
 FED_OP_KINDS = ("search", "artifact", "lineage")
@@ -85,14 +86,6 @@ class FederatedLoadConfig:
         return (self.search_weight, self.artifact_weight, self.lineage_weight)
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
-
-
 @dataclass
 class FederatedLoadReport:
     """Everything one federated run measured, JSON-friendly via
@@ -123,9 +116,9 @@ class FederatedLoadReport:
                   for s in kind_samples]
         )
         return {
-            "p50": _percentile(samples, 0.50),
-            "p95": _percentile(samples, 0.95),
-            "p99": _percentile(samples, 0.99),
+            "p50": percentile(samples, 0.50),
+            "p95": percentile(samples, 0.95),
+            "p99": percentile(samples, 0.99),
             "max": max(samples) if samples else 0.0,
         }
 

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 from repro.catalog.store import CatalogStore
 from repro.load.workload import LoadConfig, SessionScript, build_workload
+from repro.obs.export import RingBufferExporter, render_span_tree
+from repro.obs.metrics import percentile
 from repro.providers.builtin import BuiltinProviders, install_builtin_endpoints
 from repro.providers.execution import (
     CallNext,
@@ -63,14 +65,6 @@ def latency_middleware(latency_ms: float):
     return middleware
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
-
-
 @dataclass
 class LoadReport:
     """Everything one harness run measured, JSON-friendly via
@@ -85,6 +79,10 @@ class LoadReport:
     stats: dict = field(default_factory=dict)
     isolation_checks: int = 0
     isolation_violations: int = 0
+    #: Top-N slowest op traces (``config.trace_slowest`` > 0 enables
+    #: tracing); each entry carries the op root's kind/arg/duration plus
+    #: its full span list and a rendered tree.
+    slowest: list[dict] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -110,9 +108,9 @@ class LoadReport:
             self.latencies_ms.get(kind, []) if kind else self._all_latencies()
         )
         return {
-            "p50": _percentile(samples, 0.50),
-            "p95": _percentile(samples, 0.95),
-            "p99": _percentile(samples, 0.99),
+            "p50": percentile(samples, 0.50),
+            "p95": percentile(samples, 0.95),
+            "p99": percentile(samples, 0.99),
             "max": max(samples) if samples else 0.0,
         }
 
@@ -148,6 +146,7 @@ class LoadReport:
                 "checks": self.isolation_checks,
                 "violations": self.isolation_violations,
             },
+            "slowest": self.slowest,
             "write_path": {
                 "delta_patches": totals.get("delta_patches", 0),
                 "delta_fallbacks": totals.get("delta_fallbacks", 0),
@@ -170,6 +169,19 @@ class LoadReport:
             f"{d['write_path']['coalesced_bumps']} coalesced bumps, "
             f"{d['isolation']['violations']} isolation violations"
         )
+
+    def render_slowest(self) -> str:
+        """The slowest-ops block: one span tree per traced op."""
+        if not self.slowest:
+            return "slowest ops: tracing disabled (config.trace_slowest=0)"
+        lines = [f"slowest {len(self.slowest)} ops:"]
+        for entry in self.slowest:
+            lines.append(
+                f"-- {entry['op']} {entry['arg']!r} "
+                f"{entry['duration_ms']:.2f} ms"
+            )
+            lines.append(entry["tree"])
+        return "\n".join(lines)
 
 
 class LoadHarness:
@@ -206,6 +218,13 @@ class LoadHarness:
             middlewares=middlewares,
             single_flight=single_flight,
         )
+        # Tracing is opt-in (config.trace_slowest > 0): every session op
+        # gets a root span, engine/evaluator spans nest under it, and the
+        # report reconstructs the slowest op traces from the ring buffer.
+        self._ring: RingBufferExporter | None = None
+        if config.trace_slowest > 0:
+            self._ring = RingBufferExporter()
+            self.engine.enable_tracing(self._ring)
         self.app = WorkbookApp(store, registry=registry, engine=self.engine)
         # One coalescing event stream shared by every session thread:
         # "stream" ops buffer usage events here, so sustained write
@@ -289,10 +308,15 @@ class LoadHarness:
         session = self.app.session(script.user_id, script.team_id)
         completed = errors = 0
         local: dict[str, list[float]] = {}
+        tracer = self.engine.tracer
         for op in script.ops:
             started = time.perf_counter()
             try:
-                self._run_op(session, op)
+                with tracer.span(f"op.{op.kind}") as span:
+                    if span:
+                        span.set("arg", op.arg)
+                        span.set("user", script.user_id)
+                    self._run_op(session, op)
             except Exception:
                 errors += 1
             else:
@@ -332,7 +356,32 @@ class LoadHarness:
             stats=self.engine.stats.snapshot(),
             isolation_checks=self._isolation_checks,
             isolation_violations=self._isolation_violations,
+            slowest=self._slowest_block(),
         )
+
+    def _slowest_block(self) -> list[dict]:
+        """Reconstruct the top-N slowest op traces from the ring buffer."""
+        if self._ring is None:
+            return []
+        roots = [
+            span
+            for span in self._ring.spans()
+            if span.parent_id is None and span.name.startswith("op.")
+        ]
+        roots.sort(key=lambda span: span.duration_ms or 0.0, reverse=True)
+        block: list[dict] = []
+        for root in roots[: self.config.trace_slowest]:
+            spans = self._ring.trace(root.trace_id)
+            block.append(
+                {
+                    "op": root.name,
+                    "arg": root.attrs.get("arg", ""),
+                    "duration_ms": round(root.duration_ms or 0.0, 3),
+                    "spans": [span.to_dict() for span in spans],
+                    "tree": render_span_tree(spans),
+                }
+            )
+        return block
 
 
 def run_load(

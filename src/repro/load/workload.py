@@ -93,6 +93,10 @@ class LoadConfig:
     #: Fixed latency injected per provider invocation, simulating a
     #: remote metadata service; 0 disables injection.
     provider_latency_ms: float = 0.0
+    #: When > 0, the harness traces every session op and the report's
+    #: ``slowest`` block holds the N slowest op span trees; 0 keeps the
+    #: engine on its zero-allocation no-op tracer.
+    trace_slowest: int = 0
 
     def __post_init__(self) -> None:
         if self.sessions < 1 or self.ops_per_session < 1:
@@ -105,6 +109,8 @@ class LoadConfig:
             raise ValueError("stream_burst must be >= 1")
         if self.coalesce_window_s < 0:
             raise ValueError("coalesce_window_s must be >= 0")
+        if self.trace_slowest < 0:
+            raise ValueError("trace_slowest must be >= 0")
         weights = self._weights()
         if any(w < 0 for w in weights) or sum(weights) <= 0:
             raise ValueError("mix weights must be >= 0 and not all zero")

@@ -35,11 +35,16 @@ naive reproduction scatters per call site:
   composing with :mod:`repro.providers.faults` (transient outages and
   timeouts retry; contract violations do not) and envelope validation at
   the boundary;
-* **instrumentation** — :class:`ExecutionStats`: per-endpoint call
-  counts, latency percentiles, cache hits/misses, retries, errors,
-  truncation events, breaker state and stale/skip counters, surfaced via
-  ``DiscoveryInterface.stats``, :meth:`ExecutionEngine.health` and the
-  CLI's ``--stats`` flag and ``health`` subcommand.
+* **instrumentation** — :class:`ExecutionStats`, a thin view over a
+  :class:`repro.obs.MetricsRegistry`: per-endpoint call counts, latency
+  percentiles, cache hits/misses, retries, errors, truncation events,
+  breaker state and stale/skip counters, surfaced via
+  ``DiscoveryInterface.stats``, :meth:`ExecutionEngine.health`, the
+  CLI's ``--stats`` flag / ``health`` / ``metrics`` subcommands and
+  Prometheus exposition.  Every hot path additionally emits
+  :mod:`repro.obs` trace spans (``engine.execute`` → ``engine.fetch`` →
+  ``provider.invoke``, plus batch, join and sweep spans) when a tracer
+  is installed; the default no-op tracer costs nothing.
 
 Configuration is a layered, frozen :class:`ExecutionPolicy`: global
 defaults (:meth:`ExecutionPolicy.defaults`), per-deployment tweaks
@@ -60,7 +65,7 @@ from __future__ import annotations
 import threading
 import time
 import zlib
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -91,6 +96,8 @@ from repro.providers.base import (
 )
 from repro.providers.faults import is_transient
 from repro.providers.registry import EndpointRegistry
+from repro.obs.metrics import MetricsRegistry, summarize_latencies
+from repro.obs.trace import NOOP_TRACER, TraceContext, Tracer
 
 if TYPE_CHECKING:  # imported for type hints only; no runtime cycle
     from repro.catalog.store import CatalogStore
@@ -139,66 +146,41 @@ PATCHABLE_DOMAINS = frozenset(
 
 # -- instrumentation --------------------------------------------------------
 
-#: Latency samples kept per endpoint for percentile estimates; a rolling
-#: window bounds memory on long-lived engines.
+#: Exact latency samples retained per endpoint — the size of the latency
+#: histogram's exemplar window; a rolling window bounds memory on
+#: long-lived engines.
 LATENCY_WINDOW = 1024
 
+#: Per-endpoint counter fields, in the order :meth:`ExecutionStats.snapshot`
+#: reports them.  Each becomes one ``engine_<field>_total{endpoint=...}``
+#: counter family on the stats registry.
+_COUNTER_FIELDS: tuple[tuple[str, str], ...] = (
+    ("calls", "Endpoint invocations (each retry attempt is an invocation)."),
+    ("errors", "Fetches that ultimately raised."),
+    ("retries", "Retry attempts beyond the first invocation."),
+    ("cache_hits", "Fetches answered from the result cache."),
+    ("cache_misses", "Fetches that had to invoke (or join) a provider."),
+    ("dedups", "In-batch duplicates of a pending miss in execute_many."),
+    ("single_flights", "Cross-request joins onto an identical in-flight fetch."),
+    ("truncations", "Provider results truncated to the declared limit."),
+    ("invalidations", "Cache entries dropped because a depended-on domain mutated."),
+    ("delta_patches", "Cache entries patched in place from write-ahead events."),
+    ("delta_fallbacks", "Patch attempts that fell back to drop-and-refetch."),
+    ("estimates", "Cardinality estimates served without invoking the endpoint."),
+    ("fetches_skipped", "Fetches the planner proved unnecessary."),
+    ("stale_served", "Expired cache entries served (breaker open / deadline spent)."),
+    ("deadline_skips", "Fetches not attempted because the deadline was spent."),
+    ("breaker_rejections", "Fetches rejected by an open circuit breaker."),
+    ("breaker_opens", "closed->open transitions of the endpoint's breaker."),
+)
 
-def _percentile(samples: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of *samples* (already a copy, unsorted)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+#: Breaker states encoded onto the ``engine_breaker_state`` gauge.
+_BREAKER_STATE_CODES = {"closed": 0.0, "open": 1.0, "half-open": 2.0}
+_BREAKER_STATE_NAMES = {code: name for name, code in _BREAKER_STATE_CODES.items()}
 
-
-@dataclass
-class EndpointStats:
-    """Counters for one endpoint URI (the engine's live, internal record)."""
-
-    calls: int = 0
-    errors: int = 0
-    retries: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    #: In-batch duplicates of a pending miss in ``execute_many`` — the work
-    #: was shared, but no cache entry answered it.
-    dedups: int = 0
-    #: Cross-request single-flight joins: fetches that waited on an
-    #: identical in-flight fetch started by another thread and shared its
-    #: one provider invocation.
-    single_flights: int = 0
-    truncations: int = 0
-    #: Cache entries dropped because a depended-on domain mutated.
-    invalidations: int = 0
-    #: Cache entries *patched in place* from write-ahead event records
-    #: instead of being dropped (streaming write path).
-    delta_patches: int = 0
-    #: Patch attempts that fell back to drop-and-refetch — the patcher
-    #: declined (non-monotonic mutation) or raised.
-    delta_fallbacks: int = 0
-    #: Cardinality estimates served (cache-sized or hook-computed) for
-    #: the query planner, without invoking the endpoint.
-    estimates: int = 0
-    #: Fetches the planner proved unnecessary (an ``And`` intersection
-    #: emptied before this endpoint's branch was reached).
-    fetches_skipped: int = 0
-    #: Expired cache entries served because the endpoint could not be
-    #: invoked (open breaker / exhausted deadline).
-    stale_served: int = 0
-    #: Fetches not attempted because the caller's deadline was spent.
-    deadline_skips: int = 0
-    #: Fetches rejected by an open circuit breaker.
-    breaker_rejections: int = 0
-    #: closed → open transitions of this endpoint's breaker.
-    breaker_opens: int = 0
-    #: Last observed breaker state (``closed``/``open``/``half-open``).
-    breaker_state: str = "closed"
-    latencies_ms: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
-
-    def latency_summary(self) -> dict[str, float]:
-        return _latency_summary(list(self.latencies_ms))
+_ZERO_LATENCY_SUMMARY = {
+    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+}
 
 
 @dataclass(frozen=True)
@@ -207,7 +189,9 @@ class EndpointStatsSnapshot:
 
     This is what :meth:`ExecutionStats.endpoint` hands out: it shares no
     state with the engine, so callers can neither race the engine's
-    bookkeeping nor corrupt it by mutation.
+    bookkeeping nor corrupt it by mutation.  ``latencies_ms`` is the
+    latency histogram's exemplar window — the most recent
+    :data:`LATENCY_WINDOW` raw samples.
     """
 
     calls: int = 0
@@ -231,128 +215,117 @@ class EndpointStatsSnapshot:
     latencies_ms: tuple[float, ...] = ()
 
     def latency_summary(self) -> dict[str, float]:
-        return _latency_summary(list(self.latencies_ms))
-
-
-def _latency_summary(samples: list[float]) -> dict[str, float]:
-    if not samples:
-        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
-    return {
-        "mean": sum(samples) / len(samples),
-        "p50": _percentile(samples, 0.50),
-        "p95": _percentile(samples, 0.95),
-        "p99": _percentile(samples, 0.99),
-        "max": max(samples),
-    }
+        return summarize_latencies(self.latencies_ms)
 
 
 class ExecutionStats:
-    """Thread-safe per-endpoint execution metrics.
+    """Thread-safe per-endpoint execution metrics — a thin view over a
+    :class:`repro.obs.MetricsRegistry`.
+
+    Every ``record_*`` method lands on a labelled metric family in
+    :attr:`metrics`: counters ``engine_<field>_total{endpoint=...}``, the
+    ``engine_invoke_latency_ms`` histogram (fixed buckets plus an exact
+    exemplar window) and the ``engine_breaker_state`` gauge.  The reading
+    side — the totals properties, :meth:`endpoint`, :meth:`snapshot`,
+    :meth:`render` — derives everything from **one** registry collection,
+    so the stats table, the health report and the Prometheus exposition
+    (``self.metrics.render_prometheus()``) cannot disagree about the same
+    fetches.
 
     ``calls`` counts actual endpoint invocations (each retry attempt is
     an invocation), so "a repeated operation performed zero duplicate
     fetches" is assertable as an unchanged ``total_calls``.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._endpoints: dict[str, EndpointStats] = {}
-        # Version bumps the store saved by coalescing event batches —
-        # a store-global number (no endpoint attribution), mirrored in
-        # by the engine's invalidation sweep.
-        self._coalesced_bumps = 0
-
-    def _for(self, endpoint: str) -> EndpointStats:
-        stats = self._endpoints.get(endpoint)
-        if stats is None:
-            stats = self._endpoints[endpoint] = EndpointStats()
-        return stats
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._counters = {
+            fname: self.metrics.counter(
+                f"engine_{fname}_total", ("endpoint",), help_text
+            )
+            for fname, help_text in _COUNTER_FIELDS
+        }
+        self._latency = self.metrics.histogram(
+            "engine_invoke_latency_ms",
+            ("endpoint",),
+            "Provider invocation latency (terminal middleware timing).",
+            exemplar_window=LATENCY_WINDOW,
+        )
+        self._breaker = self.metrics.gauge(
+            "engine_breaker_state",
+            ("endpoint",),
+            "Circuit breaker state: 0 closed, 1 open, 2 half-open.",
+        )
+        self._coalesced = self.metrics.counter(
+            "engine_coalesced_bumps_total",
+            (),
+            "Version bumps the store saved by coalescing event batches.",
+        )
 
     # -- recording (called by the engine) ---------------------------------
 
     def record_call(self, endpoint: str, latency_ms: float) -> None:
-        with self._lock:
-            stats = self._for(endpoint)
-            stats.calls += 1
-            stats.latencies_ms.append(latency_ms)
+        self._counters["calls"].labels(endpoint).inc()
+        self._latency.labels(endpoint).observe(latency_ms)
 
     def record_error(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).errors += 1
+        self._counters["errors"].labels(endpoint).inc()
 
     def record_retry(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).retries += 1
+        self._counters["retries"].labels(endpoint).inc()
 
     def record_cache_hit(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).cache_hits += 1
+        self._counters["cache_hits"].labels(endpoint).inc()
 
     def record_cache_miss(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).cache_misses += 1
+        self._counters["cache_misses"].labels(endpoint).inc()
 
     def record_dedup(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).dedups += 1
+        self._counters["dedups"].labels(endpoint).inc()
 
     def record_single_flight(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).single_flights += 1
+        self._counters["single_flights"].labels(endpoint).inc()
 
     def record_truncation(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).truncations += 1
+        self._counters["truncations"].labels(endpoint).inc()
 
     def record_invalidation(self, endpoint: str, dropped: int = 1) -> None:
-        with self._lock:
-            self._for(endpoint).invalidations += dropped
+        self._counters["invalidations"].labels(endpoint).inc(dropped)
 
     def record_delta_patch(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).delta_patches += 1
+        self._counters["delta_patches"].labels(endpoint).inc()
 
     def record_delta_fallback(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).delta_fallbacks += 1
+        self._counters["delta_fallbacks"].labels(endpoint).inc()
 
     def record_coalesced_bumps(self, saved: int) -> None:
-        with self._lock:
-            self._coalesced_bumps += saved
+        self._coalesced.labels().inc(saved)
 
     def record_estimate(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).estimates += 1
+        self._counters["estimates"].labels(endpoint).inc()
 
     def record_fetch_skipped(self, endpoint: str, count: int = 1) -> None:
-        with self._lock:
-            self._for(endpoint).fetches_skipped += count
+        self._counters["fetches_skipped"].labels(endpoint).inc(count)
 
     def record_stale_served(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).stale_served += 1
+        self._counters["stale_served"].labels(endpoint).inc()
 
     def record_deadline_skip(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).deadline_skips += 1
+        self._counters["deadline_skips"].labels(endpoint).inc()
 
     def record_breaker_rejection(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).breaker_rejections += 1
+        self._counters["breaker_rejections"].labels(endpoint).inc()
 
     def record_breaker_open(self, endpoint: str) -> None:
-        with self._lock:
-            self._for(endpoint).breaker_opens += 1
+        self._counters["breaker_opens"].labels(endpoint).inc()
 
     def record_breaker_state(self, endpoint: str, state: str) -> None:
-        with self._lock:
-            self._for(endpoint).breaker_state = state
+        self._breaker.labels(endpoint).set(_BREAKER_STATE_CODES.get(state, 0.0))
 
     # -- reading -----------------------------------------------------------
 
-    def _total(self, attr: str) -> int:
-        with self._lock:
-            return sum(getattr(s, attr) for s in self._endpoints.values())
+    def _total(self, fname: str) -> int:
+        return int(self._counters[fname].total())
 
     @property
     def total_calls(self) -> int:
@@ -400,8 +373,7 @@ class ExecutionStats:
 
     @property
     def coalesced_bumps(self) -> int:
-        with self._lock:
-            return self._coalesced_bumps
+        return int(self._coalesced.total())
 
     @property
     def estimates(self) -> int:
@@ -435,101 +407,56 @@ class ExecutionStats:
     def endpoint(self, uri: str) -> EndpointStatsSnapshot:
         """Counters for one endpoint (zeros if never fetched).
 
-        Returns an immutable :class:`EndpointStatsSnapshot` — historically
-        this handed out the live :class:`EndpointStats` (shared
-        ``latencies_ms`` deque included), letting callers observe torn
-        updates or mutate engine internals.
+        Built from a single registry collection, so every field of the
+        snapshot describes the same instant.
         """
-        with self._lock:
-            live = self._endpoints.get(uri)
-            if live is None:
-                return EndpointStatsSnapshot()
-            return EndpointStatsSnapshot(
-                calls=live.calls,
-                errors=live.errors,
-                retries=live.retries,
-                cache_hits=live.cache_hits,
-                cache_misses=live.cache_misses,
-                dedups=live.dedups,
-                single_flights=live.single_flights,
-                truncations=live.truncations,
-                invalidations=live.invalidations,
-                delta_patches=live.delta_patches,
-                delta_fallbacks=live.delta_fallbacks,
-                estimates=live.estimates,
-                fetches_skipped=live.fetches_skipped,
-                stale_served=live.stale_served,
-                deadline_skips=live.deadline_skips,
-                breaker_rejections=live.breaker_rejections,
-                breaker_opens=live.breaker_opens,
-                breaker_state=live.breaker_state,
-                latencies_ms=tuple(live.latencies_ms),
-            )
+        collected = self.metrics.collect()
+        key = (uri,)
+        values = {
+            fname: int(collected[f"engine_{fname}_total"]["series"].get(key, 0))
+            for fname, _ in _COUNTER_FIELDS
+        }
+        hist = collected["engine_invoke_latency_ms"]["series"].get(key)
+        state = collected["engine_breaker_state"]["series"].get(key, 0.0)
+        return EndpointStatsSnapshot(
+            breaker_state=_BREAKER_STATE_NAMES.get(state, "closed"),
+            latencies_ms=tuple(hist["samples"]) if hist else (),
+            **values,
+        )
 
     def snapshot(self) -> dict:
-        """A JSON-friendly copy of every counter."""
-        with self._lock:
-            endpoints = {
-                uri: {
-                    "calls": s.calls,
-                    "errors": s.errors,
-                    "retries": s.retries,
-                    "cache_hits": s.cache_hits,
-                    "cache_misses": s.cache_misses,
-                    "dedups": s.dedups,
-                    "single_flights": s.single_flights,
-                    "truncations": s.truncations,
-                    "invalidations": s.invalidations,
-                    "delta_patches": s.delta_patches,
-                    "delta_fallbacks": s.delta_fallbacks,
-                    "estimates": s.estimates,
-                    "fetches_skipped": s.fetches_skipped,
-                    "stale_served": s.stale_served,
-                    "deadline_skips": s.deadline_skips,
-                    "breaker_rejections": s.breaker_rejections,
-                    "breaker_opens": s.breaker_opens,
-                    "breaker_state": s.breaker_state,
-                    "latency_ms": s.latency_summary(),
-                }
-                for uri, s in sorted(self._endpoints.items())
+        """A JSON-friendly copy of every counter.
+
+        Totals and per-endpoint rows come from one registry collection —
+        the stats table and the health report derive from the same cut,
+        so their columns cannot disagree mid-update under concurrency.
+        """
+        collected = self.metrics.collect()
+        uris: set[str] = set()
+        for fname, _ in _COUNTER_FIELDS:
+            uris.update(k[0] for k in collected[f"engine_{fname}_total"]["series"])
+        uris.update(k[0] for k in collected["engine_invoke_latency_ms"]["series"])
+        endpoints: dict[str, dict] = {}
+        for uri in sorted(uris):
+            key = (uri,)
+            entry: dict = {
+                fname: int(collected[f"engine_{fname}_total"]["series"].get(key, 0))
+                for fname, _ in _COUNTER_FIELDS
             }
-            coalesced_bumps = self._coalesced_bumps
+            state = collected["engine_breaker_state"]["series"].get(key, 0.0)
+            entry["breaker_state"] = _BREAKER_STATE_NAMES.get(state, "closed")
+            hist = collected["engine_invoke_latency_ms"]["series"].get(key)
+            entry["latency_ms"] = (
+                dict(hist["summary"]) if hist else dict(_ZERO_LATENCY_SUMMARY)
+            )
+            endpoints[uri] = entry
         totals = {
-            "calls": sum(e["calls"] for e in endpoints.values()),
-            "errors": sum(e["errors"] for e in endpoints.values()),
-            "retries": sum(e["retries"] for e in endpoints.values()),
-            "cache_hits": sum(e["cache_hits"] for e in endpoints.values()),
-            "cache_misses": sum(e["cache_misses"] for e in endpoints.values()),
-            "dedups": sum(e["dedups"] for e in endpoints.values()),
-            "single_flights": sum(
-                e["single_flights"] for e in endpoints.values()
-            ),
-            "truncations": sum(e["truncations"] for e in endpoints.values()),
-            "invalidations": sum(
-                e["invalidations"] for e in endpoints.values()
-            ),
-            "delta_patches": sum(
-                e["delta_patches"] for e in endpoints.values()
-            ),
-            "delta_fallbacks": sum(
-                e["delta_fallbacks"] for e in endpoints.values()
-            ),
-            "coalesced_bumps": coalesced_bumps,
-            "estimates": sum(e["estimates"] for e in endpoints.values()),
-            "fetches_skipped": sum(
-                e["fetches_skipped"] for e in endpoints.values()
-            ),
-            "stale_served": sum(e["stale_served"] for e in endpoints.values()),
-            "deadline_skips": sum(
-                e["deadline_skips"] for e in endpoints.values()
-            ),
-            "breaker_rejections": sum(
-                e["breaker_rejections"] for e in endpoints.values()
-            ),
-            "breaker_opens": sum(
-                e["breaker_opens"] for e in endpoints.values()
-            ),
+            fname: sum(e[fname] for e in endpoints.values())
+            for fname, _ in _COUNTER_FIELDS
         }
+        totals["coalesced_bumps"] = int(
+            collected["engine_coalesced_bumps_total"]["series"].get((), 0)
+        )
         return {"totals": totals, "endpoints": endpoints}
 
     def render(self) -> str:
@@ -574,9 +501,7 @@ class ExecutionStats:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        with self._lock:
-            self._endpoints.clear()
-            self._coalesced_bumps = 0
+        self.metrics.reset()
 
 
 # -- policy ------------------------------------------------------------------
@@ -1136,11 +1061,15 @@ class _InflightFetch:
     instead of re-invoking the provider.
     """
 
-    __slots__ = ("done", "outcome")
+    __slots__ = ("done", "outcome", "leader_span_id")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.outcome: FetchOutcome | None = None
+        #: The leader's ``engine.fetch`` span id (set when tracing is on)
+        #: — waiter spans link to it, tying a join to the one provider
+        #: invocation that actually did the work.
+        self.leader_span_id: str | None = None
 
 
 class ExecutionEngine:
@@ -1164,6 +1093,7 @@ class ExecutionEngine:
         sleep: Callable[[float], None] = time.sleep,
         clock: "SimulationClock | None" = None,
         single_flight: bool = True,
+        tracer: "Tracer | None" = None,
     ):
         self.registry = registry
         self.store = store
@@ -1173,6 +1103,11 @@ class ExecutionEngine:
             timer = clock.now
             sleep = lambda seconds: clock.advance(seconds=seconds)  # noqa: E731
         self.stats = ExecutionStats()
+        #: The span source for every instrumented path.  The default is
+        #: the shared no-op tracer (falsy spans, no allocation); assign a
+        #: real :class:`repro.obs.Tracer` — or call
+        #: :meth:`enable_tracing` — to turn tracing on.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._timer = timer
         self._sleep = sleep
         self._lock = threading.RLock()
@@ -1230,6 +1165,20 @@ class ExecutionEngine:
         for middleware in reversed(tuple(middlewares)):
             chain = self._wrap(middleware, chain)
         self._chain = chain
+
+    # -- tracing -------------------------------------------------------------
+
+    def enable_tracing(self, *exporters: object) -> Tracer:
+        """Build and install a :class:`repro.obs.Tracer` on this engine.
+
+        The tracer runs on the engine's own injectable timer, so a
+        simulation-clock engine produces exact simulated-time spans.
+        Returns the tracer (callers usually also hand it a ring buffer:
+        ``tracer = engine.enable_tracing(RingBufferExporter())``).
+        """
+        tracer = Tracer(timer=self._timer, exporters=tuple(exporters))
+        self.tracer = tracer
+        return tracer
 
     # -- policy ------------------------------------------------------------
 
@@ -1362,13 +1311,29 @@ class ExecutionEngine:
           available → ``stale``;
         * breaker open / deadline spent, no fallback → ``skipped``.
         """
+        tracer = self.tracer
         key = request_key(endpoint, request)
-        cached = self._lookup(key)
-        if cached is not None:
-            self.stats.record_cache_hit(endpoint)
-            return FetchOutcome(endpoint, result=cached)
-        self.stats.record_cache_miss(endpoint)
-        return self._run_guarded(endpoint, request, key, deadline)
+        if not tracer.enabled:
+            # Untraced fast path: the cache-hit case is the hottest line
+            # in the engine and pays nothing for observability here.
+            cached = self._lookup(key)
+            if cached is not None:
+                self.stats.record_cache_hit(endpoint)
+                return FetchOutcome(endpoint, result=cached)
+            self.stats.record_cache_miss(endpoint)
+            return self._run_guarded(endpoint, request, key, deadline)
+        with tracer.span("engine.execute") as sp:
+            sp.set("endpoint", endpoint)
+            cached = self._lookup(key)
+            if cached is not None:
+                self.stats.record_cache_hit(endpoint)
+                sp.set("cache", "hit")
+                return FetchOutcome(endpoint, result=cached)
+            self.stats.record_cache_miss(endpoint)
+            sp.set("cache", "miss")
+            outcome = self._run_guarded(endpoint, request, key, deadline)
+            sp.set("outcome", outcome.status.value)
+            return outcome
 
     def execute_many(
         self,
@@ -1384,91 +1349,104 @@ class ExecutionEngine:
         *deadline* applies per call: fetches starting after it expires
         are skipped (or served stale), not attempted.
         """
-        keys = [request_key(endpoint, request) for endpoint, request in calls]
-        outcomes: dict[RequestKey, FetchOutcome] = {}
-        hit_keys: set[RequestKey] = set()
-        pending: list[tuple[RequestKey, str, ProviderRequest]] = []
-        for key, (endpoint, request) in zip(keys, calls):
-            if key in outcomes:
-                # A duplicate of a key already answered by the cache is
-                # another hit; a duplicate of a pending miss shares that
-                # miss's single execution — counting it as a hit inflated
-                # cache_hit_rate, so it gets its own counter.
-                if key in hit_keys:
-                    self.stats.record_cache_hit(endpoint)
-                else:
-                    self.stats.record_dedup(endpoint)
-                continue
-            cached = self._lookup(key)
-            if cached is not None:
-                self.stats.record_cache_hit(endpoint)
-                hit_keys.add(key)
-                outcomes[key] = FetchOutcome(endpoint, result=cached)
-            else:
-                self.stats.record_cache_miss(endpoint)
-                outcomes[key] = FetchOutcome(endpoint)  # placeholder
-                pending.append((key, endpoint, request))
-
-        # The caller's request-scoped memo (if a scope is open) travels
-        # with the submitted work: pool workers push it onto their own
-        # thread-local stack so parallel And/Or branches see — and feed —
-        # the same memo the serial path would.
-        caller_stack = self._memo_stack()
-        scope_memo = caller_stack[-1] if caller_stack else None
-
-        def run_one(
-            key: RequestKey, endpoint: str, request: ProviderRequest
-        ) -> FetchOutcome:
-            if scope_memo is None:
-                return self._run_guarded(endpoint, request, key, deadline)
-            stack = self._memo_stack()
-            stack.append(scope_memo)
-            try:
-                return self._run_guarded(endpoint, request, key, deadline)
-            finally:
-                stack.pop()
-
-        # Misses whose key is already in flight on another thread are not
-        # submitted to the pool: a submitted waiter would occupy a scarce
-        # pool slot doing nothing but waiting on the leader's event, so
-        # under a saturated pool a thundering herd of identical fan-outs
-        # used to queue *behind itself*.  Joining from this thread leaves
-        # every slot for fetches that actually invoke a provider.
-        to_join: list[tuple[RequestKey, str, ProviderRequest, _InflightFetch]] = []
-        to_run = pending
-        if self._single_flight and pending:
-            leading = self._leading_keys()
-            to_run = []
-            with self._lock:
-                for key, endpoint, request in pending:
-                    flight = self._inflight.get(key)
-                    if flight is not None and key not in leading:
-                        to_join.append((key, endpoint, request, flight))
+        tracer = self.tracer
+        with tracer.span("engine.execute_many") as batch_sp:
+            keys = [request_key(endpoint, request) for endpoint, request in calls]
+            outcomes: dict[RequestKey, FetchOutcome] = {}
+            hit_keys: set[RequestKey] = set()
+            pending: list[tuple[RequestKey, str, ProviderRequest]] = []
+            for key, (endpoint, request) in zip(keys, calls):
+                if key in outcomes:
+                    # A duplicate of a key already answered by the cache is
+                    # another hit; a duplicate of a pending miss shares that
+                    # miss's single execution — counting it as a hit inflated
+                    # cache_hit_rate, so it gets its own counter.
+                    if key in hit_keys:
+                        self.stats.record_cache_hit(endpoint)
                     else:
-                        to_run.append((key, endpoint, request))
+                        self.stats.record_dedup(endpoint)
+                    continue
+                cached = self._lookup(key)
+                if cached is not None:
+                    self.stats.record_cache_hit(endpoint)
+                    hit_keys.add(key)
+                    outcomes[key] = FetchOutcome(endpoint, result=cached)
+                else:
+                    self.stats.record_cache_miss(endpoint)
+                    outcomes[key] = FetchOutcome(endpoint)  # placeholder
+                    pending.append((key, endpoint, request))
 
-        if len(to_run) > 1 and self._policy.max_workers > 1:
-            futures = [
-                self._executor().submit(run_one, key, endpoint, request)
-                for key, endpoint, request in to_run
-            ]
-            for key, endpoint, request, flight in to_join:
-                outcomes[key] = self._await_flight(
-                    endpoint, request, key, flight, deadline
-                )
-            finished = [future.result() for future in futures]
-        else:
-            for key, endpoint, request, flight in to_join:
-                outcomes[key] = self._await_flight(
-                    endpoint, request, key, flight, deadline
-                )
-            finished = [
-                run_one(key, endpoint, request)
-                for key, endpoint, request in to_run
-            ]
-        for (key, _, _), outcome in zip(to_run, finished):
-            outcomes[key] = outcome
-        return [outcomes[key] for key in keys]
+            # The caller's request-scoped memo (if a scope is open) travels
+            # with the submitted work: pool workers push it onto their own
+            # thread-local stack so parallel And/Or branches see — and feed —
+            # the same memo the serial path would.  The trace context rides
+            # along identically, so worker-side spans parent under this
+            # batch instead of rooting orphan traces.
+            caller_stack = self._memo_stack()
+            scope_memo = caller_stack[-1] if caller_stack else None
+            caller_ctx = tracer.context() if tracer.enabled else None
+
+            def run_one(
+                key: RequestKey, endpoint: str, request: ProviderRequest
+            ) -> FetchOutcome:
+                with tracer.attach(caller_ctx):
+                    if scope_memo is None:
+                        return self._run_guarded(endpoint, request, key, deadline)
+                    stack = self._memo_stack()
+                    stack.append(scope_memo)
+                    try:
+                        return self._run_guarded(endpoint, request, key, deadline)
+                    finally:
+                        stack.pop()
+
+            # Misses whose key is already in flight on another thread are not
+            # submitted to the pool: a submitted waiter would occupy a scarce
+            # pool slot doing nothing but waiting on the leader's event, so
+            # under a saturated pool a thundering herd of identical fan-outs
+            # used to queue *behind itself*.  Joining from this thread leaves
+            # every slot for fetches that actually invoke a provider.
+            to_join: list[
+                tuple[RequestKey, str, ProviderRequest, _InflightFetch]
+            ] = []
+            to_run = pending
+            if self._single_flight and pending:
+                leading = self._leading_keys()
+                to_run = []
+                with self._lock:
+                    for key, endpoint, request in pending:
+                        flight = self._inflight.get(key)
+                        if flight is not None and key not in leading:
+                            to_join.append((key, endpoint, request, flight))
+                        else:
+                            to_run.append((key, endpoint, request))
+
+            if len(to_run) > 1 and self._policy.max_workers > 1:
+                futures = [
+                    self._executor().submit(run_one, key, endpoint, request)
+                    for key, endpoint, request in to_run
+                ]
+                for key, endpoint, request, flight in to_join:
+                    outcomes[key] = self._await_flight(
+                        endpoint, request, key, flight, deadline
+                    )
+                finished = [future.result() for future in futures]
+            else:
+                for key, endpoint, request, flight in to_join:
+                    outcomes[key] = self._await_flight(
+                        endpoint, request, key, flight, deadline
+                    )
+                finished = [
+                    run_one(key, endpoint, request)
+                    for key, endpoint, request in to_run
+                ]
+            for (key, _, _), outcome in zip(to_run, finished):
+                outcomes[key] = outcome
+            if batch_sp:
+                batch_sp.set("calls", len(calls))
+                batch_sp.set("hits", len(hit_keys))
+                batch_sp.set("ran", len(to_run))
+                batch_sp.set("joined", len(to_join))
+            return [outcomes[key] for key in keys]
 
     def fetch(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
         """**Deprecated** raise-through shim over :meth:`execute`.
@@ -1580,14 +1558,18 @@ class ExecutionEngine:
 
     # -- health ------------------------------------------------------------
 
-    def health(self) -> dict[str, dict]:
+    def health(self, snapshot: dict | None = None) -> dict[str, dict]:
         """A JSON-friendly resilience report, per endpoint URI.
 
         Merges breaker state (live, including time-to-probe) with the
         degradation counters of :class:`ExecutionStats`.  Backs the CLI's
-        ``health`` subcommand.
+        ``health`` subcommand.  Pass a :meth:`ExecutionStats.snapshot`
+        to derive the report and other views (the health table's footer,
+        say) from one consistent cut of the counters.
         """
-        snap = self.stats.snapshot()["endpoints"]
+        if snapshot is None:
+            snapshot = self.stats.snapshot()
+        snap = snapshot["endpoints"]
         now = self._timer()
         with self._lock:
             breakers = {
@@ -1619,8 +1601,15 @@ class ExecutionEngine:
         return report
 
     def render_health(self) -> str:
-        """Plain-text health table (CLI ``health`` subcommand)."""
-        report = self.health()
+        """Plain-text health table (CLI ``health`` subcommand).
+
+        Rows and the coalesced-bumps footer derive from **one** stats
+        snapshot — historically the footer re-read the live counter, so
+        a concurrent write stream could make the table disagree with
+        its own footer.
+        """
+        snapshot = self.stats.snapshot()
+        report = self.health(snapshot)
         lines = [
             f"{'endpoint':<32}{'breaker':>10}{'fails':>7}{'retry s':>9}"
             f"{'calls':>7}{'err':>5}{'stale':>7}{'dskip':>7}{'brej':>6}"
@@ -1639,7 +1628,8 @@ class ExecutionEngine:
         if len(lines) == 1:
             lines.append("(no fetches recorded)")
         lines.append(
-            f"coalesced version bumps: {self.stats.coalesced_bumps}"
+            "coalesced version bumps:"
+            f" {snapshot['totals']['coalesced_bumps']}"
         )
         return "\n".join(lines)
 
@@ -1868,61 +1858,72 @@ class ExecutionEngine:
         them early is sound because patchers rebuild from live
         aggregates (re-applying an event is a no-op).
         """
-        log = getattr(self.store, "events", None)
-        records: tuple = ()
-        patchable: set[str] = set()
-        if isinstance(log, EventLog):
-            drained, next_offset, truncated = log.since(
-                self._seen_event_offset
-            )
-            self._seen_event_offset = next_offset
-            if truncated:
-                # Events fell off the bounded log before this sweep saw
-                # them — no domain's deltas are trustworthy any more.
-                changed = set(DOMAINS)
-            else:
-                records = drained
-                changed = changed | {r.domain for r in drained}
-                opaque = {
-                    r.domain
-                    for r in drained
-                    if isinstance(r, OpaqueEventRecord)
-                }
-                patchable = (changed & PATCHABLE_DOMAINS) - opaque
-        hard = changed - patchable
-        dependencies: dict[str, frozenset[str] | None] = {}
-        patchers: dict[str, ResultPatcher | None] = {}
-        for key, entry in list(self._cache.items()):
-            endpoint = key[0]
-            if endpoint not in dependencies:
-                dependencies[endpoint] = self.dependencies_for(endpoint)
-            deps = dependencies[endpoint]
-            if deps is None or deps & hard:
-                del self._cache[key]
-                self.stats.record_invalidation(endpoint)
-                continue
-            if not (deps & patchable):
-                continue  # unaffected by this sweep
-            if endpoint not in patchers:
-                patchers[endpoint] = self._patcher_for(endpoint)
-            patcher = patchers[endpoint]
-            if patcher is None:
-                del self._cache[key]
-                self.stats.record_invalidation(endpoint)
-                continue
-            fresh_until, stale_until, result = entry
-            try:
-                patched = patcher(_request_from_key(key), result, records)
-            except Exception:
-                patched = None
-            if patched is None:
-                del self._cache[key]
-                self.stats.record_invalidation(endpoint)
-                self.stats.record_delta_fallback(endpoint)
-                continue
-            if patched is not result:
-                self._cache[key] = (fresh_until, stale_until, patched)
-            self.stats.record_delta_patch(endpoint)
+        with self.tracer.span("engine.sweep") as sp:
+            log = getattr(self.store, "events", None)
+            records: tuple = ()
+            patchable: set[str] = set()
+            if isinstance(log, EventLog):
+                drained, next_offset, truncated = log.since(
+                    self._seen_event_offset
+                )
+                self._seen_event_offset = next_offset
+                if truncated:
+                    # Events fell off the bounded log before this sweep saw
+                    # them — no domain's deltas are trustworthy any more.
+                    changed = set(DOMAINS)
+                else:
+                    records = drained
+                    changed = changed | {r.domain for r in drained}
+                    opaque = {
+                        r.domain
+                        for r in drained
+                        if isinstance(r, OpaqueEventRecord)
+                    }
+                    patchable = (changed & PATCHABLE_DOMAINS) - opaque
+            hard = changed - patchable
+            dependencies: dict[str, frozenset[str] | None] = {}
+            patchers: dict[str, ResultPatcher | None] = {}
+            patched_n = dropped_n = 0
+            for key, entry in list(self._cache.items()):
+                endpoint = key[0]
+                if endpoint not in dependencies:
+                    dependencies[endpoint] = self.dependencies_for(endpoint)
+                deps = dependencies[endpoint]
+                if deps is None or deps & hard:
+                    del self._cache[key]
+                    self.stats.record_invalidation(endpoint)
+                    dropped_n += 1
+                    continue
+                if not (deps & patchable):
+                    continue  # unaffected by this sweep
+                if endpoint not in patchers:
+                    patchers[endpoint] = self._patcher_for(endpoint)
+                patcher = patchers[endpoint]
+                if patcher is None:
+                    del self._cache[key]
+                    self.stats.record_invalidation(endpoint)
+                    dropped_n += 1
+                    continue
+                fresh_until, stale_until, result = entry
+                try:
+                    patched = patcher(_request_from_key(key), result, records)
+                except Exception:
+                    patched = None
+                if patched is None:
+                    del self._cache[key]
+                    self.stats.record_invalidation(endpoint)
+                    self.stats.record_delta_fallback(endpoint)
+                    dropped_n += 1
+                    continue
+                if patched is not result:
+                    self._cache[key] = (fresh_until, stale_until, patched)
+                self.stats.record_delta_patch(endpoint)
+                patched_n += 1
+            if sp:
+                sp.set("domains", ",".join(sorted(changed)))
+                sp.set("records", len(records))
+                sp.set("patched", patched_n)
+                sp.set("dropped", dropped_n)
 
     def _patcher_for(self, endpoint: str) -> ResultPatcher | None:
         getter = getattr(self.registry, "patcher", None)
@@ -1978,7 +1979,9 @@ class ExecutionEngine:
         leading.add(key)
         outcome: FetchOutcome | None = None
         try:
-            outcome = self._run_gated(endpoint, request, key, deadline)
+            outcome = self._run_gated(
+                endpoint, request, key, deadline, flight=flight
+            )
             return outcome
         finally:
             leading.discard(key)
@@ -1996,7 +1999,37 @@ class ExecutionEngine:
         flight: _InflightFetch,
         deadline: Deadline | None,
     ) -> FetchOutcome:
-        """Wait on an identical in-flight fetch and share its outcome."""
+        """Wait on an identical in-flight fetch and share its outcome.
+
+        The waiter's span *links* to the leader's fetch span (it is not
+        a child — the leader belongs to someone else's trace), so a
+        traced join points at the invocation that did the work.  The
+        link is resolved after the wait: the leader publishes its span
+        id on the flight when its gated fetch starts.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._await_flight_inner(
+                endpoint, request, key, flight, deadline
+            )
+        with tracer.span("engine.join") as sp:
+            sp.set("endpoint", endpoint)
+            outcome = self._await_flight_inner(
+                endpoint, request, key, flight, deadline
+            )
+            if flight.leader_span_id:
+                sp.links = (flight.leader_span_id,)
+            sp.set("outcome", outcome.status.value)
+            return outcome
+
+    def _await_flight_inner(
+        self,
+        endpoint: str,
+        request: ProviderRequest,
+        key: RequestKey,
+        flight: _InflightFetch,
+        deadline: Deadline | None,
+    ) -> FetchOutcome:
         if deadline is None:
             flight.done.wait()
         else:
@@ -2042,56 +2075,81 @@ class ExecutionEngine:
         request: ProviderRequest,
         key: RequestKey,
         deadline: Deadline | None,
+        flight: _InflightFetch | None = None,
     ) -> FetchOutcome:
         """Deadline and breaker gates, then the middleware chain, mapping
-        every arm to a :class:`FetchOutcome`."""
-        tenant = request.context.team_id
-        policy = self._policy_for(endpoint, tenant)
-        # Breakers are engine-wide: their knobs resolve from the shared
-        # policy so a tenant overlay can never weaken another tenant's
-        # protection against a failing provider.
-        base = policy if not tenant else self._policy_for(endpoint)
-        now = self._timer()
-        if deadline is not None and deadline.expired(now):
-            self.stats.record_deadline_skip(endpoint)
-            stale = self._stale_outcome(endpoint, key, policy, "deadline exhausted")
-            if stale is not None:
-                return stale
-            return FetchOutcome(
-                endpoint,
-                error=DeadlineExceededError(endpoint, deadline.budget_ms),
-                status=FetchStatus.SKIPPED,
-                reason="deadline exhausted",
-            )
-        breaker: CircuitBreaker | None = None
-        if base.breaker_enabled:
-            allowed, retry_after, breaker = self._breaker_gate(
-                endpoint, base, now
-            )
-            if not allowed:
-                self.stats.record_breaker_rejection(endpoint)
-                stale = self._stale_outcome(endpoint, key, policy, "circuit open")
+        every arm to a :class:`FetchOutcome`.  When this fetch leads a
+        single-flight, its span id is published on *flight* so waiters
+        can link to it."""
+        with self.tracer.span("engine.fetch") as sp:
+            if sp:
+                sp.set("endpoint", endpoint)
+                if flight is not None:
+                    flight.leader_span_id = sp.span_id
+            tenant = request.context.team_id
+            policy = self._policy_for(endpoint, tenant)
+            # Breakers are engine-wide: their knobs resolve from the shared
+            # policy so a tenant overlay can never weaken another tenant's
+            # protection against a failing provider.
+            base = policy if not tenant else self._policy_for(endpoint)
+            now = self._timer()
+            if deadline is not None and deadline.expired(now):
+                self.stats.record_deadline_skip(endpoint)
+                stale = self._stale_outcome(
+                    endpoint, key, policy, "deadline exhausted"
+                )
+                if sp:
+                    sp.set("gate", "deadline")
+                    sp.set("outcome", "stale" if stale is not None else "skipped")
                 if stale is not None:
                     return stale
                 return FetchOutcome(
                     endpoint,
-                    error=CircuitOpenError(endpoint, retry_after),
+                    error=DeadlineExceededError(endpoint, deadline.budget_ms),
                     status=FetchStatus.SKIPPED,
-                    reason="circuit open",
+                    reason="deadline exhausted",
                 )
-        stamp = self._version_stamp()
-        stack = self._deadline_stack()
-        stack.append(deadline)
-        try:
-            result = self._execute(endpoint, request)
-        except HumboldtError as exc:
-            self._breaker_record(endpoint, ok=False, breaker=breaker)
-            return FetchOutcome(endpoint, error=exc)
-        finally:
-            stack.pop()
-        self._breaker_record(endpoint, ok=True, breaker=breaker)
-        self._remember(key, result, stamp=stamp)
-        return FetchOutcome(endpoint, result=result)
+            breaker: CircuitBreaker | None = None
+            if base.breaker_enabled:
+                allowed, retry_after, breaker = self._breaker_gate(
+                    endpoint, base, now
+                )
+                if not allowed:
+                    self.stats.record_breaker_rejection(endpoint)
+                    stale = self._stale_outcome(
+                        endpoint, key, policy, "circuit open"
+                    )
+                    if sp:
+                        sp.set("gate", "breaker")
+                        sp.set(
+                            "outcome", "stale" if stale is not None else "skipped"
+                        )
+                    if stale is not None:
+                        return stale
+                    return FetchOutcome(
+                        endpoint,
+                        error=CircuitOpenError(endpoint, retry_after),
+                        status=FetchStatus.SKIPPED,
+                        reason="circuit open",
+                    )
+            stamp = self._version_stamp()
+            stack = self._deadline_stack()
+            stack.append(deadline)
+            try:
+                result = self._execute(endpoint, request)
+            except HumboldtError as exc:
+                self._breaker_record(endpoint, ok=False, breaker=breaker)
+                if sp:
+                    sp.set("outcome", "error")
+                    sp.set("error", type(exc).__name__)
+                return FetchOutcome(endpoint, error=exc)
+            finally:
+                stack.pop()
+            self._breaker_record(endpoint, ok=True, breaker=breaker)
+            self._remember(key, result, stamp=stamp)
+            if sp:
+                sp.set("outcome", "ok")
+            return FetchOutcome(endpoint, result=result)
 
     def _version_stamp(self) -> tuple:
         """(registry version, store version, domain counters) as of now —
@@ -2246,11 +2304,16 @@ class ExecutionEngine:
     def _invoke(self, endpoint: str, request: ProviderRequest) -> ProviderResult:
         """Terminal stage: resolve and call, timing the invocation."""
         resolved = self.registry.resolve(endpoint)
-        started = self._timer()
-        try:
-            return resolved(request)
-        finally:
-            self.stats.record_call(endpoint, (self._timer() - started) * 1000.0)
+        with self.tracer.span("provider.invoke") as sp:
+            if sp:
+                sp.set("endpoint", endpoint)
+            started = self._timer()
+            try:
+                return resolved(request)
+            finally:
+                self.stats.record_call(
+                    endpoint, (self._timer() - started) * 1000.0
+                )
 
     def _retry_middleware(
         self, endpoint: str, request: ProviderRequest, call_next: CallNext

@@ -27,23 +27,29 @@ PUBLIC_API = [
     "FederatedCatalog",
     "FederatedSearchResult",
     "HumboldtSpec",
+    "JsonlExporter",
+    "MetricsRegistry",
     "ProviderRequest",
     "ProviderResult",
     "ProviderSpec",
     "RankingWeight",
     "Representation",
     "RequestContext",
+    "RingBufferExporter",
     "Session",
     "SpecBuilder",
     "SynthConfig",
+    "Tracer",
     "Visibility",
     "WorkbookApp",
     "__version__",
+    "default_registry",
     "default_spec",
     "explain",
     "generate_catalog",
     "install_builtin_endpoints",
     "parse_query",
+    "render_span_tree",
     "spec_from_json",
     "spec_to_json",
     "study_catalog",
